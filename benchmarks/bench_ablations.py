@@ -1,0 +1,122 @@
+"""Ablations beyond the paper's headline experiments (DESIGN.md §7).
+
+* fixed-point datapath: does the pruning conclusion survive Q15?
+* wavelet-stage depth: the full Fig. 4 recursion vs the hybrid kernel,
+* extended bases (Db6/Db8): the basis trade-off beyond the paper's three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import format_percent, format_table
+from repro.core.calibration import extract_calibration_windows
+from repro.ffts import PruningSpec, WaveletFFT, split_radix_counts
+from repro.fixedpoint import FixedPointWaveletFFT, Q15, Q31, Q1_14, sqnr_db
+
+
+def test_ablation_fixed_point(benchmark, rsa_recordings, config):
+    """Quantisation ablation: SQNR of the integer kernels per mode."""
+    window = extract_calibration_windows(
+        rsa_recordings[:1], config, packed=True
+    )[0]
+    scale = 0.9 / np.max(np.abs([window.real, window.imag]))
+    window = window * scale
+
+    def sweep():
+        rows = []
+        for fmt_name, fmt in (("Q15", Q15), ("Q1.14", Q1_14), ("Q31", Q31)):
+            for label, spec in (
+                ("exact", PruningSpec.none()),
+                ("band drop", PruningSpec.band_only()),
+                ("band + 60%", PruningSpec.paper_mode(3)),
+            ):
+                float_plan = WaveletFFT(512, pruning=spec)
+                fixed_plan = FixedPointWaveletFFT(512, "haar", fmt, pruning=spec)
+                reference = float_plan.transform(window)
+                quantized = fixed_plan.transform(window).values
+                rows.append(
+                    [fmt_name, label, f"{sqnr_db(reference, quantized):.1f} dB"]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_fixed_point",
+        format_table(
+            ["format", "mode", "SQNR vs float kernel"],
+            rows,
+            title="Ablation — fixed-point datapath fidelity "
+            "(quantisation noise must not mask pruning behaviour)",
+        ),
+    )
+    sqnrs = {(r[0], r[1]): float(r[2].split()[0]) for r in rows}
+    assert sqnrs[("Q15", "exact")] > 35
+    assert sqnrs[("Q31", "exact")] > 100
+    # The pruned kernel is as faithful to its float twin as the exact one.
+    assert sqnrs[("Q15", "band + 60%")] > 30
+
+
+def test_ablation_wavelet_stage_depth(benchmark):
+    """Deeper packet recursion (Fig. 4) raises cost — the reason the
+    production kernel keeps one wavelet stage plus fast sub-DFTs."""
+
+    def sweep():
+        baseline = split_radix_counts(512)
+        rows = []
+        for levels in (1, 2, 3, 4):
+            counts = WaveletFFT(512, levels=levels).static_counts()
+            rows.append(
+                [
+                    str(levels),
+                    str(counts.total),
+                    format_percent(counts.savings_vs(baseline), signed=True),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "ablation_depth",
+        format_table(
+            ["wavelet levels", "total ops", "savings vs split-radix"],
+            rows,
+            title="Ablation — wavelet-stage depth (exact kernel, N=512)",
+        ),
+    )
+    totals = [int(r[1]) for r in rows]
+    assert totals == sorted(totals)
+
+
+def test_ablation_extended_bases(benchmark):
+    """Db6/Db8 continue the basis trend: longer filters cost more in the
+    DWT stage than their extra twiddle sparsity recovers."""
+
+    def sweep():
+        baseline = split_radix_counts(512)
+        rows = []
+        for basis in ("haar", "db2", "db4", "db6", "db8"):
+            counts = WaveletFFT(
+                512, basis=basis, pruning=PruningSpec.band_only()
+            ).static_counts()
+            rows.append(
+                [
+                    basis,
+                    str(counts.total),
+                    format_percent(counts.savings_vs(baseline), signed=True),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "ablation_bases",
+        format_table(
+            ["basis", "total ops (band drop)", "savings vs split-radix"],
+            rows,
+            title="Ablation — extended wavelet bases, N=512",
+        ),
+    )
+    totals = [int(r[1]) for r in rows]
+    assert totals == sorted(totals)  # haar cheapest ... db8 dearest

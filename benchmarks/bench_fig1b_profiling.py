@@ -1,0 +1,61 @@
+"""Fig. 1(b): energy profiling of the conventional split-radix PSA.
+
+Paper observation: "the FFT block consumes most of the overall system
+power, which also accounts for the majority of the total computational
+cycles" — the motivation for attacking the FFT.  This bench profiles one
+Fast-Lomb analysis window block by block on the node model and prints
+the cycle/energy shares.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import ConventionalPSA
+from repro.analysis import format_percent, format_table
+from repro.platform import SensorNodeModel, profile_blocks
+
+
+def _window_signal(rsa_recordings):
+    rr = rsa_recordings[0]
+    window = rr.slice_time(0.0, 120.0)
+    return window.times, window.intervals
+
+
+def test_fig1b_energy_profile(benchmark, rsa_recordings):
+    times, values = _window_signal(rsa_recordings)
+    system = ConventionalPSA()
+    engine = system._welch.analyzer
+
+    breakdown = benchmark(engine.count_breakdown, times, values)
+
+    profiles = profile_blocks(breakdown, SensorNodeModel())
+    rows = [
+        [
+            p.name,
+            f"{p.counts.total}",
+            f"{p.cycles:.0f}",
+            format_percent(p.cycle_share),
+            format_percent(p.energy_share),
+        ]
+        for p in profiles
+    ]
+    emit(
+        "fig1b_profiling",
+        format_table(
+            ["block", "ops", "cycles", "cycle share", "energy share"],
+            rows,
+            title="Fig 1(b) — conventional PSA window profile "
+            "(paper: FFT dominates)",
+        ),
+    )
+    assert profiles[0].name == "fft"
+    assert profiles[0].energy_share > 0.5
+
+
+def test_fig1b_window_throughput(benchmark, rsa_recordings):
+    """Time one full conventional Fast-Lomb window (the profiled unit)."""
+    times, values = _window_signal(rsa_recordings)
+    engine = ConventionalPSA()._welch.analyzer
+    spectrum = benchmark(engine.periodogram, times, values)
+    assert spectrum.power.size > 0

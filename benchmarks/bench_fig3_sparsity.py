@@ -1,0 +1,85 @@
+"""Fig. 3: approximate sparsity of extirpolated RR windows in the
+wavelet domain.
+
+Paper observation: after DWT, "the HPF outputs were distributed around
+zero", licensing the stage-1 band drop.  The bench reproduces the
+figure's three panels numerically: the extirpolated window (117 beats ->
+~256 cells), and the lowpass/highpass band statistics for the paper's
+three bases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import format_percent, format_table
+from repro.core.calibration import extract_calibration_windows
+from repro.wavelets import dwt_level, wavelet_packet
+
+
+def test_fig3_band_statistics(benchmark, rsa_recordings, config):
+    windows = extract_calibration_windows(rsa_recordings, config)
+
+    def band_stats():
+        rows = []
+        for basis in ("haar", "db2", "db4"):
+            lp_energy, hp_energy, lp_mean, hp_mean = 0.0, 0.0, [], []
+            for window in windows:
+                approx, detail = dwt_level(window, basis)
+                lp_energy += float(approx @ approx)
+                hp_energy += float(detail @ detail)
+                lp_mean.append(np.mean(np.abs(approx)))
+                hp_mean.append(np.mean(np.abs(detail)))
+            rows.append(
+                (basis, lp_energy, hp_energy, np.mean(lp_mean), np.mean(hp_mean))
+            )
+        return rows
+
+    rows = benchmark(band_stats)
+
+    table_rows = []
+    for basis, lp_e, hp_e, lp_m, hp_m in rows:
+        table_rows.append(
+            [
+                basis,
+                format_percent(hp_e / (lp_e + hp_e)),
+                f"{lp_m:.5f}",
+                f"{hp_m:.5f}",
+                f"{lp_m / hp_m:.2f}x",
+            ]
+        )
+    emit(
+        "fig3_sparsity",
+        format_table(
+            ["basis", "HP energy frac", "E|z_LP|", "E|z_HP|", "LP/HP mean"],
+            table_rows,
+            title="Fig 3 — wavelet-domain statistics of extirpolated RR "
+            "windows (paper: HP outputs near zero)",
+        ),
+    )
+    for _basis, lp_e, hp_e, lp_m, hp_m in rows:
+        assert lp_e > hp_e  # lowpass band dominates
+        assert lp_m > hp_m
+
+
+def test_fig3_window_geometry(benchmark, rsa_recordings, config):
+    """Paper Fig. 3(a): data occupy the first ~N/2 workspace cells."""
+    windows = benchmark.pedantic(
+        extract_calibration_windows,
+        args=(rsa_recordings[:2], config),
+        rounds=1,
+        iterations=1,
+    )
+    lines = []
+    for window in windows[:3]:
+        occupied = int(np.max(np.nonzero(np.abs(window) > 1e-12)))
+        lines.append(f"window occupies cells 0..{occupied} of {window.size}")
+        assert occupied < 300  # ~256 expected
+    emit("fig3_geometry", "\n".join(lines))
+
+
+def test_fig3_packet_tree_throughput(benchmark, rsa_recordings, config):
+    window = extract_calibration_windows(rsa_recordings[:1], config)[0]
+    table = benchmark(wavelet_packet, window, "haar", 3)
+    assert table.highpass_energy_fraction(depth=1) < 0.5

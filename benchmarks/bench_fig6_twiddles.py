@@ -1,0 +1,48 @@
+"""Fig. 6: magnitude distribution of the modified twiddle factors.
+
+The A diagonal decreases, the C diagonal increases, many factors are
+near zero, and magnitude thresholds carve out the paper's three pruning
+sets.  The bench prints the pooled histogram (the paper's bar plot) and
+the set boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import bar_chart, format_table, twiddle_histogram
+
+
+def test_fig6_histogram(benchmark):
+    hist = benchmark(twiddle_histogram, 512, "haar", 15)
+
+    labels = [
+        f"{lo:.2f}-{hi:.2f}"
+        for lo, hi in zip(hist.bin_edges[:-1], hist.bin_edges[1:])
+    ]
+    chart = bar_chart(labels, [float(c) for c in hist.counts], width=40)
+    thresholds = format_table(
+        ["set", "pruned fraction", "magnitude threshold"],
+        [
+            ["Set1", "20%", f"{hist.set_thresholds[1]:.4f}"],
+            ["Set2", "40%", f"{hist.set_thresholds[2]:.4f}"],
+            ["Set3", "60%", f"{hist.set_thresholds[3]:.4f}"],
+        ],
+    )
+    emit(
+        "fig6_twiddles",
+        "Fig 6 — |A| and |C| twiddle magnitudes, N=512, Haar "
+        "(paper: many factors near zero; 3 sets by magnitude)\n\n"
+        + chart
+        + "\n\n"
+        + thresholds,
+    )
+
+    # Shape: A decreasing, C increasing, thresholds ordered.
+    assert np.all(np.diff(hist.a_magnitudes) <= 1e-12)
+    assert np.all(np.diff(hist.c_magnitudes) >= -1e-12)
+    assert hist.set_thresholds[1] < hist.set_thresholds[2] < hist.set_thresholds[3]
+    # Many near-zero factors: at least 10 % below 0.25.
+    pooled = np.concatenate([hist.a_magnitudes, hist.c_magnitudes])
+    assert np.mean(pooled < 0.25) > 0.10

@@ -1,0 +1,52 @@
+"""Shared fixtures and reporting plumbing for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.
+The numeric tables are printed (visible with ``pytest -s``) **and**
+written to ``benchmarks/results/<name>.txt`` so the committed logs carry
+the reproduction evidence; timing comes from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import PSAConfig, make_cohort
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def config() -> PSAConfig:
+    """The paper's pipeline configuration."""
+    return PSAConfig()
+
+
+@pytest.fixture(scope="session")
+def cohort():
+    """The standard synthetic cohort (16 RSA + 8 healthy patients)."""
+    return make_cohort()
+
+
+@pytest.fixture(scope="session")
+def rsa_recordings(cohort):
+    """Ten-minute RR recordings of every sinus-arrhythmia patient."""
+    return [
+        patient.rr_series(duration=600.0)
+        for patient in cohort
+        if patient.patient_id.startswith("rsa")
+    ]
+
+
+@pytest.fixture(scope="session")
+def calibration_corpus(rsa_recordings):
+    """First half of the RSA cohort, reserved for threshold calibration."""
+    return rsa_recordings[: len(rsa_recordings) // 2]

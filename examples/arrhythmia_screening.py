@@ -1,0 +1,67 @@
+"""Cohort screening: does pruning ever flip a diagnosis?
+
+Screens the full synthetic cohort (sinus-arrhythmia patients and healthy
+controls) with the conventional system and with every pruning mode of
+the proposed system, reporting sensitivity/specificity per mode — the
+paper's Section VI.A robustness experiment at cohort scale.
+
+Run with:  python examples/arrhythmia_screening.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Condition,
+    ConventionalPSA,
+    PruningSpec,
+    QualityScalablePSA,
+    make_cohort,
+)
+
+
+def screen(system, recordings) -> list[bool]:
+    """True per recording when the system flags sinus arrhythmia."""
+    return [system.analyze(rr).detection.is_arrhythmia for rr in recordings]
+
+
+def main() -> None:
+    cohort = make_cohort()
+    duration = 600.0
+    rsa = [
+        p.rr_series(duration)
+        for p in cohort.by_condition(Condition.SINUS_ARRHYTHMIA)
+    ]
+    healthy = [
+        p.rr_series(duration) for p in cohort.by_condition(Condition.HEALTHY)
+    ]
+    print(f"cohort: {len(rsa)} sinus-arrhythmia, {len(healthy)} healthy\n")
+
+    modes = [
+        ("conventional", None),
+        ("exact wavelet", PruningSpec.none()),
+        ("band drop", PruningSpec.band_only()),
+        ("band + 20%", PruningSpec.paper_mode(1)),
+        ("band + 40%", PruningSpec.paper_mode(2)),
+        ("band + 60%", PruningSpec.paper_mode(3)),
+        ("band + 60% dyn", PruningSpec.paper_mode(3, dynamic=True)),
+    ]
+    print(f"{'mode':16s} {'sensitivity':>12s} {'specificity':>12s}")
+    for label, spec in modes:
+        if spec is None:
+            system = ConventionalPSA()
+        else:
+            system = QualityScalablePSA(pruning=spec)
+        flags_rsa = screen(system, rsa)
+        flags_healthy = screen(system, healthy)
+        sensitivity = sum(flags_rsa) / len(flags_rsa)
+        specificity = sum(not f for f in flags_healthy) / len(flags_healthy)
+        print(f"{label:16s} {sensitivity:>11.0%} {specificity:>12.0%}")
+
+    print(
+        "\nThe paper's claim holds when every row reads 100%/100%: the "
+        "approximations never flip a diagnosis."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package and no network access, so PEP 517
+editable installs (which must build an editable wheel) cannot work.  Keeping
+a ``setup.py`` lets ``pip install -e . --no-build-isolation`` take the legacy
+``setup.py develop`` path with nothing but setuptools.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — quality-scalable, energy-efficient HRV spectral analysis.
+
+A full reproduction of Karakonstantis et al., *A Quality-Scalable and
+Energy-Efficient Approach for Spectral Analysis of Heart Rate
+Variability* (DATE 2014): the Welch-Lomb PSA pipeline, the DWT-based FFT
+with significance-driven pruning, design-time/run-time thresholding, a
+sensor-node energy model with voltage-frequency scaling, and the
+synthetic-cohort evaluation harness.
+
+Quick start::
+
+    from repro import (
+        ConventionalPSA, QualityScalablePSA, PruningSpec, make_cohort,
+    )
+
+    patient = make_cohort().get("rsa-00")
+    rr = patient.rr_series(duration=600.0)
+    exact = ConventionalPSA().analyze(rr)
+    pruned = QualityScalablePSA(pruning=PruningSpec.paper_mode(3)).analyze(rr)
+    print(exact.lf_hf, pruned.lf_hf)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    CalibrationResult,
+    ConventionalPSA,
+    ModeProfile,
+    PSAConfig,
+    PSAResult,
+    QualityController,
+    QualityScalablePSA,
+    calibrate,
+)
+from .ecg import Condition, PatientRecord, SyntheticCohort, TachogramSpec, make_cohort
+from .errors import (
+    CalibrationError,
+    ConfigurationError,
+    FixedPointError,
+    PlatformError,
+    ReproError,
+    SignalError,
+    TransformError,
+)
+from .ffts import OpCounts, PruningSpec, SplitRadixFFT, WaveletFFT
+from .hrv import RRSeries, SinusArrhythmiaDetector, band_powers, lf_hf_ratio
+from .lomb import FastLomb, WelchLomb
+from .platform import SensorNodeModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationError",
+    "CalibrationResult",
+    "Condition",
+    "ConfigurationError",
+    "ConventionalPSA",
+    "FastLomb",
+    "FixedPointError",
+    "ModeProfile",
+    "OpCounts",
+    "PSAConfig",
+    "PSAResult",
+    "PatientRecord",
+    "PlatformError",
+    "PruningSpec",
+    "QualityController",
+    "QualityScalablePSA",
+    "RRSeries",
+    "ReproError",
+    "SensorNodeModel",
+    "SignalError",
+    "SinusArrhythmiaDetector",
+    "SplitRadixFFT",
+    "SyntheticCohort",
+    "TachogramSpec",
+    "TransformError",
+    "WaveletFFT",
+    "WelchLomb",
+    "calibrate",
+    "band_powers",
+    "lf_hf_ratio",
+    "make_cohort",
+    "__version__",
+]

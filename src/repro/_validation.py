@@ -1,0 +1,82 @@
+"""Small argument-validation helpers shared across the library.
+
+These helpers raise the library's own exception types with uniform,
+informative messages, and normalise array-likes to ``numpy`` arrays so the
+numeric kernels can rely on dtype and dimensionality invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigurationError, SignalError
+
+__all__ = [
+    "as_1d_float_array",
+    "as_1d_complex_array",
+    "require_power_of_two",
+    "require_positive",
+    "require_in_range",
+    "is_power_of_two",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def require_power_of_two(n: int, name: str = "n") -> int:
+    """Validate that *n* is a positive power of two and return it as int."""
+    n = int(n)
+    if not is_power_of_two(n):
+        raise ConfigurationError(f"{name} must be a positive power of two, got {n}")
+    return n
+
+
+def require_positive(value: float, name: str = "value") -> float:
+    """Validate that *value* is strictly positive and return it as float."""
+    value = float(value)
+    if not value > 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def require_in_range(
+    value: float, low: float, high: float, name: str = "value"
+) -> float:
+    """Validate ``low <= value <= high`` and return *value* as float."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+    return value
+
+
+def as_1d_float_array(x, name: str = "x", min_length: int = 1) -> np.ndarray:
+    """Return *x* as a 1-D float64 array, validating shape and finiteness."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise SignalError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size < min_length:
+        raise SignalError(
+            f"{name} must have at least {min_length} samples, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise SignalError(f"{name} contains non-finite values")
+    return arr
+
+
+def as_1d_complex_array(x, name: str = "x", min_length: int = 1) -> np.ndarray:
+    """Return *x* as a 1-D complex128 array, validating shape and finiteness."""
+    arr = np.asarray(x, dtype=np.complex128)
+    if arr.ndim != 1:
+        raise SignalError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size < min_length:
+        raise SignalError(
+            f"{name} must have at least {min_length} samples, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise SignalError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,33 @@
+"""Analysis utilities: error metrics, sensitivity sweeps, trade-offs.
+
+The measurement layer behind the benchmark harness: MSE-style metrics
+(Fig. 7), the twiddle-magnitude histogram (Fig. 6), the energy-quality
+sweep (Fig. 9) and ASCII reporting helpers.
+"""
+
+from .mse import mse, nmse, psnr_db, relative_band_error
+from .reporting import bar_chart, format_percent, format_table
+from .sensitivity import (
+    SensitivityPoint,
+    TwiddleHistogram,
+    mse_sensitivity_sweep,
+    twiddle_histogram,
+)
+from .tradeoff import PAPER_MODE_LADDER, TradeoffPoint, energy_quality_sweep
+
+__all__ = [
+    "PAPER_MODE_LADDER",
+    "SensitivityPoint",
+    "TradeoffPoint",
+    "TwiddleHistogram",
+    "bar_chart",
+    "energy_quality_sweep",
+    "format_percent",
+    "format_table",
+    "mse",
+    "mse_sensitivity_sweep",
+    "nmse",
+    "psnr_db",
+    "relative_band_error",
+    "twiddle_histogram",
+]

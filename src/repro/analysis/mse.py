@@ -1,0 +1,61 @@
+"""Error metrics between exact and approximated spectra.
+
+The paper quantifies stage-2 pruning damage as "the mean-square-error
+(MSE) between the original output signal and the approximated one"
+(Section V.B, Fig. 7); these helpers implement that and the usual
+normalised variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignalError
+
+__all__ = ["mse", "nmse", "psnr_db", "relative_band_error"]
+
+
+def _pair(reference, approximate) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=np.complex128).ravel()
+    approx = np.asarray(approximate, dtype=np.complex128).ravel()
+    if ref.shape != approx.shape:
+        raise SignalError(
+            f"shape mismatch: {ref.shape} vs {approx.shape}"
+        )
+    if ref.size == 0:
+        raise SignalError("empty arrays")
+    return ref, approx
+
+
+def mse(reference, approximate) -> float:
+    """Mean squared error |ref - approx|^2 (the paper's Fig. 7 metric)."""
+    ref, approx = _pair(reference, approximate)
+    return float(np.mean(np.abs(ref - approx) ** 2))
+
+
+def nmse(reference, approximate) -> float:
+    """MSE normalised by the reference energy (scale-free)."""
+    ref, approx = _pair(reference, approximate)
+    energy = float(np.mean(np.abs(ref) ** 2))
+    if energy == 0.0:
+        raise SignalError("reference has zero energy")
+    return mse(ref, approx) / energy
+
+
+def psnr_db(reference, approximate) -> float:
+    """Peak signal-to-noise ratio in dB."""
+    ref, approx = _pair(reference, approximate)
+    peak = float(np.max(np.abs(ref)) ** 2)
+    if peak == 0.0:
+        raise SignalError("reference has zero peak")
+    error = mse(ref, approx)
+    if error == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(peak / error)
+
+
+def relative_band_error(reference: float, approximate: float) -> float:
+    """Relative error of a scalar band power or ratio."""
+    if reference == 0.0:
+        raise SignalError("reference value is zero")
+    return abs(approximate - reference) / abs(reference)

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series of its paper figure or table; these
+helpers keep that output uniform and readable both on a terminal and in
+the committed result logs.
+"""
+
+from __future__ import annotations
+
+from ..errors import SignalError
+
+__all__ = ["format_table", "format_percent", "bar_chart"]
+
+
+def format_percent(value: float, signed: bool = False) -> str:
+    """Render a fraction as a percentage string."""
+    sign = "+" if signed and value >= 0 else ""
+    return f"{sign}{value * 100.0:.1f}%"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    if not rows:
+        raise SignalError("table has no rows")
+    if any(len(row) != len(headers) for row in rows):
+        raise SignalError("row width does not match header width")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str], values: list[float], width: int = 40, unit: str = ""
+) -> str:
+    """Render a horizontal ASCII bar chart (for histogram-style figures)."""
+    if not labels or len(labels) != len(values):
+        raise SignalError("labels and values must be non-empty and equal length")
+    peak = max(values)
+    if peak <= 0:
+        raise SignalError("all values are non-positive")
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Twiddle-factor sensitivity analysis (paper Fig. 6 and Fig. 7).
+
+Two tools: the magnitude histogram of the modified twiddle factors (the
+basis for defining the three pruning sets) and the MSE sweep that
+quantifies how output quality degrades as more factors are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_power_of_two
+from ..errors import SignalError
+from ..ffts.pruning import TWIDDLE_SETS, PruningSpec, twiddle_threshold_for_fraction
+from ..ffts.wavelet_fft import WaveletFFT
+from ..wavelets.freq import twiddle_quadrants
+from .mse import mse
+
+__all__ = [
+    "TwiddleHistogram",
+    "twiddle_histogram",
+    "SensitivityPoint",
+    "mse_sensitivity_sweep",
+]
+
+
+@dataclass(frozen=True)
+class TwiddleHistogram:
+    """Magnitude distribution of the A and C twiddle diagonals (Fig. 6).
+
+    Attributes
+    ----------
+    bin_edges:
+        Histogram bin edges over the magnitude axis.
+    counts:
+        Occurrences per bin (A and C pooled, as in the paper's figure).
+    set_thresholds:
+        Magnitude cut-offs of the paper's three pruning sets.
+    a_magnitudes, c_magnitudes:
+        The raw diagonal magnitudes.
+    """
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    set_thresholds: dict[int, float]
+    a_magnitudes: np.ndarray
+    c_magnitudes: np.ndarray
+
+
+def twiddle_histogram(
+    n: int = 512, basis: str = "haar", bins: int = 30
+) -> TwiddleHistogram:
+    """Histogram of |A| and |C| twiddle magnitudes with set boundaries."""
+    require_power_of_two(n, "n")
+    if bins < 2:
+        raise SignalError(f"bins must be >= 2, got {bins}")
+    a, _b, c, _d = twiddle_quadrants(n, basis)
+    pooled = np.concatenate([np.abs(a), np.abs(c)])
+    counts, edges = np.histogram(pooled, bins=bins, range=(0.0, float(pooled.max())))
+    thresholds = {
+        set_index: twiddle_threshold_for_fraction(pooled, fraction)
+        for set_index, fraction in TWIDDLE_SETS.items()
+    }
+    return TwiddleHistogram(
+        bin_edges=edges,
+        counts=counts,
+        set_thresholds=thresholds,
+        a_magnitudes=np.abs(a),
+        c_magnitudes=np.abs(c),
+    )
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """MSE of one pruning degree over a window corpus (one Fig. 7 bar)."""
+
+    label: str
+    pruned_fraction: float
+    dynamic: bool
+    mean_mse: float
+    max_mse: float
+
+
+def mse_sensitivity_sweep(
+    windows: list[np.ndarray],
+    n: int = 512,
+    basis: str = "haar",
+    fractions: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6),
+    band_drop: bool = True,
+    include_dynamic: bool = False,
+) -> list[SensitivityPoint]:
+    """Sweep pruning degrees and measure spectrum MSE over *windows*.
+
+    Every window is transformed by the exact FFT and by the pruned
+    wavelet FFT; the MSE between the two spectra is averaged over the
+    corpus, reproducing the experiment behind Fig. 7.
+    """
+    if not windows:
+        raise SignalError("no windows supplied")
+    points: list[SensitivityPoint] = []
+    variants: list[tuple[float, bool]] = [(f, False) for f in fractions]
+    if include_dynamic:
+        variants += [(f, True) for f in fractions if f > 0]
+    for fraction, dynamic in variants:
+        plan = WaveletFFT(
+            n,
+            basis=basis,
+            pruning=PruningSpec(
+                band_drop=band_drop, twiddle_fraction=fraction, dynamic=dynamic
+            ),
+        )
+        errors = []
+        for window in windows:
+            if window.size != n:
+                raise SignalError(
+                    f"window of length {window.size} does not match n={n}"
+                )
+            exact = np.fft.fft(window)
+            errors.append(mse(exact, plan.transform(window)))
+        label = f"{int(round(fraction * 100))}%" + (" dyn" if dynamic else "")
+        points.append(
+            SensitivityPoint(
+                label=label,
+                pruned_fraction=fraction,
+                dynamic=dynamic,
+                mean_mse=float(np.mean(errors)),
+                max_mse=float(np.max(errors)),
+            )
+        )
+    return points

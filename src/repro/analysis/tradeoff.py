@@ -1,0 +1,140 @@
+"""Energy-quality trade-off curves (paper Fig. 9).
+
+Sweeps the pruning-mode ladder, measuring for each mode the LF/HF
+distortion over a cohort and the energy savings of the FFT kernel on the
+node model — statically, with VFS, and for the dynamic variants with
+their comparison overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.calibration import calibrate
+from ..core.config import PSAConfig
+from ..core.system import ConventionalPSA, QualityScalablePSA
+from ..errors import SignalError
+from ..ffts.pruning import PruningSpec
+from ..hrv.metrics import ratio_error
+from ..hrv.rr import RRSeries
+from ..platform.node import SensorNodeModel
+
+__all__ = ["TradeoffPoint", "energy_quality_sweep", "paper_mode_ladder",
+           "PAPER_MODE_LADDER"]
+
+#: Static-only (label, spec) pairs of the Fig. 9 x-axis; dynamic modes
+#: need calibrated thresholds, see :func:`paper_mode_ladder`.
+PAPER_MODE_LADDER: tuple[tuple[str, PruningSpec], ...] = (
+    ("band drop", PruningSpec.band_only()),
+    ("band + 20%", PruningSpec.paper_mode(1)),
+    ("band + 40%", PruningSpec.paper_mode(2)),
+    ("band + 60%", PruningSpec.paper_mode(3)),
+)
+
+
+def paper_mode_ladder(
+    recordings: list[RRSeries], config: PSAConfig | None = None
+) -> tuple[tuple[str, PruningSpec], ...]:
+    """The full Fig. 9 mode ladder with design-time calibrated dynamic
+    thresholds (run-time pruning compares ``|factor|*|data|`` against a
+    value fixed over a calibration corpus, paper Section VI.C)."""
+    calibration = calibrate(recordings, config or PSAConfig())
+    dynamic = tuple(
+        (
+            f"band + {int(round(fraction * 100))}% dyn",
+            calibration.pruning_spec(set_index, dynamic=True),
+        )
+        for set_index, fraction in sorted(
+            {1: 0.2, 2: 0.4, 3: 0.6}.items()
+        )
+    )
+    return PAPER_MODE_LADDER + dynamic
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One bar group of Fig. 9.
+
+    Attributes
+    ----------
+    label:
+        Mode name.
+    dynamic:
+        Whether run-time pruning was used.
+    distortion:
+        Mean relative LF/HF error over the cohort.
+    cycle_reduction:
+        FFT-kernel cycle savings vs the split-radix baseline.
+    static_savings:
+        Energy savings without voltage-frequency scaling.
+    vfs_savings:
+        Energy savings with VFS within the baseline deadline.
+    window_static_savings, window_vfs_savings:
+        The same two figures for the whole analysis window (FFT plus
+        extirpolation, moments and Lomb combination).
+    """
+
+    label: str
+    dynamic: bool
+    distortion: float
+    cycle_reduction: float
+    static_savings: float
+    vfs_savings: float
+    window_static_savings: float
+    window_vfs_savings: float
+
+
+def energy_quality_sweep(
+    recordings: list[RRSeries],
+    config: PSAConfig | None = None,
+    node: SensorNodeModel | None = None,
+    modes: tuple[tuple[str, PruningSpec], ...] | None = None,
+) -> list[TradeoffPoint]:
+    """Measure the full energy-quality trade-off (Fig. 9 data).
+
+    When *modes* is omitted, the full ladder — static modes plus
+    calibrated dynamic modes — is built from the recordings themselves.
+    """
+    if not recordings:
+        raise SignalError("no recordings supplied")
+    config = config or PSAConfig()
+    node = node or SensorNodeModel()
+    if modes is None:
+        modes = paper_mode_ladder(recordings, config)
+    reference_system = ConventionalPSA(config)
+    references = [reference_system.analyze(rr).lf_hf for rr in recordings]
+
+    points: list[TradeoffPoint] = []
+    for label, spec in modes:
+        system = QualityScalablePSA(config, pruning=spec, node=node)
+        errors = [
+            ratio_error(system.analyze(rr).lf_hf, reference)
+            for rr, reference in zip(recordings, references)
+        ]
+        fft_static = system.energy_report(
+            reference_system, apply_vfs=False, fft_only=True
+        )
+        fft_vfs = system.energy_report(
+            reference_system, apply_vfs=True, fft_only=True
+        )
+        win_static = system.energy_report(
+            reference_system, apply_vfs=False, fft_only=False
+        )
+        win_vfs = system.energy_report(
+            reference_system, apply_vfs=True, fft_only=False
+        )
+        points.append(
+            TradeoffPoint(
+                label=label,
+                dynamic=spec.dynamic,
+                distortion=float(np.mean(errors)),
+                cycle_reduction=fft_static.cycle_reduction,
+                static_savings=fft_static.energy_savings,
+                vfs_savings=fft_vfs.energy_savings,
+                window_static_savings=win_static.energy_savings,
+                window_vfs_savings=win_vfs.energy_savings,
+            )
+        )
+    return points

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's everyday uses without writing any
+code:
+
+* ``demo``        — quickstart comparison on one synthetic patient,
+* ``screen``      — cohort screening under a chosen pruning mode,
+* ``energy``      — energy report of a pruning mode on the node model,
+* ``complexity``  — the Fig. 5 operation-count table for a given N.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from .analysis.reporting import format_percent, format_table
+from .core.system import ConventionalPSA, QualityScalablePSA
+from .ecg.database import make_cohort
+from .ffts.pruning import PruningSpec
+from .ffts.split_radix import split_radix_counts
+from .ffts.wavelet_fft import WaveletFFT
+
+__all__ = ["main", "build_parser", "parse_mode"]
+
+_MODES = ("exact", "band", "set1", "set2", "set3")
+
+
+def parse_mode(name: str, dynamic: bool = False) -> PruningSpec:
+    """Translate a CLI mode name into a :class:`PruningSpec`."""
+    name = name.lower()
+    if name == "exact":
+        return PruningSpec.none()
+    if name == "band":
+        return PruningSpec.band_only()
+    if name.startswith("set") and name[3:] in ("1", "2", "3"):
+        return PruningSpec.paper_mode(int(name[3:]), dynamic=dynamic)
+    raise argparse.ArgumentTypeError(
+        f"unknown mode {name!r}; choose from {', '.join(_MODES)}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quality-scalable HRV spectral analysis (DATE 2014 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart comparison on one patient")
+    demo.add_argument("--patient", default="rsa-05")
+    demo.add_argument("--duration", type=float, default=600.0)
+
+    screen = sub.add_parser("screen", help="screen the synthetic cohort")
+    screen.add_argument("--mode", default="set3", choices=_MODES)
+    screen.add_argument("--dynamic", action="store_true")
+    screen.add_argument("--patients", type=int, default=8)
+    screen.add_argument("--duration", type=float, default=300.0)
+
+    energy = sub.add_parser("energy", help="energy report for a pruning mode")
+    energy.add_argument("--mode", default="set3", choices=_MODES)
+    energy.add_argument("--dynamic", action="store_true")
+    energy.add_argument("--no-vfs", action="store_true")
+    energy.add_argument("--whole-window", action="store_true")
+
+    complexity = sub.add_parser(
+        "complexity", help="Fig. 5 operation-count table"
+    )
+    complexity.add_argument("--n", type=int, default=512)
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    patient = make_cohort().get(args.patient)
+    rr = patient.rr_series(duration=args.duration)
+    reference = ConventionalPSA().analyze(rr)
+    approx = QualityScalablePSA(pruning=PruningSpec.paper_mode(3)).analyze(rr)
+    rows = [
+        ["conventional", f"{reference.lf_hf:.3f}",
+         str(reference.detection.is_arrhythmia)],
+        ["band + 60%", f"{approx.lf_hf:.3f}",
+         str(approx.detection.is_arrhythmia)],
+    ]
+    print(format_table(["system", "LF/HF", "arrhythmia?"], rows,
+                       title=f"patient {patient.patient_id}"))
+    return 0
+
+
+def _cmd_screen(args) -> int:
+    spec = parse_mode(args.mode, args.dynamic)
+    cohort = make_cohort()
+    system = (
+        QualityScalablePSA(pruning=spec)
+        if not spec.is_exact
+        else ConventionalPSA()
+    )
+    rows = []
+    correct = 0
+    patients = list(cohort)[: args.patients]
+    for patient in patients:
+        rr = patient.rr_series(duration=args.duration)
+        result = system.analyze(rr)
+        expected = patient.patient_id.startswith("rsa")
+        ok = result.detection.is_arrhythmia == expected
+        correct += ok
+        rows.append(
+            [patient.patient_id, f"{result.lf_hf:.3f}",
+             str(result.detection.is_arrhythmia), "ok" if ok else "MISS"]
+        )
+    print(format_table(["patient", "LF/HF", "flagged", "verdict"], rows,
+                       title=f"screening under mode {spec.describe()}"))
+    print(f"\n{correct}/{len(patients)} correct")
+    return 0 if correct == len(patients) else 1
+
+
+def _cmd_energy(args) -> int:
+    spec = parse_mode(args.mode, args.dynamic)
+    system = QualityScalablePSA(pruning=spec)
+    report = system.energy_report(
+        apply_vfs=not args.no_vfs, fft_only=not args.whole_window
+    )
+    scope = "whole window" if args.whole_window else "FFT kernel"
+    point = report.approximate.operating_point
+    rows = [
+        ["mode", spec.describe()],
+        ["scope", scope],
+        ["cycle reduction", format_percent(report.cycle_reduction)],
+        ["energy savings", format_percent(report.energy_savings)],
+        ["operating point", f"{point.voltage:.2f} V / "
+                            f"{point.frequency / 1e6:.0f} MHz"],
+        ["VFS applied", str(report.vfs_applied)],
+    ]
+    print(format_table(["quantity", "value"], rows, title="energy report"))
+    return 0
+
+
+def _cmd_complexity(args) -> int:
+    baseline = split_radix_counts(args.n)
+    rows = [["split-radix", str(baseline.adds), str(baseline.mults), "--"]]
+    for basis in ("haar", "db2", "db4"):
+        for label, spec in (
+            ("no approx", PruningSpec.none()),
+            ("band drop", PruningSpec.band_only()),
+            ("band + 60%", PruningSpec.paper_mode(3)),
+        ):
+            counts = WaveletFFT(args.n, basis=basis, pruning=spec).static_counts()
+            rows.append(
+                [f"{basis} ({label})", str(counts.adds), str(counts.mults),
+                 format_percent(counts.savings_vs(baseline), signed=True)]
+            )
+    print(format_table(["kernel", "adds", "mults", "savings"], rows,
+                       title=f"operation counts, N={args.n}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "screen": _cmd_screen,
+        "energy": _cmd_energy,
+        "complexity": _cmd_complexity,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Core: the paper's quality-scalable PSA systems.
+
+The conventional (split-radix Welch-Lomb) and proposed (pruned
+wavelet-FFT) systems, the shared configuration, design-time threshold
+calibration (eq. 3) and the Q_DES-driven run-time mode controller.
+"""
+
+from .adaptive import ModeProfile, QualityController
+from .calibration import CalibrationResult, calibrate, extract_calibration_windows
+from .config import PSAConfig
+from .system import ConventionalPSA, PSAResult, QualityScalablePSA
+
+__all__ = [
+    "CalibrationResult",
+    "ConventionalPSA",
+    "ModeProfile",
+    "PSAConfig",
+    "PSAResult",
+    "QualityController",
+    "QualityScalablePSA",
+    "calibrate",
+    "extract_calibration_windows",
+]

@@ -1,0 +1,139 @@
+"""Run-time quality controller (the Q_DES loop of paper Fig. 9).
+
+"In any case the degree of pruning could be tuned for obtaining maximum
+energy savings based on the acceptable distortion (Q_DES)."  The
+controller profiles every pruning mode once on a calibration cohort
+(distortion of the LF/HF ratio vs. energy savings), then answers
+run-time queries: *given an acceptable distortion, which mode yields the
+largest savings?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_in_range
+from ..errors import ConfigurationError
+from ..ffts.pruning import PruningSpec
+from ..hrv.metrics import ratio_error
+from ..hrv.rr import RRSeries
+from ..platform.node import SensorNodeModel
+from .config import PSAConfig
+from .system import ConventionalPSA, QualityScalablePSA
+
+__all__ = ["ModeProfile", "QualityController"]
+
+
+@dataclass(frozen=True)
+class ModeProfile:
+    """Measured behaviour of one pruning mode.
+
+    Attributes
+    ----------
+    spec:
+        The pruning configuration.
+    distortion:
+        Mean relative LF/HF-ratio error vs. the conventional system
+        over the profiling cohort.
+    energy_savings:
+        Energy savings (with VFS) vs. the conventional system.
+    cycle_reduction:
+        Cycle-count reduction of the FFT kernel.
+    """
+
+    spec: PruningSpec
+    distortion: float
+    energy_savings: float
+    cycle_reduction: float
+
+
+#: The mode ladder profiled by default: exact, band drop, then the three
+#: twiddle sets, each in static and dynamic flavours.
+def _default_mode_ladder() -> tuple[PruningSpec, ...]:
+    modes: list[PruningSpec] = [PruningSpec.none(), PruningSpec.band_only()]
+    for set_index in (1, 2, 3):
+        modes.append(PruningSpec.paper_mode(set_index))
+        modes.append(PruningSpec.paper_mode(set_index, dynamic=True))
+    return tuple(modes)
+
+
+class QualityController:
+    """Q_DES-driven mode selector.
+
+    Build it once with :meth:`profile` (design time), then call
+    :meth:`select` with the acceptable distortion to get the most
+    energy-efficient compliant mode — the "prune & adjust" loop the
+    paper sketches next to Fig. 9.
+    """
+
+    def __init__(self, profiles: tuple[ModeProfile, ...]):
+        if not profiles:
+            raise ConfigurationError("controller needs at least one profile")
+        self.profiles = tuple(
+            sorted(profiles, key=lambda p: p.energy_savings, reverse=True)
+        )
+
+    @classmethod
+    def profile(
+        cls,
+        recordings: list[RRSeries],
+        config: PSAConfig | None = None,
+        node: SensorNodeModel | None = None,
+        modes: tuple[PruningSpec, ...] | None = None,
+        apply_vfs: bool = True,
+    ) -> "QualityController":
+        """Profile the mode ladder on a calibration cohort."""
+        if not recordings:
+            raise ConfigurationError("profiling needs at least one recording")
+        config = config or PSAConfig()
+        node = node or SensorNodeModel()
+        modes = modes or _default_mode_ladder()
+        reference_system = ConventionalPSA(config)
+        references = [reference_system.analyze(rr).lf_hf for rr in recordings]
+
+        profiles = []
+        for spec in modes:
+            system = QualityScalablePSA(config, pruning=spec, node=node)
+            errors = []
+            for rr, reference in zip(recordings, references):
+                approx = system.analyze(rr).lf_hf
+                errors.append(ratio_error(approx, reference))
+            report = system.energy_report(
+                reference_system, apply_vfs=apply_vfs, fft_only=True
+            )
+            profiles.append(
+                ModeProfile(
+                    spec=spec,
+                    distortion=float(np.mean(errors)),
+                    energy_savings=report.energy_savings,
+                    cycle_reduction=report.cycle_reduction,
+                )
+            )
+        return cls(tuple(profiles))
+
+    def select(self, q_des: float) -> ModeProfile:
+        """Most energy-saving mode whose distortion is within *q_des*.
+
+        Parameters
+        ----------
+        q_des:
+            Acceptable relative LF/HF distortion (e.g. 0.05 for 5 %).
+        """
+        require_in_range(q_des, 0.0, 1.0, "q_des")
+        compliant = [p for p in self.profiles if p.distortion <= q_des]
+        if not compliant:
+            # Fall back to the most accurate mode available.
+            return min(self.profiles, key=lambda p: p.distortion)
+        return compliant[0]  # profiles sorted by savings, descending
+
+    def frontier(self) -> tuple[ModeProfile, ...]:
+        """The Pareto frontier (distortion vs. savings), best-first."""
+        frontier: list[ModeProfile] = []
+        best_distortion = float("inf")
+        for profile in self.profiles:  # descending savings
+            if profile.distortion < best_distortion:
+                frontier.append(profile)
+                best_distortion = profile.distortion
+        return tuple(frontier)

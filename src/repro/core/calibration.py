@@ -1,0 +1,167 @@
+"""Design-time calibration (paper eq. 3 and Section V).
+
+Determines the thresholds the pruned system ships with:
+
+* the **band threshold** separating significant from less-significant
+  DWT output elements, from the expectation ``E{|z_k|}`` over a
+  calibration corpus of cardiac windows — this is eq. 3, and it is what
+  licenses dropping the highpass band at design time;
+* the **dynamic-pruning thresholds**, one per twiddle set, chosen so the
+  run-time rule ``|factor| * |data| < threshold`` prunes the target
+  fraction of butterfly terms *on average* over the corpus.
+
+The calibration corpus is drawn from the synthetic cohort (the paper
+uses "numerous cardiac samples" from PhysioNet for the same purpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..ffts.pruning import TWIDDLE_SETS, PruningSpec, static_twiddle_mask
+from ..ffts.wavelet_fft import DYNAMIC_DATA_FRACTION
+from ..hrv.rr import RRSeries
+from ..lomb.extirpolation import extirpolate
+from ..lomb.welch import iter_windows
+from ..wavelets.dwt import dwt_level
+from ..wavelets.freq import twiddle_pair
+from .config import PSAConfig
+
+__all__ = ["CalibrationResult", "calibrate", "extract_calibration_windows"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Thresholds derived from the calibration corpus.
+
+    Attributes
+    ----------
+    lowpass_mean, highpass_mean:
+        Corpus averages of ``E{|z_k|}`` over the two DWT half-bands.
+    band_threshold:
+        The eq. 3 threshold THR separating the bands (geometric mean of
+        the two averages).
+    band_drop_supported:
+        True when the highpass band falls below THR — the design-time
+        licence for eq. 7.
+    dynamic_thresholds:
+        Per twiddle set (1-3): the run-time data-magnitude cutoff.  A
+        term whose factor is statically below the set threshold is
+        eliminated at run time only when its data proxy ``|re| + |im|``
+        also falls below this value; the cutoff sits at the
+        ``DYNAMIC_DATA_FRACTION`` quantile of the candidate-data
+        distribution over the corpus.
+    n_windows:
+        Number of calibration windows used.
+    """
+
+    lowpass_mean: float
+    highpass_mean: float
+    band_threshold: float
+    band_drop_supported: bool
+    dynamic_thresholds: dict[int, float]
+    n_windows: int
+
+    def pruning_spec(self, twiddle_set: int, dynamic: bool = False) -> PruningSpec:
+        """Build the production :class:`PruningSpec` for a paper mode."""
+        spec = PruningSpec.paper_mode(twiddle_set, dynamic=dynamic)
+        if dynamic:
+            spec = spec.with_dynamic_threshold(self.dynamic_thresholds[twiddle_set])
+        return spec
+
+
+def extract_calibration_windows(
+    recordings: list[RRSeries], config: PSAConfig, packed: bool = False
+) -> list[np.ndarray]:
+    """Extirpolated FFT-input workspaces of every analysis window.
+
+    With ``packed=False`` (default) returns the data workspace alone —
+    the Fig. 3(a) view used for sparsity analyses.  With ``packed=True``
+    returns exactly what the Fast-Lomb engine feeds the FFT: the data
+    workspace in the real part and the window workspace in the imaginary
+    part, which is what run-time thresholds must be calibrated on.
+    """
+    windows: list[np.ndarray] = []
+    ndim = config.fft_size
+    for series in recordings:
+        spans = iter_windows(series.times, config.window_seconds, config.overlap)
+        for start, stop in spans:
+            if stop - start < 16:
+                continue
+            t = series.times[start:stop]
+            x = series.intervals[start:stop]
+            duration = float(t[-1] - t[0])
+            if duration <= 0:
+                continue
+            fac = ndim / (config.oversample * duration)
+            positions = np.clip(
+                (t - t[0]) * fac, 0.0, np.nextafter(float(ndim), 0.0)
+            )
+            wk1 = extirpolate(x - x.mean(), positions, ndim)
+            if packed:
+                doubled = np.mod(2.0 * positions, float(ndim))
+                wk2 = extirpolate(np.ones(t.size), doubled, ndim)
+                windows.append(wk1 + 1j * wk2)
+            else:
+                windows.append(wk1)
+    if not windows:
+        raise CalibrationError("no usable calibration windows extracted")
+    return windows
+
+
+def calibrate(
+    recordings: list[RRSeries],
+    config: PSAConfig | None = None,
+    twiddle_sets: dict[int, float] | None = None,
+) -> CalibrationResult:
+    """Run the full design-time calibration over a recording corpus."""
+    config = config or PSAConfig()
+    twiddle_sets = twiddle_sets or TWIDDLE_SETS
+    windows = extract_calibration_windows(recordings, config, packed=True)
+
+    # --- eq. 3: expected magnitudes of the DWT output elements --------
+    lowpass_mags = []
+    highpass_mags = []
+    sub_spectra = []
+    for window in windows:
+        approx, detail = dwt_level(window, config.basis)
+        lowpass_mags.append(np.abs(approx))
+        highpass_mags.append(np.abs(detail))
+        sub_spectra.append(np.fft.fft(approx))
+    lowpass_mean = float(np.mean(np.concatenate(lowpass_mags)))
+    highpass_mean = float(np.mean(np.concatenate(highpass_mags)))
+    if lowpass_mean <= 0:
+        raise CalibrationError("degenerate corpus: zero lowpass energy")
+    band_threshold = float(np.sqrt(max(lowpass_mean, 1e-30) *
+                                   max(highpass_mean, 1e-30)))
+
+    # --- dynamic thresholds: data-magnitude quantiles per set ---------
+    # For each set the candidates are the terms whose factor falls below
+    # the set's static magnitude threshold; the run-time data cutoff is
+    # placed at the DYNAMIC_DATA_FRACTION quantile of those candidates'
+    # data proxies, so the expected pruned fraction matches design time.
+    hl, _hh = twiddle_pair(config.fft_size, config.basis)
+    dynamic_thresholds: dict[int, float] = {}
+    for set_index, fraction in twiddle_sets.items():
+        keep = static_twiddle_mask(np.abs(hl), fraction)
+        candidates = ~keep
+        proxies = []
+        for spectrum in sub_spectra:
+            tiled = np.tile(spectrum, 2)
+            proxy = np.abs(tiled.real) + np.abs(tiled.imag)
+            proxies.append(proxy[candidates])
+        dynamic_thresholds[set_index] = float(
+            np.quantile(np.concatenate(proxies), DYNAMIC_DATA_FRACTION)
+        )
+
+    return CalibrationResult(
+        lowpass_mean=lowpass_mean,
+        highpass_mean=highpass_mean,
+        band_threshold=band_threshold,
+        band_drop_supported=bool(highpass_mean < band_threshold),
+        dynamic_thresholds=dynamic_thresholds,
+        n_windows=len(windows),
+    )

@@ -1,0 +1,85 @@
+"""Configuration of the PSA systems.
+
+One frozen dataclass collects every pipeline parameter the paper fixes:
+the 512-point FFT workspace, the 2-minute / 50 %-overlap Welch windows,
+the HRV frequency range and the wavelet basis (Haar, chosen in Section
+V.B for lowest complexity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .._validation import require_in_range, require_positive, require_power_of_two
+from ..errors import ConfigurationError
+from ..wavelets.filters import get_filter
+
+__all__ = ["PSAConfig"]
+
+
+@dataclass(frozen=True)
+class PSAConfig:
+    """Parameters shared by the conventional and proposed PSA systems.
+
+    Attributes
+    ----------
+    fft_size:
+        Fast-Lomb workspace length N (power of two; paper: 512).
+    window_seconds:
+        Welch window duration (paper: 2 minutes).
+    overlap:
+        Fractional window overlap (paper: 50 %).
+    oversample:
+        Lomb frequency oversampling factor (``df = 1/(oversample * T)``).
+    max_frequency:
+        Top of the analysed range in Hz; 0.4 covers the HF band.
+    basis:
+        Wavelet basis of the proposed system's FFT.
+    scaling:
+        Periodogram scaling passed to Fast-Lomb (the Welch-Lomb
+        de-normalisation by default).
+    """
+
+    fft_size: int = 512
+    window_seconds: float = 120.0
+    overlap: float = 0.5
+    oversample: float = 2.0
+    max_frequency: float = 0.4
+    basis: str = "haar"
+    scaling: str = "denormalized"
+
+    def __post_init__(self):
+        require_power_of_two(self.fft_size, "fft_size")
+        require_positive(self.window_seconds, "window_seconds")
+        require_in_range(self.overlap, 0.0, 0.95, "overlap")
+        if self.oversample < 1.0:
+            raise ConfigurationError(
+                f"oversample must be >= 1, got {self.oversample}"
+            )
+        require_positive(self.max_frequency, "max_frequency")
+        get_filter(self.basis)  # validates the basis name
+        if self.scaling not in ("standard", "denormalized"):
+            raise ConfigurationError(
+                f"scaling must be 'standard' or 'denormalized', got {self.scaling!r}"
+            )
+        # The frequency grid must reach max_frequency without aliasing the
+        # extirpolation workspace (see FastLomb._grid).
+        needed_bins = self.max_frequency * self.oversample * self.window_seconds
+        if needed_bins > self.fft_size // 2 - 1:
+            raise ConfigurationError(
+                f"window of {self.window_seconds} s with fft_size "
+                f"{self.fft_size} cannot reach {self.max_frequency} Hz"
+            )
+
+    def with_basis(self, basis: str) -> "PSAConfig":
+        """Copy with a different wavelet basis."""
+        return replace(self, basis=basis)
+
+    def with_fft_size(self, fft_size: int) -> "PSAConfig":
+        """Copy with a different workspace size."""
+        return replace(self, fft_size=fft_size)
+
+    @property
+    def nominal_beats_per_window(self) -> int:
+        """Expected beat count of one window at 70 bpm (for planning)."""
+        return int(self.window_seconds * 70.0 / 60.0)

@@ -1,0 +1,26 @@
+"""ECG/data substrate: synthetic tachograms, ECG waveforms, QRS, cohort.
+
+Substitutes for the paper's PhysioNet recordings (see DESIGN.md): RR
+tachogram generation with calibrated LF/HF structure, McSharry-style ECG
+rendering, Pan-Tompkins-style QRS detection (closing the full Fig. 1(a)
+input path) and the deterministic synthetic patient cohort used by every
+experiment.
+"""
+
+from .database import Condition, PatientRecord, SyntheticCohort, make_cohort
+from .ecg_synthesis import EcgMorphology, synthesize_ecg
+from .qrs import QrsDetector, QrsResult
+from .rr_synthesis import TachogramSpec, generate_tachogram
+
+__all__ = [
+    "Condition",
+    "EcgMorphology",
+    "PatientRecord",
+    "QrsDetector",
+    "QrsResult",
+    "SyntheticCohort",
+    "TachogramSpec",
+    "generate_tachogram",
+    "make_cohort",
+    "synthesize_ecg",
+]

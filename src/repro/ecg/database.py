@@ -1,0 +1,157 @@
+"""Synthetic patient cohort — stand-in for the PhysioNet recordings.
+
+The paper evaluates on "numerous sinus-arrhythmia and healthy samples
+from PhysioNet [17]" and quotes cohort statistics over 16 patients.  This
+module builds a deterministic synthetic cohort with the same clinically
+relevant structure: respiratory-sinus-arrhythmia (RSA) records whose HF
+oscillation dominates (LF/HF well below 1) and healthy controls whose LF
+power dominates (LF/HF above 1).  Per-patient parameters are drawn from
+condition-specific distributions with a fixed master seed, so every
+experiment in the repository sees the same "patients".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive
+from ..errors import ConfigurationError
+from ..hrv.rr import RRSeries
+from .rr_synthesis import TachogramSpec, generate_tachogram
+
+__all__ = ["Condition", "PatientRecord", "SyntheticCohort", "make_cohort"]
+
+
+class Condition(enum.Enum):
+    """Clinical label of a synthetic record."""
+
+    SINUS_ARRHYTHMIA = "sinus-arrhythmia"
+    HEALTHY = "healthy"
+
+
+@dataclass(frozen=True)
+class PatientRecord:
+    """One synthetic patient.
+
+    Attributes
+    ----------
+    patient_id:
+        Stable identifier, e.g. ``"rsa-03"``.
+    condition:
+        Ground-truth label.
+    spec:
+        Tachogram generator parameters for this patient.
+    """
+
+    patient_id: str
+    condition: Condition
+    spec: TachogramSpec
+
+    def rr_series(self, duration: float = 600.0) -> RRSeries:
+        """Generate this patient's RR series for the given duration."""
+        return generate_tachogram(self.spec, duration)
+
+
+def _rsa_spec(rng: np.random.Generator, seed: int) -> TachogramSpec:
+    """Respiratory sinus arrhythmia: dominant HF oscillation.
+
+    Amplitude distributions are calibrated so the conventional Welch-Lomb
+    pipeline measures a cohort-average LF/HF ratio near the paper's 0.45
+    (Table I) while every record stays clearly below the detection
+    threshold of 1.
+    """
+    return TachogramSpec(
+        mean_rr=float(rng.uniform(0.75, 1.0)),
+        lf_amplitude=float(rng.uniform(0.030, 0.044)),
+        lf_frequency=float(rng.uniform(0.08, 0.11)),
+        hf_amplitude=float(rng.uniform(0.045, 0.065)),
+        hf_frequency=float(rng.uniform(0.21, 0.32)),
+        drift_amplitude=float(rng.uniform(0.006, 0.012)),
+        jitter=float(rng.uniform(0.002, 0.004)),
+        seed=seed,
+    )
+
+
+def _healthy_spec(rng: np.random.Generator, seed: int) -> TachogramSpec:
+    """Healthy control: LF-dominated spectrum (LF/HF ratio ~ 2-3)."""
+    return TachogramSpec(
+        mean_rr=float(rng.uniform(0.7, 0.95)),
+        lf_amplitude=float(rng.uniform(0.028, 0.042)),
+        lf_frequency=float(rng.uniform(0.08, 0.12)),
+        hf_amplitude=float(rng.uniform(0.018, 0.028)),
+        hf_frequency=float(rng.uniform(0.22, 0.34)),
+        drift_amplitude=float(rng.uniform(0.008, 0.014)),
+        jitter=float(rng.uniform(0.002, 0.004)),
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class SyntheticCohort:
+    """A fixed collection of synthetic patients."""
+
+    patients: tuple[PatientRecord, ...]
+
+    def __post_init__(self):
+        if not self.patients:
+            raise ConfigurationError("cohort is empty")
+        ids = [p.patient_id for p in self.patients]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate patient ids in cohort")
+
+    def __len__(self) -> int:
+        return len(self.patients)
+
+    def __iter__(self):
+        return iter(self.patients)
+
+    def by_condition(self, condition: Condition) -> tuple[PatientRecord, ...]:
+        """All patients with the given ground-truth label."""
+        return tuple(p for p in self.patients if p.condition is condition)
+
+    def get(self, patient_id: str) -> PatientRecord:
+        """Look a patient up by id."""
+        for patient in self.patients:
+            if patient.patient_id == patient_id:
+                return patient
+        raise ConfigurationError(f"no patient {patient_id!r} in cohort")
+
+
+def make_cohort(
+    n_arrhythmia: int = 16,
+    n_healthy: int = 8,
+    seed: int = 2014,
+) -> SyntheticCohort:
+    """Build the standard evaluation cohort.
+
+    Defaults mirror the paper's evaluation scale: 16 sinus-arrhythmia
+    records (the cohort behind Table I and the 4.9 % average-error
+    figure) plus healthy controls for the detection experiments.
+    """
+    if n_arrhythmia < 0 or n_healthy < 0 or n_arrhythmia + n_healthy == 0:
+        raise ConfigurationError("cohort needs at least one patient")
+    require_positive(seed + 1, "seed")  # seeds must be non-negative ints
+    rng = np.random.default_rng(seed)
+    patients: list[PatientRecord] = []
+    for i in range(n_arrhythmia):
+        spec = _rsa_spec(rng, seed=seed * 1000 + i)
+        patients.append(
+            PatientRecord(
+                patient_id=f"rsa-{i:02d}",
+                condition=Condition.SINUS_ARRHYTHMIA,
+                spec=spec,
+            )
+        )
+    for i in range(n_healthy):
+        spec = _healthy_spec(rng, seed=seed * 1000 + 500 + i)
+        patients.append(
+            PatientRecord(
+                patient_id=f"ctl-{i:02d}",
+                condition=Condition.HEALTHY,
+                spec=spec,
+            )
+        )
+    return SyntheticCohort(patients=tuple(patients))

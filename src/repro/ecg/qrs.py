@@ -1,0 +1,160 @@
+"""QRS detection (Pan-Tompkins style) and RR extraction.
+
+WBSN nodes already run a delineation algorithm whose output feeds the PSA
+system (paper Section II); this module provides that stage so the library
+can start from a raw ECG trace: bandpass -> derivative -> squaring ->
+moving-window integration -> adaptive-threshold peak picking, then a
+parabolic refinement of each R peak on the filtered trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sps
+
+from .._validation import as_1d_float_array, require_positive
+from ..errors import SignalError
+from ..hrv.rr import RRSeries
+
+__all__ = ["QrsDetector", "QrsResult"]
+
+
+@dataclass(frozen=True)
+class QrsResult:
+    """Detected beats.
+
+    Attributes
+    ----------
+    beat_times:
+        R-peak instants in seconds.
+    rr:
+        The RR series derived from them.
+    threshold_trace:
+        Final adaptive threshold per detected peak (diagnostic).
+    """
+
+    beat_times: np.ndarray
+    rr: RRSeries
+    threshold_trace: np.ndarray
+
+
+class QrsDetector:
+    """Pan-Tompkins-style QRS detector.
+
+    Parameters
+    ----------
+    sampling_rate:
+        ECG sampling rate in Hz (>= 100 for reliable QRS morphology).
+    band:
+        Passband (Hz) isolating QRS energy; default (5, 15).
+    integration_window:
+        Moving-integration window length in seconds.
+    refractory:
+        Minimum spacing between beats in seconds.
+    """
+
+    def __init__(
+        self,
+        sampling_rate: float = 250.0,
+        band: tuple[float, float] = (5.0, 15.0),
+        integration_window: float = 0.12,
+        refractory: float = 0.25,
+    ):
+        self.fs = require_positive(sampling_rate, "sampling_rate")
+        if self.fs < 100.0:
+            raise SignalError(
+                f"sampling_rate {sampling_rate} too low for QRS detection"
+            )
+        low, high = band
+        if not 0 < low < high < self.fs / 2:
+            raise SignalError(f"invalid band {band} for fs={sampling_rate}")
+        self.band = (float(low), float(high))
+        self.integration_window = require_positive(
+            integration_window, "integration_window"
+        )
+        self.refractory = require_positive(refractory, "refractory")
+        nyq = self.fs / 2.0
+        self._sos = sps.butter(
+            2, [self.band[0] / nyq, self.band[1] / nyq], btype="band", output="sos"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _feature_signal(self, ecg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        filtered = sps.sosfiltfilt(self._sos, ecg)
+        derivative = np.gradient(filtered) * self.fs
+        squared = derivative**2
+        window = max(int(self.integration_window * self.fs), 1)
+        kernel = np.ones(window) / window
+        integrated = np.convolve(squared, kernel, mode="same")
+        return filtered, integrated
+
+    def detect(self, times, ecg) -> QrsResult:
+        """Detect beats in an ECG trace.
+
+        Parameters
+        ----------
+        times:
+            Sample instants in seconds (uniform grid).
+        ecg:
+            ECG samples in millivolts.
+        """
+        t = as_1d_float_array(times, "times", min_length=32)
+        x = as_1d_float_array(ecg, "ecg", min_length=32)
+        if t.size != x.size:
+            raise SignalError(
+                f"times and ecg must match, got {t.size} and {x.size}"
+            )
+        filtered, feature = self._feature_signal(x)
+
+        refractory_samples = int(self.refractory * self.fs)
+        candidates, _ = sps.find_peaks(feature, distance=max(refractory_samples, 1))
+        if candidates.size < 3:
+            raise SignalError("fewer than 3 QRS candidates found")
+
+        # Adaptive threshold: running estimates of signal and noise peaks.
+        spki = float(np.percentile(feature[candidates], 75))
+        npki = float(np.percentile(feature[candidates], 25))
+        beats: list[int] = []
+        thresholds: list[float] = []
+        for idx in candidates:
+            threshold = npki + 0.25 * (spki - npki)
+            if feature[idx] >= threshold:
+                beats.append(int(idx))
+                spki = 0.125 * feature[idx] + 0.875 * spki
+            else:
+                npki = 0.125 * feature[idx] + 0.875 * npki
+            thresholds.append(threshold)
+        if len(beats) < 3:
+            raise SignalError("fewer than 3 beats passed the adaptive threshold")
+
+        refined = self._refine_peaks(filtered, np.asarray(beats))
+        beat_times = t[0] + refined / self.fs
+        return QrsResult(
+            beat_times=beat_times,
+            rr=RRSeries.from_beat_times(beat_times),
+            threshold_trace=np.asarray(thresholds),
+        )
+
+    def _refine_peaks(self, filtered: np.ndarray, beats: np.ndarray) -> np.ndarray:
+        """Sub-sample peak localisation by parabolic interpolation."""
+        half = int(0.05 * self.fs)
+        refined = np.empty(beats.size, dtype=np.float64)
+        for i, b in enumerate(beats):
+            lo, hi = max(b - half, 0), min(b + half + 1, filtered.size)
+            local = np.abs(filtered[lo:hi])
+            peak = lo + int(np.argmax(local))
+            if 0 < peak < filtered.size - 1:
+                y0, y1, y2 = (
+                    abs(filtered[peak - 1]),
+                    abs(filtered[peak]),
+                    abs(filtered[peak + 1]),
+                )
+                denom = y0 - 2 * y1 + y2
+                shift = 0.5 * (y0 - y2) / denom if abs(denom) > 1e-12 else 0.0
+                refined[i] = peak + float(np.clip(shift, -0.5, 0.5))
+            else:
+                refined[i] = float(peak)
+        return refined

@@ -1,0 +1,141 @@
+"""Synthetic RR-tachogram generation.
+
+Substitution for the MIT-BIH / PhysioNet recordings the paper uses
+(DESIGN.md, Section 2): the PSA algorithms only consume RR-interval
+series, so we synthesise tachograms with the spectral structure that
+drives the paper's metric — a sympathetic LF oscillation (~0.1 Hz), a
+respiratory HF oscillation (respiratory sinus arrhythmia, RSA), slow
+VLF/ULF drift and broadband jitter — with known ground truth.
+
+Beat times follow the integral pulse frequency modulation (IPFM) view:
+the next beat occurs one instantaneous RR after the previous one, with
+the modulators evaluated on the continuous time axis.  Optional ectopic
+beats (early beat + compensatory pause) exercise the artifact pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .._validation import require_in_range, require_positive
+from ..errors import ConfigurationError, SignalError
+from ..hrv.rr import RRSeries
+
+__all__ = ["TachogramSpec", "generate_tachogram"]
+
+
+@dataclass(frozen=True)
+class TachogramSpec:
+    """Parameters of one synthetic tachogram.
+
+    Attributes
+    ----------
+    mean_rr:
+        Baseline RR interval in seconds.
+    lf_amplitude, lf_frequency:
+        Amplitude (s) and frequency (Hz) of the low-frequency oscillation.
+    hf_amplitude, hf_frequency:
+        Amplitude (s) and frequency (Hz) of the respiratory oscillation.
+    drift_amplitude:
+        Amplitude (s) of the slow VLF drift components.
+    jitter:
+        Standard deviation (s) of white beat-to-beat noise.
+    ectopic_rate:
+        Probability per beat of injecting an ectopic pair (early beat
+        followed by a compensatory pause).
+    seed:
+        Seed for the deterministic random stream (phases, jitter,
+        ectopics).
+    """
+
+    mean_rr: float = 0.85
+    lf_amplitude: float = 0.03
+    lf_frequency: float = 0.095
+    hf_amplitude: float = 0.03
+    hf_frequency: float = 0.25
+    drift_amplitude: float = 0.015
+    jitter: float = 0.004
+    ectopic_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        require_in_range(self.mean_rr, 0.3, 2.0, "mean_rr")
+        require_in_range(self.lf_frequency, 0.04, 0.15, "lf_frequency")
+        require_in_range(self.hf_frequency, 0.15, 0.4, "hf_frequency")
+        for name in ("lf_amplitude", "hf_amplitude", "drift_amplitude", "jitter"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        require_in_range(self.ectopic_rate, 0.0, 0.2, "ectopic_rate")
+        total_mod = (
+            self.lf_amplitude + self.hf_amplitude + self.drift_amplitude
+        )
+        if total_mod >= 0.5 * self.mean_rr:
+            raise ConfigurationError(
+                "modulation amplitudes too large relative to mean RR; "
+                "intervals could become non-positive"
+            )
+
+    @property
+    def expected_lf_hf_ratio(self) -> float:
+        """Ground-truth LF/HF power ratio of the sinusoidal modulators."""
+        if self.hf_amplitude == 0:
+            raise ConfigurationError("hf_amplitude is zero; ratio undefined")
+        return (self.lf_amplitude / self.hf_amplitude) ** 2
+
+    def with_seed(self, seed: int) -> "TachogramSpec":
+        """Copy of the spec with a different random seed."""
+        return replace(self, seed=int(seed))
+
+
+#: Frequencies (Hz) and relative amplitudes of the VLF drift components.
+_DRIFT_COMPONENTS = ((0.0055, 1.0), (0.013, 0.7), (0.028, 0.5))
+
+
+def generate_tachogram(spec: TachogramSpec, duration: float) -> RRSeries:
+    """Generate *duration* seconds of beats according to *spec*."""
+    require_positive(duration, "duration")
+    if duration < 10.0 * spec.mean_rr:
+        raise SignalError(
+            f"duration {duration} s too short for a meaningful tachogram"
+        )
+    rng = np.random.default_rng(spec.seed)
+    lf_phase = rng.uniform(0, 2 * np.pi)
+    hf_phase = rng.uniform(0, 2 * np.pi)
+    drift_phases = rng.uniform(0, 2 * np.pi, size=len(_DRIFT_COMPONENTS))
+
+    max_beats = int(np.ceil(duration / (0.5 * spec.mean_rr))) + 4
+    times = np.empty(max_beats)
+    intervals = np.empty(max_beats)
+    t = 0.0
+    count = 0
+    pending_pause = 0.0
+    while count < max_beats:
+        rr = (
+            spec.mean_rr
+            + spec.lf_amplitude * np.sin(2 * np.pi * spec.lf_frequency * t + lf_phase)
+            + spec.hf_amplitude * np.sin(2 * np.pi * spec.hf_frequency * t + hf_phase)
+        )
+        for (freq, rel), phase in zip(_DRIFT_COMPONENTS, drift_phases):
+            rr += spec.drift_amplitude * rel * np.sin(2 * np.pi * freq * t + phase)
+        if spec.jitter > 0:
+            rr += spec.jitter * rng.standard_normal()
+        if pending_pause > 0.0:
+            rr += pending_pause
+            pending_pause = 0.0
+        elif spec.ectopic_rate > 0 and rng.random() < spec.ectopic_rate:
+            shortening = 0.35 * rr
+            rr -= shortening
+            pending_pause = shortening  # compensatory pause on the next beat
+        rr = max(rr, 0.25)
+        t += rr
+        if t > duration:
+            break
+        times[count] = t
+        intervals[count] = rr
+        count += 1
+    if count < 4:
+        raise SignalError("generated fewer than 4 beats; check parameters")
+    return RRSeries(times=times[:count].copy(), intervals=intervals[:count].copy())

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` etc. are still allowed to
+propagate from obviously wrong call signatures).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SignalError",
+    "TransformError",
+    "PlatformError",
+    "CalibrationError",
+    "FixedPointError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter combination is invalid."""
+
+
+class SignalError(ReproError):
+    """An input signal does not satisfy the documented requirements."""
+
+
+class TransformError(ReproError):
+    """A transform (DWT, FFT, Lomb) was asked to do something impossible."""
+
+
+class PlatformError(ReproError):
+    """The platform/energy model was configured or driven incorrectly."""
+
+
+class CalibrationError(ReproError):
+    """Design-time calibration could not derive usable thresholds."""
+
+
+class FixedPointError(ReproError):
+    """Fixed-point format violation (overflow without saturation, bad Q spec)."""

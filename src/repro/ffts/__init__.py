@@ -1,0 +1,50 @@
+"""FFT substrate: baselines, the DWT-based FFT, pruning and op accounting.
+
+Exposes the conventional kernels the paper compares against (split radix,
+radix-2, direct DFT), the wavelet-domain FFT of Section IV with its two
+pruning stages, and the operation-count framework behind Fig. 5 and the
+energy model.
+"""
+
+from .backends import FFTBackend, SplitRadixFFT
+from .dft import direct_dft, direct_dft_counts
+from .opcount import (
+    COMPLEX_ADD,
+    COMPLEX_MULT,
+    DYNAMIC_CHECK,
+    REAL_SCALED_COMPLEX_MULT,
+    OpCounts,
+)
+from .pruning import (
+    TWIDDLE_SETS,
+    PruningSpec,
+    static_twiddle_mask,
+    twiddle_threshold_for_fraction,
+)
+from .radix2 import bit_reverse_permutation, radix2_counts, radix2_fft
+from .split_radix import split_radix_counts, split_radix_fft
+from .wavelet_fft import WaveletFFT, dwt_stage_cost, wavelet_fft
+
+__all__ = [
+    "COMPLEX_ADD",
+    "COMPLEX_MULT",
+    "DYNAMIC_CHECK",
+    "FFTBackend",
+    "REAL_SCALED_COMPLEX_MULT",
+    "OpCounts",
+    "SplitRadixFFT",
+    "PruningSpec",
+    "TWIDDLE_SETS",
+    "WaveletFFT",
+    "bit_reverse_permutation",
+    "direct_dft",
+    "direct_dft_counts",
+    "dwt_stage_cost",
+    "radix2_counts",
+    "radix2_fft",
+    "split_radix_counts",
+    "split_radix_fft",
+    "static_twiddle_mask",
+    "twiddle_threshold_for_fraction",
+    "wavelet_fft",
+]

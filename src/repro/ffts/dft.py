@@ -1,0 +1,41 @@
+"""Direct O(N^2) discrete Fourier transform.
+
+Used as the correctness reference for the fast kernels and as the
+worst-case baseline in complexity ablations.  Never used inside the PSA
+pipeline itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_1d_complex_array
+from .opcount import COMPLEX_ADD, COMPLEX_MULT, OpCounts
+
+__all__ = ["direct_dft", "direct_dft_counts"]
+
+
+def direct_dft(x) -> np.ndarray:
+    """Compute the DFT of *x* by direct summation.
+
+    Accepts real or complex input of any length >= 1 and returns the
+    complex spectrum with the same convention as ``numpy.fft.fft``.
+    """
+    arr = as_1d_complex_array(x, "x")
+    n = arr.size
+    k = np.arange(n)
+    phases = np.exp(-2j * np.pi * np.outer(k, k) / n)
+    return phases @ arr
+
+
+def direct_dft_counts(n: int) -> OpCounts:
+    """Real-operation count of the direct DFT on complex input.
+
+    Each of the N^2 terms is a generic complex multiplication except the
+    first row and column (twiddle 1); each output accumulates N - 1
+    complex additions.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    nontrivial_mults = (n - 1) * (n - 1)
+    return COMPLEX_MULT.scaled(nontrivial_mults) + COMPLEX_ADD.scaled(n * (n - 1))

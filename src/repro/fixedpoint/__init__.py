@@ -1,0 +1,38 @@
+"""Fixed-point substrate: Q-format arithmetic and integer kernels.
+
+Bit-accurate emulation of the sensor node's integer datapath: Q-format
+quantisation with saturation/rounding, overflow-tracking arithmetic, and
+fixed-point versions of the DWT, radix-2 FFT and pruned wavelet FFT used
+for the quantisation ablation.
+"""
+
+from .arithmetic import (
+    ComplexFixed,
+    FixedPointContext,
+    complex_add,
+    complex_multiply,
+)
+from .kernels import (
+    FixedPointResult,
+    FixedPointWaveletFFT,
+    fixed_point_dwt_level,
+    fixed_point_fft,
+    sqnr_db,
+)
+from .qformat import Q15, Q31, Q1_14, QFormat
+
+__all__ = [
+    "ComplexFixed",
+    "FixedPointContext",
+    "FixedPointResult",
+    "FixedPointWaveletFFT",
+    "Q15",
+    "Q31",
+    "Q1_14",
+    "QFormat",
+    "complex_add",
+    "complex_multiply",
+    "fixed_point_dwt_level",
+    "fixed_point_fft",
+    "sqnr_db",
+]

@@ -1,0 +1,134 @@
+"""Saturating fixed-point arithmetic with overflow tracking.
+
+Implements the integer datapath the node kernels would run on: additions
+saturate at the format limits, multiplications compute a double-width
+product and round it back to the format, and every saturation event is
+tallied so experiments can report how often a configuration clips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import QFormat
+
+__all__ = ["FixedPointContext", "ComplexFixed"]
+
+
+@dataclass
+class FixedPointContext:
+    """Arithmetic context: format, rounding and saturation statistics.
+
+    Attributes
+    ----------
+    fmt:
+        The :class:`QFormat` all operands and results live in.
+    rounding:
+        Product rounding mode, ``"nearest"`` or ``"truncate"``.
+    saturations:
+        Number of results clipped so far (mutable tally).
+    operations:
+        Number of arithmetic results produced so far.
+    """
+
+    fmt: QFormat
+    rounding: str = "nearest"
+    saturations: int = 0
+    operations: int = 0
+
+    def _saturate(self, raw: np.ndarray) -> np.ndarray:
+        clipped = np.clip(raw, self.fmt.min_int, self.fmt.max_int)
+        self.saturations += int(np.count_nonzero(clipped != raw))
+        self.operations += int(np.asarray(raw).size)
+        return clipped
+
+    def add(self, a, b) -> np.ndarray:
+        """Saturating addition of raw fixed-point arrays."""
+        return self._saturate(np.asarray(a, np.int64) + np.asarray(b, np.int64))
+
+    def subtract(self, a, b) -> np.ndarray:
+        """Saturating subtraction of raw fixed-point arrays."""
+        return self._saturate(np.asarray(a, np.int64) - np.asarray(b, np.int64))
+
+    def multiply(self, a, b) -> np.ndarray:
+        """Fixed-point multiply: double-width product, round, saturate."""
+        wide = np.asarray(a, np.int64) * np.asarray(b, np.int64)
+        shift = self.fmt.fraction_bits
+        if self.rounding == "nearest":
+            offset = 1 << (shift - 1)
+            rounded = np.where(
+                wide >= 0, (wide + offset) >> shift, -((-wide + offset) >> shift)
+            )
+        elif self.rounding == "truncate":
+            rounded = wide >> shift
+        else:
+            raise FixedPointError(f"unknown rounding mode {self.rounding!r}")
+        return self._saturate(rounded)
+
+    def shift_right(self, a, bits: int) -> np.ndarray:
+        """Arithmetic right shift with round-to-nearest (scaling stages)."""
+        if bits < 0:
+            raise FixedPointError(f"shift must be >= 0, got {bits}")
+        if bits == 0:
+            return np.asarray(a, np.int64).copy()
+        raw = np.asarray(a, np.int64)
+        offset = 1 << (bits - 1)
+        return np.where(raw >= 0, (raw + offset) >> bits, -((-raw + offset) >> bits))
+
+    @property
+    def saturation_rate(self) -> float:
+        """Fraction of results that clipped."""
+        if self.operations == 0:
+            return 0.0
+        return self.saturations / self.operations
+
+
+@dataclass
+class ComplexFixed:
+    """A complex vector in fixed point: separate real/imag raw arrays."""
+
+    real: np.ndarray
+    imag: np.ndarray
+
+    def __post_init__(self):
+        self.real = np.asarray(self.real, dtype=np.int64)
+        self.imag = np.asarray(self.imag, dtype=np.int64)
+        if self.real.shape != self.imag.shape:
+            raise FixedPointError("real/imag shape mismatch")
+
+    @classmethod
+    def from_complex(cls, values, fmt: QFormat) -> "ComplexFixed":
+        """Quantise a complex float array."""
+        arr = np.asarray(values, dtype=np.complex128)
+        return cls(real=fmt.quantize(arr.real), imag=fmt.quantize(arr.imag))
+
+    def to_complex(self, fmt: QFormat) -> np.ndarray:
+        """Dequantise back to complex128."""
+        return fmt.to_float(self.real) + 1j * fmt.to_float(self.imag)
+
+    def __len__(self) -> int:
+        return int(self.real.size)
+
+
+def complex_multiply(
+    ctx: FixedPointContext, a: ComplexFixed, b: ComplexFixed
+) -> ComplexFixed:
+    """Fixed-point complex multiplication (4 mults + 2 adds)."""
+    rr = ctx.multiply(a.real, b.real)
+    ii = ctx.multiply(a.imag, b.imag)
+    ri = ctx.multiply(a.real, b.imag)
+    ir = ctx.multiply(a.imag, b.real)
+    return ComplexFixed(real=ctx.subtract(rr, ii), imag=ctx.add(ri, ir))
+
+
+def complex_add(
+    ctx: FixedPointContext, a: ComplexFixed, b: ComplexFixed
+) -> ComplexFixed:
+    """Fixed-point complex addition."""
+    return ComplexFixed(real=ctx.add(a.real, b.real), imag=ctx.add(a.imag, b.imag))
+
+
+__all__ += ["complex_multiply", "complex_add"]

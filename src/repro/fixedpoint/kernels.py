@@ -1,0 +1,294 @@
+"""Bit-accurate fixed-point versions of the transform kernels.
+
+Emulates the integer datapath of the sensor node end to end: a
+fixed-point periodic DWT level, an iterative radix-2 FFT with per-stage
+scaling (the standard overflow strategy: every butterfly stage shifts
+right by one, so the result carries a known power-of-two scale), and the
+full fixed-point wavelet FFT with quantised twiddle factors and optional
+pruning.  All intermediate values stay in the integer domain; the known
+power-of-two scale is compensated only once, at the final dequantisation
+— exactly how a real integer kernel chains its stages.
+
+Used by the quantisation ablation: does the paper's pruning conclusion
+survive a Q15 datapath?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_complex_array, require_power_of_two
+from ..errors import FixedPointError
+from ..ffts.pruning import PruningSpec, static_twiddle_mask
+from ..ffts.radix2 import bit_reverse_permutation
+from ..wavelets.filters import WaveletFilter, get_filter
+from ..wavelets.freq import twiddle_pair
+from .arithmetic import ComplexFixed, FixedPointContext, complex_add, complex_multiply
+from .qformat import Q15, QFormat
+
+__all__ = [
+    "FixedPointResult",
+    "fixed_point_dwt_level",
+    "fixed_point_fft",
+    "FixedPointWaveletFFT",
+    "sqnr_db",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Dequantised result of a fixed-point kernel run.
+
+    Attributes
+    ----------
+    values:
+        Result as complex (or real) floats, with the internal
+        power-of-two scaling already compensated.
+    scale_shift:
+        log2 of the compensation factor that was applied.
+    saturations:
+        Saturation events during the run.
+    operations:
+        Total fixed-point results produced.
+    """
+
+    values: np.ndarray
+    scale_shift: int
+    saturations: int
+    operations: int
+
+
+def _resolve(basis) -> WaveletFilter:
+    if isinstance(basis, WaveletFilter):
+        return basis
+    return get_filter(basis)
+
+
+# ----------------------------------------------------------------------
+# Raw integer-domain stages
+# ----------------------------------------------------------------------
+
+
+def _raw_dwt_level(
+    data: np.ndarray, bank: WaveletFilter, ctx: FixedPointContext
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integer DWT level; output carries an extra 1/2 scale.
+
+    Filter taps are stored pre-scaled by 1/2 so the sqrt(2) analysis
+    gain can never overflow the format.
+    """
+    fmt = ctx.fmt
+    taps_lo = fmt.quantize(bank.lowpass / 2.0)
+    taps_hi = fmt.quantize(bank.highpass / 2.0)
+    half = data.size // 2
+    lo = np.zeros(half, dtype=np.int64)
+    hi = np.zeros(half, dtype=np.int64)
+    for j in range(bank.length):
+        picked = np.take(data, (2 * np.arange(half) + j) % data.size)
+        lo = ctx.add(lo, ctx.multiply(taps_lo[j], picked))
+        hi = ctx.add(hi, ctx.multiply(taps_hi[j], picked))
+    return lo, hi
+
+
+def _raw_fft(data: ComplexFixed, ctx: FixedPointContext) -> ComplexFixed:
+    """Integer radix-2 FFT; output equals ``FFT(x) / N`` in fixed point.
+
+    One right shift per stage keeps every butterfly inside the format
+    regardless of input statistics (unity-headroom scaling).
+    """
+    fmt = ctx.fmt
+    n = data.real.size
+    require_power_of_two(n, "len(x)")
+    perm = bit_reverse_permutation(n)
+    current = ComplexFixed(real=data.real[perm], imag=data.imag[perm])
+    span = 1
+    while span < n:
+        angles = -np.pi * np.arange(span) / span
+        tw_re = fmt.quantize(np.cos(angles))
+        tw_im = fmt.quantize(np.sin(angles))
+        re = current.real.reshape(-1, 2 * span)
+        im = current.imag.reshape(-1, 2 * span)
+        upper = ComplexFixed(real=re[:, :span].copy(), imag=im[:, :span].copy())
+        lower = ComplexFixed(real=re[:, span:].copy(), imag=im[:, span:].copy())
+        factors = ComplexFixed(
+            real=np.broadcast_to(tw_re, lower.real.shape).copy(),
+            imag=np.broadcast_to(tw_im, lower.imag.shape).copy(),
+        )
+        twisted = complex_multiply(ctx, lower, factors)
+        # Scale-before-add: halve both operands first so the butterfly
+        # sum can never leave the format (unity-headroom scaling).
+        u_re = ctx.shift_right(upper.real, 1)
+        u_im = ctx.shift_right(upper.imag, 1)
+        t_re = ctx.shift_right(twisted.real, 1)
+        t_im = ctx.shift_right(twisted.imag, 1)
+        new_re = np.hstack(
+            [ctx.add(u_re, t_re), ctx.subtract(u_re, t_re)]
+        ).reshape(-1)
+        new_im = np.hstack(
+            [ctx.add(u_im, t_im), ctx.subtract(u_im, t_im)]
+        ).reshape(-1)
+        current = ComplexFixed(real=new_re, imag=new_im)
+        span *= 2
+    return current
+
+
+# ----------------------------------------------------------------------
+# Public kernels
+# ----------------------------------------------------------------------
+
+
+def fixed_point_dwt_level(
+    x, basis="haar", fmt: QFormat = Q15, rounding: str = "nearest"
+) -> tuple[FixedPointResult, FixedPointResult]:
+    """One periodic DWT level on the integer datapath.
+
+    Returns lowpass and highpass results whose float values approximate
+    :func:`repro.wavelets.dwt.dwt_level` (the internal 1/2 tap scaling
+    is compensated).
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.size % 2 != 0 or arr.size < 2:
+        raise FixedPointError("input must be 1-D with even length >= 2")
+    bank = _resolve(basis)
+    ctx = FixedPointContext(fmt=fmt, rounding=rounding)
+    lo, hi = _raw_dwt_level(fmt.quantize(arr), bank, ctx)
+    make = lambda raw: FixedPointResult(  # noqa: E731 - tiny local helper
+        values=fmt.to_float(raw) * 2.0,
+        scale_shift=1,
+        saturations=ctx.saturations,
+        operations=ctx.operations,
+    )
+    return make(lo), make(hi)
+
+
+def fixed_point_fft(
+    x, fmt: QFormat = Q15, rounding: str = "nearest"
+) -> FixedPointResult:
+    """Radix-2 FFT on the integer datapath, comparable to ``numpy.fft``.
+
+    Input magnitudes must fit the format (for Q15: |x| < 1).
+    """
+    arr = as_1d_complex_array(x, "x")
+    n = require_power_of_two(arr.size, "len(x)")
+    ctx = FixedPointContext(fmt=fmt, rounding=rounding)
+    data = ComplexFixed.from_complex(arr, fmt)
+    result = _raw_fft(data, ctx)
+    return FixedPointResult(
+        values=result.to_complex(fmt) * float(n),
+        scale_shift=int(np.log2(n)),
+        saturations=ctx.saturations,
+        operations=ctx.operations,
+    )
+
+
+class FixedPointWaveletFFT:
+    """Fixed-point DWT-based FFT with optional static pruning.
+
+    Mirrors :class:`repro.ffts.wavelet_fft.WaveletFFT` (one wavelet
+    stage, two half-length sub-FFTs, modified-twiddle butterflies) on the
+    integer datapath.  Twiddle factors are quantised once at plan time —
+    exactly what a node would store in ROM — and static pruning simply
+    zeroes the pruned table entries.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        basis="haar",
+        fmt: QFormat = Q15,
+        pruning: PruningSpec | None = None,
+        rounding: str = "nearest",
+    ):
+        self.n = require_power_of_two(n, "n")
+        if self.n < 4:
+            raise FixedPointError("FixedPointWaveletFFT needs n >= 4")
+        self.bank = _resolve(basis)
+        self.fmt = fmt
+        self.rounding = rounding
+        self.pruning = pruning or PruningSpec.none()
+        if self.pruning.dynamic:
+            raise FixedPointError(
+                "dynamic pruning is not supported on the fixed-point path"
+            )
+        hl, hh = twiddle_pair(self.n, self.bank)
+        keep_hl = np.ones(self.n, dtype=bool)
+        keep_hh = (
+            np.zeros(self.n, dtype=bool)
+            if self.pruning.band_drop
+            else np.ones(self.n, dtype=bool)
+        )
+        if self.pruning.twiddle_fraction > 0:
+            if self.pruning.band_drop:
+                keep_hl = static_twiddle_mask(
+                    np.abs(hl), self.pruning.twiddle_fraction
+                )
+            else:
+                keep = static_twiddle_mask(
+                    np.concatenate([np.abs(hl), np.abs(hh)]),
+                    self.pruning.twiddle_fraction,
+                )
+                keep_hl, keep_hh = keep[: self.n], keep[self.n :]
+        # Twiddles reach |sqrt(2)|: stored halved (the extra factor of 2
+        # is folded into the final dequantisation).
+        self._hl_q = ComplexFixed(
+            real=fmt.quantize(np.where(keep_hl, hl.real, 0.0) / 2.0),
+            imag=fmt.quantize(np.where(keep_hl, hl.imag, 0.0) / 2.0),
+        )
+        self._hh_q = ComplexFixed(
+            real=fmt.quantize(np.where(keep_hh, hh.real, 0.0) / 2.0),
+            imag=fmt.quantize(np.where(keep_hh, hh.imag, 0.0) / 2.0),
+        )
+        self._hh_active = bool(np.any(keep_hh))
+
+    def transform(self, x) -> FixedPointResult:
+        """Run the integer transform; values are comparable to the float
+        :class:`~repro.ffts.wavelet_fft.WaveletFFT` output."""
+        arr = as_1d_complex_array(x, "x")
+        if arr.size != self.n:
+            raise FixedPointError(
+                f"input length {arr.size} does not match plan size {self.n}"
+            )
+        ctx = FixedPointContext(fmt=self.fmt, rounding=self.rounding)
+        re_q = self.fmt.quantize(arr.real)
+        im_q = self.fmt.quantize(arr.imag)
+        lo_re, hi_re = _raw_dwt_level(re_q, self.bank, ctx)
+        lo_im, hi_im = _raw_dwt_level(im_q, self.bank, ctx)
+
+        half = self.n // 2
+        sub_lo = _raw_fft(ComplexFixed(real=lo_re, imag=lo_im), ctx)
+        l_tiled = ComplexFixed(
+            real=np.tile(sub_lo.real, 2), imag=np.tile(sub_lo.imag, 2)
+        )
+        out = complex_multiply(ctx, l_tiled, self._hl_q)
+        if self._hh_active:
+            sub_hi = _raw_fft(ComplexFixed(real=hi_re, imag=hi_im), ctx)
+            h_tiled = ComplexFixed(
+                real=np.tile(sub_hi.real, 2), imag=np.tile(sub_hi.imag, 2)
+            )
+            out = complex_add(ctx, out, complex_multiply(ctx, h_tiled, self._hh_q))
+        # Accumulated scale: 1/2 (DWT taps) * 1/half (sub-FFT) * 1/2
+        # (halved twiddles) = 1 / (2 * n).
+        values = out.to_complex(self.fmt) * (2.0 * self.n)
+        return FixedPointResult(
+            values=values,
+            scale_shift=int(np.log2(self.n)) + 1,
+            saturations=ctx.saturations,
+            operations=ctx.operations,
+        )
+
+
+def sqnr_db(reference, quantized) -> float:
+    """Signal-to-quantisation-noise ratio in dB."""
+    ref = np.asarray(reference, dtype=np.complex128)
+    quant = np.asarray(quantized, dtype=np.complex128)
+    if ref.shape != quant.shape:
+        raise FixedPointError("shape mismatch between reference and quantized")
+    signal = float(np.sum(np.abs(ref) ** 2))
+    noise = float(np.sum(np.abs(ref - quant) ** 2))
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        raise FixedPointError("reference signal is identically zero")
+    return 10.0 * np.log10(signal / noise)

@@ -1,0 +1,144 @@
+"""Q-format fixed-point number representation.
+
+The paper's kernels target an integer sensor-node datapath; this module
+provides the bit-accurate representation used to emulate it: a signed
+two's-complement Q(m, n) format with one sign bit, *m* integer bits and
+*n* fractional bits, stored in int64 numpy arrays.
+
+Quantisation supports round-to-nearest (ties away from zero, the usual
+DSP rounding) and truncation; out-of-range values either saturate (the
+hardware default) or raise, per the context configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FixedPointError
+
+__all__ = ["QFormat", "Q15", "Q31", "Q1_14"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed two's-complement fixed-point format Q(m, n).
+
+    Attributes
+    ----------
+    integer_bits:
+        Number of integer bits *m* (excluding the sign bit).
+    fraction_bits:
+        Number of fractional bits *n*.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self):
+        if self.integer_bits < 0:
+            raise FixedPointError(
+                f"integer_bits must be >= 0, got {self.integer_bits}"
+            )
+        if self.fraction_bits < 1:
+            raise FixedPointError(
+                f"fraction_bits must be >= 1, got {self.fraction_bits}"
+            )
+        if self.total_bits > 62:
+            raise FixedPointError(
+                f"Q({self.integer_bits},{self.fraction_bits}) exceeds the "
+                "62-bit emulation headroom"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Word length including the sign bit."""
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        """Integer representation of 1.0 (2**fraction_bits)."""
+        return 1 << self.fraction_bits
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.integer_bits + self.fraction_bits)) - 1
+
+    @property
+    def min_int(self) -> int:
+        """Smallest (most negative) representable raw integer."""
+        return -(1 << (self.integer_bits + self.fraction_bits))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_int / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 1.0 / self.scale
+
+    # ------------------------------------------------------------------
+
+    def quantize(
+        self, values, rounding: str = "nearest", overflow: str = "saturate"
+    ) -> np.ndarray:
+        """Convert real values to raw fixed-point integers.
+
+        Parameters
+        ----------
+        values:
+            Real array (or scalar) to convert.
+        rounding:
+            ``"nearest"`` (ties away from zero) or ``"truncate"``
+            (toward negative infinity, plain arithmetic shift).
+        overflow:
+            ``"saturate"`` clamps, ``"raise"`` raises
+            :class:`FixedPointError` on out-of-range values.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        scaled = arr * self.scale
+        if rounding == "nearest":
+            raw = np.where(
+                scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5)
+            ).astype(np.int64)
+        elif rounding == "truncate":
+            raw = np.floor(scaled).astype(np.int64)
+        else:
+            raise FixedPointError(f"unknown rounding mode {rounding!r}")
+        return self.handle_overflow(raw, overflow)
+
+    def handle_overflow(self, raw: np.ndarray, overflow: str = "saturate") -> np.ndarray:
+        """Apply the overflow policy to raw integers."""
+        if overflow == "saturate":
+            return np.clip(raw, self.min_int, self.max_int)
+        if overflow == "raise":
+            if np.any(raw > self.max_int) or np.any(raw < self.min_int):
+                raise FixedPointError(
+                    f"value overflows Q({self.integer_bits},{self.fraction_bits})"
+                )
+            return raw
+        raise FixedPointError(f"unknown overflow mode {overflow!r}")
+
+    def to_float(self, raw) -> np.ndarray:
+        """Convert raw fixed-point integers back to real values."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    def __str__(self) -> str:
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+#: The classic 16-bit DSP format: 1 sign + 15 fraction bits.
+Q15 = QFormat(integer_bits=0, fraction_bits=15)
+#: 32-bit high-precision format.
+Q31 = QFormat(integer_bits=0, fraction_bits=31)
+#: A 16-bit format with one integer bit (headroom for sqrt(2)-gain stages).
+Q1_14 = QFormat(integer_bits=1, fraction_bits=14)

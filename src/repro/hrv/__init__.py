@@ -1,0 +1,54 @@
+"""HRV substrate: RR containers, frequency bands, metrics, detection.
+
+Everything between the beat detector and the clinical read-out: the
+:class:`RRSeries` container, artifact filtering, the LF/HF band-power
+machinery the paper's evaluation is built on, time-domain HRV metrics,
+and the sinus-arrhythmia detector used as the end-to-end test case.
+"""
+
+from .bands import (
+    HF_BAND,
+    LF_BAND,
+    STANDARD_BANDS,
+    ULF_BAND,
+    VLF_BAND,
+    FrequencyBand,
+    band_power,
+    band_powers,
+)
+from .detection import DetectionResult, SinusArrhythmiaDetector
+from .metrics import (
+    lf_hf_ratio,
+    pnn50,
+    ratio_error,
+    rmssd,
+    sdnn,
+    sdsd,
+    time_domain_summary,
+)
+from .preprocessing import ArtifactReport, detect_ectopic_mask, filter_artifacts
+from .rr import RRSeries
+
+__all__ = [
+    "ArtifactReport",
+    "DetectionResult",
+    "FrequencyBand",
+    "HF_BAND",
+    "LF_BAND",
+    "RRSeries",
+    "STANDARD_BANDS",
+    "SinusArrhythmiaDetector",
+    "ULF_BAND",
+    "VLF_BAND",
+    "band_power",
+    "band_powers",
+    "detect_ectopic_mask",
+    "filter_artifacts",
+    "lf_hf_ratio",
+    "pnn50",
+    "ratio_error",
+    "rmssd",
+    "sdnn",
+    "sdsd",
+    "time_domain_summary",
+]

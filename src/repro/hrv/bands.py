@@ -1,0 +1,100 @@
+"""HRV frequency bands and band-power integration.
+
+The paper's quality metric integrates the periodogram over the standard
+short-term HRV bands (Section VI): LFP over 0.04-0.15 Hz and HFP over
+0.15-0.4 Hz, with the remaining low-end power reported as ULF in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_float_array
+from ..errors import SignalError
+
+__all__ = [
+    "FrequencyBand",
+    "ULF_BAND",
+    "VLF_BAND",
+    "LF_BAND",
+    "HF_BAND",
+    "STANDARD_BANDS",
+    "band_power",
+    "band_powers",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyBand:
+    """A half-open frequency interval ``[low, high)`` in Hz."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.low < self.high:
+            raise SignalError(
+                f"invalid band {self.name}: [{self.low}, {self.high})"
+            )
+
+    def contains(self, frequencies: np.ndarray) -> np.ndarray:
+        """Boolean mask of grid frequencies inside the band."""
+        f = np.asarray(frequencies, dtype=np.float64)
+        return (f >= self.low) & (f < self.high)
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+#: Ultra-low-frequency remainder below the VLF band (Fig. 8's "ULF").
+ULF_BAND = FrequencyBand("ULF", 0.0, 0.0033)
+#: Very-low-frequency band.
+VLF_BAND = FrequencyBand("VLF", 0.0033, 0.04)
+#: Low-frequency band — the paper's LFP integration range.
+LF_BAND = FrequencyBand("LF", 0.04, 0.15)
+#: High-frequency band — the paper's HFP integration range.
+HF_BAND = FrequencyBand("HF", 0.15, 0.40)
+
+STANDARD_BANDS = (ULF_BAND, VLF_BAND, LF_BAND, HF_BAND)
+
+
+def _unpack(spectrum, frequencies=None):
+    """Accept a LombSpectrum-like object or explicit (freqs, power) arrays."""
+    if frequencies is not None:
+        freqs = as_1d_float_array(frequencies, "frequencies")
+        power = as_1d_float_array(spectrum, "power")
+    else:
+        freqs = as_1d_float_array(spectrum.frequencies, "spectrum.frequencies")
+        power = as_1d_float_array(spectrum.power, "spectrum.power")
+    if freqs.size != power.size:
+        raise SignalError(
+            f"frequencies and power must match, got {freqs.size} and {power.size}"
+        )
+    if freqs.size < 2:
+        raise SignalError("spectrum too short for band integration")
+    return freqs, power
+
+
+def band_power(spectrum, band: FrequencyBand, frequencies=None) -> float:
+    """Integrated power of *spectrum* inside *band* (rectangle rule).
+
+    *spectrum* may be a :class:`~repro.lomb.fast.LombSpectrum` (or any
+    object exposing ``frequencies`` and ``power``) or a plain power array
+    combined with the *frequencies* keyword.
+    """
+    freqs, power = _unpack(spectrum, frequencies)
+    df = float(np.median(np.diff(freqs)))
+    mask = band.contains(freqs)
+    return float(np.sum(power[mask]) * df)
+
+
+def band_powers(spectrum, bands=STANDARD_BANDS, frequencies=None) -> dict[str, float]:
+    """Integrated power of every band, keyed by band name."""
+    return {
+        band.name: band_power(spectrum, band, frequencies=frequencies)
+        for band in bands
+    }

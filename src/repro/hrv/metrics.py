@@ -1,0 +1,87 @@
+"""HRV metrics: the paper's LFP/HFP ratio plus standard time-domain set.
+
+The LFP/HFP ratio is the clinical read-out the whole evaluation hinges
+on: "a ratio of LFP over HFP much less than 1 indicates a sinus
+arrhythmia condition and is an appropriate quality metric for such an
+application" (Section VI).  Time-domain metrics (SDNN, RMSSD, pNN50) are
+provided for completeness of the HRV substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SignalError
+from .bands import HF_BAND, LF_BAND, band_power
+from .rr import RRSeries
+
+__all__ = [
+    "lf_hf_ratio",
+    "ratio_error",
+    "sdnn",
+    "rmssd",
+    "pnn50",
+    "sdsd",
+    "time_domain_summary",
+]
+
+
+def lf_hf_ratio(spectrum, frequencies=None) -> float:
+    """LFP / HFP band-power ratio of a periodogram (paper Table I)."""
+    lfp = band_power(spectrum, LF_BAND, frequencies=frequencies)
+    hfp = band_power(spectrum, HF_BAND, frequencies=frequencies)
+    if hfp <= 0:
+        raise SignalError("HF band power is zero; LF/HF ratio undefined")
+    return lfp / hfp
+
+
+def ratio_error(approximate: float, reference: float) -> float:
+    """Relative error of an approximated LF/HF ratio (paper's 4.9 % figure)."""
+    if reference == 0:
+        raise SignalError("reference ratio is zero")
+    return abs(approximate - reference) / abs(reference)
+
+
+def _intervals_ms(series: RRSeries) -> np.ndarray:
+    return series.intervals * 1000.0
+
+
+def sdnn(series: RRSeries) -> float:
+    """Standard deviation of RR intervals, in milliseconds."""
+    return float(np.std(_intervals_ms(series), ddof=1))
+
+
+def rmssd(series: RRSeries) -> float:
+    """Root mean square of successive RR differences, in milliseconds."""
+    diffs = np.diff(_intervals_ms(series))
+    if diffs.size == 0:
+        raise SignalError("need at least 2 intervals for RMSSD")
+    return float(np.sqrt(np.mean(diffs**2)))
+
+
+def sdsd(series: RRSeries) -> float:
+    """Standard deviation of successive RR differences, in milliseconds."""
+    diffs = np.diff(_intervals_ms(series))
+    if diffs.size < 2:
+        raise SignalError("need at least 3 intervals for SDSD")
+    return float(np.std(diffs, ddof=1))
+
+
+def pnn50(series: RRSeries) -> float:
+    """Fraction of successive RR differences exceeding 50 ms."""
+    diffs = np.abs(np.diff(_intervals_ms(series)))
+    if diffs.size == 0:
+        raise SignalError("need at least 2 intervals for pNN50")
+    return float(np.count_nonzero(diffs > 50.0)) / diffs.size
+
+
+def time_domain_summary(series: RRSeries) -> dict[str, float]:
+    """All time-domain metrics in one dictionary."""
+    return {
+        "mean_rr_ms": float(np.mean(_intervals_ms(series))),
+        "mean_hr_bpm": series.mean_heart_rate,
+        "sdnn_ms": sdnn(series),
+        "rmssd_ms": rmssd(series),
+        "sdsd_ms": sdsd(series),
+        "pnn50": pnn50(series),
+    }

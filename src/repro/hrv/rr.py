@@ -1,0 +1,121 @@
+"""RR-interval series container.
+
+The input to the PSA system is "a fixed size window of time intervals
+between successive heart beats (RR intervals)" (paper Section II).  The
+:class:`RRSeries` couples beat instants with the interval values, keeps
+them consistent, and offers the slicing/cleaning operations the pipeline
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_float_array
+from ..errors import SignalError
+
+__all__ = ["RRSeries"]
+
+#: Physiological plausibility range for an RR interval in seconds
+#: (~30 to ~200 beats per minute).
+_MIN_RR, _MAX_RR = 0.3, 2.0
+
+
+@dataclass(frozen=True)
+class RRSeries:
+    """A sequence of heart-beat intervals on a time axis.
+
+    Attributes
+    ----------
+    times:
+        Beat instants in seconds, strictly increasing.  ``times[k]`` is
+        the time of the beat *ending* interval ``intervals[k]``.
+    intervals:
+        RR intervals in seconds, all positive.
+    """
+
+    times: np.ndarray
+    intervals: np.ndarray
+
+    def __post_init__(self):
+        t = as_1d_float_array(self.times, "times", min_length=2)
+        rr = as_1d_float_array(self.intervals, "intervals", min_length=2)
+        if t.size != rr.size:
+            raise SignalError(
+                f"times and intervals must match, got {t.size} and {rr.size}"
+            )
+        if np.any(np.diff(t) <= 0):
+            raise SignalError("beat times must be strictly increasing")
+        if np.any(rr <= 0):
+            raise SignalError("RR intervals must be positive")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "intervals", rr)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_intervals(cls, intervals, start_time: float = 0.0) -> "RRSeries":
+        """Build a series from interval values alone; times are cumulative."""
+        rr = as_1d_float_array(intervals, "intervals", min_length=2)
+        times = float(start_time) + np.cumsum(rr)
+        return cls(times=times, intervals=rr)
+
+    @classmethod
+    def from_beat_times(cls, beat_times) -> "RRSeries":
+        """Build a series from detected beat instants (e.g. QRS output)."""
+        t = as_1d_float_array(beat_times, "beat_times", min_length=3)
+        intervals = np.diff(t)
+        return cls(times=t[1:], intervals=intervals)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_beats(self) -> int:
+        """Number of intervals in the series."""
+        return int(self.intervals.size)
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the series, in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def mean_heart_rate(self) -> float:
+        """Average heart rate in beats per minute."""
+        return 60.0 / float(self.intervals.mean())
+
+    def plausibility_fraction(self) -> float:
+        """Fraction of intervals inside the physiological range.
+
+        Useful as a quick data-quality indicator before analysis; the
+        preprocessing module uses finer, local rules.
+        """
+        ok = (self.intervals >= _MIN_RR) & (self.intervals <= _MAX_RR)
+        return float(np.count_nonzero(ok)) / self.n_beats
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def slice_time(self, start: float, stop: float) -> "RRSeries":
+        """Sub-series with beat times in ``[start, stop)``."""
+        if stop <= start:
+            raise SignalError(f"empty time slice [{start}, {stop})")
+        mask = (self.times >= start) & (self.times < stop)
+        if np.count_nonzero(mask) < 2:
+            raise SignalError(
+                f"time slice [{start}, {stop}) holds fewer than 2 beats"
+            )
+        return RRSeries(times=self.times[mask], intervals=self.intervals[mask])
+
+    def head(self, n: int) -> "RRSeries":
+        """First *n* intervals."""
+        if n < 2:
+            raise SignalError(f"head needs n >= 2, got {n}")
+        return RRSeries(times=self.times[:n], intervals=self.intervals[:n])

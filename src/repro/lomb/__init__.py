@@ -1,0 +1,25 @@
+"""Lomb periodogram substrate: direct, fast (Press-Rybicki) and Welch.
+
+The spectral engine of the PSA system: the direct Lomb method (paper
+eq. 1) as reference, Lagrange extirpolation plus the FFT-based Fast-Lomb
+used in production, and the sliding-window Welch-Lomb wrapper for
+time-frequency monitoring.
+"""
+
+from .direct import lomb_frequency_grid, lomb_periodogram
+from .extirpolation import extirpolate, extirpolation_weights
+from .fast import BLOCK_COSTS, FastLomb, LombSpectrum
+from .welch import WelchLomb, WelchLombResult, iter_windows
+
+__all__ = [
+    "BLOCK_COSTS",
+    "FastLomb",
+    "LombSpectrum",
+    "WelchLomb",
+    "WelchLombResult",
+    "extirpolate",
+    "extirpolation_weights",
+    "iter_windows",
+    "lomb_frequency_grid",
+    "lomb_periodogram",
+]

@@ -1,0 +1,115 @@
+"""Lagrange extirpolation (Press-Rybicki spreading).
+
+The Fast-Lomb algorithm replaces the per-frequency trigonometric sums of
+the direct method with sums it can evaluate by FFT.  To do that, every
+irregular sample is *extirpolated* — spread onto a small neighbourhood of
+a uniform grid with Lagrange interpolation weights run in reverse — so
+that, for all sufficiently low frequencies, sums over the grid match sums
+over the original sample instants.
+
+This is the "extrapolation (i.e., redistribution to the needed order
+[10])" step of the paper's PSA pipeline (Fig. 1a), and produces exactly
+the spiky half-filled workspace of Fig. 3(a): 117 RR intervals spread
+over the first ~256 cells of the 512-cell FFT workspace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import as_1d_float_array
+from ..errors import SignalError
+
+__all__ = ["extirpolate", "extirpolation_weights"]
+
+#: Default interpolation order used by Numerical Recipes' ``fasper``.
+DEFAULT_ORDER = 4
+
+
+def extirpolation_weights(
+    position: float, size: int, order: int = DEFAULT_ORDER
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grid indices and Lagrange weights for one sample.
+
+    Returns ``(cells, weights)`` such that adding ``value * weights`` at
+    ``cells`` extirpolates a sample located at the fractional grid
+    *position*.  Matches the classic `spread` routine: integer positions
+    collapse to a single cell; otherwise the *order* nearest cells receive
+    reverse-Lagrange weights.
+    """
+    if not 0 <= position < size:
+        raise SignalError(
+            f"position {position} outside workspace [0, {size})"
+        )
+    if order < 2 or order > 10:
+        raise SignalError(f"order must be in [2, 10], got {order}")
+    if float(position).is_integer():
+        return (np.array([int(position)]), np.array([1.0]))
+    ilo = int(position - 0.5 * order + 1.0)
+    ilo = min(max(ilo, 0), size - order)
+    cells = ilo + np.arange(order)
+    # fac = prod_k (x - j_k); weight_c = fac / ((x - j_c) * denom_c) with
+    # denom_c = (-1)^(order-1-c) * c! * (order-1-c)!
+    diffs = position - cells
+    fac = float(np.prod(diffs))
+    idx = np.arange(order)
+    denominators = np.array(
+        [
+            ((-1.0) ** (order - 1 - c))
+            * math.factorial(c)
+            * math.factorial(order - 1 - c)
+            for c in idx
+        ]
+    )
+    weights = fac / (diffs * denominators)
+    return cells, weights
+
+
+def extirpolate(
+    values, positions, size: int, order: int = DEFAULT_ORDER
+) -> np.ndarray:
+    """Spread *values* at fractional grid *positions* into a new workspace.
+
+    Vectorised over samples; the result satisfies, for smooth test
+    functions g evaluated on the grid,
+    ``sum_j values[j] * g(positions[j]) ~= sum_c out[c] * g(c)``.
+    """
+    vals = as_1d_float_array(values, "values")
+    pos = as_1d_float_array(positions, "positions")
+    if vals.size != pos.size:
+        raise SignalError(
+            f"values and positions must match, got {vals.size} and {pos.size}"
+        )
+    if size < order:
+        raise SignalError(f"workspace size {size} smaller than order {order}")
+    if np.any(pos < 0) or np.any(pos >= size):
+        raise SignalError(f"positions must lie in [0, {size})")
+
+    out = np.zeros(size, dtype=np.float64)
+    exact = pos == np.floor(pos)
+    if np.any(exact):
+        np.add.at(out, pos[exact].astype(np.int64), vals[exact])
+    if np.all(exact):
+        return out
+
+    frac_pos = pos[~exact]
+    frac_vals = vals[~exact]
+    ilo = (frac_pos - 0.5 * order + 1.0).astype(np.int64)
+    ilo = np.clip(ilo, 0, size - order)
+    cells = ilo[:, None] + np.arange(order)[None, :]
+    diffs = frac_pos[:, None] - cells
+    fac = np.prod(diffs, axis=1)
+    idx = np.arange(order)
+    denominators = np.array(
+        [
+            ((-1.0) ** (order - 1 - c))
+            * math.factorial(c)
+            * math.factorial(order - 1 - c)
+            for c in idx
+        ]
+    )
+    weights = fac[:, None] / (diffs * denominators[None, :])
+    np.add.at(out, cells, frac_vals[:, None] * weights)
+    return out

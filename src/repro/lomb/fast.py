@@ -1,0 +1,299 @@
+"""Fast-Lomb periodogram (Press-Rybicki) with a pluggable FFT kernel.
+
+The direct Lomb method costs O(N_samples x N_freq) trigonometric sums.
+Press & Rybicki's algorithm [10 in the paper] extirpolates the samples
+onto a uniform workspace, evaluates the four required sums with FFTs and
+combines them per frequency.  The paper's PSA system fixes the workspace
+at N = 512, packs the data and window workspaces into **one complex FFT**
+and swaps that FFT between the conventional split-radix kernel and the
+pruned wavelet kernel — which is exactly what this class does through the
+:class:`~repro.ffts.backends.FFTBackend` protocol.
+
+Operation accounting covers every pipeline block (extirpolation, moment
+computation, FFT, spectrum unpacking, Lomb combination) so the platform
+model can reproduce the Fig. 1(b) energy breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_float_array, require_power_of_two
+from ..errors import ConfigurationError, SignalError
+from ..ffts.backends import FFTBackend, SplitRadixFFT
+from ..ffts.opcount import OpCounts
+from .extirpolation import DEFAULT_ORDER, extirpolate
+
+__all__ = ["FastLomb", "LombSpectrum", "BLOCK_COSTS"]
+
+#: Per-unit operation costs of the non-FFT pipeline blocks.  Divisions and
+#: square roots are expanded to 4 multiplications each, the usual cost of
+#: the iterative routines on a multiplier-only embedded core.
+BLOCK_COSTS = {
+    # Per input sample: position scaling for both workspaces plus two
+    # order-4 Lagrange spreads (weight products, division, accumulate).
+    "extirpolation_per_sample": OpCounts(mults=26, adds=9),
+    # Per input sample: running mean and variance accumulation.
+    "moments_per_sample": OpCounts(mults=1, adds=3),
+    # Per frequency bin: unpacking the two real spectra from the packed
+    # complex FFT output (two complex adds + two halvings each).
+    "unpack_per_bin": OpCounts(mults=4, adds=4),
+    # Per frequency bin: hypotenuse, tau rotation, numerators/denominators
+    # and the final normalisation (incl. 3 sqrt + 4 div at 4 mults each).
+    "lomb_combine_per_bin": OpCounts(mults=24, adds=9),
+}
+
+
+@dataclass(frozen=True)
+class LombSpectrum:
+    """Result of one Fast-Lomb evaluation.
+
+    Attributes
+    ----------
+    frequencies:
+        Probe frequencies in Hz (uniform grid ``m * df``).
+    power:
+        Periodogram values; normalisation per the ``scaling`` option of
+        :class:`FastLomb`.
+    mean, variance:
+        Sample moments of the analysed values.
+    n_samples:
+        Number of irregular samples in the window.
+    duration:
+        Window time span in seconds.
+    counts:
+        Executed operation counts (``None`` unless requested).
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    mean: float
+    variance: float
+    n_samples: int
+    duration: float
+    counts: OpCounts | None = None
+
+    def band_power(self, low: float, high: float) -> float:
+        """Integrated power in ``[low, high)`` Hz (rectangle rule)."""
+        if high <= low:
+            raise SignalError(f"empty band [{low}, {high})")
+        mask = (self.frequencies >= low) & (self.frequencies < high)
+        if self.frequencies.size < 2:
+            raise SignalError("spectrum too short for band integration")
+        df = float(self.frequencies[1] - self.frequencies[0])
+        return float(np.sum(self.power[mask]) * df)
+
+
+class FastLomb:
+    """Press-Rybicki Fast-Lomb analyser with a fixed-size FFT workspace.
+
+    Parameters
+    ----------
+    workspace_size:
+        FFT length N (power of two); the paper uses 512.
+    oversample:
+        Frequency oversampling factor (``df = 1 / (oversample * T)``).
+        The default 2.0 reproduces the paper's geometry: a 2-minute
+        window of ~117 beats extirpolates onto the first ~256 cells of
+        the 512-cell workspace (Fig. 3a).
+    max_frequency:
+        Highest probe frequency in Hz; ``None`` extends the grid to the
+        pseudo-Nyquist limit allowed by the workspace.
+    order:
+        Extirpolation (Lagrange) order, 4 as in Numerical Recipes.
+    backend:
+        FFT kernel; defaults to the conventional
+        :class:`~repro.ffts.backends.SplitRadixFFT`.  Pass a
+        :class:`~repro.ffts.wavelet_fft.WaveletFFT` to get the paper's
+        proposed system.
+    scaling:
+        ``"standard"`` — classic Lomb normalisation by ``2 * variance``;
+        ``"denormalized"`` — multiplied back by ``2 * variance / n``
+        (the paper's Welch de-normalisation, suitable for averaging).
+    """
+
+    def __init__(
+        self,
+        workspace_size: int = 512,
+        oversample: float = 2.0,
+        max_frequency: float | None = None,
+        order: int = DEFAULT_ORDER,
+        backend: FFTBackend | None = None,
+        scaling: str = "standard",
+    ):
+        self.workspace_size = require_power_of_two(workspace_size, "workspace_size")
+        if oversample < 1.0:
+            raise ConfigurationError(
+                f"oversample must be >= 1, got {oversample}"
+            )
+        self.oversample = float(oversample)
+        if max_frequency is not None and max_frequency <= 0:
+            raise ConfigurationError(
+                f"max_frequency must be positive, got {max_frequency}"
+            )
+        self.max_frequency = max_frequency
+        self.order = int(order)
+        if backend is None:
+            backend = SplitRadixFFT(self.workspace_size)
+        if backend.n != self.workspace_size:
+            raise ConfigurationError(
+                f"backend size {backend.n} != workspace size {self.workspace_size}"
+            )
+        self.backend = backend
+        if scaling not in ("standard", "denormalized"):
+            raise ConfigurationError(
+                f"scaling must be 'standard' or 'denormalized', got {scaling!r}"
+            )
+        self.scaling = scaling
+
+    # ------------------------------------------------------------------
+
+    def _grid(self, duration: float, n_samples: int) -> tuple[float, int]:
+        df = 1.0 / (self.oversample * duration)
+        # The extirpolation grid has ndim*df samples per second; frequencies
+        # beyond its Nyquist limit (ndim/2 bins) would alias, so a window
+        # that is too long for the fixed workspace must be rejected rather
+        # than silently truncated — the paper's 2-minute windows with
+        # N = 512 keep the full 0-0.4 Hz HRV range well inside the limit.
+        limit = self.workspace_size // 2 - 1
+        if self.max_frequency is None:
+            nyquist_like = 0.5 * n_samples / duration
+            nout = min(int(np.floor(nyquist_like / df)), limit)
+        else:
+            nout = int(np.floor(self.max_frequency / df))
+            if nout > limit:
+                raise SignalError(
+                    f"max_frequency {self.max_frequency} Hz needs {nout} bins "
+                    f"but a {self.workspace_size}-point workspace over a "
+                    f"{duration:.0f} s window supports only {limit}; use "
+                    "shorter (Welch) windows or a larger workspace"
+                )
+        if nout < 1:
+            raise SignalError("window too short: empty frequency grid")
+        return df, nout
+
+    def periodogram(
+        self, times, values, count_ops: bool = False
+    ) -> LombSpectrum:
+        """Fast-Lomb periodogram of one window of irregular samples."""
+        t = as_1d_float_array(times, "times", min_length=4)
+        x = as_1d_float_array(values, "values", min_length=4)
+        if t.size != x.size:
+            raise SignalError(
+                f"times and values must match, got {t.size} and {x.size}"
+            )
+        if np.any(np.diff(t) <= 0):
+            raise SignalError("times must be strictly increasing")
+        duration = float(t[-1] - t[0])
+        if duration <= 0:
+            raise SignalError("window duration must be positive")
+        n = t.size
+        df, nout = self._grid(duration, n)
+
+        mean = float(x.mean())
+        variance = float(np.var(x, ddof=1))
+        if variance <= 0:
+            raise SignalError("window has zero variance")
+        centered = x - mean
+
+        ndim = self.workspace_size
+        fac = ndim * df
+        pos_data = (t - t[0]) * fac
+        pos_data = np.clip(pos_data, 0.0, np.nextafter(float(ndim), 0.0))
+        pos_window = np.mod(2.0 * pos_data, float(ndim))
+        wk1 = extirpolate(centered, pos_data, ndim, self.order)
+        wk2 = extirpolate(np.ones(n), pos_window, ndim, self.order)
+
+        packed = wk1 + 1j * wk2
+        if count_ops:
+            spectrum, fft_counts = self.backend.transform_with_counts(packed)
+        else:
+            spectrum = self.backend.transform(packed)
+            fft_counts = None
+
+        m = np.arange(1, nout + 1)
+        z_pos = spectrum[m]
+        z_neg = spectrum[ndim - m]
+        # Band-drop equalisation: a pruned wavelet backend advertises the
+        # known per-bin attenuation of the dropped band; dividing it back
+        # out at the read bins removes the systematic spectral tilt.
+        gains = self._backend_gains()
+        if gains is not None:
+            z_pos = z_pos * gains[m]
+            z_neg = z_neg * gains[ndim - m]
+        data_ft = 0.5 * (z_pos + np.conj(z_neg))
+        win_ft = -0.5j * (z_pos - np.conj(z_neg))
+
+        cx, sx = data_ft.real, -data_ft.imag
+        c2, s2 = win_ft.real, -win_ft.imag
+        hypo = np.maximum(np.hypot(c2, s2), 1e-30)
+        hc2wt = 0.5 * c2 / hypo
+        hs2wt = 0.5 * s2 / hypo
+        cwt = np.sqrt(np.clip(0.5 + hc2wt, 0.0, None))
+        swt = np.sign(hs2wt) * np.sqrt(np.clip(0.5 - hc2wt, 0.0, None))
+        den_c = 0.5 * n + hc2wt * c2 + hs2wt * s2
+        den_s = n - den_c
+        den_c = np.maximum(den_c, 1e-30)
+        den_s = np.maximum(den_s, 1e-30)
+        cterm = (cwt * cx + swt * sx) ** 2 / den_c
+        sterm = (cwt * sx - swt * cx) ** 2 / den_s
+        raw = cterm + sterm
+        if self.scaling == "standard":
+            power = raw / (2.0 * variance)
+        else:
+            power = raw / n
+
+        counts = None
+        if count_ops:
+            counts = sum(
+                self._non_fft_counts(n, nout).values(), fft_counts
+            )
+        return LombSpectrum(
+            frequencies=df * m,
+            power=power,
+            mean=mean,
+            variance=variance,
+            n_samples=n,
+            duration=duration,
+            counts=counts,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _backend_gains(self) -> np.ndarray | None:
+        gains_method = getattr(self.backend, "bin_gains", None)
+        if gains_method is None:
+            return None
+        return gains_method()
+
+    def _non_fft_counts(self, n_samples: int, nout: int) -> dict[str, OpCounts]:
+        counts = {
+            "extirpolation": BLOCK_COSTS["extirpolation_per_sample"].scaled(
+                n_samples
+            ),
+            "moments": BLOCK_COSTS["moments_per_sample"].scaled(n_samples),
+            "unpack": BLOCK_COSTS["unpack_per_bin"].scaled(nout),
+            "lomb_combine": BLOCK_COSTS["lomb_combine_per_bin"].scaled(nout),
+        }
+        if self._backend_gains() is not None:
+            # Two complex bins per output frequency, 2 real mults each.
+            counts["equalizer"] = OpCounts(mults=4).scaled(nout)
+        return counts
+
+    def count_breakdown(self, times, values) -> dict[str, OpCounts]:
+        """Per-block operation counts for one window (Fig. 1b input)."""
+        t = as_1d_float_array(times, "times", min_length=4)
+        duration = float(t[-1] - t[0])
+        _df, nout = self._grid(duration, t.size)
+        breakdown = dict(self._non_fft_counts(t.size, nout))
+        spectrum_counts = self.backend.static_counts()
+        breakdown["fft"] = spectrum_counts
+        return breakdown
+
+    def static_counts(self, n_samples: int, duration: float) -> OpCounts:
+        """Design-time per-window cost for a nominal window shape."""
+        _df, nout = self._grid(float(duration), int(n_samples))
+        non_fft = self._non_fft_counts(int(n_samples), nout)
+        return sum(non_fft.values(), self.backend.static_counts())

@@ -1,0 +1,50 @@
+"""Platform substrate: the sensor-node cycle/energy model and VFS.
+
+Replaces the paper's MPARM-based node simulator (see DESIGN.md) with an
+instruction-level model: ISA cycle costs, kernel expansion factors, a
+90 nm low-leakage energy model, a discrete DVFS table driven by the
+alpha-power law, a per-block profiler (Fig. 1b) and an executable RISC
+VM that validates the analytic cycle model on micro-kernels.
+"""
+
+from .energy import EnergyModel
+from .isa import (
+    DEFAULT_EXPANSION,
+    DEFAULT_ISA,
+    InstructionClass,
+    InstructionSet,
+    KernelExpansion,
+)
+from .node import ComparisonReport, ExecutionReport, SensorNodeModel
+from .profiler import BlockProfile, profile_blocks
+from .programs import (
+    complex_mac_program,
+    dot_product_program,
+    threshold_scan_program,
+)
+from .vfs import DvfsTable, OperatingPoint, alpha_power_frequency
+from .vm import Assembler, ExecutionStats, Instruction, RiscVM
+
+__all__ = [
+    "Assembler",
+    "BlockProfile",
+    "ComparisonReport",
+    "DEFAULT_EXPANSION",
+    "DEFAULT_ISA",
+    "DvfsTable",
+    "EnergyModel",
+    "ExecutionReport",
+    "ExecutionStats",
+    "Instruction",
+    "InstructionClass",
+    "InstructionSet",
+    "KernelExpansion",
+    "OperatingPoint",
+    "RiscVM",
+    "SensorNodeModel",
+    "alpha_power_frequency",
+    "complex_mac_program",
+    "dot_product_program",
+    "profile_blocks",
+    "threshold_scan_program",
+]

@@ -1,0 +1,89 @@
+"""Energy model of the 90 nm low-leakage sensor-node core.
+
+The paper uses "available power consumption values of the processor in a
+low leakage 90nm technology node [14]".  We model:
+
+* **dynamic energy** per cycle ``E_dyn = C_eff * V^2`` — the canonical
+  CV^2 switching energy, calibrated to ~22 pJ/cycle at the nominal
+  1.0 V / 100 MHz point (20-25 uW/MHz is typical of low-power 90 nm
+  embedded cores),
+* **leakage power** ``P_leak(V) = P0 * (V / Vnom) * exp(k_dibl (V - Vnom))``
+  — subthreshold current scales with voltage through DIBL; a low-leakage
+  process keeps ``P0`` in the tens of microwatts.
+
+Voltage-frequency feasibility lives in :mod:`repro.platform.vfs`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_positive
+from ..errors import PlatformError
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Dynamic + leakage energy parameters.
+
+    Attributes
+    ----------
+    nominal_voltage:
+        Nominal supply in volts (1.0 V for the 90 nm node).
+    energy_per_cycle_nominal:
+        Dynamic energy per cycle at the nominal voltage, in joules.
+    leakage_power_nominal:
+        Leakage power at the nominal voltage, in watts.
+    dibl_factor:
+        Exponential sensitivity of leakage to supply voltage (1/V).
+    """
+
+    nominal_voltage: float = 1.0
+    energy_per_cycle_nominal: float = 22e-12
+    leakage_power_nominal: float = 40e-6
+    dibl_factor: float = 1.5
+
+    def __post_init__(self):
+        require_positive(self.nominal_voltage, "nominal_voltage")
+        require_positive(self.energy_per_cycle_nominal, "energy_per_cycle_nominal")
+        if self.leakage_power_nominal < 0:
+            raise PlatformError("leakage_power_nominal must be >= 0")
+        if self.dibl_factor < 0:
+            raise PlatformError("dibl_factor must be >= 0")
+
+    @property
+    def effective_capacitance(self) -> float:
+        """Switched capacitance C_eff in farads (E = C_eff V^2)."""
+        return self.energy_per_cycle_nominal / self.nominal_voltage**2
+
+    def dynamic_energy_per_cycle(self, voltage: float) -> float:
+        """Switching energy of one cycle at the given supply (joules)."""
+        require_positive(voltage, "voltage")
+        return self.effective_capacitance * voltage**2
+
+    def leakage_power(self, voltage: float) -> float:
+        """Static power at the given supply (watts)."""
+        require_positive(voltage, "voltage")
+        scale = voltage / self.nominal_voltage
+        return (
+            self.leakage_power_nominal
+            * scale
+            * math.exp(self.dibl_factor * (voltage - self.nominal_voltage))
+        )
+
+    def energy(self, cycles: float, voltage: float, active_time: float) -> float:
+        """Total energy of a kernel run (joules).
+
+        ``cycles`` switching events at the given supply plus leakage
+        integrated over the *active* time (the node power-gates between
+        processing windows, so sleep leakage is excluded by convention).
+        """
+        if cycles < 0 or active_time < 0:
+            raise PlatformError("cycles and active_time must be >= 0")
+        return (
+            cycles * self.dynamic_energy_per_cycle(voltage)
+            + self.leakage_power(voltage) * active_time
+        )

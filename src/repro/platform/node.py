@@ -1,0 +1,132 @@
+"""The sensor-node model: op counts -> instructions -> cycles -> energy.
+
+Brings the ISA cost model, the 90 nm energy model and the DVFS table
+together into the evaluation interface the experiments use:
+
+* :meth:`SensorNodeModel.cycles` — cycle count of a kernel,
+* :meth:`SensorNodeModel.execute` — energy/time at a fixed point,
+* :meth:`SensorNodeModel.evaluate_against_baseline` — the paper's
+  Fig. 9 procedure: run the approximate kernel in the conventional
+  kernel's deadline, optionally applying VFS, and report savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._validation import require_positive
+from ..ffts.opcount import OpCounts
+from .energy import EnergyModel
+from .isa import DEFAULT_EXPANSION, DEFAULT_ISA, InstructionSet, KernelExpansion
+from .vfs import DvfsTable, OperatingPoint
+
+__all__ = ["ExecutionReport", "ComparisonReport", "SensorNodeModel"]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Cycles/time/energy of one kernel execution."""
+
+    cycles: float
+    operating_point: OperatingPoint
+    time: float
+    energy: float
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Approximate-vs-baseline execution comparison (one Fig. 9 bar).
+
+    Attributes
+    ----------
+    baseline, approximate:
+        The two execution reports; the baseline always runs at nominal.
+    cycle_reduction:
+        ``1 - cycles_approx / cycles_baseline`` (the paper's
+        "performance improvement").
+    energy_savings:
+        ``1 - energy_approx / energy_baseline``.
+    vfs_applied:
+        Whether the approximate kernel was allowed to scale V/f.
+    """
+
+    baseline: ExecutionReport
+    approximate: ExecutionReport
+    vfs_applied: bool
+
+    @property
+    def cycle_reduction(self) -> float:
+        return 1.0 - self.approximate.cycles / self.baseline.cycles
+
+    @property
+    def energy_savings(self) -> float:
+        return 1.0 - self.approximate.energy / self.baseline.energy
+
+
+@dataclass(frozen=True)
+class SensorNodeModel:
+    """A configured sensor node (ISA + energy + DVFS)."""
+
+    isa: InstructionSet = field(default_factory=lambda: DEFAULT_ISA)
+    expansion: KernelExpansion = field(default_factory=lambda: DEFAULT_EXPANSION)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+    dvfs: DvfsTable = field(default_factory=DvfsTable)
+
+    def cycles(self, counts: OpCounts) -> float:
+        """Cycle count of a kernel from its operation counts."""
+        return self.expansion.cycles(counts, self.isa)
+
+    def execute(
+        self, counts: OpCounts, operating_point: OperatingPoint | None = None
+    ) -> ExecutionReport:
+        """Energy/time of one kernel run at a fixed operating point."""
+        point = operating_point or self.dvfs.nominal
+        cycles = self.cycles(counts)
+        time = cycles / point.frequency
+        energy = self.energy_model.energy(cycles, point.voltage, time)
+        return ExecutionReport(
+            cycles=cycles, operating_point=point, time=time, energy=energy
+        )
+
+    def evaluate_against_baseline(
+        self,
+        approximate_counts: OpCounts,
+        baseline_counts: OpCounts,
+        apply_vfs: bool = True,
+    ) -> ComparisonReport:
+        """The paper's energy-saving procedure (Section VI.B).
+
+        The baseline kernel runs at the nominal point and defines the
+        real-time deadline.  The approximate kernel either runs at the
+        same point (static pruning only — savings proportional to the
+        cycle reduction) or, with *apply_vfs*, at the lowest-energy
+        operating point that still meets the baseline deadline
+        (quadratic additional savings).
+        """
+        baseline = self.execute(baseline_counts)
+        approx_cycles = self.cycles(approximate_counts)
+        if approx_cycles > baseline.cycles:
+            # Slower than the baseline: still legal (dynamic pruning
+            # overhead could in principle exceed its gains) but VFS can
+            # never help, so pin to nominal.
+            apply_vfs_effective = False
+        else:
+            apply_vfs_effective = apply_vfs
+        if apply_vfs_effective:
+            point = self.dvfs.energy_minimising_point(
+                approx_cycles, self.energy_model, deadline=baseline.time
+            )
+        else:
+            point = self.dvfs.nominal
+        approximate = self.execute(approximate_counts, point)
+        return ComparisonReport(
+            baseline=baseline,
+            approximate=approximate,
+            vfs_applied=apply_vfs_effective,
+        )
+
+    def sustainable_window_rate(self, counts: OpCounts) -> float:
+        """Analysis windows per second the node can sustain at nominal."""
+        cycles = self.cycles(counts)
+        require_positive(cycles, "cycles")
+        return self.dvfs.nominal.frequency / cycles

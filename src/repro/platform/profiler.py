@@ -1,0 +1,72 @@
+"""Per-block profiling of the PSA pipeline (paper Fig. 1b).
+
+Turns the per-block operation counts of a Fast-Lomb window into the
+cycle- and energy-share breakdown the paper profiles for the
+conventional system — the observation ("the FFT block consumes most of
+the overall system power") that motivates attacking the FFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+from ..ffts.opcount import OpCounts
+from .node import SensorNodeModel
+
+__all__ = ["BlockProfile", "profile_blocks"]
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Cycle/energy shares of one pipeline block."""
+
+    name: str
+    counts: OpCounts
+    cycles: float
+    cycle_share: float
+    energy: float
+    energy_share: float
+
+
+def profile_blocks(
+    breakdown: dict[str, OpCounts],
+    node: SensorNodeModel | None = None,
+) -> tuple[BlockProfile, ...]:
+    """Profile a per-block operation-count breakdown on a node model.
+
+    Parameters
+    ----------
+    breakdown:
+        Mapping of block name to operation counts, e.g. the output of
+        :meth:`repro.lomb.fast.FastLomb.count_breakdown`.
+    node:
+        Platform model; a default node is built when omitted.
+
+    Returns
+    -------
+    Profiles sorted by descending energy share.
+    """
+    if not breakdown:
+        raise PlatformError("empty block breakdown")
+    node = node or SensorNodeModel()
+    point = node.dvfs.nominal
+    reports = {
+        name: node.execute(counts, point) for name, counts in breakdown.items()
+    }
+    total_cycles = sum(r.cycles for r in reports.values())
+    total_energy = sum(r.energy for r in reports.values())
+    if total_cycles <= 0 or total_energy <= 0:
+        raise PlatformError("breakdown contains no work")
+    profiles = [
+        BlockProfile(
+            name=name,
+            counts=breakdown[name],
+            cycles=report.cycles,
+            cycle_share=report.cycles / total_cycles,
+            energy=report.energy,
+            energy_share=report.energy / total_energy,
+        )
+        for name, report in reports.items()
+    ]
+    return tuple(sorted(profiles, key=lambda p: p.energy_share, reverse=True))

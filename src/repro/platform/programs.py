@@ -1,0 +1,146 @@
+"""Assembly micro-kernels for validating the analytic cycle model.
+
+Each program mirrors an inner loop of the PSA pipeline (dot product,
+complex multiply-accumulate chain, threshold scan) in the unrolled style
+an optimising compiler would emit.  The test suite runs them on the VM
+and checks both the numeric result and that the measured cycles per
+counted operation agree with the analytic
+:class:`~repro.platform.isa.KernelExpansion` within tolerance.
+
+Memory layout conventions are documented per program; all loops are
+unrolled by four, the unrolling the expansion factors assume.
+"""
+
+from __future__ import annotations
+
+from ..ffts.opcount import OpCounts
+
+__all__ = [
+    "dot_product_program",
+    "complex_mac_program",
+    "threshold_scan_program",
+]
+
+
+def dot_product_program(n: int) -> tuple[str, OpCounts]:
+    """Dot product of two length-*n* vectors (n divisible by 4).
+
+    Memory: ``a`` at 0, ``b`` at n; result stored at ``2n``.
+    Counted work: n mults + n adds.
+    """
+    if n % 4 != 0 or n <= 0:
+        raise ValueError("n must be a positive multiple of 4")
+    source = f"""
+        ldi r0, 0        ; index into a
+        ldi r1, {n}      ; index into b
+        ldi r2, 0.0      ; accumulator
+        ldi r3, {n}      ; loop bound on r0
+    loop:
+        ld r4, [r0 + 0]
+        ld r5, [r1 + 0]
+        mul r6, r4, r5
+        add r2, r2, r6
+        ld r4, [r0 + 1]
+        ld r5, [r1 + 1]
+        mul r6, r4, r5
+        add r2, r2, r6
+        ld r4, [r0 + 2]
+        ld r5, [r1 + 2]
+        mul r6, r4, r5
+        add r2, r2, r6
+        ld r4, [r0 + 3]
+        ld r5, [r1 + 3]
+        mul r6, r4, r5
+        add r2, r2, r6
+        addi r0, r0, 4
+        addi r1, r1, 4
+        cmp r0, r3
+        blt loop
+        ldi r7, {2 * n}
+        st r2, [r7 + 0]
+        halt
+    """
+    return source, OpCounts(mults=n, adds=n)
+
+
+def complex_mac_program(n: int) -> tuple[str, OpCounts]:
+    """Chain of *n* complex multiply-accumulates (twiddle-style kernel).
+
+    Memory: interleaved complex data (re, im) at 0..2n, interleaved
+    factors at 2n..4n; accumulated complex result stored at ``4n``.
+    Counted work per element: 4 mults + 4 adds (complex mult 4m+2a plus
+    the complex accumulate 2a) — the generic butterfly term cost.
+    """
+    if n % 4 != 0 or n <= 0:
+        raise ValueError("n must be a positive multiple of 4")
+    body = []
+    for k in range(4):
+        body.append(f"""
+        ld r4, [r0 + {2 * k}]     ; x.re
+        ld r5, [r0 + {2 * k + 1}] ; x.im
+        ld r6, [r1 + {2 * k}]     ; w.re
+        ld r7, [r1 + {2 * k + 1}] ; w.im
+        mul r8, r4, r6
+        mul r9, r5, r7
+        sub r8, r8, r9            ; re part
+        mul r9, r4, r7
+        mul r10, r5, r6
+        add r9, r9, r10           ; im part
+        add r2, r2, r8            ; acc.re
+        add r3, r3, r9            ; acc.im
+        """)
+    source = f"""
+        ldi r0, 0        ; data pointer
+        ldi r1, {2 * n}  ; factor pointer
+        ldi r2, 0.0      ; acc.re
+        ldi r3, 0.0      ; acc.im
+        ldi r11, {2 * n} ; loop bound on data pointer
+    loop:
+        {''.join(body)}
+        addi r0, r0, 8
+        addi r1, r1, 8
+        cmp r0, r11
+        blt loop
+        ldi r12, {4 * n}
+        st r2, [r12 + 0]
+        st r3, [r12 + 1]
+        halt
+    """
+    return source, OpCounts(mults=4 * n, adds=4 * n)
+
+
+def threshold_scan_program(n: int, threshold: float) -> tuple[str, OpCounts]:
+    """Dynamic-pruning style scan: count |x[i]| >= threshold.
+
+    Memory: data at 0..n; count stored at ``n``.
+    Counted work per element: 1 compare (the significance check); the
+    magnitude/add costs of the real check are modelled separately.
+    """
+    if n % 4 != 0 or n <= 0:
+        raise ValueError("n must be a positive multiple of 4")
+    body = []
+    for k in range(4):
+        body.append(f"""
+        ld r4, [r0 + {k}]
+        abs r4, r4
+        cmp r4, r2
+        blt skip{k}
+        add r3, r3, r5
+    skip{k}:
+        """)
+    source = f"""
+        ldi r0, 0
+        ldi r2, {threshold}
+        ldi r3, 0.0      ; count
+        ldi r5, 1.0
+        ldi r6, {n}
+    loop:
+        {''.join(body)}
+        addi r0, r0, 4
+        cmp r0, r6
+        blt loop
+        ldi r7, {n}
+        st r3, [r7 + 0]
+        halt
+    """
+    return source, OpCounts(compares=n)

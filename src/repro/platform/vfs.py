@@ -1,0 +1,140 @@
+"""Voltage-frequency scaling (paper Section VI.B).
+
+Static pruning shortens execution, so "we can relax the frequency of
+operation allowing us to also reduce the supply voltage Vdd, which can
+lead to quadratic energy savings".  The achievable frequency at a given
+supply follows the alpha-power law
+
+    f_max(V) = f_nom * (V_nom / V) * ((V - V_th) / (V_nom - V_th))^alpha
+
+and the node exposes a discrete table of operating points derived from
+it.  Given the cycle-count ratio of a pruned kernel, the solver picks
+the lowest-energy operating point that still meets the conventional
+system's deadline — the paper's "maintaining the same processing time"
+rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_in_range, require_positive
+from ..errors import PlatformError
+
+__all__ = ["OperatingPoint", "DvfsTable", "alpha_power_frequency"]
+
+
+def alpha_power_frequency(
+    voltage: float,
+    nominal_voltage: float = 1.0,
+    threshold_voltage: float = 0.25,
+    alpha: float = 1.35,
+) -> float:
+    """Fraction of nominal frequency attainable at *voltage*.
+
+    Alpha-power MOSFET delay model; ``alpha`` between 1.2 and 1.5 fits
+    short-channel 90 nm devices.  Returns 0 at or below threshold.
+    """
+    require_positive(voltage, "voltage")
+    require_positive(nominal_voltage, "nominal_voltage")
+    if voltage <= threshold_voltage:
+        return 0.0
+    num = (voltage - threshold_voltage) ** alpha / voltage
+    den = (nominal_voltage - threshold_voltage) ** alpha / nominal_voltage
+    return num / den
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS setting: supply voltage (V) and clock frequency (Hz)."""
+
+    voltage: float
+    frequency: float
+
+    def __post_init__(self):
+        require_positive(self.voltage, "voltage")
+        require_positive(self.frequency, "frequency")
+
+
+def _default_points() -> tuple[OperatingPoint, ...]:
+    nominal_frequency = 100e6
+    voltages = (1.0, 0.9, 0.8, 0.7, 0.6, 0.55, 0.5)
+    points = []
+    for v in voltages:
+        fraction = alpha_power_frequency(v)
+        points.append(OperatingPoint(voltage=v, frequency=nominal_frequency * fraction))
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class DvfsTable:
+    """Discrete operating points of the node, highest voltage first."""
+
+    points: tuple[OperatingPoint, ...] = field(default_factory=_default_points)
+
+    def __post_init__(self):
+        if not self.points:
+            raise PlatformError("DVFS table is empty")
+        voltages = [p.voltage for p in self.points]
+        if sorted(voltages, reverse=True) != voltages:
+            raise PlatformError("DVFS points must be ordered by descending voltage")
+        freqs = [p.frequency for p in self.points]
+        if sorted(freqs, reverse=True) != freqs:
+            raise PlatformError("frequency must decrease with voltage")
+
+    @property
+    def nominal(self) -> OperatingPoint:
+        """The highest (nominal) operating point."""
+        return self.points[0]
+
+    def feasible_points(self, min_frequency: float) -> tuple[OperatingPoint, ...]:
+        """All points meeting the frequency requirement."""
+        require_positive(min_frequency, "min_frequency")
+        return tuple(p for p in self.points if p.frequency >= min_frequency)
+
+    def scale_for_cycles(self, cycle_fraction: float) -> OperatingPoint:
+        """Slowest feasible point for a kernel needing *cycle_fraction*
+        of the baseline cycles within the baseline deadline.
+
+        The deadline is ``C_baseline / f_nominal``; a kernel with
+        ``C = cycle_fraction * C_baseline`` therefore needs
+        ``f >= cycle_fraction * f_nominal``.
+        """
+        require_in_range(cycle_fraction, 0.0, 1.0, "cycle_fraction")
+        needed = cycle_fraction * self.nominal.frequency
+        feasible = [p for p in self.points if p.frequency >= needed]
+        if not feasible:
+            raise PlatformError(
+                f"no operating point sustains {needed:.3g} Hz"
+            )
+        # Points are ordered fastest first; the last feasible one is the
+        # lowest-voltage choice, which minimises CV^2 energy.
+        return feasible[-1]
+
+    def energy_minimising_point(
+        self, cycles: float, energy_model, deadline: float
+    ) -> OperatingPoint:
+        """Point minimising total energy subject to the deadline.
+
+        With non-negligible leakage the lowest feasible voltage is not
+        always optimal (execution stretches, leakage integrates longer);
+        this brute-forces the discrete table.
+        """
+        require_positive(cycles, "cycles")
+        require_positive(deadline, "deadline")
+        best: tuple[float, OperatingPoint] | None = None
+        for point in self.points:
+            time = cycles / point.frequency
+            if time > deadline * (1 + 1e-12):
+                continue
+            energy = energy_model.energy(cycles, point.voltage, time)
+            if best is None or energy < best[0]:
+                best = (energy, point)
+        if best is None:
+            raise PlatformError(
+                f"no operating point meets the {deadline:.3g} s deadline "
+                f"for {cycles:.3g} cycles"
+            )
+        return best[1]

@@ -1,0 +1,309 @@
+"""A small executable RISC VM with cycle accounting.
+
+The analytic node model in :mod:`repro.platform.isa` converts counted
+arithmetic operations into cycles through amortised expansion factors.
+To keep that model honest, this module provides an *executable* machine:
+a 16-register load/store core with the same instruction classes and
+cycle costs, plus a two-pass assembler.  The micro-kernels in
+:mod:`repro.platform.programs` are run on it and their measured
+cycles-per-operation are compared against the analytic expansion in the
+test suite.
+
+The register file is float-valued (think of a DSP core with a unified
+register file); addresses are integers stored in registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PlatformError
+from .isa import DEFAULT_ISA, InstructionClass, InstructionSet
+
+__all__ = ["Instruction", "Assembler", "RiscVM", "ExecutionStats"]
+
+_N_REGISTERS = 16
+
+#: opcode -> (instruction class, operand pattern)
+_OPCODES: dict[str, InstructionClass] = {
+    "ldi": InstructionClass.ALU,
+    "mov": InstructionClass.ALU,
+    "add": InstructionClass.ALU,
+    "sub": InstructionClass.ALU,
+    "addi": InstructionClass.ALU,
+    "abs": InstructionClass.ALU,
+    "mul": InstructionClass.MUL,
+    "ld": InstructionClass.LOAD,
+    "st": InstructionClass.STORE,
+    "cmp": InstructionClass.COMPARE,
+    "blt": InstructionClass.BRANCH,
+    "bge": InstructionClass.BRANCH,
+    "beq": InstructionClass.BRANCH,
+    "bne": InstructionClass.BRANCH,
+    "jmp": InstructionClass.BRANCH,
+    "halt": InstructionClass.NOP,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: str
+    operands: tuple
+    source_line: int
+
+
+@dataclass
+class ExecutionStats:
+    """Cycle and instruction-class tallies of one program run."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    class_counts: dict[InstructionClass, int] = field(default_factory=dict)
+
+    def charge(self, cls: InstructionClass, cost: float) -> None:
+        self.cycles += cost
+        self.instructions += 1
+        self.class_counts[cls] = self.class_counts.get(cls, 0) + 1
+
+
+class Assembler:
+    """Two-pass assembler for the VM's textual assembly."""
+
+    def assemble(self, source: str) -> list[Instruction]:
+        labels: dict[str, int] = {}
+        raw: list[tuple[int, str]] = []
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            stripped = line.split(";")[0].split("#")[0].strip()
+            if not stripped:
+                continue
+            while ":" in stripped:
+                label, _, rest = stripped.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise PlatformError(
+                        f"line {lineno}: invalid label {label!r}"
+                    )
+                if label in labels:
+                    raise PlatformError(f"line {lineno}: duplicate label {label!r}")
+                labels[label] = len(raw)
+                stripped = rest.strip()
+            if stripped:
+                raw.append((lineno, stripped))
+        program: list[Instruction] = []
+        for index, (lineno, text) in enumerate(raw):
+            program.append(self._parse(text, lineno, labels))
+        del index
+        return program
+
+    # ------------------------------------------------------------------
+
+    def _reg(self, token: str, lineno: int) -> int:
+        token = token.strip()
+        if not token.startswith("r"):
+            raise PlatformError(f"line {lineno}: expected register, got {token!r}")
+        try:
+            num = int(token[1:])
+        except ValueError as exc:
+            raise PlatformError(
+                f"line {lineno}: bad register {token!r}"
+            ) from exc
+        if not 0 <= num < _N_REGISTERS:
+            raise PlatformError(f"line {lineno}: register {token!r} out of range")
+        return num
+
+    def _mem_operand(self, token: str, lineno: int) -> tuple[int, int]:
+        token = token.strip()
+        if not (token.startswith("[") and token.endswith("]")):
+            raise PlatformError(
+                f"line {lineno}: expected memory operand, got {token!r}"
+            )
+        inner = token[1:-1]
+        if "+" in inner:
+            base, _, offset = inner.partition("+")
+            return self._reg(base, lineno), int(offset)
+        return self._reg(inner, lineno), 0
+
+    def _parse(
+        self, text: str, lineno: int, labels: dict[str, int]
+    ) -> Instruction:
+        parts = text.split(None, 1)
+        opcode = parts[0].lower()
+        if opcode not in _OPCODES:
+            raise PlatformError(f"line {lineno}: unknown opcode {opcode!r}")
+        args = [a.strip() for a in parts[1].split(",")] if len(parts) > 1 else []
+
+        def need(n):
+            if len(args) != n:
+                raise PlatformError(
+                    f"line {lineno}: {opcode} expects {n} operands, got {len(args)}"
+                )
+
+        if opcode == "halt":
+            need(0)
+            return Instruction(opcode, (), lineno)
+        if opcode == "ldi":
+            need(2)
+            return Instruction(
+                opcode, (self._reg(args[0], lineno), float(args[1])), lineno
+            )
+        if opcode in ("mov", "abs"):
+            need(2)
+            return Instruction(
+                opcode,
+                (self._reg(args[0], lineno), self._reg(args[1], lineno)),
+                lineno,
+            )
+        if opcode in ("add", "sub", "mul"):
+            need(3)
+            return Instruction(
+                opcode,
+                tuple(self._reg(a, lineno) for a in args),
+                lineno,
+            )
+        if opcode == "addi":
+            need(3)
+            return Instruction(
+                opcode,
+                (
+                    self._reg(args[0], lineno),
+                    self._reg(args[1], lineno),
+                    float(args[2]),
+                ),
+                lineno,
+            )
+        if opcode == "ld":
+            need(2)
+            return Instruction(
+                opcode,
+                (self._reg(args[0], lineno), *self._mem_operand(args[1], lineno)),
+                lineno,
+            )
+        if opcode == "st":
+            need(2)
+            return Instruction(
+                opcode,
+                (self._reg(args[0], lineno), *self._mem_operand(args[1], lineno)),
+                lineno,
+            )
+        if opcode == "cmp":
+            need(2)
+            return Instruction(
+                opcode,
+                (self._reg(args[0], lineno), self._reg(args[1], lineno)),
+                lineno,
+            )
+        # Branches.
+        need(1)
+        target = args[0]
+        if target not in labels:
+            raise PlatformError(f"line {lineno}: unknown label {target!r}")
+        return Instruction(opcode, (labels[target],), lineno)
+
+
+class RiscVM:
+    """Interpreter with per-class cycle accounting.
+
+    Parameters
+    ----------
+    memory_words:
+        Size of the flat data memory (float words).
+    isa:
+        Cycle-cost table; shared with the analytic model by default.
+    max_instructions:
+        Safety limit against runaway programs.
+    """
+
+    def __init__(
+        self,
+        memory_words: int = 4096,
+        isa: InstructionSet | None = None,
+        max_instructions: int = 5_000_000,
+    ):
+        if memory_words < 1:
+            raise PlatformError("memory_words must be >= 1")
+        self.memory = np.zeros(memory_words, dtype=np.float64)
+        self.registers = np.zeros(_N_REGISTERS, dtype=np.float64)
+        self.isa = isa or DEFAULT_ISA
+        self.max_instructions = int(max_instructions)
+        self._flag_lt = False
+        self._flag_eq = False
+
+    def load_memory(self, address: int, values) -> None:
+        """Copy *values* into data memory starting at *address*."""
+        arr = np.asarray(values, dtype=np.float64)
+        if address < 0 or address + arr.size > self.memory.size:
+            raise PlatformError("memory initialisation out of range")
+        self.memory[address : address + arr.size] = arr
+
+    def run(self, program: list[Instruction]) -> ExecutionStats:
+        """Execute until ``halt``; returns cycle statistics."""
+        if not program:
+            raise PlatformError("empty program")
+        stats = ExecutionStats()
+        pc = 0
+        regs = self.registers
+        mem = self.memory
+        while True:
+            if pc < 0 or pc >= len(program):
+                raise PlatformError(f"program counter {pc} out of range")
+            if stats.instructions >= self.max_instructions:
+                raise PlatformError("instruction limit exceeded (runaway loop?)")
+            ins = program[pc]
+            cls = _OPCODES[ins.opcode]
+            stats.charge(cls, self.isa.cost(cls))
+            op = ins.opcode
+            a = ins.operands
+            pc += 1
+            if op == "halt":
+                return stats
+            elif op == "ldi":
+                regs[a[0]] = a[1]
+            elif op == "mov":
+                regs[a[0]] = regs[a[1]]
+            elif op == "abs":
+                regs[a[0]] = abs(regs[a[1]])
+            elif op == "add":
+                regs[a[0]] = regs[a[1]] + regs[a[2]]
+            elif op == "sub":
+                regs[a[0]] = regs[a[1]] - regs[a[2]]
+            elif op == "addi":
+                regs[a[0]] = regs[a[1]] + a[2]
+            elif op == "mul":
+                regs[a[0]] = regs[a[1]] * regs[a[2]]
+            elif op == "ld":
+                addr = int(regs[a[1]]) + a[2]
+                if not 0 <= addr < mem.size:
+                    raise PlatformError(
+                        f"load address {addr} out of range (line {ins.source_line})"
+                    )
+                regs[a[0]] = mem[addr]
+            elif op == "st":
+                addr = int(regs[a[1]]) + a[2]
+                if not 0 <= addr < mem.size:
+                    raise PlatformError(
+                        f"store address {addr} out of range (line {ins.source_line})"
+                    )
+                mem[addr] = regs[a[0]]
+            elif op == "cmp":
+                self._flag_lt = bool(regs[a[0]] < regs[a[1]])
+                self._flag_eq = bool(regs[a[0]] == regs[a[1]])
+            elif op == "blt":
+                if self._flag_lt:
+                    pc = a[0]
+            elif op == "bge":
+                if not self._flag_lt:
+                    pc = a[0]
+            elif op == "beq":
+                if self._flag_eq:
+                    pc = a[0]
+            elif op == "bne":
+                if not self._flag_eq:
+                    pc = a[0]
+            elif op == "jmp":
+                pc = a[0]
+            else:  # pragma: no cover - opcode table and dispatch in sync
+                raise PlatformError(f"unhandled opcode {op!r}")

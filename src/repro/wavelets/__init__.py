@@ -1,0 +1,51 @@
+"""Wavelet substrate: filter banks, periodic DWT, packet trees, matrices.
+
+This package implements everything the paper's Section IV needs:
+
+* orthonormal filter banks (Haar, Db2, Db4 + extensions),
+* the periodic single-/multi-level DWT and its inverse (paper eq. 4),
+* the full binary wavelet-packet tree (first stage of the DWT-based FFT),
+* dense matrix forms used to verify the operator identities (eq. 5/6),
+* filter frequency responses — the modified twiddle factors (Fig. 6).
+"""
+
+from .dwt import DecompositionResult, dwt_level, idwt_level, wavedec, waverec
+from .filters import PAPER_BASES, WaveletFilter, available_bases, get_filter
+from .freq import (
+    filter_response,
+    twiddle_magnitude_profile,
+    twiddle_pair,
+    twiddle_quadrants,
+)
+from .matrix import (
+    butterfly_block_matrix,
+    dft_matrix,
+    dwt_matrix,
+    even_odd_permutation_matrix,
+    packet_matrix,
+)
+from .packet import PacketTable, packet_level, wavelet_packet
+
+__all__ = [
+    "DecompositionResult",
+    "PacketTable",
+    "PAPER_BASES",
+    "WaveletFilter",
+    "available_bases",
+    "butterfly_block_matrix",
+    "dft_matrix",
+    "dwt_level",
+    "dwt_matrix",
+    "even_odd_permutation_matrix",
+    "filter_response",
+    "get_filter",
+    "idwt_level",
+    "packet_level",
+    "packet_matrix",
+    "twiddle_magnitude_profile",
+    "twiddle_pair",
+    "twiddle_quadrants",
+    "wavedec",
+    "wavelet_packet",
+    "waverec",
+]

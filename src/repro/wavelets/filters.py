@@ -1,0 +1,184 @@
+"""Orthonormal wavelet filter banks (Haar and Daubechies families).
+
+The paper evaluates its DWT-based FFT with the Haar, Db2 and Db4 bases
+(Section IV.B); Db6 and Db8 are provided as extensions for the basis
+trade-off ablation.  Filters are stored in the *analysis by correlation*
+convention used throughout this library:
+
+    lowpass output   xL[n] = sum_j h[j] * x[(2n + j) mod M]
+    highpass output  xH[n] = sum_j g[j] * x[(2n + j) mod M]
+
+with the quadrature-mirror relation ``g[j] = (-1)^j * h[L-1-j]``.  Under
+this convention the wavelet-domain factorization of the DFT (paper eq. 6)
+holds with twiddle factors equal to the plain DFT of the filter taps, see
+:mod:`repro.wavelets.freq`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["WaveletFilter", "get_filter", "available_bases", "PAPER_BASES"]
+
+
+def _haar_taps() -> list[float]:
+    s = 1.0 / math.sqrt(2.0)
+    return [s, s]
+
+
+def _db2_taps() -> list[float]:
+    """Daubechies-2 (4-tap) lowpass coefficients in closed form."""
+    r3 = math.sqrt(3.0)
+    d = 4.0 * math.sqrt(2.0)
+    return [(1 + r3) / d, (3 + r3) / d, (3 - r3) / d, (1 - r3) / d]
+
+
+# Daubechies lowpass taps for longer filters (normalised so sum = sqrt(2)).
+_DB4_TAPS = [
+    0.23037781330885523,
+    0.7148465705525415,
+    0.6308807679295904,
+    -0.02798376941698385,
+    -0.18703481171888114,
+    0.030841381835986965,
+    0.032883011666982945,
+    -0.010597401784997278,
+]
+
+_DB6_TAPS = [
+    0.11154074335008017,
+    0.4946238903983854,
+    0.7511339080215775,
+    0.3152503517092432,
+    -0.22626469396516913,
+    -0.12976686756709563,
+    0.09750160558707936,
+    0.02752286553001629,
+    -0.031582039318031156,
+    0.0005538422009938016,
+    0.004777257511010651,
+    -0.001077301085308479,
+]
+
+_DB8_TAPS = [
+    0.05441584224308161,
+    0.3128715909144659,
+    0.6756307362980128,
+    0.5853546836548691,
+    -0.015829105256023893,
+    -0.2840155429624281,
+    0.00047248457399797254,
+    0.128747426620186,
+    -0.01736930100202211,
+    -0.04408825393106472,
+    0.013981027917015516,
+    0.008746094047015655,
+    -0.00487035299301066,
+    -0.0003917403729959771,
+    0.0006754494059985568,
+    -0.00011747678400228192,
+]
+
+
+@dataclass(frozen=True)
+class WaveletFilter:
+    """An orthonormal two-channel filter bank.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"haar"``, ``"db2"``.
+    lowpass:
+        Lowpass (scaling) analysis taps ``h``; ``sum(h) == sqrt(2)``.
+    highpass:
+        Highpass (wavelet) analysis taps ``g`` derived from ``h`` by the
+        quadrature-mirror relation; ``sum(g) == 0``.
+    """
+
+    name: str
+    lowpass: np.ndarray
+    highpass: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_lowpass(cls, name: str, taps) -> "WaveletFilter":
+        """Build the bank from lowpass taps via the QMF relation."""
+        h = np.asarray(taps, dtype=np.float64)
+        if h.ndim != 1 or h.size < 2 or h.size % 2 != 0:
+            raise ConfigurationError(
+                f"lowpass filter must be 1-D with even length >= 2, got shape {h.shape}"
+            )
+        signs = np.where(np.arange(h.size) % 2 == 0, 1.0, -1.0)
+        g = signs * h[::-1]
+        return cls(name=name, lowpass=h, highpass=g)
+
+    @property
+    def length(self) -> int:
+        """Number of taps in each filter."""
+        return int(self.lowpass.size)
+
+    @property
+    def vanishing_moments(self) -> int:
+        """Number of vanishing moments (length / 2 for Daubechies family)."""
+        return self.length // 2
+
+    def check_orthonormality(self, atol: float = 1e-10) -> None:
+        """Raise :class:`ConfigurationError` unless the bank is orthonormal.
+
+        Checks unit energy, even-shift self-orthogonality and cross-channel
+        orthogonality — the conditions under which the circular DWT matrix
+        :func:`repro.wavelets.matrix.dwt_matrix` is orthogonal.
+        """
+        h, g = self.lowpass, self.highpass
+        if abs(float(h @ h) - 1.0) > atol or abs(float(g @ g) - 1.0) > atol:
+            raise ConfigurationError(f"filter {self.name!r} taps are not unit-energy")
+        for shift in range(2, self.length, 2):
+            if abs(float(h[shift:] @ h[: self.length - shift])) > atol:
+                raise ConfigurationError(
+                    f"filter {self.name!r} lowpass is not shift-orthogonal"
+                )
+            if abs(float(g[shift:] @ g[: self.length - shift])) > atol:
+                raise ConfigurationError(
+                    f"filter {self.name!r} highpass is not shift-orthogonal"
+                )
+        if abs(float(h @ g)) > atol:
+            raise ConfigurationError(
+                f"filter {self.name!r} channels are not orthogonal"
+            )
+
+
+_REGISTRY: dict[str, WaveletFilter] = {}
+
+
+def _register(name: str, taps) -> None:
+    _REGISTRY[name] = WaveletFilter.from_lowpass(name, taps)
+
+
+_register("haar", _haar_taps())
+_register("db1", _haar_taps())  # Db1 is the Haar basis under another name.
+_register("db2", _db2_taps())
+_register("db4", _DB4_TAPS)
+_register("db6", _DB6_TAPS)
+_register("db8", _DB8_TAPS)
+
+#: The three bases evaluated in the paper (Section IV.B / Fig. 5).
+PAPER_BASES = ("haar", "db2", "db4")
+
+
+def available_bases() -> tuple[str, ...]:
+    """Names of all registered wavelet bases."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_filter(name: str) -> WaveletFilter:
+    """Look up a registered wavelet basis by name (case-insensitive)."""
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown wavelet basis {name!r}; available: {', '.join(available_bases())}"
+        )
+    return _REGISTRY[key]

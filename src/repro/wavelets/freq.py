@@ -1,0 +1,74 @@
+"""Frequency responses of wavelet filters — the modified twiddle factors.
+
+In the DWT-based FFT the butterflies combine half-length sub-DFTs with
+factors that are the DFT of the wavelet filter taps (paper Section IV.B):
+
+    X[k] = H_L(k; M) * L[k mod M/2] + H_H(k; M) * H[k mod M/2]
+
+Unlike conventional FFT twiddles these factors are **not** unit magnitude:
+for Haar, ``|H_L(k; M)| = sqrt(2)*|cos(pi k / M)|`` decays to zero across
+the first half-band while ``|H_H|`` grows — exactly the structure the
+paper exploits for significance-driven pruning (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_power_of_two
+from .filters import WaveletFilter, get_filter
+
+__all__ = [
+    "filter_response",
+    "twiddle_pair",
+    "twiddle_quadrants",
+    "twiddle_magnitude_profile",
+]
+
+
+def _resolve(basis) -> WaveletFilter:
+    if isinstance(basis, WaveletFilter):
+        return basis
+    return get_filter(basis)
+
+
+def filter_response(taps: np.ndarray, m: int) -> np.ndarray:
+    """Length-*m* DFT of real filter *taps*: ``sum_j taps[j] e^{-2i pi jk/m}``.
+
+    The taps wrap circularly when the filter is longer than *m*, matching
+    the periodic DWT convention, so the identity with the butterfly stage
+    holds at every packet level.
+    """
+    m = require_power_of_two(m, "m")
+    k = np.arange(m)
+    response = np.zeros(m, dtype=np.complex128)
+    for j, tap in enumerate(np.asarray(taps, dtype=np.float64)):
+        response += tap * np.exp(-2j * np.pi * (j % m) * k / m)
+    return response
+
+
+def twiddle_pair(m: int, basis="haar") -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(H_L, H_H)`` — length-*m* responses of both channels."""
+    bank = _resolve(basis)
+    return filter_response(bank.lowpass, m), filter_response(bank.highpass, m)
+
+
+def twiddle_quadrants(
+    n: int, basis="haar"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The diagonals of the A, B, C, D sub-matrices of paper eq. 6.
+
+    ``A = H_L[:N/2]``, ``B = H_H[:N/2]``, ``C = H_L[N/2:]``,
+    ``D = H_H[N/2:]``.  The paper observes that ``|A|`` decreases with the
+    index while ``|C|`` increases, so both matrices end (resp. start) with
+    near-zero factors — the candidates for stage-2 pruning.
+    """
+    hl, hh = twiddle_pair(n, basis)
+    half = require_power_of_two(n, "n") // 2
+    return hl[:half], hh[:half], hl[half:], hh[half:]
+
+
+def twiddle_magnitude_profile(n: int, basis="haar") -> dict[str, np.ndarray]:
+    """Magnitudes of the A and C diagonals, as plotted in paper Fig. 6."""
+    a, _b, c, _d = twiddle_quadrants(n, basis)
+    return {"A": np.abs(a), "C": np.abs(c)}

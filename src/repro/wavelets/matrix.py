@@ -1,0 +1,127 @@
+"""Dense matrix forms of the transforms used in the paper's derivation.
+
+Section IV.B of the paper manipulates the DFT matrix ``F_N``, the DWT
+matrix ``W_N`` and the equivalent transform ``G = F_N W_N^T`` (eq. 2/6).
+These dense builders exist so tests and analyses can verify the operator
+identities exactly; the production kernels in :mod:`repro.ffts` never
+materialise them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_power_of_two
+from ..errors import TransformError
+from .filters import WaveletFilter, get_filter
+
+__all__ = [
+    "dwt_matrix",
+    "packet_matrix",
+    "dft_matrix",
+    "even_odd_permutation_matrix",
+    "butterfly_block_matrix",
+]
+
+
+def _resolve(basis) -> WaveletFilter:
+    if isinstance(basis, WaveletFilter):
+        return basis
+    return get_filter(basis)
+
+
+def dwt_matrix(n: int, basis="haar") -> np.ndarray:
+    """Single-level periodic DWT matrix ``W_N`` (paper eq. 4).
+
+    Row ``r < N/2`` holds the lowpass filter placed (circularly) at shift
+    ``2r``; row ``N/2 + r`` holds the highpass filter.  For orthonormal
+    banks the result satisfies ``W_N @ W_N.T == I``.
+    """
+    n = require_power_of_two(n, "n")
+    bank = _resolve(basis)
+    if n < 2:
+        raise TransformError("dwt_matrix needs n >= 2")
+    w = np.zeros((n, n), dtype=np.float64)
+    for r in range(n // 2):
+        for j in range(bank.length):
+            col = (2 * r + j) % n
+            w[r, col] += bank.lowpass[j]
+            w[n // 2 + r, col] += bank.highpass[j]
+    return w
+
+
+def packet_matrix(n: int, basis="haar", depth: int | None = None) -> np.ndarray:
+    """Full binary wavelet-packet analysis matrix of the given depth.
+
+    Applies :func:`dwt_matrix` recursively to *both* half-bands, which is
+    the first stage of the DWT-based FFT (Fig. 4: the binary tree of
+    DWTs).  ``depth=None`` recurses down to length-1 leaves.
+    """
+    n = require_power_of_two(n, "n")
+    max_depth = int(np.log2(n))
+    if depth is None:
+        depth = max_depth
+    if not 0 <= depth <= max_depth:
+        raise TransformError(f"depth must be in [0, {max_depth}], got {depth}")
+    result = np.eye(n)
+    size = n
+    for _ in range(depth):
+        stage = np.zeros((n, n))
+        blocks = n // size
+        w = dwt_matrix(size, basis)
+        for b in range(blocks):
+            sl = slice(b * size, (b + 1) * size)
+            stage[sl, sl] = w
+        result = stage @ result
+        size //= 2
+    return result
+
+
+def dft_matrix(n: int) -> np.ndarray:
+    """The DFT matrix ``F_N`` with entries ``exp(-2*pi*i*j*k / N)``."""
+    if n < 1:
+        raise TransformError("dft_matrix needs n >= 1")
+    jk = np.outer(np.arange(n), np.arange(n))
+    return np.exp(-2j * np.pi * jk / n)
+
+
+def even_odd_permutation_matrix(n: int) -> np.ndarray:
+    """The even/odd separation matrix ``P_N`` from paper eq. 5.
+
+    Maps ``x`` to ``[x[0], x[2], ..., x[1], x[3], ...]`` so that
+    ``F_N = [I D; I -D] diag(F_{N/2}, F_{N/2}) P_N`` (the radix-2 split).
+    """
+    n = require_power_of_two(n, "n")
+    p = np.zeros((n, n))
+    half = n // 2
+    for i in range(half):
+        p[i, 2 * i] = 1.0
+        p[half + i, 2 * i + 1] = 1.0
+    return p
+
+
+def butterfly_block_matrix(n: int, basis="haar") -> np.ndarray:
+    """The block ``[A B; C D]`` of diagonal twiddle matrices (paper eq. 6).
+
+    ``A`` and ``C`` hold the length-N DFT of the lowpass filter (first and
+    second halves of the frequency axis); ``B`` and ``D`` the DFT of the
+    highpass filter.  Satisfies::
+
+        F_N == butterfly_block_matrix(N) @ block_diag(F_{N/2}, F_{N/2}) @ W_N
+    """
+    n = require_power_of_two(n, "n")
+    bank = _resolve(basis)
+    k = np.arange(n)
+    hl = np.zeros(n, dtype=np.complex128)
+    hh = np.zeros(n, dtype=np.complex128)
+    for j in range(bank.length):
+        phase = np.exp(-2j * np.pi * j * k / n)
+        hl += bank.lowpass[j] * phase
+        hh += bank.highpass[j] * phase
+    half = n // 2
+    block = np.zeros((n, n), dtype=np.complex128)
+    block[:half, :half] = np.diag(hl[:half])          # A
+    block[:half, half:] = np.diag(hh[:half])          # B
+    block[half:, :half] = np.diag(hl[half:])          # C
+    block[half:, half:] = np.diag(hh[half:])          # D
+    return block

@@ -1,0 +1,168 @@
+"""Tests for the analysis package (metrics, sensitivity, trade-off)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bar_chart,
+    energy_quality_sweep,
+    format_percent,
+    format_table,
+    mse,
+    mse_sensitivity_sweep,
+    nmse,
+    psnr_db,
+    relative_band_error,
+    twiddle_histogram,
+)
+from repro.errors import SignalError
+
+
+class TestMetrics:
+    def test_mse_known_value(self):
+        assert mse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.standard_normal(32)
+        assert mse(x, x) == 0.0
+
+    def test_nmse_scale_invariant(self, rng):
+        ref = rng.standard_normal(64)
+        approx = ref + 0.1 * rng.standard_normal(64)
+        assert nmse(ref, approx) == pytest.approx(
+            nmse(5 * ref, 5 * approx), rel=1e-9
+        )
+
+    def test_psnr_infinite_for_exact(self, rng):
+        x = rng.standard_normal(16)
+        assert psnr_db(x, x) == float("inf")
+
+    def test_relative_band_error(self):
+        assert relative_band_error(0.45, 0.465) == pytest.approx(1 / 30)
+        with pytest.raises(SignalError):
+            relative_band_error(0.0, 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SignalError):
+            mse([1.0, 2.0], [1.0])
+
+
+class TestTwiddleHistogram:
+    def test_histogram_totals(self):
+        hist = twiddle_histogram(512, "haar")
+        assert int(hist.counts.sum()) == 512  # A and C pooled: 2 * 256
+        assert hist.a_magnitudes.size == 256
+        assert hist.c_magnitudes.size == 256
+
+    def test_set_thresholds_ordered(self):
+        hist = twiddle_histogram(512, "haar")
+        t = hist.set_thresholds
+        assert 0 < t[1] < t[2] < t[3] < np.sqrt(2) + 1e-9
+
+    def test_paper_monotonicity(self):
+        hist = twiddle_histogram(512, "haar")
+        assert np.all(np.diff(hist.a_magnitudes) <= 1e-12)
+        assert np.all(np.diff(hist.c_magnitudes) >= -1e-12)
+
+    def test_invalid_bins(self):
+        with pytest.raises(SignalError):
+            twiddle_histogram(512, bins=1)
+
+
+class TestSensitivitySweep:
+    def _windows(self, rng, count=6, n=256):
+        windows = []
+        for _ in range(count):
+            smooth = np.cumsum(rng.standard_normal(n))
+            windows.append(smooth - smooth.mean())
+        return windows
+
+    def test_mse_grows_with_fraction(self, rng):
+        """Stage-2 pruning alone (no band drop, so no error cross-terms)
+        degrades MSE monotonically with the pruned fraction."""
+        points = mse_sensitivity_sweep(
+            self._windows(rng),
+            n=256,
+            fractions=(0.0, 0.2, 0.4, 0.6),
+            band_drop=False,
+        )
+        means = [p.mean_mse for p in points]
+        assert means[0] < 1e-12
+        assert means[1] < means[2] < means[3]
+
+    def test_mse_with_band_drop_bounded(self, rng):
+        """On top of the band drop the set pruning changes MSE only
+        moderately (cross terms can move it either way)."""
+        points = mse_sensitivity_sweep(
+            self._windows(rng), n=256, fractions=(0.0, 0.6), band_drop=True
+        )
+        assert points[1].mean_mse < points[0].mean_mse * 3.0
+
+    def test_dynamic_points_included(self, rng):
+        points = mse_sensitivity_sweep(
+            self._windows(rng), n=256, fractions=(0.0, 0.4), include_dynamic=True
+        )
+        labels = [p.label for p in points]
+        assert "40% dyn" in labels
+
+    def test_window_length_validated(self, rng):
+        with pytest.raises(SignalError):
+            mse_sensitivity_sweep([rng.standard_normal(128)], n=256)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(SignalError):
+            mse_sensitivity_sweep([])
+
+
+class TestEnergyQualitySweep:
+    def test_sweep_shape(self):
+        from repro import make_cohort
+
+        recordings = [
+            p.rr_series(duration=360.0)
+            for p in make_cohort(n_arrhythmia=2, n_healthy=0)
+        ]
+        points = energy_quality_sweep(recordings)
+        assert len(points) == 7
+        static_modes = [p for p in points if not p.dynamic]
+        # Savings grow along the static ladder and VFS always helps.
+        savings = [p.static_savings for p in static_modes]
+        assert savings == sorted(savings)
+        for p in points:
+            assert p.vfs_savings >= p.static_savings
+            assert p.distortion < 0.2
+
+    def test_empty_recordings_rejected(self):
+        with pytest.raises(SignalError):
+            energy_quality_sweep([])
+
+
+class TestReporting:
+    def test_format_table(self):
+        table = format_table(
+            ["mode", "savings"], [["set1", "10%"], ["set3", "42%"]], title="T"
+        )
+        assert "mode" in table and "set3" in table and table.startswith("T")
+
+    def test_format_table_validation(self):
+        with pytest.raises(SignalError):
+            format_table(["a"], [])
+        with pytest.raises(SignalError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_percent(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(0.1, signed=True) == "+10.0%"
+
+    def test_bar_chart(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0])
+        assert chart.count("\n") == 1
+        assert "##" in chart
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(SignalError):
+            bar_chart([], [])
+        with pytest.raises(SignalError):
+            bar_chart(["a"], [0.0])

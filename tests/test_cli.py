@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_mode
+from repro.ffts import PruningSpec
+
+
+class TestParseMode:
+    def test_known_modes(self):
+        assert parse_mode("exact").is_exact
+        assert parse_mode("band") == PruningSpec.band_only()
+        assert parse_mode("set2") == PruningSpec.paper_mode(2)
+        assert parse_mode("set3", dynamic=True).dynamic
+
+    def test_unknown_mode(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_mode("set9")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["demo"]).command == "demo"
+        args = parser.parse_args(["screen", "--mode", "set1", "--patients", "2"])
+        assert args.mode == "set1" and args.patients == 2
+        assert parser.parse_args(["energy", "--no-vfs"]).no_vfs
+        assert parser.parse_args(["complexity", "--n", "256"]).n == 256
+
+
+class TestCommands:
+    def test_complexity_command(self, capsys):
+        assert main(["complexity", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "split-radix" in out and "haar" in out
+
+    def test_energy_command(self, capsys):
+        assert main(["energy", "--mode", "set3"]) == 0
+        out = capsys.readouterr().out
+        assert "energy savings" in out
+        assert "V /" in out
+
+    def test_energy_whole_window(self, capsys):
+        assert main(["energy", "--mode", "band", "--whole-window"]) == 0
+        assert "whole window" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--duration", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "conventional" in out and "LF/HF" in out
+
+    def test_screen_command(self, capsys):
+        code = main(
+            ["screen", "--mode", "set3", "--patients", "3",
+             "--duration", "240"]
+        )
+        out = capsys.readouterr().out
+        assert "screening under mode" in out
+        assert code == 0

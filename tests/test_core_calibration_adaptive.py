@@ -1,0 +1,140 @@
+"""Tests for design-time calibration (eq. 3) and the Q_DES controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PSAConfig, PruningSpec, calibrate, make_cohort
+from repro.core import QualityController
+from repro.core.calibration import extract_calibration_windows
+from repro.errors import CalibrationError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    cohort = make_cohort(n_arrhythmia=4, n_healthy=0)
+    return [p.rr_series(duration=480.0) for p in cohort]
+
+
+@pytest.fixture(scope="module")
+def calibration(corpus):
+    return calibrate(corpus)
+
+
+class TestCalibrationWindows:
+    def test_windows_have_workspace_size(self, corpus):
+        windows = extract_calibration_windows(corpus, PSAConfig())
+        assert all(w.size == 512 for w in windows)
+        assert len(windows) > 10
+
+    def test_windows_occupy_lower_half(self, corpus):
+        """The paper's Fig. 3(a) geometry: data in the first ~N/2 cells."""
+        windows = extract_calibration_windows(corpus, PSAConfig())
+        upper_energy = sum(float(w[300:] @ w[300:]) for w in windows)
+        total_energy = sum(float(w @ w) for w in windows)
+        assert upper_energy / total_energy < 0.01
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(CalibrationError):
+            extract_calibration_windows([], PSAConfig())
+
+
+class TestCalibration:
+    def test_eq3_classification(self, calibration):
+        """E{|z_k|} of the lowpass band exceeds THR, the highpass band
+        falls below it — the significant/less-significant split."""
+        assert calibration.lowpass_mean > calibration.band_threshold
+        assert calibration.highpass_mean < calibration.band_threshold
+        assert calibration.band_drop_supported
+
+    def test_dynamic_thresholds_monotone(self, calibration):
+        t = calibration.dynamic_thresholds
+        assert 0 < t[1] < t[2] < t[3]
+
+    def test_pruning_spec_carries_threshold(self, calibration):
+        spec = calibration.pruning_spec(2, dynamic=True)
+        assert spec.dynamic
+        assert spec.dynamic_threshold == calibration.dynamic_thresholds[2]
+        static = calibration.pruning_spec(2, dynamic=False)
+        assert not static.dynamic
+        assert static.dynamic_threshold is None
+
+    def test_calibrated_dynamic_prunes_near_target_fraction(
+        self, calibration, corpus
+    ):
+        """On corpus-like data the calibrated threshold should prune
+        roughly the target fraction of butterfly terms."""
+        from repro.ffts import WaveletFFT
+        from repro.core.calibration import extract_calibration_windows
+
+        spec = calibration.pruning_spec(2, dynamic=True)
+        plan = WaveletFFT(512, pruning=spec)
+        windows = extract_calibration_windows(corpus, PSAConfig())
+        fractions = []
+        for window in windows[:10]:
+            breakdown = plan.count_breakdown(window)
+            # Expected mults if nothing were pruned: one generic complex
+            # mult per nonzero HL factor (band drop removes HH).
+            executed = breakdown["twiddle"].mults
+            unpruned = WaveletFFT(
+                512, pruning=PruningSpec.band_only()
+            ).count_breakdown(window)["twiddle"].mults
+            fractions.append(1.0 - executed / unpruned)
+        mean_fraction = float(np.mean(fractions))
+        assert 0.25 < mean_fraction < 0.55  # target 0.40
+
+    def test_window_count_recorded(self, calibration):
+        assert calibration.n_windows > 10
+
+
+class TestQualityController:
+    @pytest.fixture(scope="class")
+    def controller(self, corpus):
+        return QualityController.profile(corpus[:2])
+
+    def test_profiles_cover_ladder(self, controller):
+        assert len(controller.profiles) == 8
+
+    def test_select_respects_budget(self, controller):
+        generous = controller.select(q_des=0.5)
+        strict = controller.select(q_des=0.001)
+        assert generous.energy_savings >= strict.energy_savings
+        assert strict.distortion <= 0.001 or strict == min(
+            controller.profiles, key=lambda p: p.distortion
+        )
+
+    def test_select_returns_most_saving_compliant(self, controller):
+        q_des = 0.10
+        chosen = controller.select(q_des)
+        for profile in controller.profiles:
+            if profile.distortion <= q_des:
+                assert chosen.energy_savings >= profile.energy_savings
+
+    def test_frontier_is_pareto(self, controller):
+        frontier = controller.frontier()
+        for earlier, later in zip(frontier, frontier[1:]):
+            assert later.distortion < earlier.distortion
+            assert later.energy_savings <= earlier.energy_savings
+
+    def test_exact_mode_has_zero_distortion(self, controller):
+        exact = [p for p in controller.profiles if p.spec.is_exact]
+        assert len(exact) == 1
+        assert exact[0].distortion < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QualityController(())
+        with pytest.raises(ConfigurationError):
+            QualityController.profile([])
+        from repro.core import ModeProfile
+
+        profile = ModeProfile(
+            spec=PruningSpec.none(),
+            distortion=0.0,
+            energy_savings=0.0,
+            cycle_reduction=0.0,
+        )
+        controller = QualityController((profile,))
+        with pytest.raises(ConfigurationError):
+            controller.select(q_des=2.0)

@@ -1,0 +1,201 @@
+"""Tests for the synthetic ECG/data substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import (
+    Condition,
+    EcgMorphology,
+    QrsDetector,
+    SyntheticCohort,
+    TachogramSpec,
+    generate_tachogram,
+    make_cohort,
+    synthesize_ecg,
+)
+from repro.errors import ConfigurationError, SignalError
+from repro.hrv import lf_hf_ratio
+from repro.lomb import FastLomb
+
+
+class TestTachogramSpec:
+    def test_defaults_valid(self):
+        spec = TachogramSpec()
+        assert spec.expected_lf_hf_ratio == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TachogramSpec(mean_rr=0.1)
+        with pytest.raises(ConfigurationError):
+            TachogramSpec(lf_frequency=0.3)
+        with pytest.raises(ConfigurationError):
+            TachogramSpec(hf_frequency=0.1)
+        with pytest.raises(ConfigurationError):
+            TachogramSpec(jitter=-0.01)
+        with pytest.raises(ConfigurationError):
+            TachogramSpec(lf_amplitude=0.3, hf_amplitude=0.3)
+
+    def test_with_seed(self):
+        spec = TachogramSpec(seed=1)
+        assert spec.with_seed(7).seed == 7
+        assert spec.seed == 1  # original unchanged
+
+
+class TestGenerateTachogram:
+    def test_duration_respected(self):
+        series = generate_tachogram(TachogramSpec(seed=3), duration=300.0)
+        assert series.times[-1] <= 300.0
+        assert series.times[-1] > 280.0
+
+    def test_beat_count_near_expected(self):
+        spec = TachogramSpec(mean_rr=0.8, seed=5)
+        series = generate_tachogram(spec, duration=240.0)
+        assert abs(series.n_beats - 300) < 20
+
+    def test_deterministic_by_seed(self):
+        a = generate_tachogram(TachogramSpec(seed=11), 120.0)
+        b = generate_tachogram(TachogramSpec(seed=11), 120.0)
+        np.testing.assert_array_equal(a.intervals, b.intervals)
+        c = generate_tachogram(TachogramSpec(seed=12), 120.0)
+        assert not np.array_equal(a.intervals, c.intervals)
+
+    def test_spectral_ground_truth(self):
+        """The measured LF/HF ratio tracks the spec's sinusoid powers."""
+        from repro.lomb import WelchLomb
+
+        spec = TachogramSpec(
+            lf_amplitude=0.02, hf_amplitude=0.04, drift_amplitude=0.0,
+            jitter=0.001, seed=21,
+        )
+        series = generate_tachogram(spec, duration=600.0)
+        result = WelchLomb(FastLomb(max_frequency=0.45)).analyze(
+            series.times, series.intervals
+        )
+        measured = lf_hf_ratio(result.averaged_spectrum())
+        assert measured == pytest.approx(spec.expected_lf_hf_ratio, rel=0.5)
+
+    def test_hf_peak_at_respiratory_frequency(self):
+        spec = TachogramSpec(hf_frequency=0.3, lf_amplitude=0.005, seed=2)
+        series = generate_tachogram(spec, duration=300.0)
+        window = series.slice_time(0.0, 120.0)
+        spectrum = FastLomb(max_frequency=0.45).periodogram(
+            window.times, window.intervals
+        )
+        hf_zone = spectrum.frequencies > 0.15
+        peak = spectrum.frequencies[hf_zone][
+            np.argmax(spectrum.power[hf_zone])
+        ]
+        assert abs(peak - 0.3) < 0.03
+
+    def test_ectopics_injected(self):
+        spec = TachogramSpec(ectopic_rate=0.05, seed=9)
+        series = generate_tachogram(spec, duration=600.0)
+        from repro.hrv import detect_ectopic_mask
+
+        flagged = detect_ectopic_mask(series.intervals)
+        assert np.count_nonzero(flagged) > 5
+
+    def test_too_short_duration_rejected(self):
+        with pytest.raises(SignalError):
+            generate_tachogram(TachogramSpec(), duration=2.0)
+
+
+class TestEcgSynthesisAndQrs:
+    def test_waveform_has_r_peaks(self):
+        beats = np.cumsum(np.full(20, 0.8))
+        t, ecg = synthesize_ecg(beats, noise_std=0.0, baseline_wander=0.0)
+        for beat in beats[2:-2]:
+            window = (t > beat - 0.05) & (t < beat + 0.05)
+            assert ecg[window].max() > 0.8  # R wave present
+
+    def test_morphology_waves(self):
+        waves = EcgMorphology().waves()
+        assert len(waves) == 5
+        amplitudes = [w[0] for w in waves]
+        assert max(amplitudes) == 1.0  # R wave dominates
+
+    def test_invalid_beats_rejected(self):
+        with pytest.raises(SignalError):
+            synthesize_ecg([0.0, 0.5, 0.4])
+
+    def test_qrs_recovers_beats(self):
+        """Round trip: generator beats -> ECG -> detector -> same beats."""
+        spec = TachogramSpec(seed=4)
+        series = generate_tachogram(spec, duration=120.0)
+        beats = np.concatenate([[series.times[0] - series.intervals[0]],
+                                series.times])
+        t, ecg = synthesize_ecg(beats, sampling_rate=250.0, seed=1)
+        result = QrsDetector(sampling_rate=250.0).detect(t, ecg)
+        # Match detected beats to true beats within 30 ms.
+        matched = 0
+        for beat in beats[1:-1]:
+            if np.min(np.abs(result.beat_times - beat)) < 0.03:
+                matched += 1
+        assert matched / (beats.size - 2) > 0.95
+
+    def test_qrs_rr_intervals_close(self):
+        spec = TachogramSpec(seed=6, jitter=0.002)
+        series = generate_tachogram(spec, duration=90.0)
+        beats = np.concatenate([[0.0], series.times])
+        t, ecg = synthesize_ecg(beats, seed=2)
+        result = QrsDetector().detect(t, ecg)
+        # Mean RR recovered within 2 %.
+        assert result.rr.intervals.mean() == pytest.approx(
+            series.intervals.mean(), rel=0.02
+        )
+
+    def test_qrs_validation(self):
+        detector = QrsDetector()
+        with pytest.raises(SignalError):
+            detector.detect([0.0, 0.1], [1.0, 2.0])
+        with pytest.raises(SignalError):
+            QrsDetector(sampling_rate=50.0)
+        with pytest.raises(SignalError):
+            QrsDetector(band=(20.0, 10.0))
+
+
+class TestCohort:
+    def test_default_cohort_composition(self):
+        cohort = make_cohort()
+        assert len(cohort) == 24
+        assert len(cohort.by_condition(Condition.SINUS_ARRHYTHMIA)) == 16
+        assert len(cohort.by_condition(Condition.HEALTHY)) == 8
+
+    def test_cohort_deterministic(self):
+        a, b = make_cohort(seed=99), make_cohort(seed=99)
+        for pa, pb in zip(a, b):
+            assert pa.spec == pb.spec
+
+    def test_patient_lookup(self):
+        cohort = make_cohort()
+        assert cohort.get("rsa-00").condition is Condition.SINUS_ARRHYTHMIA
+        with pytest.raises(ConfigurationError):
+            cohort.get("nope")
+
+    def test_conditions_separate_in_lf_hf(self):
+        """RSA patients sit below 1, controls above — the detection premise."""
+        from repro.lomb import WelchLomb
+
+        cohort = make_cohort(n_arrhythmia=4, n_healthy=4)
+        welch = WelchLomb(FastLomb(max_frequency=0.45))
+        for patient in cohort:
+            rr = patient.rr_series(duration=300.0)
+            result = welch.analyze(rr.times, rr.intervals)
+            ratio = lf_hf_ratio(result.averaged_spectrum())
+            if patient.condition is Condition.SINUS_ARRHYTHMIA:
+                assert ratio < 1.0, patient.patient_id
+            else:
+                assert ratio > 1.0, patient.patient_id
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cohort(n_arrhythmia=0, n_healthy=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticCohort(patients=())
+
+    def test_duplicate_ids_rejected(self):
+        cohort = make_cohort(n_arrhythmia=1, n_healthy=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticCohort(patients=(cohort.patients[0], cohort.patients[0]))

@@ -1,0 +1,37 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "LF/HF" in out
+    assert "energy savings" in out
+
+
+def test_energy_budget_tuning_runs(capsys):
+    out = _run("energy_budget_tuning.py", capsys)
+    assert "Q_DES" in out
+    assert "Pareto frontier" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["arrhythmia_screening.py", "holter_monitoring.py"]
+)
+def test_long_examples_importable(name):
+    """The heavier examples are compiled (syntax/import check) here and
+    executed in full by the benchmark/CI run; see examples/."""
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")

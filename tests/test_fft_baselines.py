@@ -1,0 +1,137 @@
+"""Tests for the conventional FFT kernels (DFT, radix-2, split radix)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ffts import (
+    OpCounts,
+    bit_reverse_permutation,
+    direct_dft,
+    direct_dft_counts,
+    radix2_counts,
+    radix2_fft,
+    split_radix_counts,
+    split_radix_fft,
+)
+
+
+def _random_complex(rng, n):
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestOpCounts:
+    def test_add_and_scale(self):
+        a = OpCounts(mults=2, adds=3, compares=1)
+        b = OpCounts(mults=1, adds=1)
+        assert (a + b) == OpCounts(mults=3, adds=4, compares=1)
+        assert a.scaled(3) == OpCounts(mults=6, adds=9, compares=3)
+
+    def test_sum_builtin(self):
+        parts = [OpCounts(mults=1), OpCounts(adds=2), OpCounts(compares=3)]
+        assert sum(parts, OpCounts()) == OpCounts(1, 2, 3)
+        assert sum(parts) == OpCounts(1, 2, 3)
+
+    def test_total_and_dict(self):
+        c = OpCounts(mults=4, adds=2, compares=1)
+        assert c.total == 7
+        assert c.arithmetic == 6
+        assert c.as_dict()["total"] == 7
+
+    def test_savings_vs(self):
+        baseline = OpCounts(mults=50, adds=50)
+        cheap = OpCounts(mults=20, adds=30)
+        assert np.isclose(cheap.savings_vs(baseline), 0.5)
+        assert cheap.savings_vs(baseline) > 0 > baseline.savings_vs(cheap)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounts(mults=1).scaled(-1)
+
+
+class TestDirectDft:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 64])
+    def test_matches_numpy(self, n, rng):
+        x = _random_complex(rng, n)
+        np.testing.assert_allclose(direct_dft(x), np.fft.fft(x), atol=1e-8)
+
+    def test_counts_quadratic(self):
+        c16, c32 = direct_dft_counts(16), direct_dft_counts(32)
+        assert 3.5 < c32.total / c16.total < 4.5
+
+
+class TestRadix2:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 512])
+    def test_matches_numpy(self, n, rng):
+        x = _random_complex(rng, n)
+        np.testing.assert_allclose(radix2_fft(x), np.fft.fft(x), atol=1e-8)
+
+    def test_bit_reverse_is_involution(self):
+        perm = bit_reverse_permutation(64)
+        assert np.array_equal(perm[perm], np.arange(64))
+
+    def test_counts_n8(self):
+        # N=8 stages (span 1, 2, 4) have 0, 0 and 2 generic complex mults;
+        # each stage performs 8 complex adds, plus 2 real adds per generic mult.
+        counts = radix2_counts(8)
+        assert counts.mults == 2 * 4
+        assert counts.adds == 3 * 16 + 2 * 2
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            radix2_fft(np.ones(12))
+
+
+class TestSplitRadix:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 128, 512, 1024])
+    def test_matches_numpy(self, n, rng):
+        x = _random_complex(rng, n)
+        np.testing.assert_allclose(split_radix_fft(x), np.fft.fft(x), atol=1e-7)
+
+    def test_real_input_hermitian_output(self, rng):
+        x = rng.standard_normal(64)
+        spectrum = split_radix_fft(x)
+        np.testing.assert_allclose(
+            spectrum[1:], np.conj(spectrum[1:][::-1]), atol=1e-9
+        )
+
+    @pytest.mark.parametrize(
+        "n,mults,adds",
+        [(2, 0, 4), (4, 0, 16), (8, 4, 52), (16, 20, 148), (512, 3076, 12292),
+         (1024, 7172, 27652)],
+    )
+    def test_closed_form_counts(self, n, mults, adds):
+        counts = split_radix_counts(n)
+        assert counts.mults == mults
+        assert counts.adds == adds
+
+    def test_split_radix_beats_radix2(self):
+        """The baseline choice in the paper: split radix is the cheaper FFT."""
+        assert split_radix_counts(512).total < radix2_counts(512).total
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        log_n=st.integers(min_value=0, max_value=9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_property(self, seed, log_n):
+        rng = np.random.default_rng(seed)
+        n = 1 << log_n
+        x, y = _random_complex(rng, n), _random_complex(rng, n)
+        lhs = split_radix_fft(x + 2.0 * y)
+        rhs = split_radix_fft(x) + 2.0 * split_radix_fft(y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-7)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_parseval_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = _random_complex(rng, 256)
+        spectrum = split_radix_fft(x)
+        energy_time = float(np.sum(np.abs(x) ** 2))
+        energy_freq = float(np.sum(np.abs(spectrum) ** 2)) / 256
+        assert np.isclose(energy_time, energy_freq, rtol=1e-9)

@@ -1,0 +1,178 @@
+"""Operation-count shape tests against the paper's Fig. 5 / Section V.
+
+We do not chase the paper's absolute numbers (its counting conventions are
+not fully specified) but pin the *shape*: orderings, signs of savings, and
+the headline percentages within a few points.  The tolerances below encode
+the measured values of this implementation so regressions are caught.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ffts import (
+    PruningSpec,
+    WaveletFFT,
+    direct_dft_counts,
+    radix2_counts,
+    split_radix_counts,
+)
+
+
+def _savings(basis: str, spec: PruningSpec, n: int = 512) -> float:
+    plan = WaveletFFT(n, basis=basis, pruning=spec)
+    return plan.static_counts().savings_vs(split_radix_counts(n))
+
+
+class TestUnprunedOverhead:
+    """Paper: wavelet FFT costs +36 % (Haar), +49 % (Db2), +76 % (Db4)."""
+
+    def test_wavelet_fft_more_expensive_than_split_radix(self, paper_basis):
+        assert _savings(paper_basis, PruningSpec.none()) < 0
+
+    def test_overhead_ordering_haar_db2_db4(self):
+        overheads = [-_savings(b, PruningSpec.none()) for b in ("haar", "db2", "db4")]
+        assert overheads[0] < overheads[1] < overheads[2]
+
+    def test_overhead_magnitudes(self):
+        # Measured: +46.5 / +63.2 / +89.8 %; paper +36 / +49 / +76 %.
+        assert 0.30 < -_savings("haar", PruningSpec.none()) < 0.60
+        assert 0.45 < -_savings("db2", PruningSpec.none()) < 0.80
+        assert 0.65 < -_savings("db4", PruningSpec.none()) < 1.05
+
+
+class TestBandDropSavings:
+    """Paper: band drop beats split radix by 28 / 21 / 8 % (Haar/Db2/Db4)."""
+
+    @pytest.mark.parametrize(
+        "basis,expected", [("haar", 0.28), ("db2", 0.21), ("db4", 0.08)]
+    )
+    def test_savings_close_to_paper(self, basis, expected):
+        measured = _savings(basis, PruningSpec.band_only())
+        assert measured == pytest.approx(expected, abs=0.05)
+
+    def test_savings_ordering(self):
+        savings = [_savings(b, PruningSpec.band_only()) for b in ("haar", "db2", "db4")]
+        assert savings[0] > savings[1] > savings[2] > 0
+
+    def test_band_drop_halves_sub_fft_work(self):
+        full = WaveletFFT(512, pruning=PruningSpec.none())
+        dropped = WaveletFFT(512, pruning=PruningSpec.band_only())
+        assert dropped._sub_counts().total * 2 == full._sub_counts().total
+
+
+class TestPaperModes:
+    """Paper Section V.B: Haar band drop + 60 % twiddle pruning gives
+    52 % fewer adds and 17 % fewer mults than split radix."""
+
+    def test_mode3_add_savings(self):
+        plan = WaveletFFT(512, basis="haar", pruning=PruningSpec.paper_mode(3))
+        baseline = split_radix_counts(512)
+        add_savings = 1.0 - plan.static_counts().adds / baseline.adds
+        assert add_savings == pytest.approx(0.52, abs=0.06)
+
+    def test_mode3_mult_savings(self):
+        plan = WaveletFFT(512, basis="haar", pruning=PruningSpec.paper_mode(3))
+        baseline = split_radix_counts(512)
+        mult_savings = 1.0 - plan.static_counts().mults / baseline.mults
+        assert mult_savings == pytest.approx(0.17, abs=0.06)
+
+    def test_modes_monotone_in_savings(self, paper_basis):
+        totals = [
+            WaveletFFT(512, basis=paper_basis, pruning=PruningSpec.paper_mode(s))
+            .static_counts()
+            .total
+            for s in (1, 2, 3)
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_haar_has_lowest_complexity_of_bases(self):
+        """Section V.B: Haar was chosen because it is the cheapest."""
+        for mode in (1, 2, 3):
+            totals = {
+                b: WaveletFFT(512, basis=b, pruning=PruningSpec.paper_mode(mode))
+                .static_counts()
+                .total
+                for b in ("haar", "db2", "db4")
+            }
+            assert totals["haar"] == min(totals.values())
+
+    def test_savings_grow_with_transform_order(self):
+        """Section V.B: N=1024 gives additional savings over N=512."""
+        def mult_savings(n):
+            plan = WaveletFFT(n, basis="haar", pruning=PruningSpec.paper_mode(3))
+            return 1.0 - plan.static_counts().mults / split_radix_counts(n).mults
+
+        def total_savings(n):
+            plan = WaveletFFT(n, basis="haar", pruning=PruningSpec.paper_mode(3))
+            return plan.static_counts().savings_vs(split_radix_counts(n))
+
+        assert mult_savings(1024) > mult_savings(512)
+        assert total_savings(1024) >= total_savings(512) - 1e-9
+        assert total_savings(2048) > total_savings(512)
+
+
+class TestDynamicOverhead:
+    def test_dynamic_costs_more_than_static(self):
+        static = WaveletFFT(
+            512, pruning=PruningSpec.paper_mode(3)
+        ).static_counts()
+        dynamic = WaveletFFT(
+            512, pruning=PruningSpec.paper_mode(3, dynamic=True)
+        ).static_counts()
+        assert dynamic.total > static.total
+        assert dynamic.compares > 0 == static.compares
+
+    def test_dynamic_overhead_moderate(self):
+        """The run-time checks must not erase the pruning benefit."""
+        baseline = split_radix_counts(512)
+        dynamic = WaveletFFT(
+            512, pruning=PruningSpec.paper_mode(3, dynamic=True)
+        ).static_counts()
+        assert dynamic.total < baseline.total  # still a net win
+
+
+class TestCountsConsistency:
+    def test_transform_counts_match_static_counts(self, paper_basis, rng):
+        """For static configurations the executed counts equal the plan."""
+        for spec in (
+            PruningSpec.none(),
+            PruningSpec.band_only(),
+            PruningSpec.paper_mode(2),
+        ):
+            plan = WaveletFFT(128, basis=paper_basis, pruning=spec)
+            x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+            _, executed = plan.transform_with_counts(x)
+            assert executed == plan.static_counts()
+
+    def test_breakdown_sums_to_total(self, rng):
+        plan = WaveletFFT(256, pruning=PruningSpec.paper_mode(1))
+        x = rng.standard_normal(256)
+        breakdown = plan.count_breakdown(x)
+        total = sum(breakdown.values())
+        _, executed = plan.transform_with_counts(x)
+        assert total == executed
+        assert set(breakdown) == {"dwt", "sub_fft", "twiddle"}
+
+    def test_dynamic_breakdown_has_checks(self, rng):
+        plan = WaveletFFT(256, pruning=PruningSpec.paper_mode(1, dynamic=True))
+        x = rng.standard_normal(256)
+        breakdown = plan.count_breakdown(x)
+        assert "pruning_checks" in breakdown
+        assert breakdown["pruning_checks"].compares > 0
+
+    def test_kernel_hierarchy(self):
+        """Direct DFT >> radix-2 > split radix at N=512."""
+        assert (
+            direct_dft_counts(512).total
+            > radix2_counts(512).total
+            > split_radix_counts(512).total
+        )
+
+    def test_deeper_levels_increase_ops(self):
+        """Full packet recursion (Fig. 4) costs more than the hybrid —
+        the reason the paper's implementation keeps one wavelet stage."""
+        shallow = WaveletFFT(256, levels=1).static_counts()
+        deep = WaveletFFT(256, levels=6).static_counts()
+        assert deep.total > shallow.total

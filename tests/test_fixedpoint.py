@@ -1,0 +1,218 @@
+"""Tests for the fixed-point substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.ffts import PruningSpec, WaveletFFT
+from repro.fixedpoint import (
+    ComplexFixed,
+    FixedPointContext,
+    FixedPointWaveletFFT,
+    Q15,
+    Q31,
+    Q1_14,
+    QFormat,
+    complex_multiply,
+    fixed_point_dwt_level,
+    fixed_point_fft,
+    sqnr_db,
+)
+
+
+class TestQFormat:
+    def test_q15_ranges(self):
+        assert Q15.total_bits == 16
+        assert Q15.max_int == 32767
+        assert Q15.min_int == -32768
+        assert Q15.resolution == pytest.approx(1.0 / 32768.0)
+
+    def test_quantize_roundtrip_within_lsb(self, rng):
+        x = rng.uniform(-0.99, 0.99, 100)
+        back = Q15.to_float(Q15.quantize(x))
+        assert np.max(np.abs(back - x)) <= Q15.resolution / 2 + 1e-12
+
+    def test_saturation(self):
+        raw = Q15.quantize([2.0, -2.0])
+        assert raw[0] == Q15.max_int
+        assert raw[1] == Q15.min_int
+
+    def test_overflow_raise_mode(self):
+        with pytest.raises(FixedPointError, match="overflows"):
+            Q15.quantize([1.5], overflow="raise")
+
+    def test_truncate_vs_nearest(self):
+        value = 0.7 + Q15.resolution * 0.9
+        nearest = Q15.quantize(value, rounding="nearest")
+        truncated = Q15.quantize(value, rounding="truncate")
+        assert nearest == truncated + 1
+
+    def test_invalid_formats(self):
+        with pytest.raises(FixedPointError):
+            QFormat(integer_bits=-1, fraction_bits=15)
+        with pytest.raises(FixedPointError):
+            QFormat(integer_bits=0, fraction_bits=0)
+        with pytest.raises(FixedPointError):
+            QFormat(integer_bits=40, fraction_bits=40)
+
+    def test_unknown_modes(self):
+        with pytest.raises(FixedPointError):
+            Q15.quantize([0.1], rounding="stochastic")
+        with pytest.raises(FixedPointError):
+            Q15.handle_overflow(np.array([1]), overflow="wrap")
+
+    @given(
+        value=st.floats(min_value=-0.95, max_value=0.95),
+        frac=st.integers(min_value=8, max_value=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_error_bounded_property(self, value, frac):
+        # Values stay away from the format edge so saturation never bites.
+        fmt = QFormat(integer_bits=0, fraction_bits=frac)
+        back = float(fmt.to_float(fmt.quantize(value)))
+        assert abs(back - value) <= fmt.resolution / 2 + 1e-15
+
+    @given(value=st.floats(min_value=-0.9, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_quantize_idempotent_property(self, value):
+        once = Q15.quantize(value)
+        twice = Q15.quantize(Q15.to_float(once))
+        assert int(once) == int(twice)
+
+
+class TestArithmetic:
+    def test_add_saturates_and_counts(self):
+        ctx = FixedPointContext(fmt=Q15)
+        result = ctx.add([Q15.max_int], [100])
+        assert result[0] == Q15.max_int
+        assert ctx.saturations == 1
+        assert ctx.saturation_rate > 0
+
+    def test_multiply_matches_float(self, rng):
+        ctx = FixedPointContext(fmt=Q15)
+        a, b = rng.uniform(-0.9, 0.9, 50), rng.uniform(-0.9, 0.9, 50)
+        product = Q15.to_float(ctx.multiply(Q15.quantize(a), Q15.quantize(b)))
+        assert np.max(np.abs(product - a * b)) < 3 * Q15.resolution
+
+    def test_multiply_rounding_symmetry(self):
+        """Round-to-nearest must be symmetric in sign."""
+        ctx = FixedPointContext(fmt=Q15)
+        a = Q15.quantize(0.3)
+        b = Q15.quantize(0.31)
+        pos = ctx.multiply(a, b)
+        neg = ctx.multiply(-a, b)
+        assert int(pos) == -int(neg)
+
+    def test_shift_right_rounds(self):
+        ctx = FixedPointContext(fmt=Q15)
+        assert ctx.shift_right(np.array([5]), 1)[0] == 3  # 2.5 -> 3
+        assert ctx.shift_right(np.array([-5]), 1)[0] == -3
+        with pytest.raises(FixedPointError):
+            ctx.shift_right(np.array([1]), -1)
+
+    def test_complex_multiply(self, rng):
+        ctx = FixedPointContext(fmt=Q31)
+        a = 0.4 * (rng.uniform(-1, 1, 20) + 1j * rng.uniform(-1, 1, 20))
+        b = 0.4 * (rng.uniform(-1, 1, 20) + 1j * rng.uniform(-1, 1, 20))
+        qa = ComplexFixed.from_complex(a, Q31)
+        qb = ComplexFixed.from_complex(b, Q31)
+        result = complex_multiply(ctx, qa, qb).to_complex(Q31)
+        np.testing.assert_allclose(result, a * b, atol=1e-8)
+
+    def test_complex_shape_mismatch(self):
+        with pytest.raises(FixedPointError):
+            ComplexFixed(real=np.zeros(3), imag=np.zeros(4))
+
+
+class TestKernels:
+    def test_dwt_level_accuracy(self, rng):
+        from repro.wavelets import dwt_level
+
+        x = 0.2 * rng.standard_normal(128)
+        lo, hi = fixed_point_dwt_level(x, "haar", Q15)
+        flo, fhi = dwt_level(x, "haar")
+        assert sqnr_db(flo, lo.values) > 60
+        assert sqnr_db(fhi + 1e-12, hi.values + 1e-12) > 30
+
+    def test_dwt_level_db4(self, rng):
+        from repro.wavelets import dwt_level
+
+        x = 0.2 * rng.standard_normal(128)
+        lo, _ = fixed_point_dwt_level(x, "db4", Q15)
+        flo, _ = dwt_level(x, "db4")
+        assert sqnr_db(flo, lo.values) > 55
+
+    def test_fft_q15_sqnr(self, rng):
+        z = 0.2 * (rng.standard_normal(256) + 1j * rng.standard_normal(256))
+        result = fixed_point_fft(z, Q15)
+        assert sqnr_db(np.fft.fft(z), result.values) > 40
+        assert result.saturations == 0
+
+    def test_fft_q31_much_better(self, rng):
+        z = 0.2 * (rng.standard_normal(256) + 1j * rng.standard_normal(256))
+        q15 = sqnr_db(np.fft.fft(z), fixed_point_fft(z, Q15).values)
+        q31 = sqnr_db(np.fft.fft(z), fixed_point_fft(z, Q31).values)
+        assert q31 > q15 + 60
+
+    def test_fft_never_saturates_with_stage_scaling(self, rng):
+        """Unity-headroom scaling: even full-scale input cannot clip."""
+        z = 0.99 * np.exp(2j * np.pi * rng.random(128))
+        result = fixed_point_fft(z, Q15)
+        assert result.saturations == 0
+
+    def test_wavelet_fft_q15(self, rng):
+        z = 0.2 * (rng.standard_normal(256) + 1j * rng.standard_normal(256))
+        result = FixedPointWaveletFFT(256, "haar", Q15).transform(z)
+        assert sqnr_db(np.fft.fft(z), result.values) > 40
+
+    def test_wavelet_fft_matches_float_pruned(self, rng):
+        """Quantisation noise, not pruning, is the only difference."""
+        z = 0.2 * (rng.standard_normal(128) + 1j * rng.standard_normal(128))
+        for spec in (PruningSpec.band_only(), PruningSpec.paper_mode(3)):
+            float_out = WaveletFFT(128, pruning=spec).transform(z)
+            fixed_out = FixedPointWaveletFFT(128, "haar", Q15, pruning=spec)
+            assert sqnr_db(float_out, fixed_out.transform(z).values) > 38
+
+    def test_pruning_conclusion_survives_quantisation(self, rng):
+        """Ablation: band-drop error dominates Q15 noise, so the paper's
+        quality ordering is unchanged on the integer datapath."""
+        t = np.arange(256) / 256.0
+        x = 0.3 * np.sin(2 * np.pi * 5 * t) + 0.02 * rng.standard_normal(256)
+        exact = np.fft.fft(x)
+        q_exact = FixedPointWaveletFFT(256, "haar", Q15).transform(x).values
+        q_banddrop = (
+            FixedPointWaveletFFT(256, "haar", Q15, pruning=PruningSpec.band_only())
+            .transform(x)
+            .values
+        )
+        err_exact = float(np.mean(np.abs(q_exact - exact) ** 2))
+        err_pruned = float(np.mean(np.abs(q_banddrop - exact) ** 2))
+        assert err_exact < err_pruned  # pruning, not quantisation, dominates
+
+    def test_q1_14_headroom(self, rng):
+        """The 1-integer-bit format tolerates sqrt(2)-gain intermediates."""
+        z = 0.6 * (rng.standard_normal(64) + 1j * rng.standard_normal(64))
+        result = FixedPointWaveletFFT(64, "haar", Q1_14).transform(z)
+        assert sqnr_db(np.fft.fft(z), result.values) > 35
+
+    def test_dynamic_pruning_rejected(self):
+        with pytest.raises(FixedPointError, match="dynamic"):
+            FixedPointWaveletFFT(
+                64, pruning=PruningSpec.paper_mode(1, dynamic=True)
+            )
+
+    def test_wrong_length_rejected(self, rng):
+        plan = FixedPointWaveletFFT(64)
+        with pytest.raises(FixedPointError):
+            plan.transform(rng.standard_normal(32))
+
+    def test_sqnr_helpers(self):
+        with pytest.raises(FixedPointError):
+            sqnr_db(np.zeros(4), np.zeros(3))
+        assert sqnr_db(np.ones(4), np.ones(4)) == float("inf")
+        with pytest.raises(FixedPointError):
+            sqnr_db(np.zeros(4), np.ones(4))

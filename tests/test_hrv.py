@@ -1,0 +1,261 @@
+"""Tests for the HRV substrate (containers, bands, metrics, detection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignalError
+from repro.hrv import (
+    HF_BAND,
+    LF_BAND,
+    STANDARD_BANDS,
+    FrequencyBand,
+    RRSeries,
+    SinusArrhythmiaDetector,
+    band_power,
+    band_powers,
+    detect_ectopic_mask,
+    filter_artifacts,
+    lf_hf_ratio,
+    pnn50,
+    ratio_error,
+    rmssd,
+    sdnn,
+    time_domain_summary,
+)
+
+
+def _series(rng, n=200, mean=0.85, jitter=0.02):
+    rr = mean + jitter * rng.standard_normal(n)
+    return RRSeries.from_intervals(rr)
+
+
+class TestRRSeries:
+    def test_from_intervals_cumulative_times(self):
+        series = RRSeries.from_intervals([0.8, 0.9, 1.0])
+        np.testing.assert_allclose(series.times, [0.8, 1.7, 2.7])
+
+    def test_from_beat_times(self):
+        series = RRSeries.from_beat_times([0.0, 0.8, 1.7, 2.7])
+        np.testing.assert_allclose(series.intervals, [0.8, 0.9, 1.0])
+        assert series.n_beats == 3
+
+    def test_properties(self, rng):
+        series = _series(rng, n=100, mean=0.8, jitter=0.0)
+        assert series.n_beats == 100
+        assert np.isclose(series.mean_heart_rate, 75.0)
+        assert np.isclose(series.duration, 99 * 0.8)
+
+    def test_plausibility_fraction(self):
+        series = RRSeries.from_intervals([0.8, 0.85, 5.0, 0.9])
+        assert np.isclose(series.plausibility_fraction(), 0.75)
+
+    def test_slice_time(self, rng):
+        series = _series(rng, n=300)
+        window = series.slice_time(60.0, 120.0)
+        assert window.times[0] >= 60.0
+        assert window.times[-1] < 120.0
+
+    def test_head(self, rng):
+        series = _series(rng)
+        assert series.head(10).n_beats == 10
+
+    def test_validation_errors(self):
+        with pytest.raises(SignalError):
+            RRSeries(times=np.array([1.0, 0.5]), intervals=np.array([1.0, 0.5]))
+        with pytest.raises(SignalError):
+            RRSeries(times=np.array([1.0, 2.0]), intervals=np.array([1.0, -0.5]))
+        with pytest.raises(SignalError):
+            RRSeries(times=np.array([1.0, 2.0, 3.0]), intervals=np.array([1.0, 1.0]))
+        with pytest.raises(SignalError):
+            RRSeries.from_intervals([0.8, 0.9]).slice_time(5.0, 4.0)
+
+
+class TestBands:
+    def test_standard_bands_partition(self):
+        """ULF/VLF/LF/HF tile [0, 0.4) without gaps or overlaps."""
+        edges = []
+        for band in STANDARD_BANDS:
+            edges.append((band.low, band.high))
+        for (_, hi), (lo, _) in zip(edges, edges[1:]):
+            assert hi == lo
+        assert edges[0][0] == 0.0
+        assert edges[-1][1] == pytest.approx(0.40)
+
+    def test_paper_band_edges(self):
+        assert (LF_BAND.low, LF_BAND.high) == (0.04, 0.15)
+        assert (HF_BAND.low, HF_BAND.high) == (0.15, 0.40)
+
+    def test_band_power_rectangle_rule(self):
+        freqs = np.linspace(0.01, 0.5, 100)
+        power = np.ones(100)
+        df = freqs[1] - freqs[0]
+        expected = np.count_nonzero(LF_BAND.contains(freqs)) * df
+        assert np.isclose(band_power(power, LF_BAND, frequencies=freqs), expected)
+
+    def test_band_powers_keys(self):
+        freqs = np.linspace(0.001, 0.45, 200)
+        power = np.ones(200)
+        result = band_powers(power, frequencies=freqs)
+        assert set(result) == {"ULF", "VLF", "LF", "HF"}
+
+    def test_invalid_band(self):
+        with pytest.raises(SignalError):
+            FrequencyBand("bad", 0.2, 0.1)
+
+    def test_spectrum_object_accepted(self, rng):
+        from repro.lomb import FastLomb
+
+        series = _series(rng, n=300)
+        spectrum = FastLomb(max_frequency=0.4).periodogram(
+            series.times, series.intervals
+        )
+        assert band_power(spectrum, HF_BAND) >= 0
+
+
+class TestMetrics:
+    def test_lf_hf_ratio_synthetic_spectrum(self):
+        freqs = np.linspace(0.005, 0.45, 500)
+        power = np.where((freqs >= 0.04) & (freqs < 0.15), 2.0, 0.0)
+        power += np.where((freqs >= 0.15) & (freqs < 0.40), 1.0, 0.0)
+        ratio = lf_hf_ratio(power, frequencies=freqs)
+        # LF: 2.0 over 0.11 Hz; HF: 1.0 over 0.25 Hz -> ratio ~ 0.88.
+        assert ratio == pytest.approx(2.0 * 0.11 / 0.25, rel=0.05)
+
+    def test_ratio_error(self):
+        assert ratio_error(0.465, 0.45) == pytest.approx(1.0 / 30.0, rel=1e-6)
+        with pytest.raises(SignalError):
+            ratio_error(1.0, 0.0)
+
+    def test_sdnn_rmssd_known_values(self):
+        series = RRSeries.from_intervals([0.8, 0.9, 0.8, 0.9, 0.8])
+        assert sdnn(series) == pytest.approx(
+            np.std([800, 900, 800, 900, 800], ddof=1)
+        )
+        assert rmssd(series) == pytest.approx(100.0)
+
+    def test_pnn50(self):
+        series = RRSeries.from_intervals([0.8, 0.9, 0.91, 0.92])
+        # diffs: 100 ms, 10 ms, 10 ms -> 1 of 3 above 50 ms.
+        assert pnn50(series) == pytest.approx(1.0 / 3.0)
+
+    def test_summary_keys(self, rng):
+        summary = time_domain_summary(_series(rng))
+        assert set(summary) == {
+            "mean_rr_ms", "mean_hr_bpm", "sdnn_ms", "rmssd_ms", "sdsd_ms", "pnn50",
+        }
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scale=st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sdnn_scales_linearly(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        rr = 0.8 + 0.05 * rng.random(50)
+        a = sdnn(RRSeries.from_intervals(rr))
+        b = sdnn(RRSeries.from_intervals(rr * scale))
+        assert np.isclose(b, a * scale, rtol=1e-9)
+
+
+class TestPreprocessing:
+    def test_clean_series_untouched(self, rng):
+        series = _series(rng, jitter=0.01)
+        report = filter_artifacts(series)
+        assert report.fraction_corrected == 0.0
+        np.testing.assert_allclose(report.series.intervals, series.intervals)
+
+    def test_ectopic_detected_and_fixed(self, rng):
+        rr = 0.85 + 0.01 * rng.standard_normal(100)
+        rr[40] = 0.5   # early ectopic
+        rr[41] = 1.2   # compensatory pause
+        series = RRSeries.from_intervals(rr)
+        mask = detect_ectopic_mask(series.intervals)
+        assert mask[40] and mask[41]
+        report = filter_artifacts(series)
+        assert 40 in report.corrected_indices
+        assert abs(report.series.intervals[40] - 0.85) < 0.05
+
+    def test_too_many_artifacts_rejected(self, rng):
+        rr = np.where(np.arange(60) % 2 == 0, 0.5, 1.2)
+        series = RRSeries.from_intervals(rr + 0.01 * rng.random(60))
+        with pytest.raises(SignalError, match="rejected"):
+            filter_artifacts(series)
+
+    def test_invalid_parameters(self, rng):
+        series = _series(rng)
+        with pytest.raises(SignalError):
+            detect_ectopic_mask(series.intervals, window=4)
+        with pytest.raises(SignalError):
+            detect_ectopic_mask(series.intervals[:5], window=11)
+
+    def test_filtering_reduces_hf_leakage(self, rng):
+        """Removing ectopics lowers spurious broadband power."""
+        from repro.lomb import FastLomb
+
+        rr = 0.85 + 0.02 * np.sin(2 * np.pi * 0.1 * np.arange(200) * 0.85)
+        rr = rr + 0.003 * rng.standard_normal(200)
+        corrupted = rr.copy()
+        for idx in (50, 90, 130):
+            corrupted[idx] = 0.45
+            corrupted[idx + 1] = 1.3
+        clean = filter_artifacts(RRSeries.from_intervals(corrupted)).series
+        engine = FastLomb(max_frequency=0.4)
+        hf_dirty = engine.periodogram(
+            *(lambda s: (s.times, s.intervals))(RRSeries.from_intervals(corrupted))
+        ).band_power(0.15, 0.4)
+        hf_clean = engine.periodogram(clean.times, clean.intervals).band_power(
+            0.15, 0.4
+        )
+        assert hf_clean < hf_dirty
+
+
+class TestDetection:
+    def _spectrum(self, ratio):
+        freqs = np.linspace(0.005, 0.45, 500)
+        power = np.where((freqs >= 0.15) & (freqs < 0.40), 1.0, 0.0)
+        lf_level = ratio * 0.25 / 0.11
+        power += np.where((freqs >= 0.04) & (freqs < 0.15), lf_level, 0.0)
+        return freqs, power
+
+    def test_classify_arrhythmia(self):
+        freqs, power = self._spectrum(ratio=0.45)
+        detector = SinusArrhythmiaDetector()
+        result = detector.classify_spectrum(power, frequencies=freqs)
+        assert result.is_arrhythmia
+        assert result.margin < 0
+
+    def test_classify_healthy(self):
+        freqs, power = self._spectrum(ratio=2.5)
+        result = SinusArrhythmiaDetector().classify_spectrum(
+            power, frequencies=freqs
+        )
+        assert not result.is_arrhythmia
+
+    def test_agreement(self):
+        detector = SinusArrhythmiaDetector()
+        freqs, power = self._spectrum(0.4)
+        a = detector.classify_spectrum(power, frequencies=freqs)
+        freqs, power = self._spectrum(0.47)  # approximated ratio, same side
+        b = detector.classify_spectrum(power, frequencies=freqs)
+        assert detector.agreement(a, b)
+
+    def test_classify_windows(self, rng):
+        from repro.lomb import FastLomb, WelchLomb
+        from repro.ecg import make_cohort, Condition
+
+        patient = make_cohort(n_arrhythmia=1, n_healthy=0).patients[0]
+        rr = patient.rr_series(duration=480.0)
+        result = WelchLomb(FastLomb(max_frequency=0.45)).analyze(
+            rr.times, rr.intervals
+        )
+        decision = SinusArrhythmiaDetector().classify_windows(result)
+        assert decision.is_arrhythmia
+        assert decision.window_ratios.size == result.n_windows
+
+    def test_threshold_validation(self):
+        with pytest.raises(Exception):
+            SinusArrhythmiaDetector(threshold=-1.0)

@@ -1,0 +1,160 @@
+"""End-to-end integration tests pinning the paper's headline claims.
+
+Each test exercises a full cross-module path (cohort -> calibration ->
+pruned system -> node model) and asserts the claim's *shape* with the
+tolerances recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConventionalPSA,
+    PruningSpec,
+    QualityScalablePSA,
+    SensorNodeModel,
+    calibrate,
+    make_cohort,
+)
+from repro.ffts import WaveletFFT, split_radix_counts
+from repro.fixedpoint import FixedPointWaveletFFT, Q15, sqnr_db
+
+
+@pytest.fixture(scope="module")
+def cohort_recordings():
+    cohort = make_cohort(n_arrhythmia=6, n_healthy=3)
+    rsa = [
+        p.rr_series(duration=600.0)
+        for p in cohort
+        if p.patient_id.startswith("rsa")
+    ]
+    healthy = [
+        p.rr_series(duration=600.0)
+        for p in cohort
+        if p.patient_id.startswith("ctl")
+    ]
+    return rsa, healthy
+
+
+class TestHeadlineClaims:
+    def test_claim_82_percent_energy_savings(self):
+        """'up-to 82% energy savings when static pruning is combined
+        with voltage and frequency scaling'."""
+        system = QualityScalablePSA(pruning=PruningSpec.paper_mode(3))
+        report = system.energy_report(apply_vfs=True, fft_only=True)
+        assert report.energy_savings > 0.70  # measured: 78.9 %
+
+    def test_claim_average_accuracy_loss(self, cohort_recordings):
+        """'such energy savings come with a 4.9% average accuracy loss'."""
+        rsa, _ = cohort_recordings
+        conventional = ConventionalPSA()
+        proposed = QualityScalablePSA(pruning=PruningSpec.paper_mode(3))
+        errors = []
+        for rr in rsa:
+            ref = conventional.analyze(rr).lf_hf
+            approx = proposed.analyze(rr).lf_hf
+            errors.append(abs(approx - ref) / ref)
+        assert float(np.mean(errors)) < 0.10  # measured: ~6 %
+
+    def test_claim_detection_capability_unaffected(self, cohort_recordings):
+        """'does not affect the system detection capability of
+        sinus-arrhythmia' — across modes and patients."""
+        rsa, healthy = cohort_recordings
+        for spec in (
+            PruningSpec.band_only(),
+            PruningSpec.paper_mode(2),
+            PruningSpec.paper_mode(3),
+            PruningSpec.paper_mode(3, dynamic=True),
+        ):
+            system = QualityScalablePSA(pruning=spec)
+            for rr in rsa:
+                assert system.analyze(rr).detection.is_arrhythmia
+            for rr in healthy:
+                assert not system.analyze(rr).detection.is_arrhythmia
+
+    def test_claim_ratio_much_less_than_one(self, cohort_recordings):
+        """Table I: the cohort-average ratio stays 'much less than 1'
+        under every approximation mode."""
+        rsa, _ = cohort_recordings
+        for spec in (PruningSpec.band_only(), PruningSpec.paper_mode(3)):
+            system = QualityScalablePSA(pruning=spec)
+            mean_ratio = float(
+                np.mean([system.analyze(rr).lf_hf for rr in rsa])
+            )
+            assert mean_ratio < 0.7
+
+
+class TestCalibratedPipeline:
+    def test_calibration_to_system_roundtrip(self, cohort_recordings):
+        """eq. 3 calibration licenses the band drop and the calibrated
+        dynamic spec runs end to end with bounded distortion."""
+        rsa, _ = cohort_recordings
+        calibration = calibrate(rsa[:3])
+        assert calibration.band_drop_supported
+        spec = calibration.pruning_spec(3, dynamic=True)
+        system = QualityScalablePSA(pruning=spec)
+        conventional = ConventionalPSA()
+        for rr in rsa[3:5]:
+            ref = conventional.analyze(rr).lf_hf
+            approx = system.analyze(rr).lf_hf
+            assert abs(approx - ref) / ref < 0.15
+
+    def test_dynamic_subset_property_system_level(self, cohort_recordings):
+        """Dynamic pruning's distortion never exceeds static's by more
+        than noise, while costing more energy (the Fig. 9 trade)."""
+        rsa, _ = cohort_recordings
+        calibration = calibrate(rsa[:3])
+        conventional = ConventionalPSA()
+        node = SensorNodeModel()
+        static_spec = PruningSpec.paper_mode(3)
+        dynamic_spec = calibration.pruning_spec(3, dynamic=True)
+        static_sys = QualityScalablePSA(pruning=static_spec, node=node)
+        dynamic_sys = QualityScalablePSA(pruning=dynamic_spec, node=node)
+        static_err, dynamic_err = [], []
+        for rr in rsa[3:]:
+            ref = conventional.analyze(rr).lf_hf
+            static_err.append(abs(static_sys.analyze(rr).lf_hf - ref) / ref)
+            dynamic_err.append(abs(dynamic_sys.analyze(rr).lf_hf - ref) / ref)
+        assert np.mean(dynamic_err) <= np.mean(static_err) + 0.02
+        s_energy = static_sys.energy_report(apply_vfs=True, fft_only=True)
+        d_energy = dynamic_sys.energy_report(apply_vfs=True, fft_only=True)
+        assert d_energy.energy_savings < s_energy.energy_savings
+
+
+class TestCrossSubstrateConsistency:
+    def test_counts_drive_node_consistently(self):
+        """FFT op counts, node cycles and energy stay proportional."""
+        node = SensorNodeModel()
+        a = WaveletFFT(512, pruning=PruningSpec.band_only()).static_counts()
+        b = split_radix_counts(512)
+        ops_ratio = a.total / b.total
+        cycle_ratio = node.cycles(a) / node.cycles(b)
+        assert abs(ops_ratio - cycle_ratio) < 0.08
+
+    def test_fixed_point_system_agrees_with_float(self):
+        """The Q15 pruned kernel tracks its float twin on real windows."""
+        from repro.core.calibration import extract_calibration_windows
+        from repro import PSAConfig
+
+        rr = make_cohort().get("rsa-02").rr_series(duration=300.0)
+        window = extract_calibration_windows([rr], PSAConfig(), packed=True)[0]
+        window = window * (0.9 / np.max(np.abs([window.real, window.imag])))
+        spec = PruningSpec.paper_mode(3)
+        float_out = WaveletFFT(512, pruning=spec).transform(window)
+        fixed_out = FixedPointWaveletFFT(512, "haar", Q15, pruning=spec)
+        assert sqnr_db(float_out, fixed_out.transform(window).values) > 35
+
+    def test_qrs_to_psa_full_path(self):
+        """ECG synthesis -> QRS -> RR -> pruned PSA, one pipeline."""
+        from repro.ecg import QrsDetector, generate_tachogram, synthesize_ecg
+        from repro import TachogramSpec
+
+        truth = generate_tachogram(TachogramSpec(seed=12), duration=300.0)
+        t, ecg = synthesize_ecg(truth.times, seed=3)
+        detected = QrsDetector().detect(t, ecg)
+        system = QualityScalablePSA(pruning=PruningSpec.paper_mode(1))
+        result = system.analyze(detected.rr)
+        assert result.lf_hf > 0
+        assert result.welch.n_windows >= 3

@@ -1,0 +1,162 @@
+"""Tests for the direct Lomb periodogram and extirpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.signal import lombscargle
+
+from repro.errors import SignalError
+from repro.lomb import (
+    extirpolate,
+    extirpolation_weights,
+    lomb_frequency_grid,
+    lomb_periodogram,
+)
+
+
+def _uneven_times(rng, n, duration=120.0):
+    gaps = 0.7 + 0.4 * rng.random(n)
+    t = np.cumsum(gaps)
+    return (t - t[0]) * (duration / (t[-1] - t[0]))
+
+
+class TestFrequencyGrid:
+    def test_grid_spacing(self):
+        grid = lomb_frequency_grid(duration=120.0, n_samples=100, oversample=2.0)
+        assert np.isclose(grid[0], 1.0 / 240.0)
+        assert np.allclose(np.diff(grid), grid[0])
+
+    def test_max_frequency_respected(self):
+        grid = lomb_frequency_grid(120.0, 100, 2.0, max_frequency=0.4)
+        assert grid[-1] <= 0.4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SignalError):
+            lomb_frequency_grid(-1.0, 10)
+        with pytest.raises(SignalError):
+            lomb_frequency_grid(10.0, 10, oversample=0.5)
+        with pytest.raises(SignalError):
+            lomb_frequency_grid(10.0, 10, max_frequency=1e-6)
+
+
+class TestDirectLomb:
+    def test_matches_scipy(self, rng):
+        t = _uneven_times(rng, 80)
+        x = np.sin(2 * np.pi * 0.1 * t) + 0.3 * rng.standard_normal(t.size)
+        freqs, power = lomb_periodogram(t, x, max_frequency=0.45)
+        reference = lombscargle(t, x - x.mean(), 2 * np.pi * freqs)
+        np.testing.assert_allclose(
+            power, reference / np.var(x, ddof=1), rtol=1e-8
+        )
+
+    def test_recovers_tone_frequency(self, rng):
+        t = _uneven_times(rng, 150)
+        f0 = 0.25
+        x = 0.05 * np.sin(2 * np.pi * f0 * t) + 0.9
+        x += 0.002 * rng.standard_normal(t.size)
+        freqs, power = lomb_periodogram(t, x, max_frequency=0.45)
+        assert abs(freqs[np.argmax(power)] - f0) < 0.01
+
+    def test_time_shift_invariance(self, rng):
+        """The tau offset makes the periodogram shift-invariant (eq. 1)."""
+        t = _uneven_times(rng, 60)
+        x = np.sin(2 * np.pi * 0.2 * t) + 0.1 * rng.standard_normal(t.size)
+        freqs = np.linspace(0.05, 0.4, 40)
+        _, p0 = lomb_periodogram(t, x, frequencies=freqs)
+        _, p1 = lomb_periodogram(t + 1234.5, x, frequencies=freqs)
+        np.testing.assert_allclose(p0, p1, rtol=1e-6)
+
+    def test_power_nonnegative(self, rng):
+        t = _uneven_times(rng, 50)
+        x = rng.standard_normal(t.size)
+        _, power = lomb_periodogram(t, x, max_frequency=0.4)
+        assert np.all(power >= 0)
+
+    def test_rejects_bad_input(self, rng):
+        with pytest.raises(SignalError):
+            lomb_periodogram([0.0, 1.0, 0.5], [1.0, 2.0, 3.0])
+        with pytest.raises(SignalError):
+            lomb_periodogram([0.0, 1.0], [1.0])
+        with pytest.raises(SignalError):
+            lomb_periodogram([0.0, 1.0, 2.0], [1.0, 1.0, 1.0])  # zero variance
+        t = _uneven_times(rng, 10)
+        with pytest.raises(SignalError):
+            lomb_periodogram(t, rng.standard_normal(10), frequencies=[-0.1])
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_invariance_property(self, seed):
+        """Normalised Lomb power is invariant to affine data scaling."""
+        rng = np.random.default_rng(seed)
+        t = _uneven_times(rng, 40)
+        x = rng.standard_normal(40)
+        freqs = np.linspace(0.05, 0.3, 20)
+        _, p0 = lomb_periodogram(t, x, frequencies=freqs)
+        _, p1 = lomb_periodogram(t, 5.0 * x + 3.0, frequencies=freqs)
+        np.testing.assert_allclose(p0, p1, rtol=1e-7)
+
+
+class TestExtirpolation:
+    def test_integer_positions_are_exact(self):
+        out = extirpolate([2.0, 3.0], [4.0, 10.0], 16)
+        assert out[4] == 2.0 and out[10] == 3.0
+        assert np.count_nonzero(out) == 2
+
+    def test_mass_preserved(self, rng):
+        """Lagrange weights sum to 1: total mass is conserved."""
+        values = rng.random(50) + 0.5
+        positions = rng.random(50) * 200.0
+        out = extirpolate(values, positions, 256)
+        assert np.isclose(out.sum(), values.sum(), rtol=1e-9)
+
+    def test_moment_preserved(self, rng):
+        """First moment (centroid) is preserved by order-4 spreading."""
+        values = rng.random(30) + 0.5
+        positions = 20.0 + rng.random(30) * 100.0
+        out = extirpolate(values, positions, 256)
+        lhs = float(values @ positions)
+        rhs = float(out @ np.arange(256))
+        assert np.isclose(lhs, rhs, rtol=1e-8)
+
+    def test_trig_sums_approximated(self, rng):
+        """The defining property: FFT-compatible sums match direct sums.
+
+        The order-4 Lagrange error grows with the harmonic index m (the
+        Press-Rybicki accuracy limit), so the tolerance scales with m.
+        """
+        n, size = 80, 512
+        values = rng.standard_normal(n)
+        positions = rng.random(n) * (size / 2.0)
+        out = extirpolate(values, positions, size)
+        for m, tol in ((1, 1e-5), (5, 1e-4), (20, 5e-3), (60, 5e-2)):
+            direct = np.sum(values * np.exp(-2j * np.pi * positions * m / size))
+            gridded = np.sum(out * np.exp(-2j * np.pi * np.arange(size) * m / size))
+            assert abs(direct - gridded) < tol * max(1.0, abs(direct))
+
+    def test_weights_match_vectorised_path(self, rng):
+        pos = 7.3
+        cells, weights = extirpolation_weights(pos, 64)
+        dense = extirpolate([1.0], [pos], 64)
+        np.testing.assert_allclose(dense[cells], weights, atol=1e-12)
+        assert np.isclose(weights.sum(), 1.0, rtol=1e-12)
+
+    def test_edge_clamping(self):
+        out_low = extirpolate([1.0], [0.4], 32)
+        out_high = extirpolate([1.0], [31.2], 32)
+        assert np.isclose(out_low.sum(), 1.0)
+        assert np.isclose(out_high.sum(), 1.0)
+        assert np.count_nonzero(out_low[:4]) > 0
+        assert np.count_nonzero(out_high[-4:]) > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SignalError):
+            extirpolate([1.0], [40.0], 32)
+        with pytest.raises(SignalError):
+            extirpolate([1.0], [-0.1], 32)
+        with pytest.raises(SignalError):
+            extirpolate([1.0, 2.0], [1.0], 32)
+        with pytest.raises(SignalError):
+            extirpolation_weights(1.5, 64, order=1)

@@ -1,0 +1,215 @@
+"""Tests for Fast-Lomb (Press-Rybicki) and the Welch-Lomb wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.ffts import PruningSpec, SplitRadixFFT, WaveletFFT
+from repro.lomb import FastLomb, WelchLomb, iter_windows, lomb_periodogram
+
+
+def _rr_series(rng, minutes=2.0, hf_amp=0.05, lf_amp=0.02, mean_rr=0.85):
+    """Synthetic RR tachogram with LF (0.1 Hz) and HF (0.25 Hz) tones."""
+    n = int(minutes * 60.0 / mean_rr) + 8
+    beat_clock = np.cumsum(np.full(n, mean_rr))
+    rr = (
+        mean_rr
+        + lf_amp * np.sin(2 * np.pi * 0.1 * beat_clock)
+        + hf_amp * np.sin(2 * np.pi * 0.25 * beat_clock)
+        + 0.003 * rng.standard_normal(n)
+    )
+    times = np.cumsum(rr)
+    return times - times[0], rr
+
+
+class TestFastLomb:
+    def test_agrees_with_direct_lomb(self, rng):
+        times, rr = _rr_series(rng)
+        engine = FastLomb(workspace_size=512, max_frequency=0.45)
+        spectrum = engine.periodogram(times, rr)
+        _, direct = lomb_periodogram(times, rr, frequencies=spectrum.frequencies)
+        # Agreement at all bins carrying meaningful power.
+        significant = direct > 0.05 * direct.max()
+        rel = np.abs(spectrum.power - direct)[significant] / direct[significant]
+        assert np.max(rel) < 0.05
+
+    def test_finds_hf_peak(self, rng):
+        times, rr = _rr_series(rng, hf_amp=0.06, lf_amp=0.01)
+        spectrum = FastLomb(max_frequency=0.45).periodogram(times, rr)
+        peak = spectrum.frequencies[np.argmax(spectrum.power)]
+        assert abs(peak - 0.25) < 0.02
+
+    def test_paper_geometry_fills_half_workspace(self, rng):
+        """117 beats / 2 min / ofac 2 -> data occupy ~256 of 512 cells."""
+        from repro.lomb.extirpolation import extirpolate
+
+        times, rr = _rr_series(rng)
+        engine = FastLomb(workspace_size=512, oversample=2.0)
+        duration = times[-1] - times[0]
+        fac = 512 / (2.0 * duration)
+        positions = (times - times[0]) * fac
+        assert positions.max() <= 256.0 + 1e-9
+        workspace = extirpolate(rr - rr.mean(), positions, 512)
+        assert np.count_nonzero(np.abs(workspace[300:]) > 1e-12) == 0
+
+    def test_wavelet_backend_exact_matches_conventional(self, rng):
+        times, rr = _rr_series(rng)
+        conv = FastLomb(backend=SplitRadixFFT(512), max_frequency=0.4)
+        prop = FastLomb(backend=WaveletFFT(512, basis="haar"), max_frequency=0.4)
+        p_conv = conv.periodogram(times, rr)
+        p_prop = prop.periodogram(times, rr)
+        np.testing.assert_allclose(p_prop.power, p_conv.power, rtol=1e-6)
+
+    def test_pruned_backend_small_band_error(self, rng):
+        times, rr = _rr_series(rng)
+        conv = FastLomb(backend=SplitRadixFFT(512), max_frequency=0.4)
+        pruned = FastLomb(
+            backend=WaveletFFT(512, pruning=PruningSpec.paper_mode(3)),
+            max_frequency=0.4,
+        )
+        p_conv = conv.periodogram(times, rr)
+        p_pruned = pruned.periodogram(times, rr)
+        lf_err = abs(
+            p_pruned.band_power(0.04, 0.15) - p_conv.band_power(0.04, 0.15)
+        ) / p_conv.band_power(0.04, 0.15)
+        hf_err = abs(
+            p_pruned.band_power(0.15, 0.4) - p_conv.band_power(0.15, 0.4)
+        ) / p_conv.band_power(0.15, 0.4)
+        assert lf_err < 0.30
+        assert hf_err < 0.35
+
+    def test_counts_include_fft_and_blocks(self, rng):
+        times, rr = _rr_series(rng)
+        engine = FastLomb(max_frequency=0.4)
+        spectrum = engine.periodogram(times, rr, count_ops=True)
+        assert spectrum.counts is not None
+        breakdown = engine.count_breakdown(times, rr)
+        assert set(breakdown) == {
+            "extirpolation", "moments", "unpack", "lomb_combine", "fft",
+        }
+        assert sum(breakdown.values()).total == spectrum.counts.total
+
+    def test_fft_dominates_window_cost(self, rng):
+        """The Fig. 1(b) premise: the FFT is the dominant block."""
+        times, rr = _rr_series(rng)
+        breakdown = FastLomb(max_frequency=0.4).count_breakdown(times, rr)
+        total = sum(breakdown.values()).total
+        assert breakdown["fft"].total / total > 0.5
+
+    def test_band_power_and_errors(self, rng):
+        times, rr = _rr_series(rng)
+        spectrum = FastLomb(max_frequency=0.4).periodogram(times, rr)
+        assert spectrum.band_power(0.15, 0.4) > 0
+        with pytest.raises(SignalError):
+            spectrum.band_power(0.4, 0.15)
+
+    def test_configuration_errors(self):
+        with pytest.raises(ConfigurationError):
+            FastLomb(workspace_size=500)
+        with pytest.raises(ConfigurationError):
+            FastLomb(oversample=0.5)
+        with pytest.raises(ConfigurationError):
+            FastLomb(scaling="psd")
+        with pytest.raises(ConfigurationError):
+            FastLomb(max_frequency=-0.1)
+        with pytest.raises(ConfigurationError):
+            FastLomb(workspace_size=512, backend=SplitRadixFFT(256))
+
+    def test_signal_errors(self, rng):
+        engine = FastLomb()
+        with pytest.raises(SignalError):
+            engine.periodogram([0, 1, 2, 3], [1, 1, 1, 1])  # zero variance
+        with pytest.raises(SignalError):
+            engine.periodogram([0, 2, 1, 3], [1, 2, 3, 4])  # not increasing
+
+    def test_denormalized_scaling(self, rng):
+        times, rr = _rr_series(rng)
+        std = FastLomb(max_frequency=0.4, scaling="standard").periodogram(times, rr)
+        den = FastLomb(max_frequency=0.4, scaling="denormalized").periodogram(
+            times, rr
+        )
+        expected = std.power * 2.0 * std.variance / std.n_samples
+        np.testing.assert_allclose(den.power, expected, rtol=1e-9)
+
+
+class TestWindowing:
+    def test_window_layout(self):
+        times = np.arange(0.0, 600.0, 1.0)
+        spans = iter_windows(times, window_seconds=120.0, overlap=0.5)
+        assert len(spans) >= 8
+        starts = [times[a] for a, _ in spans]
+        assert np.allclose(np.diff(starts), 60.0)
+
+    def test_no_overlap(self):
+        times = np.arange(0.0, 600.0, 1.0)
+        spans = iter_windows(times, window_seconds=120.0, overlap=0.0)
+        for (a0, s0), (a1, _s1) in zip(spans, spans[1:]):
+            assert a1 >= s0 - 1
+
+    def test_invalid_parameters(self):
+        times = np.arange(0.0, 100.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            iter_windows(times, -5.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            iter_windows(times, 120.0, 1.0)
+
+
+class TestWelchLomb:
+    def _long_recording(self, rng, minutes=20.0):
+        return _rr_series(rng, minutes=minutes)
+
+    def test_spectrogram_shape(self, rng):
+        times, rr = self._long_recording(rng)
+        result = WelchLomb(FastLomb(max_frequency=0.4)).analyze(times, rr)
+        assert result.spectrogram.shape == (
+            result.n_windows,
+            result.frequencies.size,
+        )
+        assert result.window_times.size == result.n_windows
+        # 20 minutes, 2-minute windows, 50 % overlap -> about 19 windows.
+        assert 15 <= result.n_windows <= 21
+
+    def test_average_is_row_mean(self, rng):
+        times, rr = self._long_recording(rng)
+        result = WelchLomb(FastLomb(max_frequency=0.4)).analyze(times, rr)
+        np.testing.assert_allclose(
+            result.averaged, result.spectrogram.mean(axis=0), rtol=1e-12
+        )
+
+    def test_averaging_reduces_variance(self, rng):
+        """Welch's point: averaging suppresses estimator noise.
+
+        Uses a tone-free (white) tachogram so that across-bin spread
+        measures estimator variance rather than deterministic leakage.
+        """
+        n = 2200  # ~30 minutes of beats
+        rr = 0.85 + 0.02 * rng.standard_normal(n)
+        times = np.cumsum(rr)
+        times -= times[0]
+        result = WelchLomb(FastLomb(max_frequency=0.4)).analyze(times, rr)
+        single = result.spectrogram[0]
+        assert np.std(result.averaged) < 0.5 * np.std(single)
+
+    def test_counts_accumulate(self, rng):
+        times, rr = self._long_recording(rng, minutes=10.0)
+        result = WelchLomb(FastLomb(max_frequency=0.4)).analyze(
+            times, rr, count_ops=True
+        )
+        per_window = result.window_spectra[0].counts
+        assert result.counts.total >= per_window.total * result.n_windows * 0.8
+
+    def test_averaged_spectrum_view(self, rng):
+        times, rr = self._long_recording(rng, minutes=10.0)
+        result = WelchLomb(FastLomb(max_frequency=0.4)).analyze(times, rr)
+        view = result.averaged_spectrum()
+        np.testing.assert_allclose(view.power, result.averaged)
+        assert view.band_power(0.15, 0.4) > 0
+
+    def test_short_recording_rejected(self, rng):
+        with pytest.raises(SignalError):
+            WelchLomb().analyze([0.0, 1.0, 2.0], [0.8, 0.9, 0.85])
+
+    def test_default_analyzer_denormalized(self):
+        assert WelchLomb().analyzer.scaling == "denormalized"

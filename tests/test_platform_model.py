@@ -1,0 +1,253 @@
+"""Tests for the ISA/energy/VFS/node models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlatformError
+from repro.ffts import OpCounts, PruningSpec, WaveletFFT, split_radix_counts
+from repro.platform import (
+    DvfsTable,
+    EnergyModel,
+    InstructionClass,
+    InstructionSet,
+    KernelExpansion,
+    OperatingPoint,
+    SensorNodeModel,
+    alpha_power_frequency,
+    profile_blocks,
+)
+
+
+class TestInstructionSet:
+    def test_default_costs_positive(self):
+        isa = InstructionSet()
+        for cls in InstructionClass:
+            assert isa.cost(cls) > 0
+
+    def test_load_costs_more_than_alu(self):
+        isa = InstructionSet()
+        assert isa.cost(InstructionClass.LOAD) > isa.cost(InstructionClass.ALU)
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(PlatformError):
+            InstructionSet(cycles={InstructionClass.ALU: 1.0})
+
+    def test_nonpositive_cost_rejected(self):
+        bad = {cls: 1.0 for cls in InstructionClass}
+        bad[InstructionClass.MUL] = 0.0
+        with pytest.raises(PlatformError):
+            InstructionSet(cycles=bad)
+
+
+class TestKernelExpansion:
+    def test_cycles_scale_linearly(self):
+        expansion = KernelExpansion()
+        isa = InstructionSet()
+        one = expansion.cycles(OpCounts(mults=1, adds=1), isa)
+        many = expansion.cycles(OpCounts(mults=10, adds=10), isa)
+        assert np.isclose(many, 10 * one)
+
+    def test_compare_includes_branch(self):
+        expansion = KernelExpansion()
+        mix = expansion.instruction_counts(OpCounts(compares=5))
+        assert mix[InstructionClass.COMPARE] == 5
+        assert mix[InstructionClass.BRANCH] == 5
+
+    def test_empty_counts_cost_nothing(self):
+        assert KernelExpansion().cycles(OpCounts(), InstructionSet()) == 0.0
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_quadratic_in_voltage(self):
+        model = EnergyModel()
+        e_full = model.dynamic_energy_per_cycle(1.0)
+        e_half = model.dynamic_energy_per_cycle(0.5)
+        assert np.isclose(e_half, e_full * 0.25)
+
+    def test_leakage_decreases_with_voltage(self):
+        model = EnergyModel()
+        assert model.leakage_power(0.6) < model.leakage_power(1.0)
+
+    def test_energy_composition(self):
+        model = EnergyModel()
+        dyn_only = model.energy(1000, 1.0, 0.0)
+        with_leak = model.energy(1000, 1.0, 1e-3)
+        assert with_leak > dyn_only
+        assert np.isclose(dyn_only, 1000 * model.energy_per_cycle_nominal)
+
+    def test_validation(self):
+        model = EnergyModel()
+        with pytest.raises(PlatformError):
+            model.energy(-1, 1.0, 0.0)
+        with pytest.raises(Exception):
+            EnergyModel(nominal_voltage=-1.0)
+
+
+class TestVfs:
+    def test_alpha_power_monotone(self):
+        voltages = np.linspace(0.3, 1.0, 15)
+        fracs = [alpha_power_frequency(v) for v in voltages]
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+        assert np.isclose(alpha_power_frequency(1.0), 1.0)
+
+    def test_below_threshold_zero(self):
+        assert alpha_power_frequency(0.2) == 0.0
+
+    def test_default_table_ordering(self):
+        table = DvfsTable()
+        assert table.nominal.voltage == 1.0
+        assert table.nominal.frequency == pytest.approx(100e6)
+
+    def test_scale_for_cycles_picks_lowest_feasible(self):
+        table = DvfsTable()
+        point = table.scale_for_cycles(0.58)
+        assert point.voltage == pytest.approx(0.6)
+        point_full = table.scale_for_cycles(1.0)
+        assert point_full.voltage == 1.0
+
+    def test_scale_for_cycles_validation(self):
+        table = DvfsTable()
+        with pytest.raises(Exception):
+            table.scale_for_cycles(1.5)
+
+    def test_energy_minimising_point_respects_deadline(self):
+        table = DvfsTable()
+        model = EnergyModel()
+        cycles = 1e5
+        deadline = cycles / 100e6  # exactly nominal time
+        point = table.energy_minimising_point(cycles, model, deadline)
+        assert point.voltage == 1.0  # nothing slower fits
+
+    def test_energy_minimising_point_scales_down(self):
+        table = DvfsTable()
+        model = EnergyModel()
+        cycles = 5e4
+        deadline = 1e5 / 100e6  # slack of 2x
+        point = table.energy_minimising_point(cycles, model, deadline)
+        assert point.voltage < 1.0
+
+    def test_infeasible_deadline_raises(self):
+        table = DvfsTable()
+        model = EnergyModel()
+        with pytest.raises(PlatformError):
+            table.energy_minimising_point(1e9, model, deadline=1e-6)
+
+    def test_invalid_tables_rejected(self):
+        with pytest.raises(PlatformError):
+            DvfsTable(points=())
+        with pytest.raises(PlatformError):
+            DvfsTable(
+                points=(
+                    OperatingPoint(0.8, 50e6),
+                    OperatingPoint(1.0, 100e6),
+                )
+            )
+
+
+class TestSensorNodeModel:
+    def test_execute_at_nominal(self):
+        node = SensorNodeModel()
+        report = node.execute(OpCounts(mults=100, adds=100))
+        assert report.cycles > 0
+        assert report.energy > 0
+        assert report.operating_point.voltage == 1.0
+
+    def test_paper_energy_saving_shape(self):
+        """Fig. 9 shape: static savings grow with pruning; VFS amplifies;
+        the maximum approaches the paper's 82 %."""
+        node = SensorNodeModel()
+        baseline = split_radix_counts(512)
+        static, vfs = [], []
+        for mode in (1, 2, 3):
+            counts = WaveletFFT(
+                512, pruning=PruningSpec.paper_mode(mode)
+            ).static_counts()
+            static.append(
+                node.evaluate_against_baseline(
+                    counts, baseline, apply_vfs=False
+                ).energy_savings
+            )
+            vfs.append(
+                node.evaluate_against_baseline(
+                    counts, baseline, apply_vfs=True
+                ).energy_savings
+            )
+        assert static[0] < static[1] < static[2]
+        assert all(v > s for v, s in zip(vfs, static))
+        assert 0.30 < static[2] < 0.55   # paper: up to 51 % static
+        assert 0.65 < vfs[2] < 0.88      # paper: up to 82 % with VFS
+
+    def test_dynamic_pruning_energy_overhead(self):
+        """Dynamic pruning costs ~10 % extra energy vs static (Fig. 9)."""
+        node = SensorNodeModel()
+        baseline = split_radix_counts(512)
+        static_counts = WaveletFFT(
+            512, pruning=PruningSpec.paper_mode(3)
+        ).static_counts()
+        dynamic_counts = WaveletFFT(
+            512, pruning=PruningSpec.paper_mode(3, dynamic=True)
+        ).static_counts()
+        s = node.evaluate_against_baseline(static_counts, baseline).energy_savings
+        d = node.evaluate_against_baseline(dynamic_counts, baseline).energy_savings
+        assert d < s
+        assert 0.03 < s - d < 0.25
+
+    def test_vfs_never_hurts(self):
+        node = SensorNodeModel()
+        baseline = split_radix_counts(512)
+        counts = WaveletFFT(512, pruning=PruningSpec.band_only()).static_counts()
+        static = node.evaluate_against_baseline(counts, baseline, apply_vfs=False)
+        vfs = node.evaluate_against_baseline(counts, baseline, apply_vfs=True)
+        assert vfs.energy_savings >= static.energy_savings
+
+    def test_slower_kernel_pins_to_nominal(self):
+        node = SensorNodeModel()
+        baseline = OpCounts(mults=100, adds=100)
+        bloated = OpCounts(mults=200, adds=200)
+        report = node.evaluate_against_baseline(bloated, baseline, apply_vfs=True)
+        assert not report.vfs_applied
+        assert report.energy_savings < 0
+
+    def test_sustainable_window_rate(self):
+        node = SensorNodeModel()
+        rate = node.sustainable_window_rate(split_radix_counts(512))
+        # ~44k cycles at 100 MHz -> thousands of windows per second.
+        assert rate > 1000
+
+
+class TestProfiler:
+    def test_profile_shares_sum_to_one(self):
+        breakdown = {
+            "fft": OpCounts(mults=3000, adds=12000),
+            "extirpolation": OpCounts(mults=3000, adds=1000),
+            "lomb": OpCounts(mults=2300, adds=900),
+        }
+        profiles = profile_blocks(breakdown)
+        assert np.isclose(sum(p.cycle_share for p in profiles), 1.0)
+        assert np.isclose(sum(p.energy_share for p in profiles), 1.0)
+
+    def test_sorted_by_energy_share(self):
+        breakdown = {
+            "small": OpCounts(adds=10),
+            "large": OpCounts(mults=1000, adds=1000),
+        }
+        profiles = profile_blocks(breakdown)
+        assert profiles[0].name == "large"
+
+    def test_empty_breakdown_rejected(self):
+        with pytest.raises(PlatformError):
+            profile_blocks({})
+
+    def test_fig1b_fft_dominates(self, rng):
+        """End-to-end: the FFT is the biggest block of a PSA window."""
+        from repro.lomb import FastLomb
+
+        rr = 0.85 + 0.02 * rng.standard_normal(140)
+        t = np.cumsum(rr)
+        t -= t[0]
+        breakdown = FastLomb(max_frequency=0.4).count_breakdown(t, rr)
+        profiles = profile_blocks(breakdown)
+        assert profiles[0].name == "fft"
+        assert profiles[0].energy_share > 0.5

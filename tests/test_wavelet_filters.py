@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.wavelets.filters`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wavelets import PAPER_BASES, WaveletFilter, available_bases, get_filter
+
+
+class TestRegistry:
+    def test_paper_bases_are_registered(self):
+        for name in PAPER_BASES:
+            assert get_filter(name).name == name
+
+    def test_available_bases_contains_extensions(self):
+        names = available_bases()
+        assert {"haar", "db1", "db2", "db4", "db6", "db8"} <= set(names)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_filter("Haar") is get_filter("haar")
+
+    def test_unknown_basis_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown wavelet basis"):
+            get_filter("coif1")
+
+    def test_db1_is_haar_alias(self):
+        np.testing.assert_allclose(
+            get_filter("db1").lowpass, get_filter("haar").lowpass
+        )
+
+
+class TestFilterProperties:
+    @pytest.mark.parametrize("name", ["haar", "db2", "db4", "db6", "db8"])
+    def test_orthonormality(self, name):
+        get_filter(name).check_orthonormality()
+
+    @pytest.mark.parametrize("name", ["haar", "db2", "db4", "db6", "db8"])
+    def test_lowpass_sums_to_sqrt2(self, name):
+        bank = get_filter(name)
+        assert math.isclose(float(bank.lowpass.sum()), math.sqrt(2.0), rel_tol=1e-9)
+
+    @pytest.mark.parametrize("name", ["haar", "db2", "db4", "db6", "db8"])
+    def test_highpass_sums_to_zero(self, name):
+        bank = get_filter(name)
+        assert abs(float(bank.highpass.sum())) < 1e-9
+
+    @pytest.mark.parametrize(
+        "name,taps", [("haar", 2), ("db2", 4), ("db4", 8), ("db6", 12), ("db8", 16)]
+    )
+    def test_lengths(self, name, taps):
+        bank = get_filter(name)
+        assert bank.length == taps
+        assert bank.vanishing_moments == taps // 2
+
+    def test_haar_values(self):
+        bank = get_filter("haar")
+        s = 1.0 / math.sqrt(2.0)
+        np.testing.assert_allclose(bank.lowpass, [s, s])
+        np.testing.assert_allclose(bank.highpass, [s, -s])
+
+    def test_qmf_relation(self, paper_basis):
+        bank = get_filter(paper_basis)
+        length = bank.length
+        expected = [
+            (-1.0) ** j * bank.lowpass[length - 1 - j] for j in range(length)
+        ]
+        np.testing.assert_allclose(bank.highpass, expected)
+
+    @pytest.mark.parametrize("name", ["db2", "db4", "db6", "db8"])
+    def test_first_moment_vanishes(self, name):
+        """Daubechies highpass filters of order >= 2 kill linear ramps."""
+        bank = get_filter(name)
+        moment = float(np.arange(bank.length) @ bank.highpass)
+        assert abs(moment) < 1e-7
+
+
+class TestConstruction:
+    def test_from_lowpass_rejects_odd_length(self):
+        with pytest.raises(ConfigurationError, match="even length"):
+            WaveletFilter.from_lowpass("bad", [1.0, 0.0, 0.0])
+
+    def test_from_lowpass_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            WaveletFilter.from_lowpass("bad", [[1.0, 0.0], [0.0, 1.0]])
+
+    def test_check_orthonormality_rejects_bad_energy(self):
+        bank = WaveletFilter.from_lowpass("bad", [1.0, 1.0])
+        with pytest.raises(ConfigurationError, match="unit-energy"):
+            bank.check_orthonormality()
+
+    def test_check_orthonormality_rejects_shift_correlation(self):
+        taps = np.array([0.6, 0.53, 0.45, 0.39])
+        taps = taps / np.linalg.norm(taps)
+        bank = WaveletFilter.from_lowpass("bad", taps)
+        with pytest.raises(ConfigurationError):
+            bank.check_orthonormality()

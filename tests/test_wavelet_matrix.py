@@ -1,0 +1,140 @@
+"""Tests for the dense operator identities of paper Section IV.B."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.wavelets import (
+    butterfly_block_matrix,
+    dft_matrix,
+    dwt_level,
+    dwt_matrix,
+    even_odd_permutation_matrix,
+    packet_matrix,
+    wavelet_packet,
+)
+
+
+class TestDwtMatrix:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_orthogonality(self, n, paper_basis):
+        w = dwt_matrix(n, paper_basis)
+        np.testing.assert_allclose(w @ w.T, np.eye(n), atol=1e-10)
+
+    def test_matches_functional_dwt(self, paper_basis, rng):
+        n = 32
+        x = rng.standard_normal(n)
+        w = dwt_matrix(n, paper_basis)
+        approx, detail = dwt_level(x, paper_basis)
+        np.testing.assert_allclose(w @ x, np.concatenate([approx, detail]),
+                                   atol=1e-10)
+
+    def test_haar_4x4_structure(self):
+        w = dwt_matrix(4, "haar")
+        s = 1.0 / np.sqrt(2.0)
+        expected = np.array(
+            [
+                [s, s, 0, 0],
+                [0, 0, s, s],
+                [s, -s, 0, 0],
+                [0, 0, s, -s],
+            ]
+        )
+        np.testing.assert_allclose(w, expected, atol=1e-12)
+
+    def test_non_power_of_two_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            dwt_matrix(12, "haar")
+
+
+class TestDftPieces:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_dft_matrix_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(dft_matrix(n) @ x, np.fft.fft(x), atol=1e-9)
+
+    def test_even_odd_permutation(self):
+        p = even_odd_permutation_matrix(8)
+        x = np.arange(8.0)
+        np.testing.assert_allclose(p @ x, [0, 2, 4, 6, 1, 3, 5, 7])
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_radix2_factorization(self, n):
+        """Paper eq. 5: F_N = [I D; I -D] diag(F_half, F_half) P_N."""
+        half = n // 2
+        d = np.diag(np.exp(-2j * np.pi * np.arange(half) / n))
+        eye = np.eye(half)
+        butterfly = np.block([[eye, d], [eye, -d]])
+        f_half = dft_matrix(half)
+        block = np.zeros((n, n), dtype=complex)
+        block[:half, :half] = f_half
+        block[half:, half:] = f_half
+        reconstructed = butterfly @ block @ even_odd_permutation_matrix(n)
+        np.testing.assert_allclose(reconstructed, dft_matrix(n), atol=1e-9)
+
+
+class TestWaveletFactorization:
+    """The central identity (paper eq. 6): F_N = [A B; C D] diag(F, F) W_N."""
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_factorization_identity(self, n, paper_basis):
+        half = n // 2
+        block = np.zeros((n, n), dtype=complex)
+        block[:half, :half] = dft_matrix(half)
+        block[half:, half:] = dft_matrix(half)
+        lhs = butterfly_block_matrix(n, paper_basis) @ block @ dwt_matrix(
+            n, paper_basis
+        )
+        np.testing.assert_allclose(lhs, dft_matrix(n), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_factorization_applied_to_signal(self, n, paper_basis, rng):
+        x = rng.standard_normal(n)
+        approx, detail = dwt_level(x, paper_basis)
+        sub = np.concatenate([np.fft.fft(approx), np.fft.fft(detail)])
+        y = butterfly_block_matrix(n, paper_basis) @ sub
+        np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-9)
+
+    def test_block_matrix_quadrants_are_diagonal(self):
+        n = 16
+        block = butterfly_block_matrix(n, "db2")
+        half = n // 2
+        for rows, cols in [(slice(0, half), slice(0, half)),
+                           (slice(0, half), slice(half, n)),
+                           (slice(half, n), slice(0, half)),
+                           (slice(half, n), slice(half, n))]:
+            quadrant = block[rows, cols]
+            off_diag = quadrant - np.diag(np.diag(quadrant))
+            np.testing.assert_allclose(off_diag, 0.0, atol=1e-12)
+
+
+class TestPacketMatrix:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_orthogonality(self, depth, paper_basis):
+        n = 16
+        p = packet_matrix(n, paper_basis, depth=depth)
+        np.testing.assert_allclose(p @ p.T, np.eye(n), atol=1e-9)
+
+    def test_depth_one_equals_dwt_matrix(self, paper_basis):
+        np.testing.assert_allclose(
+            packet_matrix(16, paper_basis, depth=1),
+            dwt_matrix(16, paper_basis),
+            atol=1e-12,
+        )
+
+    def test_matches_packet_table_leaves(self, paper_basis, rng):
+        n = 16
+        x = rng.standard_normal(n)
+        table = wavelet_packet(x, paper_basis)
+        leaves = table.levels[-1].ravel()
+        np.testing.assert_allclose(
+            packet_matrix(n, paper_basis) @ x, leaves, atol=1e-9
+        )
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(TransformError):
+            packet_matrix(8, "haar", depth=4)

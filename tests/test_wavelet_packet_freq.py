@@ -1,0 +1,136 @@
+"""Tests for the packet tree and the modified twiddle factors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.wavelets import (
+    filter_response,
+    get_filter,
+    packet_level,
+    twiddle_magnitude_profile,
+    twiddle_pair,
+    twiddle_quadrants,
+    wavelet_packet,
+)
+
+
+class TestPacketTable:
+    def test_levels_shapes(self, rng):
+        table = wavelet_packet(rng.standard_normal(16), "haar")
+        assert table.depth == 4
+        assert [lvl.shape for lvl in table.levels] == [
+            (1, 16), (2, 8), (4, 4), (8, 2), (16, 1),
+        ]
+
+    def test_partial_depth(self, rng):
+        table = wavelet_packet(rng.standard_normal(32), "db2", depth=2)
+        assert table.depth == 2
+        assert table.levels[-1].shape == (4, 8)
+
+    def test_energy_conserved_at_every_level(self, paper_basis, rng):
+        x = rng.standard_normal(64)
+        table = wavelet_packet(x, paper_basis)
+        total = float(x @ x)
+        for level in table.levels:
+            assert np.isclose(float(np.sum(level * level)), total, rtol=1e-9)
+
+    def test_band_accessor(self, rng):
+        x = rng.standard_normal(8)
+        table = wavelet_packet(x, "haar")
+        np.testing.assert_allclose(table.band(0, 0), x)
+        with pytest.raises(TransformError):
+            table.band(1, 5)
+
+    def test_row_ordering_lowpass_even(self, rng):
+        """Row 2i/2i+1 at depth d+1 are the L/H splits of row i at depth d."""
+        from repro.wavelets import dwt_level
+
+        x = rng.standard_normal(32)
+        table = wavelet_packet(x, "db2", depth=2)
+        approx, detail = dwt_level(x, "db2")
+        np.testing.assert_allclose(table.levels[1][0], approx, atol=1e-12)
+        np.testing.assert_allclose(table.levels[1][1], detail, atol=1e-12)
+        aa, ad = dwt_level(approx, "db2")
+        np.testing.assert_allclose(table.levels[2][0], aa, atol=1e-12)
+        np.testing.assert_allclose(table.levels[2][1], ad, atol=1e-12)
+
+    def test_smooth_signal_has_small_highpass_fraction(self):
+        t = np.linspace(0.0, 1.0, 256, endpoint=False)
+        x = 1.0 + 0.1 * np.sin(2 * np.pi * 3 * t)
+        table = wavelet_packet(x, "haar", depth=1)
+        assert table.highpass_energy_fraction(depth=1) < 0.01
+
+    def test_alternating_signal_has_large_highpass_fraction(self):
+        x = np.array([1.0, -1.0] * 64)
+        table = wavelet_packet(x, "haar", depth=1)
+        assert table.highpass_energy_fraction(depth=1) > 0.99
+
+    def test_packet_level_rejects_bad_shapes(self):
+        with pytest.raises(TransformError):
+            packet_level(np.ones(8), "haar")
+        with pytest.raises(TransformError):
+            packet_level(np.ones((2, 3)), "haar")
+
+
+class TestTwiddleFactors:
+    def test_filter_response_is_dft_of_taps(self):
+        bank = get_filter("db2")
+        m = 16
+        padded = np.zeros(m)
+        padded[: bank.length] = bank.lowpass
+        np.testing.assert_allclose(
+            filter_response(bank.lowpass, m), np.fft.fft(padded), atol=1e-12
+        )
+
+    def test_filter_longer_than_block_wraps(self):
+        bank = get_filter("db4")  # 8 taps
+        m = 4
+        wrapped = np.zeros(m)
+        for j, tap in enumerate(bank.lowpass):
+            wrapped[j % m] += tap
+        np.testing.assert_allclose(
+            filter_response(bank.lowpass, m), np.fft.fft(wrapped), atol=1e-12
+        )
+
+    def test_haar_closed_form(self):
+        m = 64
+        hl, hh = twiddle_pair(m, "haar")
+        k = np.arange(m)
+        w = np.exp(-2j * np.pi * k / m)
+        np.testing.assert_allclose(hl, (1 + w) / np.sqrt(2.0), atol=1e-12)
+        np.testing.assert_allclose(hh, (1 - w) / np.sqrt(2.0), atol=1e-12)
+
+    def test_quadrants_split(self):
+        n = 32
+        hl, hh = twiddle_pair(n, "db2")
+        a, b, c, d = twiddle_quadrants(n, "db2")
+        np.testing.assert_allclose(np.concatenate([a, c]), hl)
+        np.testing.assert_allclose(np.concatenate([b, d]), hh)
+
+    def test_paper_monotonicity_observation(self, paper_basis):
+        """|A| decreases and |C| increases along the diagonal (Section V.B)."""
+        profile = twiddle_magnitude_profile(512, paper_basis)
+        a, c = profile["A"], profile["C"]
+        if paper_basis == "haar":
+            assert np.all(np.diff(a) <= 1e-12)
+            assert np.all(np.diff(c) >= -1e-12)
+        # All bases: the A diagonal starts large and ends near zero, C mirrors.
+        assert a[0] > 1.0 > a[-1]
+        assert c[0] < 0.5 < c[-1]
+
+    def test_power_complementarity(self, paper_basis):
+        """|H_L(k)|^2 + |H_H(k)|^2 == 2 for orthonormal banks."""
+        hl, hh = twiddle_pair(128, paper_basis)
+        np.testing.assert_allclose(
+            np.abs(hl) ** 2 + np.abs(hh) ** 2, 2.0, atol=1e-9
+        )
+
+    def test_magnitudes_not_unit(self, paper_basis):
+        """The paper's key observation: factors differ wildly in magnitude."""
+        hl, _ = twiddle_pair(512, paper_basis)
+        mags = np.abs(hl)
+        assert mags.max() > 1.3
+        assert mags.min() < 0.2
