@@ -1,0 +1,146 @@
+"""Throughput benchmark: sequential vs batched windowed-PSA execution.
+
+Measures windows/second of the Welch-Lomb engine over a synthetic 24 h
+Holter RR recording, for both PSA systems:
+
+* the **conventional** system (split-radix FFT backend), and
+* the **quality-scalable** system (pruned wavelet FFT, paper Mode 3),
+
+each driven through the original per-window sequential loop
+(``batched=False``, the equivalence oracle) and the batched execution
+engine (``batched=True``, the default).  Results — including the
+speedup and a batched-vs-sequential equivalence check — are written to
+``BENCH_throughput.json`` at the repository root.
+
+Run with:  python benchmarks/bench_throughput.py [--hours H] [--repeats R]
+
+The test suite invokes :func:`run_throughput_benchmark` with a small
+workload as a smoke test, so this script cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import PSAConfig  # noqa: E402
+from repro.core.system import ConventionalPSA, QualityScalablePSA  # noqa: E402
+from repro.ecg.rr_synthesis import TachogramSpec, generate_tachogram  # noqa: E402
+from repro.ffts.pruning import PruningSpec  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_throughput.json"
+
+
+def _time_analyze(welch, times, intervals, batched: bool, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one full Welch-Lomb analysis."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        welch.analyze(times, intervals, batched=batched)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_throughput_benchmark(
+    duration_hours: float = 24.0,
+    repeats: int = 3,
+    seed: int = 2014,
+) -> dict:
+    """Benchmark both PSA systems on a synthetic Holter recording.
+
+    Returns the result document (also see :func:`main`, which writes it
+    to ``BENCH_throughput.json``).
+    """
+    config = PSAConfig()
+    rr = generate_tachogram(
+        TachogramSpec(seed=seed), duration_hours * 3600.0
+    )
+    systems = {
+        "conventional_split_radix": ConventionalPSA(config),
+        "quality_scalable_wavelet_mode3": QualityScalablePSA(
+            config, pruning=PruningSpec.paper_mode(3)
+        ),
+    }
+    results: dict[str, dict] = {}
+    n_windows = None
+    for name, system in systems.items():
+        welch = system.welch
+        # Warm caches and touch both paths once before timing.
+        reference = welch.analyze(rr.times, rr.intervals, batched=False)
+        batched_result = welch.analyze(rr.times, rr.intervals, batched=True)
+        n_windows = reference.n_windows
+        max_rel_diff = float(
+            np.max(
+                np.abs(batched_result.spectrogram - reference.spectrogram)
+                / np.maximum(np.abs(reference.spectrogram), 1e-30)
+            )
+        )
+        seq_seconds = _time_analyze(
+            welch, rr.times, rr.intervals, batched=False, repeats=repeats
+        )
+        batch_seconds = _time_analyze(
+            welch, rr.times, rr.intervals, batched=True, repeats=repeats
+        )
+        results[name] = {
+            "sequential_seconds": seq_seconds,
+            "batched_seconds": batch_seconds,
+            "sequential_windows_per_sec": n_windows / seq_seconds,
+            "batched_windows_per_sec": n_windows / batch_seconds,
+            "speedup": seq_seconds / batch_seconds,
+            "max_rel_diff_spectrogram": max_rel_diff,
+        }
+    return {
+        "benchmark": "batched vs sequential windowed-PSA throughput",
+        "workload": {
+            "duration_hours": duration_hours,
+            "n_beats": int(rr.times.size),
+            "n_windows": int(n_windows),
+            "window_seconds": config.window_seconds,
+            "overlap": config.overlap,
+            "workspace_size": config.fft_size,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "systems": results,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--hours", type=float, default=24.0, help="recording length in hours"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    document = run_throughput_benchmark(
+        duration_hours=args.hours, repeats=args.repeats
+    )
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(document, indent=2))
+    for name, entry in document["systems"].items():
+        print(
+            f"{name}: {entry['sequential_windows_per_sec']:.0f} -> "
+            f"{entry['batched_windows_per_sec']:.0f} windows/s "
+            f"({entry['speedup']:.1f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ from .errors import ConfigurationError, SignalError
 __all__ = [
     "as_1d_float_array",
     "as_1d_complex_array",
+    "as_2d_complex_array",
     "require_power_of_two",
     "require_positive",
     "require_in_range",
@@ -76,6 +77,26 @@ def as_1d_complex_array(x, name: str = "x", min_length: int = 1) -> np.ndarray:
     if arr.size < min_length:
         raise SignalError(
             f"{name} must have at least {min_length} samples, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise SignalError(f"{name} contains non-finite values")
+    return arr
+
+
+def as_2d_complex_array(x, name: str = "x", width: int | None = None) -> np.ndarray:
+    """Return *x* as a 2-D complex128 batch, validating shape and finiteness.
+
+    ``width`` pins the second (per-row transform) dimension; the batched
+    kernels use it to reject inputs that do not match the plan size.
+    """
+    arr = np.asarray(x, dtype=np.complex128)
+    if arr.ndim != 2:
+        raise SignalError(
+            f"{name} must be two-dimensional (rows, n), got shape {arr.shape}"
+        )
+    if width is not None and arr.shape[1] != width:
+        raise SignalError(
+            f"{name} rows have length {arr.shape[1]}, expected {width}"
         )
     if not np.all(np.isfinite(arr)):
         raise SignalError(f"{name} contains non-finite values")

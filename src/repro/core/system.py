@@ -14,10 +14,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SignalError
-from ..ffts.backends import FFTBackend, SplitRadixFFT
+from ..ffts.backends import FFTBackend
 from ..ffts.opcount import OpCounts
+from ..ffts.plancache import split_radix_plan, wavelet_plan
 from ..ffts.pruning import PruningSpec
-from ..ffts.wavelet_fft import WaveletFFT
 from ..hrv.bands import band_powers
 from ..hrv.detection import DetectionResult, SinusArrhythmiaDetector
 from ..hrv.metrics import lf_hf_ratio
@@ -93,11 +93,25 @@ class _BasePSA:
         """The FFT kernel this system runs."""
         return self._backend
 
-    def analyze(self, rr: RRSeries, count_ops: bool = False) -> PSAResult:
-        """Run the full PSA over an RR recording."""
+    @property
+    def welch(self) -> WelchLomb:
+        """The windowed Welch-Lomb engine driving this system."""
+        return self._welch
+
+    def analyze(
+        self, rr: RRSeries, count_ops: bool = False, batched: bool = True
+    ) -> PSAResult:
+        """Run the full PSA over an RR recording.
+
+        ``batched`` (default) processes all Welch windows through the
+        dense batch execution path; ``batched=False`` runs the original
+        per-window loop (same results, used as the equivalence oracle).
+        """
         if not isinstance(rr, RRSeries):
             raise SignalError("analyze expects an RRSeries")
-        welch = self._welch.analyze(rr.times, rr.intervals, count_ops=count_ops)
+        welch = self._welch.analyze(
+            rr.times, rr.intervals, count_ops=count_ops, batched=batched
+        )
         averaged = welch.averaged_spectrum()
         ratios = np.array(
             [
@@ -127,7 +141,9 @@ class ConventionalPSA(_BasePSA):
     """The baseline system: Welch-Lomb on a split-radix FFT (Fig. 1a)."""
 
     def _build_backend(self) -> FFTBackend:
-        return SplitRadixFFT(self.config.fft_size)
+        # Kernels are stateless after planning; the shared cached plan
+        # makes fleet-scale system construction O(1) after the first.
+        return split_radix_plan(self.config.fft_size)
 
 
 class QualityScalablePSA(_BasePSA):
@@ -155,7 +171,7 @@ class QualityScalablePSA(_BasePSA):
         self.node = node or SensorNodeModel()
 
     def _build_backend(self) -> FFTBackend:
-        return WaveletFFT(
+        return wavelet_plan(
             self.config.fft_size,
             basis=self.config.basis,
             pruning=self.pruning,

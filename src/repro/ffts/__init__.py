@@ -15,6 +15,12 @@ from .opcount import (
     REAL_SCALED_COMPLEX_MULT,
     OpCounts,
 )
+from .plancache import (
+    clear_plan_caches,
+    plan_cache_stats,
+    split_radix_plan,
+    wavelet_plan,
+)
 from .pruning import (
     TWIDDLE_SETS,
     PruningSpec,
@@ -22,7 +28,7 @@ from .pruning import (
     twiddle_threshold_for_fraction,
 )
 from .radix2 import bit_reverse_permutation, radix2_counts, radix2_fft
-from .split_radix import split_radix_counts, split_radix_fft
+from .split_radix import split_radix_counts, split_radix_fft, split_radix_fft_batch
 from .wavelet_fft import WaveletFFT, dwt_stage_cost, wavelet_fft
 
 __all__ = [
@@ -37,14 +43,19 @@ __all__ = [
     "TWIDDLE_SETS",
     "WaveletFFT",
     "bit_reverse_permutation",
+    "clear_plan_caches",
     "direct_dft",
     "direct_dft_counts",
     "dwt_stage_cost",
+    "plan_cache_stats",
     "radix2_counts",
     "radix2_fft",
     "split_radix_counts",
     "split_radix_fft",
+    "split_radix_fft_batch",
+    "split_radix_plan",
     "static_twiddle_mask",
     "twiddle_threshold_for_fraction",
     "wavelet_fft",
+    "wavelet_plan",
 ]

@@ -2,14 +2,20 @@
 
 Both the conventional system (split-radix FFT, Section II.B) and the
 proposed system (pruned wavelet FFT, Sections IV-V) plug into Fast-Lomb
-through the same three-method protocol:
+through the same protocol:
 
 * ``transform(x)`` — complex spectrum of a length-``n`` vector,
 * ``transform_with_counts(x)`` — same plus executed :class:`OpCounts`,
-* ``static_counts()`` — design-time operation counts.
+* ``static_counts()`` — design-time operation counts,
+* ``transform_batch(x2d)`` — row-wise spectra of a dense
+  ``(n_windows, n)`` batch (the windowed-PSA execution engine),
+* ``transform_batch_with_counts(x2d)`` — same plus per-row counts.
 
 :class:`~repro.ffts.wavelet_fft.WaveletFFT` already satisfies it; this
-module adds the conventional baseline.
+module adds the conventional baseline.  Third-party kernels that only
+implement the three sequential methods still work: the Fast-Lomb batch
+driver falls back to per-window calls when ``transform_batch`` is
+missing.
 """
 
 from __future__ import annotations
@@ -18,10 +24,14 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from .._validation import as_1d_complex_array, require_power_of_two
+from .._validation import (
+    as_1d_complex_array,
+    as_2d_complex_array,
+    require_power_of_two,
+)
 from ..errors import TransformError
 from .opcount import OpCounts
-from .split_radix import split_radix_counts, split_radix_fft
+from .split_radix import split_radix_counts, split_radix_fft, split_radix_fft_batch
 
 __all__ = ["FFTBackend", "SplitRadixFFT"]
 
@@ -38,6 +48,12 @@ class FFTBackend(Protocol):
 
     def static_counts(self) -> OpCounts: ...
 
+    def transform_batch(self, x) -> np.ndarray: ...
+
+    def transform_batch_with_counts(
+        self, x
+    ) -> tuple[np.ndarray, tuple[OpCounts, ...]]: ...
+
 
 class SplitRadixFFT:
     """The conventional baseline kernel behind the original PSA system.
@@ -47,10 +63,11 @@ class SplitRadixFFT:
     n:
         Transform size (power of two).
     use_numpy:
-        When True (default) the numerics go through ``numpy.fft`` — the
-        result is identical to the explicit split-radix recursion but much
-        faster for cohort-scale experiments.  Operation counts always use
-        the split-radix closed forms either way.
+        When True (default) the numerics go through ``numpy.fft`` — this
+        is "the numpy backend": the result is identical to the explicit
+        split-radix recursion but much faster for cohort-scale
+        experiments.  Operation counts always use the split-radix closed
+        forms either way.
     """
 
     def __init__(self, n: int, use_numpy: bool = True):
@@ -70,6 +87,24 @@ class SplitRadixFFT:
 
     def transform_with_counts(self, x) -> tuple[np.ndarray, OpCounts]:
         return self.transform(x), self._counts
+
+    def transform_batch(self, x) -> np.ndarray:
+        """Row-wise spectra of a ``(n_windows, n)`` batch.
+
+        Dispatches to ``numpy.fft`` along axis 1 or to the batched
+        split-radix recursion; each row matches :meth:`transform`.
+        """
+        arr = as_2d_complex_array(x, "x", width=self.n)
+        if self._use_numpy:
+            return np.fft.fft(arr, axis=1)
+        return split_radix_fft_batch(arr)
+
+    def transform_batch_with_counts(
+        self, x
+    ) -> tuple[np.ndarray, tuple[OpCounts, ...]]:
+        """Batched transform plus the (static) per-row operation counts."""
+        out = self.transform_batch(x)
+        return out, (self._counts,) * out.shape[0]
 
     def static_counts(self) -> OpCounts:
         return self._counts

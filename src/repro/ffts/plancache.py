@@ -1,0 +1,301 @@
+"""Module-level plan cache for design-time transform data.
+
+Every kernel in this library separates *planning* (computing twiddle
+factors, pruning masks, index permutations, interpolation tables) from
+*execution*.  Planning is pure — it depends only on the transform
+geometry ``(n, basis, levels, pruning, order)`` — yet the convenience
+entry points historically re-derived it on every call: ``radix2_fft``
+rebuilt its bit-reversal permutation, ``wavelet_fft`` re-planned a full
+:class:`~repro.ffts.wavelet_fft.WaveletFFT`, and every ``extirpolate``
+call recomputed the Lagrange denominator table from ``math.factorial``.
+
+This module is the single memoisation point for all of that design-time
+data.  Cached arrays are returned **read-only** (callers only ever index
+or multiply by them) and cached plan objects are stateless after
+construction, so sharing them between analysers is safe.  Caches are
+plain process-wide dictionaries guarded by the GIL; a racing rebuild is
+harmless (both threads compute the same value).
+
+The cache is what makes the batched execution engine cheap to drive:
+:class:`~repro.core.system.ConventionalPSA` /
+:class:`~repro.core.system.QualityScalablePSA` instances and repeated
+:class:`~repro.lomb.fast.FastLomb` constructions all resolve to the same
+shared, fully-planned kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .._validation import require_power_of_two
+from ..errors import SignalError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..wavelets.filters import WaveletFilter
+    from .backends import SplitRadixFFT
+    from .pruning import PruningSpec
+    from .wavelet_fft import WaveletFFT
+
+__all__ = [
+    "bit_reversal",
+    "split_radix_twiddles",
+    "radix2_stage_twiddles",
+    "lagrange_denominators",
+    "twiddle_pair",
+    "wavelet_keep_masks",
+    "wavelet_plan",
+    "split_radix_plan",
+    "plan_cache_stats",
+    "clear_plan_caches",
+]
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    """Mark a cached array immutable so shared plans cannot be corrupted."""
+    arr.setflags(write=False)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Index permutations and twiddle tables
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def bit_reversal(n: int) -> np.ndarray:
+    """Memoised bit-reversal permutation for the iterative radix-2 FFT.
+
+    The returned array is read-only and shared between callers; index
+    with it (``x[perm]``) rather than mutating it.
+    """
+    n = require_power_of_two(n, "n")
+    bits = int(np.log2(n))
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (indices & 1)
+        indices >>= 1
+    return _freeze(reversed_indices)
+
+
+@lru_cache(maxsize=None)
+def split_radix_twiddles(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoised ``(w1, w3)`` twiddle pair of one split-radix recursion level.
+
+    ``w1[k] = exp(-2j pi k / n)`` and ``w3[k] = exp(-6j pi k / n)`` for
+    ``k < n/4`` — the factors applied to the two odd quarter-length
+    sub-transforms.  Recursion levels share the cache, so planning a
+    length-``n`` transform also warms every smaller size it visits.
+    """
+    n = require_power_of_two(n, "n")
+    k = np.arange(n // 4)
+    w1 = np.exp(-2j * np.pi * k / n)
+    w3 = np.exp(-6j * np.pi * k / n)
+    return _freeze(w1), _freeze(w3)
+
+
+@lru_cache(maxsize=None)
+def radix2_stage_twiddles(n: int) -> tuple[np.ndarray, ...]:
+    """Memoised per-stage twiddle vectors of the iterative radix-2 FFT."""
+    n = require_power_of_two(n, "n")
+    stages: list[np.ndarray] = []
+    span = 1
+    while span < n:
+        stages.append(_freeze(np.exp(-1j * np.pi * np.arange(span) / span)))
+        span *= 2
+    return tuple(stages)
+
+
+@lru_cache(maxsize=None)
+def lagrange_denominators(order: int) -> np.ndarray:
+    """Memoised reverse-Lagrange denominator table of one interpolation order.
+
+    ``denom[c] = (-1)^(order-1-c) * c! * (order-1-c)!`` — the constant part
+    of the extirpolation weights, previously rebuilt from
+    ``math.factorial`` on every :func:`~repro.lomb.extirpolation.extirpolate`
+    call.
+    """
+    order = int(order)
+    if order < 2 or order > 10:
+        raise SignalError(f"order must be in [2, 10], got {order}")
+    denominators = np.array(
+        [
+            ((-1.0) ** (order - 1 - c))
+            * math.factorial(c)
+            * math.factorial(order - 1 - c)
+            for c in range(order)
+        ]
+    )
+    return _freeze(denominators)
+
+
+# ----------------------------------------------------------------------
+# Wavelet-FFT design data
+# ----------------------------------------------------------------------
+
+_TWIDDLE_PAIRS: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_KEEP_MASKS: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+_WAVELET_PLANS: dict[tuple, "WaveletFFT"] = {}
+_SPLIT_RADIX_PLANS: dict[tuple, "SplitRadixFFT"] = {}
+
+
+def _bank_key(bank: "WaveletFilter") -> tuple:
+    """Hashable identity of a filter bank (registry name is not enough
+    for ad-hoc :class:`WaveletFilter` instances, so the taps are keyed)."""
+    return (bank.name, bank.lowpass.tobytes(), bank.highpass.tobytes())
+
+
+def twiddle_pair(n: int, bank: "WaveletFilter") -> tuple[np.ndarray, np.ndarray]:
+    """Memoised ``(H_L, H_H)`` modified twiddle factors of paper eq. 6.
+
+    Equivalent to :func:`repro.wavelets.freq.twiddle_pair` but cached per
+    ``(n, filter bank)``; building the responses loops over the filter
+    taps and is the most expensive step of :class:`WaveletFFT` planning.
+    """
+    key = (require_power_of_two(n, "n"), *_bank_key(bank))
+    pair = _TWIDDLE_PAIRS.get(key)
+    if pair is None:
+        from ..wavelets.freq import filter_response
+
+        pair = (
+            _freeze(filter_response(bank.lowpass, n)),
+            _freeze(filter_response(bank.highpass, n)),
+        )
+        _TWIDDLE_PAIRS[key] = pair
+    return pair
+
+
+def wavelet_keep_masks(
+    n: int, bank: "WaveletFilter", band_drop: bool, twiddle_fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoised static keep-masks over the HL/HH factor applications.
+
+    Band drop removes the whole HH channel before the twiddle-set
+    fraction is applied to the remaining applications (the paper's Modes
+    combine both levers); see :class:`~repro.ffts.wavelet_fft.WaveletFFT`
+    for how dynamic pruning reuses these masks as its candidate set.
+    """
+    n = require_power_of_two(n, "n")
+    key = (n, *_bank_key(bank), bool(band_drop), float(twiddle_fraction))
+    masks = _KEEP_MASKS.get(key)
+    if masks is None:
+        from .pruning import static_twiddle_mask
+
+        hl, hh = twiddle_pair(n, bank)
+        hh_active = not band_drop
+        if twiddle_fraction > 0:
+            if hh_active:
+                mags = np.concatenate([np.abs(hl), np.abs(hh)])
+                keep = static_twiddle_mask(mags, twiddle_fraction)
+                hl_keep = keep[:n]
+                hh_keep = keep[n:]
+            else:
+                hl_keep = static_twiddle_mask(np.abs(hl), twiddle_fraction)
+                hh_keep = np.zeros(n, dtype=bool)
+        else:
+            hl_keep = np.ones(n, dtype=bool)
+            hh_keep = (
+                np.ones(n, dtype=bool) if hh_active else np.zeros(n, dtype=bool)
+            )
+        masks = (_freeze(hl_keep), _freeze(hh_keep))
+        _KEEP_MASKS[key] = masks
+    return masks
+
+
+# ----------------------------------------------------------------------
+# Whole-plan caches
+# ----------------------------------------------------------------------
+
+
+def wavelet_plan(
+    n: int,
+    basis="haar",
+    levels: int = 1,
+    pruning: "PruningSpec | None" = None,
+    sub_backend: str = "numpy",
+) -> "WaveletFFT":
+    """Shared, fully-planned :class:`WaveletFFT` for the given geometry.
+
+    Plans are stateless after construction, so one instance safely serves
+    every caller with the same ``(n, basis, levels, pruning, sub_backend)``
+    key — this is what keeps :func:`~repro.ffts.wavelet_fft.wavelet_fft`
+    and repeated :class:`~repro.core.system.QualityScalablePSA`
+    construction from re-deriving twiddles and masks.
+
+    Whole plans are only cached for design-time geometries.  A spec
+    carrying a calibrated ``dynamic_threshold`` is keyed by a
+    data-derived float — per-recording calibration would grow the cache
+    without bound — so those plans are built fresh each time (still
+    cheap: their twiddles and masks come from the shared caches above).
+    """
+    from ..wavelets.filters import WaveletFilter, get_filter
+    from .pruning import PruningSpec
+    from .wavelet_fft import WaveletFFT
+
+    bank = basis if isinstance(basis, WaveletFilter) else get_filter(basis)
+    spec = pruning if pruning is not None else PruningSpec.none()
+    if spec.dynamic_threshold is not None:
+        return WaveletFFT(
+            n, basis=bank, levels=levels, pruning=spec, sub_backend=sub_backend
+        )
+    key = (
+        require_power_of_two(n, "n"),
+        *_bank_key(bank),
+        int(levels),
+        spec,
+        sub_backend,
+    )
+    plan = _WAVELET_PLANS.get(key)
+    if plan is None:
+        plan = WaveletFFT(
+            n, basis=bank, levels=levels, pruning=spec, sub_backend=sub_backend
+        )
+        _WAVELET_PLANS[key] = plan
+    return plan
+
+
+def split_radix_plan(n: int, use_numpy: bool = True) -> "SplitRadixFFT":
+    """Shared :class:`SplitRadixFFT` plan (stateless, safe to share)."""
+    from .backends import SplitRadixFFT
+
+    key = (require_power_of_two(n, "n"), bool(use_numpy))
+    plan = _SPLIT_RADIX_PLANS.get(key)
+    if plan is None:
+        plan = SplitRadixFFT(n, use_numpy=use_numpy)
+        _SPLIT_RADIX_PLANS[key] = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Introspection / test hooks
+# ----------------------------------------------------------------------
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Current entry counts of every cache (for tests and diagnostics)."""
+    return {
+        "bit_reversal": bit_reversal.cache_info().currsize,
+        "split_radix_twiddles": split_radix_twiddles.cache_info().currsize,
+        "radix2_stage_twiddles": radix2_stage_twiddles.cache_info().currsize,
+        "lagrange_denominators": lagrange_denominators.cache_info().currsize,
+        "twiddle_pairs": len(_TWIDDLE_PAIRS),
+        "keep_masks": len(_KEEP_MASKS),
+        "wavelet_plans": len(_WAVELET_PLANS),
+        "split_radix_plans": len(_SPLIT_RADIX_PLANS),
+    }
+
+
+def clear_plan_caches() -> None:
+    """Drop every cached table and plan (test isolation hook)."""
+    bit_reversal.cache_clear()
+    split_radix_twiddles.cache_clear()
+    radix2_stage_twiddles.cache_clear()
+    lagrange_denominators.cache_clear()
+    _TWIDDLE_PAIRS.clear()
+    _KEEP_MASKS.clear()
+    _WAVELET_PLANS.clear()
+    _SPLIT_RADIX_PLANS.clear()

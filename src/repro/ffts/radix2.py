@@ -3,6 +3,10 @@
 Included as a second conventional baseline (ablation for the choice of
 split radix in the paper): correct numerics plus an exact count of the
 real operations a twiddle-aware radix-2 implementation performs.
+
+Design-time data (the bit-reversal permutation and per-stage twiddle
+vectors) is memoised in :mod:`~repro.ffts.plancache` rather than rebuilt
+on every call.
 """
 
 from __future__ import annotations
@@ -11,20 +15,18 @@ import numpy as np
 
 from .._validation import as_1d_complex_array, require_power_of_two
 from .opcount import COMPLEX_ADD, COMPLEX_MULT, OpCounts
+from .plancache import bit_reversal, radix2_stage_twiddles
 
 __all__ = ["radix2_fft", "radix2_counts", "bit_reverse_permutation"]
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
-    """Index permutation that orders inputs for the iterative butterflies."""
-    n = require_power_of_two(n, "n")
-    bits = int(np.log2(n))
-    indices = np.arange(n)
-    reversed_indices = np.zeros(n, dtype=np.int64)
-    for _ in range(bits):
-        reversed_indices = (reversed_indices << 1) | (indices & 1)
-        indices >>= 1
-    return reversed_indices
+    """Index permutation that orders inputs for the iterative butterflies.
+
+    Memoised per size via the plan cache; the returned array is shared
+    and read-only (index with it, do not mutate it).
+    """
+    return bit_reversal(n)
 
 
 def radix2_fft(x) -> np.ndarray:
@@ -36,14 +38,12 @@ def radix2_fft(x) -> np.ndarray:
     arr = as_1d_complex_array(x, "x")
     n = require_power_of_two(arr.size, "len(x)")
     data = arr[bit_reverse_permutation(n)]
-    span = 1
-    while span < n:
-        twiddles = np.exp(-1j * np.pi * np.arange(span) / span)
+    for twiddles in radix2_stage_twiddles(n):
+        span = twiddles.size
         data = data.reshape(-1, 2 * span)
         upper = data[:, :span]
         lower = data[:, span:] * twiddles
         data = np.hstack([upper + lower, upper - lower]).reshape(-1)
-        span *= 2
     return data
 
 

@@ -17,17 +17,30 @@ workspaces into one complex FFT), the DWT stage is costed as the
 lifting/factorized implementation a sensor node would ship, and sub-DFTs
 use the closed-form split-radix counts.  Numerical results are exact
 (validated against ``numpy.fft``) regardless of the counting model.
+
+Batched execution: :meth:`WaveletFFT.transform_batch` applies the plan to
+a dense ``(n_windows, N)`` batch — the DWT stage, both sub-FFTs, the
+static keep-masks and the per-row dynamic pruning thresholds all run as
+whole-batch array operations with no per-row Python iteration, and
+:meth:`WaveletFFT.transform_batch_with_counts` reports executed
+:class:`OpCounts` **per row** (identical to what the sequential path
+would have counted for that row).  Design-time data (twiddle pairs,
+static masks, whole plans) is memoised in :mod:`~repro.ffts.plancache`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._validation import as_1d_complex_array, require_power_of_two
+from .._validation import (
+    as_1d_complex_array,
+    as_2d_complex_array,
+    require_power_of_two,
+)
 from ..errors import ConfigurationError, TransformError
-from ..wavelets.dwt import dwt_level
+from ..wavelets.dwt import dwt_level, dwt_level_batch
 from ..wavelets.filters import WaveletFilter, get_filter
-from ..wavelets.freq import twiddle_pair
+from . import plancache
 from .opcount import (
     COMPLEX_ADD,
     COMPLEX_MULT,
@@ -35,8 +48,8 @@ from .opcount import (
     REAL_SCALED_COMPLEX_MULT,
     OpCounts,
 )
-from .pruning import PruningSpec, static_twiddle_mask
-from .split_radix import split_radix_counts, split_radix_fft
+from .pruning import PruningSpec
+from .split_radix import split_radix_counts, split_radix_fft, split_radix_fft_batch
 
 __all__ = ["WaveletFFT", "wavelet_fft", "dwt_stage_cost"]
 
@@ -136,39 +149,25 @@ class WaveletFFT:
             )
         self.sub_backend = sub_backend
 
-        hl, hh = twiddle_pair(self.n, self.bank)
+        hl, hh = plancache.twiddle_pair(self.n, self.bank)
         self._hl = hl
         self._hh = hh
         self._hl_codes = _classify_factors(hl)
         self._hh_codes = _classify_factors(hh)
 
-        # Static keep-masks over factor applications.  Band drop removes the
-        # whole HH channel before the twiddle-set fraction is applied to the
-        # remaining applications (the paper's Modes combine both).  Dynamic
-        # pruning uses the same masks to define its *candidates*: a term is
-        # eliminated at run time only when its factor is statically below
-        # the set threshold AND its data magnitude is below the calibrated
-        # data threshold — a subset of the static victims, hence the lower
-        # distortion at a small energy overhead (paper Section VI.C).
+        # Static keep-masks over factor applications (memoised in the plan
+        # cache).  Band drop removes the whole HH channel before the
+        # twiddle-set fraction is applied to the remaining applications
+        # (the paper's Modes combine both).  Dynamic pruning uses the same
+        # masks to define its *candidates*: a term is eliminated at run
+        # time only when its factor is statically below the set threshold
+        # AND its data magnitude is below the calibrated data threshold —
+        # a subset of the static victims, hence the lower distortion at a
+        # small energy overhead (paper Section VI.C).
         self._hh_active = not self.pruning.band_drop
-        if self.pruning.twiddle_fraction > 0:
-            if self._hh_active:
-                mags = np.concatenate([np.abs(hl), np.abs(hh)])
-                keep = static_twiddle_mask(mags, self.pruning.twiddle_fraction)
-                self._hl_keep = keep[: self.n]
-                self._hh_keep = keep[self.n :]
-            else:
-                self._hl_keep = static_twiddle_mask(
-                    np.abs(hl), self.pruning.twiddle_fraction
-                )
-                self._hh_keep = np.zeros(self.n, dtype=bool)
-        else:
-            self._hl_keep = np.ones(self.n, dtype=bool)
-            self._hh_keep = (
-                np.ones(self.n, dtype=bool)
-                if self._hh_active
-                else np.zeros(self.n, dtype=bool)
-            )
+        self._hl_keep, self._hh_keep = plancache.wavelet_keep_masks(
+            self.n, self.bank, self.pruning.band_drop, self.pruning.twiddle_fraction
+        )
 
         self._child: WaveletFFT | None = None
         if self.levels > 1:
@@ -190,6 +189,13 @@ class WaveletFFT:
         if self.sub_backend == "split-radix":
             return split_radix_fft(x)
         return np.fft.fft(x)
+
+    def _sub_transform_batch(self, x: np.ndarray) -> np.ndarray:
+        if self._child is not None:
+            return self._child.transform_batch(x)
+        if self.sub_backend == "split-radix":
+            return split_radix_fft_batch(x)
+        return np.fft.fft(x, axis=1)
 
     def _runtime_keep_masks(
         self, l_tiled: np.ndarray, h_tiled: np.ndarray | None
@@ -276,6 +282,138 @@ class WaveletFFT:
         if count:
             breakdown = self._count_stages(hl_active, hh_active, checks)
         return out, breakdown
+
+    # ------------------------------------------------------------------
+    # Batched numerics
+    # ------------------------------------------------------------------
+
+    def transform_batch(self, x) -> np.ndarray:
+        """Apply the plan to a ``(n_rows, n)`` batch; returns the spectra.
+
+        Each row is transformed exactly as :meth:`transform` would have
+        transformed it (dynamic pruning thresholds are still calibrated
+        per row), but the whole batch executes as dense array operations.
+        """
+        result, _ = self._execute_batch(x, count=False)
+        return result
+
+    def transform_batch_with_counts(
+        self, x
+    ) -> tuple[np.ndarray, tuple[OpCounts, ...]]:
+        """Batched transform plus the executed :class:`OpCounts` per row."""
+        result, per_row = self._execute_batch(x, count=True)
+        return result, per_row
+
+    def _runtime_keep_masks_batch(
+        self, l_tiled: np.ndarray, h_tiled: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Per-row dynamic keep-masks over a batch.
+
+        Vectorised version of :meth:`_runtime_keep_masks`: the candidate
+        set is static (shared by all rows) while the data threshold is
+        the per-row quantile of that row's candidate magnitudes, so every
+        row prunes exactly as the sequential path would have.
+        """
+        spec = self.pruning
+        rows = l_tiled.shape[0]
+        hl_cand = (~self._hl_keep) & (self._hl_codes != _FACTOR_ZERO)
+        proxy_l = np.abs(l_tiled.real) + np.abs(l_tiled.imag)
+        pieces = [proxy_l[:, hl_cand]]
+        if h_tiled is not None:
+            hh_cand = (~self._hh_keep) & (self._hh_codes != _FACTOR_ZERO)
+            proxy_h = np.abs(h_tiled.real) + np.abs(h_tiled.imag)
+            pieces.append(proxy_h[:, hh_cand])
+        else:
+            hh_cand = np.zeros(self.n, dtype=bool)
+        proxies = np.concatenate(pieces, axis=1)
+        checks = int(proxies.shape[1])
+        if spec.dynamic_threshold is not None:
+            threshold = np.full(rows, spec.dynamic_threshold)
+        elif checks:
+            threshold = np.quantile(proxies, DYNAMIC_DATA_FRACTION, axis=1)
+        else:
+            threshold = np.zeros(rows)
+        hl_keep = self._hl_keep[None, :] | (
+            hl_cand[None, :] & (proxy_l >= threshold[:, None])
+        )
+        if h_tiled is not None:
+            hh_keep = self._hh_keep[None, :] | (
+                hh_cand[None, :] & (proxy_h >= threshold[:, None])
+            )
+        else:
+            hh_keep = np.zeros((rows, self.n), dtype=bool)
+        return hl_keep, hh_keep, checks
+
+    def _execute_batch(
+        self, x, count: bool
+    ) -> tuple[np.ndarray, tuple[OpCounts, ...]]:
+        arr = as_2d_complex_array(x, "x", width=self.n)
+        rows = arr.shape[0]
+        if rows == 0:
+            return np.empty((0, self.n), dtype=np.complex128), ()
+        spec = self.pruning
+        xl, xh = dwt_level_batch(arr, self.bank)
+        sub_l = self._sub_transform_batch(xl)
+        l_tiled = np.concatenate([sub_l, sub_l], axis=1)
+        if self._hh_active:
+            sub_h = self._sub_transform_batch(xh)
+            h_tiled = np.concatenate([sub_h, sub_h], axis=1)
+        else:
+            h_tiled = None
+
+        if spec.dynamic and not spec.is_exact:
+            hl_keep, hh_keep, checks = self._runtime_keep_masks_batch(
+                l_tiled, h_tiled
+            )
+            hl_active = hl_keep & (self._hl_codes != _FACTOR_ZERO)[None, :]
+            hh_active = hh_keep & (self._hh_codes != _FACTOR_ZERO)[None, :]
+            out = np.where(hl_active, self._hl[None, :], 0.0) * l_tiled
+            if h_tiled is not None:
+                out = out + np.where(hh_active, self._hh[None, :], 0.0) * h_tiled
+            per_row: tuple[OpCounts, ...] = ()
+            if count:
+                per_row = self._count_rows(hl_active, hh_active, checks)
+            return out, per_row
+
+        # Static masks: every row shares one mask and therefore one count.
+        hl_active = self._hl_keep & (self._hl_codes != _FACTOR_ZERO)
+        hh_active = self._hh_keep & (self._hh_codes != _FACTOR_ZERO)
+        out = np.where(hl_active, self._hl, 0.0) * l_tiled
+        if h_tiled is not None:
+            out = out + np.where(hh_active, self._hh, 0.0) * h_tiled
+        per_row = ()
+        if count:
+            one = sum(
+                self._count_stages(hl_active, hh_active, 0).values(), OpCounts()
+            )
+            per_row = (one,) * rows
+        return out, per_row
+
+    def _count_rows(
+        self, hl_active: np.ndarray, hh_active: np.ndarray, checks: int
+    ) -> tuple[OpCounts, ...]:
+        """Per-row executed counts from 2-D active masks (dynamic mode)."""
+        hl_generic = self._hl_codes == _FACTOR_GENERIC
+        hl_axis = self._hl_codes == _FACTOR_AXIS
+        hh_generic = self._hh_codes == _FACTOR_GENERIC
+        hh_axis = self._hh_codes == _FACTOR_AXIS
+        generic = np.count_nonzero(
+            hl_active & hl_generic[None, :], axis=1
+        ) + np.count_nonzero(hh_active & hh_generic[None, :], axis=1)
+        axis = np.count_nonzero(
+            hl_active & hl_axis[None, :], axis=1
+        ) + np.count_nonzero(hh_active & hh_axis[None, :], axis=1)
+        both = np.count_nonzero(hl_active & hh_active, axis=1)
+        base = self._dwt_counts() + self._sub_counts()
+        if checks:
+            base = base + DYNAMIC_CHECK.scaled(checks)
+        return tuple(
+            base
+            + COMPLEX_MULT.scaled(int(g))
+            + REAL_SCALED_COMPLEX_MULT.scaled(int(a))
+            + COMPLEX_ADD.scaled(int(b))
+            for g, a, b in zip(generic, axis, both)
+        )
 
     # ------------------------------------------------------------------
     # Operation accounting
@@ -381,7 +519,14 @@ def wavelet_fft(
     levels: int = 1,
     pruning: PruningSpec | None = None,
 ) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`WaveletFFT`."""
+    """One-shot convenience wrapper around :class:`WaveletFFT`.
+
+    The plan (twiddles, masks, recursion) is resolved through the shared
+    :func:`repro.ffts.plancache.wavelet_plan` cache, so repeated calls at
+    the same geometry no longer re-derive design-time data.
+    """
     arr = as_1d_complex_array(x, "x")
-    plan = WaveletFFT(arr.size, basis=basis, levels=levels, pruning=pruning)
+    plan = plancache.wavelet_plan(
+        arr.size, basis=basis, levels=levels, pruning=pruning
+    )
     return plan.transform(arr)

@@ -7,7 +7,7 @@ time-frequency monitoring.
 """
 
 from .direct import lomb_frequency_grid, lomb_periodogram
-from .extirpolation import extirpolate, extirpolation_weights
+from .extirpolation import extirpolate, extirpolate_batch, extirpolation_weights
 from .fast import BLOCK_COSTS, FastLomb, LombSpectrum
 from .welch import WelchLomb, WelchLombResult, iter_windows
 
@@ -18,6 +18,7 @@ __all__ = [
     "WelchLomb",
     "WelchLombResult",
     "extirpolate",
+    "extirpolate_batch",
     "extirpolation_weights",
     "iter_windows",
     "lomb_frequency_grid",

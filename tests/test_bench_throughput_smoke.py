@@ -1,0 +1,54 @@
+"""Smoke test: the throughput benchmark script must keep running.
+
+Runs :func:`run_throughput_benchmark` on a small workload and checks the
+document structure the full 24 h run commits to ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+BENCHMARKS = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_throughput", BENCHMARKS / "bench_throughput.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_throughput", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_throughput_benchmark_smoke(tmp_path):
+    bench = _load_module()
+    document = bench.run_throughput_benchmark(duration_hours=0.2, repeats=1)
+    assert document["workload"]["n_windows"] >= 3
+    systems = document["systems"]
+    assert set(systems) == {
+        "conventional_split_radix",
+        "quality_scalable_wavelet_mode3",
+    }
+    for entry in systems.values():
+        assert entry["sequential_windows_per_sec"] > 0
+        assert entry["batched_windows_per_sec"] > 0
+        assert entry["speedup"] > 0
+        # the batched path must agree with the sequential oracle
+        assert entry["max_rel_diff_spectrogram"] < 1e-6
+    # document must round-trip through JSON (what main() writes)
+    out = tmp_path / "BENCH_throughput.json"
+    out.write_text(json.dumps(document, indent=2))
+    assert json.loads(out.read_text()) == document
+
+
+def test_throughput_benchmark_main_writes_json(tmp_path, capsys):
+    bench = _load_module()
+    out = tmp_path / "bench.json"
+    bench.main(["--hours", "0.2", "--repeats", "1", "--output", str(out)])
+    document = json.loads(out.read_text())
+    assert document["workload"]["duration_hours"] == 0.2
+    assert "windows/s" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""Plan-cache regression tests.
+
+A cached plan must be indistinguishable from a freshly built one —
+identical spectra, identical operation counts — and the memoised
+design-time tables must match their from-scratch definitions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ffts import (
+    PruningSpec,
+    SplitRadixFFT,
+    WaveletFFT,
+    bit_reverse_permutation,
+    plan_cache_stats,
+    radix2_fft,
+    split_radix_plan,
+    wavelet_fft,
+    wavelet_plan,
+)
+from repro.ffts.plancache import (
+    bit_reversal,
+    lagrange_denominators,
+    split_radix_twiddles,
+    twiddle_pair,
+)
+from repro.lomb import FastLomb, extirpolation_weights
+from repro.wavelets import get_filter
+from repro.wavelets import freq as wavelet_freq
+
+
+class TestDesignTables:
+    def test_bit_reversal_memoised_and_correct(self):
+        perm_a = bit_reverse_permutation(32)
+        perm_b = bit_reverse_permutation(32)
+        assert perm_a is perm_b  # shared cache entry
+        assert not perm_a.flags.writeable
+        # definition check: reversing the 5-bit binary representation
+        expected = [int(f"{i:05b}"[::-1], 2) for i in range(32)]
+        np.testing.assert_array_equal(perm_a, expected)
+
+    def test_radix2_uses_cached_tables(self, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(radix2_fft(x), np.fft.fft(x), atol=1e-9)
+
+    def test_split_radix_twiddles_match_definition(self):
+        w1, w3 = split_radix_twiddles(64)
+        k = np.arange(16)
+        np.testing.assert_allclose(w1, np.exp(-2j * np.pi * k / 64), atol=1e-15)
+        np.testing.assert_allclose(w3, np.exp(-6j * np.pi * k / 64), atol=1e-15)
+        assert split_radix_twiddles(64)[0] is w1
+
+    def test_lagrange_denominators_match_factorials(self):
+        for order in (2, 3, 4, 7):
+            cached = lagrange_denominators(order)
+            expected = [
+                ((-1.0) ** (order - 1 - c))
+                * math.factorial(c)
+                * math.factorial(order - 1 - c)
+                for c in range(order)
+            ]
+            np.testing.assert_array_equal(cached, expected)
+            assert lagrange_denominators(order) is cached
+
+    def test_extirpolation_weights_use_cached_denominators(self):
+        cells, weights = extirpolation_weights(7.3, 64)
+        assert np.isclose(weights.sum(), 1.0, rtol=1e-12)
+        assert cells.size == weights.size == 4
+
+    def test_twiddle_pair_matches_uncached_responses(self):
+        bank = get_filter("db2")
+        hl, hh = twiddle_pair(32, bank)
+        ref_hl, ref_hh = wavelet_freq.twiddle_pair(32, bank)
+        np.testing.assert_allclose(hl, ref_hl, atol=1e-15)
+        np.testing.assert_allclose(hh, ref_hh, atol=1e-15)
+        assert twiddle_pair(32, bank)[0] is hl
+
+
+class TestPlanCaches:
+    @pytest.mark.parametrize(
+        "pruning",
+        [
+            None,
+            PruningSpec.band_only(),
+            PruningSpec.paper_mode(3),
+            PruningSpec.paper_mode(2, dynamic=True),
+        ],
+    )
+    def test_cached_wavelet_plan_matches_fresh_plan(self, rng, pruning):
+        cached = wavelet_plan(128, pruning=pruning)
+        fresh = WaveletFFT(128, pruning=pruning)
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        out_cached, counts_cached = cached.transform_with_counts(x)
+        out_fresh, counts_fresh = fresh.transform_with_counts(x)
+        np.testing.assert_array_equal(out_cached, out_fresh)
+        assert counts_cached == counts_fresh
+        assert cached.static_counts() == fresh.static_counts()
+
+    def test_wavelet_plan_identity(self):
+        a = wavelet_plan(64, pruning=PruningSpec.paper_mode(1))
+        b = wavelet_plan(64, pruning=PruningSpec.paper_mode(1))
+        assert a is b
+        assert wavelet_plan(64, pruning=PruningSpec.paper_mode(2)) is not a
+        assert wavelet_plan(64, basis="db2", pruning=PruningSpec.paper_mode(1)) is not a
+
+    def test_calibrated_thresholds_are_not_cached(self, rng):
+        """Data-derived dynamic thresholds must not grow the plan cache."""
+        spec = PruningSpec.paper_mode(3, dynamic=True)
+        before = plan_cache_stats()["wavelet_plans"]
+        a = wavelet_plan(64, pruning=spec.with_dynamic_threshold(0.123))
+        b = wavelet_plan(64, pruning=spec.with_dynamic_threshold(0.123))
+        assert plan_cache_stats()["wavelet_plans"] == before
+        assert a is not b  # built fresh, but numerically identical
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_array_equal(a.transform(x), b.transform(x))
+
+    def test_split_radix_plan_identity_and_equivalence(self, rng):
+        a = split_radix_plan(64)
+        assert split_radix_plan(64) is a
+        fresh = SplitRadixFFT(64)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_array_equal(a.transform(x), fresh.transform(x))
+        assert a.static_counts() == fresh.static_counts()
+
+    def test_wavelet_fft_wrapper_uses_cache(self, rng):
+        x = rng.standard_normal(64)
+        before = plan_cache_stats()["wavelet_plans"]
+        out1 = wavelet_fft(x)
+        mid = plan_cache_stats()["wavelet_plans"]
+        out2 = wavelet_fft(x)
+        after = plan_cache_stats()["wavelet_plans"]
+        assert mid >= before
+        assert after == mid  # second call resolved from the cache
+        np.testing.assert_array_equal(out1, out2)
+        np.testing.assert_allclose(out1, np.fft.fft(x), atol=1e-8)
+
+    def test_fastlomb_default_backend_is_shared(self):
+        a = FastLomb(workspace_size=256)
+        b = FastLomb(workspace_size=256)
+        assert a.backend is b.backend
+
+    def test_stats_shape(self):
+        stats = plan_cache_stats()
+        assert {
+            "bit_reversal",
+            "split_radix_twiddles",
+            "lagrange_denominators",
+            "twiddle_pairs",
+            "keep_masks",
+            "wavelet_plans",
+            "split_radix_plans",
+        } <= set(stats)
+        assert all(v >= 0 for v in stats.values())
+
+    def test_shared_plan_serves_systems(self):
+        from repro.core.config import PSAConfig
+        from repro.core.system import ConventionalPSA, QualityScalablePSA
+
+        config = PSAConfig()
+        conv_a = ConventionalPSA(config)
+        conv_b = ConventionalPSA(config)
+        assert conv_a.backend is conv_b.backend
+        prop_a = QualityScalablePSA(config, pruning=PruningSpec.paper_mode(3))
+        prop_b = QualityScalablePSA(config, pruning=PruningSpec.paper_mode(3))
+        assert prop_a.backend is prop_b.backend
