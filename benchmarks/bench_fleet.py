@@ -1,0 +1,235 @@
+"""Fleet benchmark: sequential vs batched vs sharded cohort execution.
+
+Measures windows/second of the Welch-Lomb engine over a synthetic
+multi-patient Holter cohort, for both PSA systems:
+
+* the **conventional** system (split-radix FFT backend), and
+* the **quality-scalable** system (pruned wavelet FFT, paper Mode 3),
+
+each driven three ways:
+
+* ``sequential`` — the original per-window loop (``batched=False``),
+* ``batched``    — the single-process batch engine of PR 1,
+* ``sharded``    — the fleet engine: the cohort's windows sharded over
+  a pool of worker processes with shared-memory recordings
+  (:class:`repro.fleet.FleetRunner`).
+
+The sharded spectrograms must be **bit-identical** to the batched ones
+(``max_rel_diff_spectrogram == 0.0``) and the per-recording operation
+counts equal; both are verified on every run.  Results — including the
+host's CPU count, start method and tuned chunk size, which bound what
+sharding can deliver — are written to ``BENCH_fleet.json`` at the
+repository root.
+
+Run with:  python benchmarks/bench_fleet.py [--patients P] [--hours H]
+           [--jobs J] [--repeats R]
+
+The test suite invokes :func:`run_fleet_benchmark` with a tiny cohort
+and two workers as a smoke test, so this script cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import PSAConfig  # noqa: E402
+from repro.core.system import ConventionalPSA, QualityScalablePSA  # noqa: E402
+from repro.ecg.rr_synthesis import TachogramSpec, generate_tachogram  # noqa: E402
+from repro.ffts.pruning import PruningSpec  # noqa: E402
+from repro.fleet.runner import FleetRunner  # noqa: E402
+from repro.lomb.fast import get_batch_chunk_windows  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fleet.json"
+
+
+def _make_cohort(n_patients: int, duration_hours: float, seed: int):
+    """Synthetic multi-patient cohort with per-patient parameter spread."""
+    rng = np.random.default_rng(seed)
+    recordings = []
+    for k in range(n_patients):
+        spec = TachogramSpec(
+            mean_rr=float(rng.uniform(0.7, 1.0)),
+            lf_frequency=float(rng.uniform(0.08, 0.12)),
+            hf_frequency=float(rng.uniform(0.2, 0.3)),
+            seed=seed + k,
+        )
+        recordings.append(generate_tachogram(spec, duration_hours * 3600.0))
+    return recordings
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_system(welch, runner, recordings, repeats: int) -> dict:
+    """Verify exactness, then time all three paths for one PSA system.
+
+    The first (untimed) sharded run also forks the runner's persistent
+    pool, so the timed runs measure the warm serving pattern.
+    """
+    batched = [
+        welch.analyze(rr.times, rr.intervals, count_ops=True)
+        for rr in recordings
+    ]
+    report = runner.run_report(recordings, count_ops=True)
+    n_windows_total = sum(result.n_windows for result in batched)
+    max_rel_diff = max(
+        float(
+            np.max(
+                np.abs(sharded.spectrogram - reference.spectrogram)
+                / np.maximum(np.abs(reference.spectrogram), 1e-30)
+            )
+        )
+        for sharded, reference in zip(report.results, batched)
+    )
+    counts_equal = all(
+        sharded.counts == reference.counts
+        for sharded, reference in zip(report.results, batched)
+    )
+
+    seq_seconds = _best_of(
+        repeats,
+        lambda: [
+            welch.analyze(rr.times, rr.intervals, batched=False)
+            for rr in recordings
+        ],
+    )
+    batch_seconds = _best_of(
+        repeats,
+        lambda: [
+            welch.analyze(rr.times, rr.intervals, batched=True)
+            for rr in recordings
+        ],
+    )
+    shard_seconds = _best_of(repeats, lambda: runner.run(recordings))
+    return {
+        "sequential_seconds": seq_seconds,
+        "batched_seconds": batch_seconds,
+        "sharded_seconds": shard_seconds,
+        "sequential_windows_per_sec": n_windows_total / seq_seconds,
+        "batched_windows_per_sec": n_windows_total / batch_seconds,
+        "sharded_windows_per_sec": n_windows_total / shard_seconds,
+        "speedup_batched_vs_sequential": seq_seconds / batch_seconds,
+        "speedup_sharded_vs_batched": batch_seconds / shard_seconds,
+        "speedup_sharded_vs_sequential": seq_seconds / shard_seconds,
+        "max_rel_diff_spectrogram": max_rel_diff,
+        "op_counts_equal": counts_equal,
+        "n_shards": report.n_shards,
+        "_n_windows_total": n_windows_total,
+        "_start_method": report.start_method or "in-process",
+    }
+
+
+def run_fleet_benchmark(
+    n_patients: int = 8,
+    duration_hours: float = 12.0,
+    jobs: int = 4,
+    repeats: int = 3,
+    seed: int = 2014,
+) -> dict:
+    """Benchmark both PSA systems over a synthetic cohort, three ways.
+
+    Returns the result document (also see :func:`main`, which writes it
+    to ``BENCH_fleet.json``).
+    """
+    config = PSAConfig()
+    recordings = _make_cohort(n_patients, duration_hours, seed)
+    systems = {
+        "conventional_split_radix": ConventionalPSA(config),
+        "quality_scalable_wavelet_mode3": QualityScalablePSA(
+            config, pruning=PruningSpec.paper_mode(3)
+        ),
+    }
+    chunk_windows = get_batch_chunk_windows(config.fft_size)
+    results: dict[str, dict] = {}
+    n_windows_total = None
+    start_method = None
+    for name, system in systems.items():
+        welch = system.welch
+        with FleetRunner(welch=welch, n_jobs=jobs) as runner:
+            results[name] = _bench_system(
+                welch, runner, recordings, repeats
+            )
+        n_windows_total = results[name].pop("_n_windows_total")
+        start_method = results[name].pop("_start_method")
+    return {
+        "benchmark": "fleet sharded vs batched vs sequential cohort execution",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "jobs": jobs,
+            "start_method": start_method,
+            "chunk_windows": chunk_windows,
+        },
+        "workload": {
+            "n_patients": n_patients,
+            "duration_hours": duration_hours,
+            "n_beats_total": int(sum(rr.times.size for rr in recordings)),
+            "n_windows_total": int(n_windows_total),
+            "window_seconds": config.window_seconds,
+            "overlap": config.overlap,
+            "workspace_size": config.fft_size,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "systems": results,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--patients", type=int, default=8, help="cohort size (recordings)"
+    )
+    parser.add_argument(
+        "--hours", type=float, default=12.0, help="recording length in hours"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for sharding"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    document = run_fleet_benchmark(
+        n_patients=args.patients,
+        duration_hours=args.hours,
+        jobs=args.jobs,
+        repeats=args.repeats,
+    )
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(document, indent=2))
+    for name, entry in document["systems"].items():
+        print(
+            f"{name}: seq {entry['sequential_windows_per_sec']:.0f} | "
+            f"batched {entry['batched_windows_per_sec']:.0f} | "
+            f"sharded {entry['sharded_windows_per_sec']:.0f} windows/s "
+            f"(sharded vs batched "
+            f"{entry['speedup_sharded_vs_batched']:.2f}x on "
+            f"{document['host']['cpu_count']} CPUs)"
+        )
+
+
+if __name__ == "__main__":
+    main()

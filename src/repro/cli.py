@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's everyday uses without writing any
+Five subcommands cover the library's everyday uses without writing any
 code:
 
 * ``demo``        — quickstart comparison on one synthetic patient,
-* ``screen``      — cohort screening under a chosen pruning mode,
+* ``screen``      — cohort screening under a chosen pruning mode
+  (``--jobs N`` shards the cohort over N worker processes),
 * ``energy``      — energy report of a pruning mode on the node model,
-* ``complexity``  — the Fig. 5 operation-count table for a given N.
+* ``complexity``  — the Fig. 5 operation-count table for a given N,
+* ``tune``        — per-host batch chunk-size probe (fleet auto-tuner).
 """
 
 from __future__ import annotations
@@ -58,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     screen.add_argument("--dynamic", action="store_true")
     screen.add_argument("--patients", type=int, default=8)
     screen.add_argument("--duration", type=float, default=300.0)
+    screen.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the cohort (0 = one per CPU)",
+    )
 
     energy = sub.add_parser("energy", help="energy report for a pruning mode")
     energy.add_argument("--mode", default="set3", choices=_MODES)
@@ -69,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
         "complexity", help="Fig. 5 operation-count table"
     )
     complexity.add_argument("--n", type=int, default=512)
+
+    tune = sub.add_parser(
+        "tune", help="probe this host's batched-execution chunk size"
+    )
+    tune.add_argument("--workspace", type=int, default=512)
+    tune.add_argument(
+        "--measure",
+        action="store_true",
+        help="time candidate chunk sizes instead of using the cache model",
+    )
     return parser
 
 
@@ -96,12 +114,20 @@ def _cmd_screen(args) -> int:
         if not spec.is_exact
         else ConventionalPSA()
     )
+    patients = list(cohort)[: args.patients]
+    recordings = [
+        patient.rr_series(duration=args.duration) for patient in patients
+    ]
+    # The fleet engine shards the whole cohort's Welch windows over the
+    # worker pool; jobs=1 runs the identical pipeline in-process and 0
+    # is the one-per-CPU sentinel (negative values reach FleetRunner's
+    # validation).
+    results = system.analyze_cohort(
+        recordings, jobs=None if args.jobs == 0 else args.jobs
+    )
     rows = []
     correct = 0
-    patients = list(cohort)[: args.patients]
-    for patient in patients:
-        rr = patient.rr_series(duration=args.duration)
-        result = system.analyze(rr)
+    for patient, result in zip(patients, results):
         expected = patient.patient_id.startswith("rsa")
         ok = result.detection.is_arrhythmia == expected
         correct += ok
@@ -155,6 +181,33 @@ def _cmd_complexity(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .fleet.tuning import autotune_chunk_windows, measure_chunk_windows
+    from .lomb.fast import BATCH_CHUNK_WINDOWS
+
+    if args.measure:
+        tuning = measure_chunk_windows(workspace_size=args.workspace)
+    else:
+        tuning = autotune_chunk_windows(args.workspace)
+    cache = (
+        f"{tuning.cache_bytes / 1024:.0f} KiB"
+        if tuning.cache_bytes
+        else "undetected"
+    )
+    rows = [
+        ["workspace size", str(tuning.workspace_size)],
+        ["last-level cache", cache],
+        ["chunk windows", str(tuning.chunk_windows)],
+        ["source", tuning.source],
+        ["fixed default", str(BATCH_CHUNK_WINDOWS)],
+    ]
+    if tuning.timings:
+        for candidate, seconds in sorted(tuning.timings.items()):
+            rows.append([f"  probe {candidate}", f"{seconds * 1e3:.1f} ms"])
+    print(format_table(["quantity", "value"], rows, title="chunk tuning"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -163,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         "screen": _cmd_screen,
         "energy": _cmd_energy,
         "complexity": _cmd_complexity,
+        "tune": _cmd_tune,
     }
     return handlers[args.command](args)
 

@@ -112,6 +112,14 @@ class _BasePSA:
         welch = self._welch.analyze(
             rr.times, rr.intervals, count_ops=count_ops, batched=batched
         )
+        return self._finalize(welch)
+
+    def _finalize(self, welch: WelchLombResult) -> PSAResult:
+        """Clinical post-processing of one recording's Welch result.
+
+        Shared by :meth:`analyze` and :meth:`analyze_cohort`, so the
+        fleet path reports exactly what the single-recording path does.
+        """
         averaged = welch.averaged_spectrum()
         ratios = np.array(
             [
@@ -128,6 +136,39 @@ class _BasePSA:
             detection=detection,
             counts=welch.counts,
         )
+
+    def analyze_cohort(
+        self,
+        recordings,
+        count_ops: bool = False,
+        jobs: int | None = 1,
+    ) -> list[PSAResult]:
+        """Run the full PSA over many recordings with the fleet engine.
+
+        Parameters
+        ----------
+        recordings:
+            Iterable of :class:`RRSeries`, one per patient/recording.
+        count_ops:
+            Attach executed operation counts to every result.
+        jobs:
+            Worker processes; 1 (default) runs the sharded pipeline
+            in-process, ``None`` uses one worker per available CPU.
+
+        The cohort's Welch windows are sharded across a process pool
+        (:class:`repro.fleet.FleetRunner`) with recording arrays in
+        shared memory; spectra, averages and operation counts are
+        identical to per-recording :meth:`analyze` calls.
+        """
+        from ..fleet.runner import FleetRunner
+
+        rr_list = list(recordings)
+        for rr in rr_list:
+            if not isinstance(rr, RRSeries):
+                raise SignalError("analyze_cohort expects RRSeries recordings")
+        with FleetRunner(welch=self._welch, n_jobs=jobs) as runner:
+            welch_results = runner.run(rr_list, count_ops=count_ops)
+        return [self._finalize(welch) for welch in welch_results]
 
     def window_counts(self, n_beats: int | None = None) -> OpCounts:
         """Design-time operation count of one nominal analysis window."""

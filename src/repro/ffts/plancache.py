@@ -49,6 +49,7 @@ __all__ = [
     "wavelet_keep_masks",
     "wavelet_plan",
     "split_radix_plan",
+    "warm_execution_caches",
     "plan_cache_stats",
     "clear_plan_caches",
 ]
@@ -268,6 +269,33 @@ def split_radix_plan(n: int, use_numpy: bool = True) -> "SplitRadixFFT":
         plan = SplitRadixFFT(n, use_numpy=use_numpy)
         _SPLIT_RADIX_PLANS[key] = plan
     return plan
+
+
+# ----------------------------------------------------------------------
+# Pre-fork warm-up
+# ----------------------------------------------------------------------
+
+
+def warm_execution_caches(n: int, order: int = 4) -> None:
+    """Build every execution-time table an ``n``-point run can touch.
+
+    Plan construction warms the design-time caches, but some tables are
+    only resolved at *transform* time (the split-radix twiddle chain of
+    the explicit recursion, the radix-2 stage tables, the Lagrange
+    extirpolation denominators).  The fleet engine calls this in the
+    parent **before** forking its worker pool so the tables are
+    inherited copy-on-write instead of being rebuilt once per worker;
+    spawn-based pools call it again in each worker's initializer, where
+    it warms that process's own caches.
+    """
+    n = require_power_of_two(n, "n")
+    size = n
+    while size >= 4:
+        split_radix_twiddles(size)
+        size //= 2
+    bit_reversal(n)
+    radix2_stage_twiddles(n)
+    lagrange_denominators(order)
 
 
 # ----------------------------------------------------------------------

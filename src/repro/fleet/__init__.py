@@ -1,0 +1,43 @@
+"""Fleet-scale sharded execution of the windowed-PSA engine.
+
+This package turns the single-process batched Welch-Lomb pipeline into
+a cohort runner: recordings (or window shards of one huge recording)
+spread across a pool of worker processes, RR arrays travel through
+shared memory, plan caches are warmed before the pool forks, and the
+per-host batch chunk size is auto-tuned instead of hard-coded.
+
+Entry points:
+
+* :class:`~repro.fleet.runner.FleetRunner` — the multiprocess cohort
+  runner (``run`` / ``run_report``);
+* :func:`~repro.fleet.tuning.autotune_chunk_windows` /
+  :func:`~repro.fleet.tuning.measure_chunk_windows` — per-host chunk
+  tuning;
+* :func:`~repro.fleet.sharding.plan_shards` — the work decomposition.
+"""
+
+from .runner import FleetReport, FleetRunner
+from .sharding import WindowShard, plan_shards
+from .shm import SharedArrayRef, SharedRecordingStore, attach_array
+from .tuning import (
+    ChunkTuning,
+    autotune_chunk_windows,
+    chunk_windows_for_cache,
+    detect_cache_bytes,
+    measure_chunk_windows,
+)
+
+__all__ = [
+    "ChunkTuning",
+    "FleetReport",
+    "FleetRunner",
+    "SharedArrayRef",
+    "SharedRecordingStore",
+    "WindowShard",
+    "attach_array",
+    "autotune_chunk_windows",
+    "chunk_windows_for_cache",
+    "detect_cache_bytes",
+    "measure_chunk_windows",
+    "plan_shards",
+]

@@ -1,0 +1,323 @@
+"""Fleet-scale sharded execution of the windowed-PSA engine.
+
+:class:`FleetRunner` runs many recordings — or the window shards of one
+huge recording — across a pool of worker processes, each driving the
+same batched :meth:`FastLomb.periodogram_batch` pipeline the
+single-process path uses:
+
+1. the parent validates every recording and lays out its windows
+   (:meth:`WelchLomb.plan_windows`), then shards the kept windows into
+   contiguous ranges (:mod:`repro.fleet.sharding`);
+2. recording arrays go into POSIX shared memory once
+   (:mod:`repro.fleet.shm`); workers slice windows out of the mapped
+   blocks zero-copy, so the task queue carries only index ranges;
+3. the parent warms every execution-time plan cache **before** the pool
+   forks, so workers inherit twiddle tables, pruning masks and whole
+   kernel plans copy-on-write instead of rebuilding them per worker;
+4. per-shard spectra are reassembled in window order and fed through
+   the same :func:`~repro.lomb.welch.assemble_result` back end as the
+   single-process path, making the merged spectrograms, Welch averages
+   and operation counts identical to it by construction (bit-exact:
+   every per-window quantity is computed by composition-independent
+   kernels).
+
+``n_jobs=1`` runs the identical shard/merge pipeline in-process — no
+pool, no shared memory — which keeps the merge machinery exercised by
+fast tests.  With ``n_jobs > 1`` the worker pool is **persistent**:
+repeated :meth:`FleetRunner.run` calls (the serving pattern) reuse it,
+paying the fork/initialise cost once; call :meth:`FleetRunner.close`
+(or use the runner as a context manager) when done.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, SignalError
+from ..hrv.rr import RRSeries
+from ..lomb.fast import (
+    get_batch_chunk_windows,
+    get_chunk_override,
+    set_batch_chunk_windows,
+)
+from ..lomb.welch import (
+    RecordingWindows,
+    WelchLomb,
+    WelchLombResult,
+    assemble_result,
+)
+from ..ffts.plancache import warm_execution_caches
+from .sharding import (
+    DEFAULT_MIN_WINDOWS_PER_SHARD,
+    DEFAULT_OVERSUBSCRIPTION,
+    plan_shards,
+)
+from .shm import SharedRecordingStore
+from .worker import (
+    ShardTask,
+    init_worker,
+    pack_spectra,
+    run_shard,
+    unpack_spectra,
+)
+
+__all__ = ["FleetReport", "FleetRunner"]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """A fleet run's results plus its execution geometry.
+
+    Attributes
+    ----------
+    results:
+        One :class:`WelchLombResult` per input recording, in order.
+    n_jobs:
+        Worker processes used (1 means the in-process path ran).
+    n_shards:
+        Window shards the cohort was split into.
+    chunk_windows:
+        Batch sub-batch size every process ran with.
+    start_method:
+        Multiprocessing start method (``None`` for the in-process path).
+    """
+
+    results: tuple[WelchLombResult, ...]
+    n_jobs: int
+    n_shards: int
+    chunk_windows: int
+    start_method: str | None
+
+
+class FleetRunner:
+    """Multiprocess cohort runner over the batched Welch-Lomb engine.
+
+    Parameters
+    ----------
+    welch:
+        The windowed engine to replicate into every worker; defaults to
+        a paper-standard :class:`WelchLomb` (2-minute windows, 50 %
+        overlap, denormalized scaling).
+    n_jobs:
+        Worker processes; ``None`` means one per available CPU.
+    start_method:
+        ``multiprocessing`` start method; ``None`` prefers ``fork``
+        (copy-on-write plan-cache inheritance) where available.
+    min_windows_per_shard, oversubscription:
+        Shard-granularity knobs, see :func:`repro.fleet.sharding.plan_shards`.
+    chunk_windows:
+        Batch sub-batch size to pin across the fleet; ``None`` resolves
+        the host-tuned value (:func:`repro.lomb.fast.get_batch_chunk_windows`).
+    """
+
+    def __init__(
+        self,
+        welch: WelchLomb | None = None,
+        n_jobs: int | None = None,
+        start_method: str | None = None,
+        min_windows_per_shard: int = DEFAULT_MIN_WINDOWS_PER_SHARD,
+        oversubscription: int = DEFAULT_OVERSUBSCRIPTION,
+        chunk_windows: int | None = None,
+    ):
+        self.welch = welch if welch is not None else WelchLomb()
+        if n_jobs is None:
+            n_jobs = os.cpu_count() or 1
+        if n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.min_windows_per_shard = int(min_windows_per_shard)
+        self.oversubscription = int(oversubscription)
+        self._chunk_windows = chunk_windows
+        self._pool = None
+        self._pool_chunk: int | None = None
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(recording) -> tuple[np.ndarray, np.ndarray]:
+        """Accept an :class:`RRSeries` or a ``(times, values)`` pair."""
+        if isinstance(recording, RRSeries):
+            return recording.times, recording.intervals
+        try:
+            times, values = recording
+        except (TypeError, ValueError):
+            raise SignalError(
+                "recordings must be RRSeries or (times, values) pairs"
+            ) from None
+        return times, values
+
+    def run(self, recordings, count_ops: bool = False) -> list[WelchLombResult]:
+        """Analyse a cohort; one :class:`WelchLombResult` per recording."""
+        return list(self.run_report(recordings, count_ops=count_ops).results)
+
+    def run_report(self, recordings, count_ops: bool = False) -> FleetReport:
+        """:meth:`run` plus the execution geometry (shards, jobs, chunk)."""
+        pairs = [self._coerce(recording) for recording in recordings]
+        if not pairs:
+            raise SignalError("cohort is empty: nothing to analyse")
+        plans = [self.welch.plan_windows(t, x) for t, x in pairs]
+        for plan in plans:
+            if not plan.spans:
+                raise SignalError(
+                    "no analysable windows: recording too short or too sparse"
+                )
+        shards = plan_shards(
+            [plan.n_windows for plan in plans],
+            self.n_jobs,
+            min_windows_per_shard=self.min_windows_per_shard,
+            oversubscription=self.oversubscription,
+        )
+        chunk = (
+            self._chunk_windows
+            if self._chunk_windows is not None
+            else get_batch_chunk_windows(self.welch.analyzer.workspace_size)
+        )
+        if self.n_jobs == 1:
+            packed = self._run_in_process(plans, shards, count_ops, chunk)
+            n_jobs, used_method = 1, None
+        else:
+            packed = self._run_pool(plans, shards, count_ops, chunk)
+            n_jobs, used_method = self.n_jobs, self.start_method
+        results = self._merge(plans, shards, packed, count_ops)
+        return FleetReport(
+            results=tuple(results),
+            n_jobs=n_jobs,
+            n_shards=len(shards),
+            chunk_windows=chunk,
+            start_method=used_method,
+        )
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def __enter__(self) -> "FleetRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _run_in_process(
+        self,
+        plans: list[RecordingWindows],
+        shards,
+        count_ops: bool,
+        chunk: int,
+    ) -> list[list[tuple]]:
+        """Single-process execution of the identical shard pipeline."""
+        previous = get_chunk_override()
+        set_batch_chunk_windows(chunk)
+        try:
+            packed: list[list[tuple]] = []
+            for shard in shards:
+                windows = plans[shard.recording].window_arrays(
+                    shard.lo, shard.hi
+                )
+                spectra = self.welch.analyzer.periodogram_batch(
+                    windows, count_ops=count_ops, validate=False
+                )
+                packed.append(pack_spectra(spectra))
+            return packed
+        finally:
+            set_batch_chunk_windows(previous)
+
+    def _ensure_pool(self, chunk: int):
+        """Create (or reuse) the persistent worker pool.
+
+        The pool outlives individual :meth:`run` calls so repeated
+        cohort runs — the serving pattern — pay the fork/initialise
+        cost once.  Pre-fork warm-up happens right before creation:
+        with the fork start method the workers inherit every plan-cache
+        table copy-on-write, so nothing is re-derived N-workers times.
+        (Plan objects themselves were built when the engine was
+        constructed.)
+        """
+        if self._pool is not None and self._pool_chunk == chunk:
+            return self._pool
+        self.close()
+        analyzer = self.welch.analyzer
+        warm_execution_caches(analyzer.workspace_size, analyzer.order)
+        ctx = multiprocessing.get_context(self.start_method)
+        self._pool = ctx.Pool(
+            processes=self.n_jobs,
+            initializer=init_worker,
+            initargs=(self.welch, chunk),
+        )
+        self._pool_chunk = chunk
+        return self._pool
+
+    def _run_pool(
+        self,
+        plans: list[RecordingWindows],
+        shards,
+        count_ops: bool,
+        chunk: int,
+    ) -> list[list[tuple]]:
+        """Dispatch shards over the worker pool, shared-memory backed."""
+        pool = self._ensure_pool(chunk)
+        collected: list[list[tuple] | None] = [None] * len(shards)
+        with SharedRecordingStore() as store:
+            refs = [
+                (store.put(plan.times), store.put(plan.values))
+                for plan in plans
+            ]
+            tasks = [
+                ShardTask(
+                    shard_id=shard_id,
+                    recording=shard.recording,
+                    times_ref=refs[shard.recording][0],
+                    values_ref=refs[shard.recording][1],
+                    spans=plans[shard.recording].spans[shard.lo : shard.hi],
+                    count_ops=count_ops,
+                )
+                for shard_id, shard in enumerate(shards)
+            ]
+            try:
+                for shard_id, packed in pool.imap_unordered(run_shard, tasks):
+                    collected[shard_id] = packed
+            except BaseException:
+                # A failed shard leaves queued siblings behind; tear the
+                # pool down rather than let them run against unlinked
+                # shared memory.
+                pool.terminate()
+                pool.join()
+                self._pool = None
+                raise
+        return collected  # every slot filled: imap yields one per task
+
+    def _merge(
+        self,
+        plans: list[RecordingWindows],
+        shards,
+        packed: list[list[tuple]],
+        count_ops: bool,
+    ) -> list[WelchLombResult]:
+        """Reassemble per-shard spectra into per-recording results.
+
+        Shards are emitted grouped by recording and ordered by ``lo``
+        (:func:`plan_shards`), so concatenating in dispatch order
+        restores every recording's window order; the final assembly is
+        the exact single-process back end.
+        """
+        spectra_per_recording: list[list] = [[] for _ in plans]
+        for shard, shard_packed in zip(shards, packed):
+            spectra_per_recording[shard.recording].extend(
+                unpack_spectra(shard_packed)
+            )
+        return [
+            assemble_result(spectra, plan.centers, plan.skipped, count_ops)
+            for spectra, plan in zip(spectra_per_recording, plans)
+        ]

@@ -1,0 +1,110 @@
+"""Work decomposition for the fleet engine.
+
+The unit of distribution is a **window shard**: a contiguous range of
+one recording's kept analysis windows.  Small recordings become a
+single shard each; a recording with more windows than the per-shard
+target (one huge ambulatory recording, say) is split into several
+contiguous ranges so its windows spread across the pool.
+
+Shards are deliberately oversubscribed relative to the worker count:
+recordings differ in length, and a few-times-finer granularity lets the
+pool balance load without making the per-task overhead (pickling a
+handful of spans, one result message) noticeable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["WindowShard", "plan_shards"]
+
+#: Below this many windows a shard's fixed dispatch cost dominates the
+#: dense batch work, so shards are never made smaller (except when a
+#: whole recording has fewer windows).
+DEFAULT_MIN_WINDOWS_PER_SHARD = 32
+
+#: Shards per worker the planner aims for (load-balancing slack).
+DEFAULT_OVERSUBSCRIPTION = 4
+
+
+@dataclass(frozen=True)
+class WindowShard:
+    """A contiguous range of one recording's kept windows.
+
+    Attributes
+    ----------
+    recording:
+        Index of the recording in the cohort.
+    lo, hi:
+        Kept-window index range ``[lo, hi)`` within that recording.
+    """
+
+    recording: int
+    lo: int
+    hi: int
+
+    @property
+    def n_windows(self) -> int:
+        return self.hi - self.lo
+
+
+def plan_shards(
+    window_counts: Sequence[int],
+    n_jobs: int,
+    min_windows_per_shard: int = DEFAULT_MIN_WINDOWS_PER_SHARD,
+    oversubscription: int = DEFAULT_OVERSUBSCRIPTION,
+) -> list[WindowShard]:
+    """Partition a cohort's windows into contiguous shards.
+
+    Parameters
+    ----------
+    window_counts:
+        Kept-window count of each recording, in cohort order.
+    n_jobs:
+        Worker processes the shards will be spread over.
+    min_windows_per_shard:
+        Floor on the per-shard target (whole recordings smaller than
+        this still form their own shard).
+    oversubscription:
+        Target shards-per-worker ratio.
+
+    Every recording's windows appear exactly once, in order; shards are
+    returned grouped by recording and ordered by ``lo``.
+    """
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+    if min_windows_per_shard < 1:
+        raise ConfigurationError(
+            f"min_windows_per_shard must be >= 1, got {min_windows_per_shard}"
+        )
+    if oversubscription < 1:
+        raise ConfigurationError(
+            f"oversubscription must be >= 1, got {oversubscription}"
+        )
+    total = sum(window_counts)
+    target = max(
+        min_windows_per_shard,
+        math.ceil(total / max(1, n_jobs * oversubscription)),
+    )
+    shards: list[WindowShard] = []
+    for recording, count in enumerate(window_counts):
+        if count < 0:
+            raise ConfigurationError(
+                f"window counts must be >= 0, got {count}"
+            )
+        if count == 0:
+            continue
+        # Floor division so every piece is at least ``target`` windows
+        # (a whole recording smaller than the target stays one shard).
+        pieces = max(1, count // target)
+        # Near-equal contiguous ranges: piece k covers
+        # [round(count*k/pieces), round(count*(k+1)/pieces)).
+        bounds = [round(count * k / pieces) for k in range(pieces + 1)]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                shards.append(WindowShard(recording=recording, lo=lo, hi=hi))
+    return shards

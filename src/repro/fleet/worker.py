@@ -1,0 +1,165 @@
+"""Worker-process side of the fleet engine.
+
+Each pool worker is initialised exactly once with the pickled
+:class:`~repro.lomb.welch.WelchLomb` engine and the parent's resolved
+batch chunk size (:func:`init_worker`), then executes
+:class:`ShardTask`s (:func:`run_shard`): attach the recording's
+shared-memory arrays, slice the shard's windows out of them zero-copy,
+drive :meth:`FastLomb.periodogram_batch`, and ship the spectra back in
+a compact packed form (per-window frequency grids are rebuilt from
+``df``/``nout`` on the parent side instead of being pickled once per
+window).
+
+With the default ``fork`` start method the engine and every plan-cache
+table are inherited copy-on-write from the warmed parent; with
+``spawn`` the initializer re-warms this process's own caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ffts.plancache import warm_execution_caches
+from ..lomb.fast import LombSpectrum, set_batch_chunk_windows
+from ..lomb.welch import WelchLomb
+from .shm import SharedArrayRef, attach_array
+
+__all__ = [
+    "ShardTask",
+    "init_worker",
+    "run_shard",
+    "pack_spectra",
+    "unpack_spectra",
+]
+
+#: Per-process state installed by :func:`init_worker`.
+_STATE: dict = {}
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of pool work: a window range of one recording.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of this shard in the dispatch order (used to collect
+        unordered results).
+    recording:
+        Cohort index of the recording (for reassembly bookkeeping).
+    times_ref, values_ref:
+        Shared-memory handles of the recording's arrays.
+    spans:
+        Sample-index ``[start, stop)`` ranges of this shard's windows.
+    count_ops:
+        Attach executed operation counts to every spectrum.
+    """
+
+    shard_id: int
+    recording: int
+    times_ref: SharedArrayRef
+    values_ref: SharedArrayRef
+    spans: tuple[tuple[int, int], ...]
+    count_ops: bool
+
+
+def init_worker(welch: WelchLomb, chunk_windows: int | None) -> None:
+    """Pool initializer: install the engine and warm this process.
+
+    ``chunk_windows`` pins the batch sub-batch size to the parent's
+    resolved value so the whole fleet runs one consistent chunking
+    policy (results never depend on it; only throughput does).
+    """
+    if chunk_windows is not None:
+        set_batch_chunk_windows(chunk_windows)
+    analyzer = welch.analyzer
+    warm_execution_caches(analyzer.workspace_size, analyzer.order)
+    _STATE["welch"] = welch
+
+
+def pack_spectra(spectra) -> list[tuple]:
+    """Compact, picklable form of a shard's spectra.
+
+    Runs of consecutive same-grid-length windows (the overwhelmingly
+    common case: a steady recording produces one grid) are packed as
+    **one** dense power matrix plus per-window scalar vectors, instead
+    of thousands of tiny per-window arrays; frequency grids are dropped
+    entirely (reconstructable as ``df * arange(1, nout + 1)``).  This
+    cuts the result traffic back to the parent by well over half.
+    """
+    groups: list[tuple] = []
+    run: list[LombSpectrum] = []
+    for spectrum in spectra:
+        if run and spectrum.frequencies.size != run[0].frequencies.size:
+            groups.append(_pack_group(run))
+            run = []
+        run.append(spectrum)
+    if run:
+        groups.append(_pack_group(run))
+    return groups
+
+
+def _pack_group(run: list[LombSpectrum]) -> tuple:
+    return (
+        run[0].frequencies.size,
+        np.array([float(s.frequencies[0]) for s in run]),
+        np.vstack([s.power for s in run]),
+        np.array([s.mean for s in run]),
+        np.array([s.variance for s in run]),
+        np.array([s.n_samples for s in run], dtype=np.int64),
+        np.array([s.duration for s in run]),
+        tuple(s.counts for s in run),
+    )
+
+
+def unpack_spectra(packed) -> list[LombSpectrum]:
+    """Rebuild :class:`LombSpectrum` records from :func:`pack_spectra`."""
+    spectra = []
+    for nout, dfs, powers, means, variances, ns, durations, counts in packed:
+        m = np.arange(1, nout + 1)
+        for i in range(dfs.size):
+            spectra.append(
+                LombSpectrum(
+                    frequencies=dfs[i] * m,
+                    power=powers[i],
+                    mean=float(means[i]),
+                    variance=float(variances[i]),
+                    n_samples=int(ns[i]),
+                    duration=float(durations[i]),
+                    counts=counts[i],
+                )
+            )
+    return spectra
+
+
+def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
+    """Analyse one shard's windows against the installed engine.
+
+    Returns ``(shard_id, packed_spectra)`` with spectra in window
+    order.  Windows are sliced zero-copy from the shared recording
+    arrays; ``periodogram_batch`` copies them into its own padded
+    workspaces, so nothing returned references the shared blocks and
+    both attachments can be released before returning (pools outlive
+    individual runs, so holding attachments would pin unlinked blocks).
+    """
+    welch: WelchLomb = _STATE["welch"]
+    t_block, times = attach_array(task.times_ref)
+    x_block, values = attach_array(task.values_ref)
+    try:
+        windows = [
+            (times[start:stop], values[start:stop])
+            for start, stop in task.spans
+        ]
+        spectra = welch.analyzer.periodogram_batch(
+            windows, count_ops=task.count_ops, validate=False
+        )
+        packed = pack_spectra(spectra)
+    finally:
+        # Every view into the mapped blocks must be gone before close()
+        # (mmap refuses to unmap while buffer exports are alive).
+        windows = times = values = None
+        t_block.close()
+        x_block.close()
+    return task.shard_id, packed

@@ -8,19 +8,35 @@ time-frequency monitoring.
 
 from .direct import lomb_frequency_grid, lomb_periodogram
 from .extirpolation import extirpolate, extirpolate_batch, extirpolation_weights
-from .fast import BLOCK_COSTS, FastLomb, LombSpectrum
-from .welch import WelchLomb, WelchLombResult, iter_windows
+from .fast import (
+    BLOCK_COSTS,
+    FastLomb,
+    LombSpectrum,
+    get_batch_chunk_windows,
+    set_batch_chunk_windows,
+)
+from .welch import (
+    RecordingWindows,
+    WelchLomb,
+    WelchLombResult,
+    assemble_result,
+    iter_windows,
+)
 
 __all__ = [
     "BLOCK_COSTS",
     "FastLomb",
     "LombSpectrum",
+    "RecordingWindows",
     "WelchLomb",
     "WelchLombResult",
+    "assemble_result",
     "extirpolate",
     "extirpolate_batch",
     "extirpolation_weights",
+    "get_batch_chunk_windows",
     "iter_windows",
     "lomb_frequency_grid",
     "lomb_periodogram",
+    "set_batch_chunk_windows",
 ]

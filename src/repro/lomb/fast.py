@@ -27,6 +27,7 @@ Two execution paths produce the same spectra:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,13 +39,87 @@ from ..ffts.opcount import OpCounts
 from ..ffts.plancache import split_radix_plan
 from .extirpolation import DEFAULT_ORDER, extirpolate, extirpolate_batch
 
-__all__ = ["FastLomb", "LombSpectrum", "BLOCK_COSTS"]
+__all__ = [
+    "FastLomb",
+    "LombSpectrum",
+    "BLOCK_COSTS",
+    "get_batch_chunk_windows",
+    "set_batch_chunk_windows",
+]
 
-#: Windows per dense sub-batch of the batched execution path.  Batches of
-#: this size keep the ``(rows, N)`` workspaces and extirpolation
-#: intermediates cache-resident; a 24 h Holter run in one monolithic
-#: batch is ~35 % slower than chunks of this size.
+#: Fallback windows-per-sub-batch of the batched execution path when the
+#: host cannot be probed (the PR 1 value, measured on one development
+#: machine).  The effective value is resolved per host by
+#: :func:`get_batch_chunk_windows`; chunking keeps the ``(rows, N)``
+#: workspaces and extirpolation intermediates cache-resident — a 24 h
+#: Holter run in one monolithic batch is ~35 % slower than chunks of
+#: this size.
 BATCH_CHUNK_WINDOWS = 256
+
+#: Environment override for the chunk size (takes precedence over the
+#: auto-tuner, below an explicit :func:`set_batch_chunk_windows` call).
+_CHUNK_ENV_VAR = "REPRO_BATCH_CHUNK_WINDOWS"
+
+_chunk_override: int | None = None
+_chunk_tuned: dict[int, int] = {}
+
+
+def set_batch_chunk_windows(value: int | None) -> None:
+    """Pin the batched sub-batch size for this process.
+
+    ``None`` clears the pin and re-enables per-host auto-tuning.  The
+    fleet engine pins every worker to the parent's resolved value so a
+    cohort runs with one consistent chunk size; results never depend on
+    it (batch rows are independent).
+    """
+    global _chunk_override
+    if value is None:
+        _chunk_override = None
+        return
+    value = int(value)
+    if value < 1:
+        raise ConfigurationError(
+            f"batch chunk size must be >= 1, got {value}"
+        )
+    _chunk_override = value
+
+
+def get_chunk_override() -> int | None:
+    """The explicit per-process pin, if any (used to save/restore it)."""
+    return _chunk_override
+
+
+def get_batch_chunk_windows(workspace_size: int = 512) -> int:
+    """Effective windows-per-sub-batch for this host and workspace size.
+
+    Resolution order: an explicit :func:`set_batch_chunk_windows` pin,
+    the ``REPRO_BATCH_CHUNK_WINDOWS`` environment variable, then the
+    lazily-run per-host auto-tuner
+    (:func:`repro.fleet.tuning.autotune_chunk_windows`, memoised per
+    workspace size), falling back to :data:`BATCH_CHUNK_WINDOWS`.
+    """
+    if _chunk_override is not None:
+        return _chunk_override
+    env = os.environ.get(_CHUNK_ENV_VAR)
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{_CHUNK_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(
+                f"{_CHUNK_ENV_VAR} must be >= 1, got {value}"
+            )
+        return value
+    tuned = _chunk_tuned.get(workspace_size)
+    if tuned is None:
+        from ..fleet.tuning import autotune_chunk_windows
+
+        tuned = autotune_chunk_windows(workspace_size).chunk_windows
+        _chunk_tuned[workspace_size] = tuned
+    return tuned
 
 #: Per-unit operation costs of the non-FFT pipeline blocks.  Divisions and
 #: square roots are expanded to 4 multiplications each, the usual cost of
@@ -394,13 +469,14 @@ class FastLomb:
         for i, meta in enumerate(metas):
             groups.setdefault(meta[3], []).append(i)
         results: list[LombSpectrum | None] = [None] * len(pairs)
+        chunk_windows = get_batch_chunk_windows(self.workspace_size)
         for nout, indices in groups.items():
             # Bounded sub-batches keep the dense intermediates inside the
             # CPU caches; one monolithic multi-hour batch is measurably
             # slower than cache-sized chunks (rows are independent, so
             # chunking cannot change any result).
-            for lo in range(0, len(indices), BATCH_CHUNK_WINDOWS):
-                chunk = indices[lo : lo + BATCH_CHUNK_WINDOWS]
+            for lo in range(0, len(indices), chunk_windows):
+                chunk = indices[lo : lo + chunk_windows]
                 spectra = self._periodogram_group(
                     [arrays[i] for i in chunk],
                     [metas[i] for i in chunk],
@@ -444,7 +520,16 @@ class FastLomb:
             means[i] = x.mean()
         valid = np.arange(max_n)[None, :] < ns[:, None]
         centered = np.where(valid, x_pad - means[:, None], 0.0)
-        variances = np.einsum("ij,ij->i", centered, centered) / (ns - 1)
+        # Per-row dot products over the exact (unpadded) slices: a padded
+        # reduction would round differently depending on the batch's pad
+        # width, making results depend on how windows were grouped into
+        # batches — which would break the fleet engine's bit-identical
+        # shard merging.
+        variances = np.empty(rows)
+        for i in range(rows):
+            c = centered[i, : ns[i]]
+            variances[i] = c @ c
+        variances /= ns - 1
         if np.any(variances <= 0):
             raise SignalError("window has zero variance")
         # Padded slots sit at t = 0 and clip to position 0; the lengths

@@ -28,10 +28,70 @@ from ..errors import ConfigurationError, SignalError
 from ..ffts.opcount import OpCounts
 from .fast import FastLomb, LombSpectrum
 
-__all__ = ["WelchLomb", "WelchLombResult", "iter_windows"]
+__all__ = [
+    "WelchLomb",
+    "WelchLombResult",
+    "RecordingWindows",
+    "assemble_result",
+    "iter_windows",
+]
 
 #: Fewest beats a window may contain and still be analysed.
 MIN_BEATS_PER_WINDOW = 16
+
+
+def assemble_result(
+    spectra,
+    window_times: np.ndarray,
+    skipped: int,
+    count_ops: bool = False,
+) -> WelchLombResult:
+    """Assemble per-window spectra into a :class:`WelchLombResult`.
+
+    Shared back half of :meth:`WelchLomb.analyze`; the fleet engine
+    feeds it the concatenated spectra of all shards of one recording,
+    which makes the sharded result identical to the single-process one
+    by construction.
+
+    All windows are interpolated onto the frequency grid of the
+    longest-duration window so the spectrogram is rectangular even when
+    beat counts differ per window; windows already on a grid of the
+    reference length are stacked with one array assignment.
+    """
+    spectra = list(spectra)
+    if not spectra:
+        raise SignalError(
+            "no analysable windows: recording too short or too sparse"
+        )
+    reference = max(spectra, key=lambda s: s.frequencies.size)
+    grid = reference.frequencies
+    sizes = np.fromiter(
+        (s.frequencies.size for s in spectra), dtype=np.intp, count=len(spectra)
+    )
+    rows = np.empty((len(spectra), grid.size))
+    full = np.flatnonzero(sizes == grid.size)
+    if full.size:
+        rows[full] = [spectra[i].power for i in full]
+    for i in np.flatnonzero(sizes != grid.size):
+        rows[i] = np.interp(
+            grid,
+            spectra[i].frequencies,
+            spectra[i].power,
+            left=0.0,
+            right=0.0,
+        )
+    counts = None
+    if count_ops:
+        counts = sum((s.counts for s in spectra), OpCounts())
+    return WelchLombResult(
+        frequencies=grid,
+        spectrogram=rows,
+        averaged=rows.mean(axis=0),
+        window_times=np.asarray(window_times),
+        window_spectra=tuple(spectra),
+        counts=counts,
+        skipped_windows=skipped,
+    )
 
 
 def iter_windows(
@@ -77,6 +137,50 @@ def iter_windows(
 
 
 @dataclass(frozen=True)
+class RecordingWindows:
+    """Validated window layout of one recording — the shardable plan.
+
+    Produced by :meth:`WelchLomb.plan_windows`; the fleet engine shards
+    ``spans`` into contiguous ranges, analyses each range with
+    :meth:`FastLomb.periodogram_batch` (possibly in another process) and
+    reassembles the spectra with :func:`assemble_result`.
+
+    Attributes
+    ----------
+    times, values:
+        The validated recording arrays.
+    spans:
+        Kept ``[start, stop)`` sample-index ranges, one per analysable
+        window, in time order.
+    centers:
+        Centre time (seconds) of every kept window.
+    skipped:
+        Windows rejected for holding fewer than
+        :data:`MIN_BEATS_PER_WINDOW` beats.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    spans: tuple[tuple[int, int], ...]
+    centers: np.ndarray
+    skipped: int
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.spans)
+
+    def window_arrays(
+        self, lo: int = 0, hi: int | None = None
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(times, values)`` slices of kept windows ``lo .. hi``."""
+        spans = self.spans[lo:hi]
+        return [
+            (self.times[start:stop], self.values[start:stop])
+            for start, stop in spans
+        ]
+
+
+@dataclass(frozen=True)
 class WelchLombResult:
     """Output of a Welch-Lomb run.
 
@@ -114,15 +218,20 @@ class WelchLombResult:
     def averaged_spectrum(self) -> LombSpectrum:
         """The Welch average packaged as a :class:`LombSpectrum`."""
         total_samples = sum(s.n_samples for s in self.window_spectra)
+        # Actual recording span the analysed windows cover: window centres
+        # are exact midpoints, so centre +/- duration/2 recovers the first
+        # window's start and the last window's stop.  Summing per-window
+        # durations would double-count overlapped stretches (50 % overlap
+        # would report nearly twice the recording length).
+        start = self.window_times[0] - 0.5 * self.window_spectra[0].duration
+        stop = self.window_times[-1] + 0.5 * self.window_spectra[-1].duration
         return LombSpectrum(
             frequencies=self.frequencies,
             power=self.averaged,
             mean=float(np.mean([s.mean for s in self.window_spectra])),
             variance=float(np.mean([s.variance for s in self.window_spectra])),
             n_samples=total_samples,
-            duration=float(
-                self.window_spectra[-1].duration * len(self.window_spectra)
-            ),
+            duration=float(stop - start),
             counts=self.counts,
         )
 
@@ -159,23 +268,12 @@ class WelchLomb:
         self.window_seconds = float(window_seconds)
         self.overlap = float(overlap)
 
-    def analyze(
-        self,
-        times,
-        values,
-        count_ops: bool = False,
-        batched: bool = True,
-    ) -> WelchLombResult:
-        """Run the sliding-window analysis over a full recording.
+    def plan_windows(self, times, values) -> RecordingWindows:
+        """Validate a recording and lay out its analysable windows.
 
-        All windows are interpolated onto the frequency grid of the
-        longest-duration window so the spectrogram is rectangular even
-        when beat counts differ per window.
-
-        ``batched`` (default) drives all windows through
-        :meth:`FastLomb.periodogram_batch`; ``batched=False`` runs the
-        original per-window loop.  Both paths produce the same spectra
-        and operation counts.
+        This is the shared front half of :meth:`analyze`; the fleet
+        engine calls it directly to shard the resulting spans across
+        worker processes.
         """
         t = as_1d_float_array(times, "times", min_length=MIN_BEATS_PER_WINDOW)
         x = as_1d_float_array(values, "values", min_length=MIN_BEATS_PER_WINDOW)
@@ -199,7 +297,34 @@ class WelchLomb:
             centers = 0.5 * (t[starts] + t[stops - 1])
         else:
             centers = np.empty(0)
-        windows = [(t[start:stop], x[start:stop]) for start, stop in kept]
+        return RecordingWindows(
+            times=t,
+            values=x,
+            spans=tuple(kept),
+            centers=centers,
+            skipped=skipped,
+        )
+
+    def analyze(
+        self,
+        times,
+        values,
+        count_ops: bool = False,
+        batched: bool = True,
+    ) -> WelchLombResult:
+        """Run the sliding-window analysis over a full recording.
+
+        All windows are interpolated onto the frequency grid of the
+        longest-duration window so the spectrogram is rectangular even
+        when beat counts differ per window.
+
+        ``batched`` (default) drives all windows through
+        :meth:`FastLomb.periodogram_batch`; ``batched=False`` runs the
+        original per-window loop.  Both paths produce the same spectra
+        and operation counts.
+        """
+        plan = self.plan_windows(times, values)
+        windows = plan.window_arrays()
         use_batch = batched and hasattr(self.analyzer, "periodogram_batch")
         if use_batch:
             # The recording was validated above; the per-window checks in
@@ -212,34 +337,4 @@ class WelchLomb:
                 self.analyzer.periodogram(tw, xw, count_ops=count_ops)
                 for tw, xw in windows
             ]
-        if not spectra:
-            raise SignalError(
-                "no analysable windows: recording too short or too sparse"
-            )
-
-        reference = max(spectra, key=lambda s: s.frequencies.size)
-        grid = reference.frequencies
-        rows = np.empty((len(spectra), grid.size))
-        for i, spectrum in enumerate(spectra):
-            if spectrum.frequencies.size == grid.size:
-                rows[i] = spectrum.power
-            else:
-                rows[i] = np.interp(
-                    grid,
-                    spectrum.frequencies,
-                    spectrum.power,
-                    left=0.0,
-                    right=0.0,
-                )
-        counts = None
-        if count_ops:
-            counts = sum((s.counts for s in spectra), OpCounts())
-        return WelchLombResult(
-            frequencies=grid,
-            spectrogram=rows,
-            averaged=rows.mean(axis=0),
-            window_times=np.asarray(centers),
-            window_spectra=tuple(spectra),
-            counts=counts,
-            skipped_windows=skipped,
-        )
+        return assemble_result(spectra, plan.centers, plan.skipped, count_ops)

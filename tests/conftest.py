@@ -6,6 +6,14 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: spawns worker processes or runs benchmark workloads; "
+        "deselect on constrained runners with -m 'not slow'",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for reproducible tests."""

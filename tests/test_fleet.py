@@ -1,0 +1,230 @@
+"""Tests for the fleet execution engine (sharding, shm, runner, merge).
+
+The load-bearing claim is exactness: a sharded multiprocess cohort run
+must reproduce the single-process batched path **bit-for-bit** — same
+spectrograms, same Welch averages, same operation counts — because the
+per-window kernels are composition-independent and the merge reuses the
+single-process assembly back end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.system import ConventionalPSA, QualityScalablePSA
+from repro.ecg.rr_synthesis import TachogramSpec, generate_tachogram
+from repro.errors import ConfigurationError, SignalError
+from repro.ffts.pruning import PruningSpec
+from repro.fleet import (
+    FleetRunner,
+    SharedRecordingStore,
+    attach_array,
+    plan_shards,
+)
+from repro.lomb.fast import FastLomb
+from repro.lomb.welch import WelchLomb
+
+
+def _cohort(n=3, seconds=900.0):
+    return [
+        generate_tachogram(TachogramSpec(seed=seed), seconds)
+        for seed in range(1, n + 1)
+    ]
+
+
+class TestPlanShards:
+    def test_small_recordings_one_shard_each(self):
+        shards = plan_shards([40, 50, 60], n_jobs=4)
+        assert [(s.recording, s.lo, s.hi) for s in shards] == [
+            (0, 0, 40),
+            (1, 0, 50),
+            (2, 0, 60),
+        ]
+
+    def test_oversized_recording_splits_contiguously(self):
+        shards = plan_shards([1000], n_jobs=4, min_windows_per_shard=32)
+        assert len(shards) > 1
+        assert shards[0].lo == 0 and shards[-1].hi == 1000
+        for left, right in zip(shards, shards[1:]):
+            assert left.hi == right.lo
+        assert sum(s.n_windows for s in shards) == 1000
+
+    def test_min_windows_floor(self):
+        # 100 windows with a floor of 60 cannot make 4 shards.
+        shards = plan_shards(
+            [100], n_jobs=4, min_windows_per_shard=60, oversubscription=1
+        )
+        assert all(s.n_windows >= 40 for s in shards)
+        assert sum(s.n_windows for s in shards) == 100
+
+    def test_zero_window_recording_skipped(self):
+        shards = plan_shards([0, 10], n_jobs=2)
+        assert [s.recording for s in shards] == [1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards([10], n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            plan_shards([10], n_jobs=1, min_windows_per_shard=0)
+        with pytest.raises(ConfigurationError):
+            plan_shards([-1], n_jobs=1)
+
+
+class TestSharedRecordingStore:
+    def test_roundtrip_and_cleanup(self, rng):
+        data = rng.standard_normal(257)
+        store = SharedRecordingStore()
+        ref = store.put(data)
+        assert ref.length == 257
+        block, view = attach_array(ref)
+        try:
+            np.testing.assert_array_equal(view, data)
+            assert not view.flags.writeable
+        finally:
+            block.close()
+        store.close()
+        with pytest.raises(FileNotFoundError):
+            attach_array(ref)
+
+    def test_context_manager_unlinks(self, rng):
+        with SharedRecordingStore() as store:
+            ref = store.put(rng.standard_normal(16))
+        with pytest.raises(FileNotFoundError):
+            attach_array(ref)
+
+
+class TestFleetRunnerInProcess:
+    """jobs=1 exercises the full shard/pack/merge pipeline without a pool."""
+
+    def test_matches_single_process_batched(self):
+        recordings = _cohort()
+        welch = WelchLomb()
+        runner = FleetRunner(welch=welch, n_jobs=1)
+        fleet_results = runner.run(recordings, count_ops=True)
+        for rr, fleet in zip(recordings, fleet_results):
+            single = welch.analyze(rr.times, rr.intervals, count_ops=True)
+            np.testing.assert_array_equal(
+                fleet.spectrogram, single.spectrogram
+            )
+            np.testing.assert_array_equal(fleet.averaged, single.averaged)
+            np.testing.assert_array_equal(
+                fleet.window_times, single.window_times
+            )
+            np.testing.assert_array_equal(
+                fleet.frequencies, single.frequencies
+            )
+            assert fleet.counts == single.counts
+            assert fleet.skipped_windows == single.skipped_windows
+
+    def test_accepts_time_value_pairs(self):
+        rr = _cohort(n=1)[0]
+        runner = FleetRunner(n_jobs=1)
+        by_series = runner.run([rr])[0]
+        by_pair = runner.run([(rr.times, rr.intervals)])[0]
+        np.testing.assert_array_equal(
+            by_series.spectrogram, by_pair.spectrogram
+        )
+
+    def test_empty_cohort_rejected(self):
+        with pytest.raises(SignalError):
+            FleetRunner(n_jobs=1).run([])
+
+    def test_unanalysable_recording_rejected(self):
+        times = np.linspace(0.0, 20.0, 24)
+        values = 0.8 + 0.01 * np.sin(times)
+        with pytest.raises(SignalError):
+            FleetRunner(n_jobs=1).run([(times, values)])
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(ConfigurationError):
+            FleetRunner(n_jobs=0)
+
+    def test_report_geometry(self):
+        recordings = _cohort()
+        report = FleetRunner(
+            welch=WelchLomb(), n_jobs=1, min_windows_per_shard=4
+        ).run_report(recordings)
+        assert report.n_jobs == 1
+        assert report.start_method is None
+        assert report.n_shards >= len(recordings)
+        assert report.chunk_windows >= 1
+        assert len(report.results) == len(recordings)
+
+
+@pytest.mark.slow
+class TestFleetRunnerMultiprocess:
+    def test_pool_matches_single_process_batched(self):
+        recordings = _cohort()
+        welch = WelchLomb()
+        with FleetRunner(
+            welch=welch, n_jobs=2, min_windows_per_shard=4
+        ) as runner:
+            report = runner.run_report(recordings, count_ops=True)
+        assert report.n_jobs == 2
+        assert report.start_method is not None
+        for rr, fleet in zip(recordings, report.results):
+            single = welch.analyze(rr.times, rr.intervals, count_ops=True)
+            np.testing.assert_array_equal(
+                fleet.spectrogram, single.spectrogram
+            )
+            np.testing.assert_array_equal(fleet.averaged, single.averaged)
+            assert fleet.counts == single.counts
+
+    def test_window_shards_of_one_huge_recording(self):
+        # One recording, forced into several window-range shards.
+        rr = generate_tachogram(TachogramSpec(seed=9), 3600.0)
+        welch = WelchLomb()
+        with FleetRunner(
+            welch=welch, n_jobs=2, min_windows_per_shard=8, oversubscription=2
+        ) as runner:
+            report = runner.run_report([rr])
+            # The persistent pool makes repeated runs (the serving
+            # pattern) reuse the forked workers.
+            again = runner.run([rr])[0]
+        assert report.n_shards > 1
+        single = welch.analyze(rr.times, rr.intervals)
+        np.testing.assert_array_equal(
+            report.results[0].spectrogram, single.spectrogram
+        )
+        np.testing.assert_array_equal(again.spectrogram, single.spectrogram)
+
+    def test_wavelet_dynamic_pruning_counts_identical(self):
+        # Dynamic pruning makes executed counts data-dependent — the
+        # sharded path must reproduce them exactly.
+        rr = generate_tachogram(TachogramSpec(seed=4), 900.0)
+        system = QualityScalablePSA(
+            pruning=PruningSpec.paper_mode(3, dynamic=True)
+        )
+        welch = system.welch
+        single = welch.analyze(rr.times, rr.intervals, count_ops=True)
+        with FleetRunner(
+            welch=welch, n_jobs=2, min_windows_per_shard=4
+        ) as runner:
+            fleet = runner.run([rr], count_ops=True)[0]
+        np.testing.assert_array_equal(fleet.spectrogram, single.spectrogram)
+        assert fleet.counts == single.counts
+
+    def test_analyze_cohort_matches_analyze(self):
+        recordings = _cohort(n=2, seconds=600.0)
+        system = ConventionalPSA()
+        cohort = system.analyze_cohort(recordings, jobs=2)
+        for rr, fleet in zip(recordings, cohort):
+            single = system.analyze(rr)
+            assert fleet.lf_hf == single.lf_hf
+            np.testing.assert_array_equal(
+                fleet.window_ratios, single.window_ratios
+            )
+            assert (
+                fleet.detection.is_arrhythmia == single.detection.is_arrhythmia
+            )
+
+    def test_custom_chunk_pin_does_not_change_results(self):
+        recordings = _cohort(n=2, seconds=600.0)
+        welch = WelchLomb(FastLomb(scaling="denormalized"))
+        with FleetRunner(welch=welch, n_jobs=2) as runner:
+            baseline = runner.run(recordings)
+        with FleetRunner(welch=welch, n_jobs=2, chunk_windows=7) as runner:
+            pinned = runner.run(recordings)
+        for a, b in zip(baseline, pinned):
+            np.testing.assert_array_equal(a.spectrogram, b.spectrogram)
