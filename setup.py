@@ -3,10 +3,31 @@
 This environment has no ``wheel`` package and no network access, so PEP 517
 editable installs (which must build an editable wheel) cannot work.  Keeping
 a ``setup.py`` lets ``pip install -e . --no-build-isolation`` take the legacy
-``setup.py develop`` path with nothing but setuptools.  All metadata lives in
-``pyproject.toml``.
+``setup.py develop`` path with nothing but setuptools.
+
+scipy is deliberately an *extra*, not a hard dependency: the FFT
+execution-provider registry (``repro.ffts.providers``) auto-skips the
+scipy provider when the import fails, so the core library runs on numpy
+alone.  ``pip install .[fast]`` pulls scipy in and unlocks the
+multi-threaded ``scipy.fft`` provider.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hrv-psa",
+    version="0.3.0",
+    description=(
+        "Reproduction of 'A quality-scalable and energy-efficient approach "
+        "for spectral analysis of heart rate variability' (DATE 2014)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        # Optional fast FFT execution provider (see repro.ffts.providers);
+        # everything works without it, on numpy's pocketfft.
+        "fast": ["scipy"],
+    },
+)

@@ -1,19 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's everyday uses without writing any
+Six subcommands cover the library's everyday uses without writing any
 code:
 
 * ``demo``        — quickstart comparison on one synthetic patient,
 * ``screen``      — cohort screening under a chosen pruning mode
-  (``--jobs N`` shards the cohort over N worker processes),
+  (``--jobs N`` shards the cohort over N worker processes,
+  ``--provider`` pins the FFT execution engine),
 * ``energy``      — energy report of a pruning mode on the node model,
 * ``complexity``  — the Fig. 5 operation-count table for a given N,
-* ``tune``        — per-host batch chunk-size probe (fleet auto-tuner).
+* ``tune``        — per-host batch chunk-size probe (fleet auto-tuner),
+* ``providers``   — list/probe the FFT execution provider registry.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
 import numpy as np
 
@@ -66,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the cohort (0 = one per CPU)",
     )
+    from .ffts.providers import provider_names
+
+    screen.add_argument(
+        "--provider",
+        default=None,
+        choices=provider_names(),
+        help="FFT execution provider to pin (see the providers command)",
+    )
 
     energy = sub.add_parser("energy", help="energy report for a pruning mode")
     energy.add_argument("--mode", default="set3", choices=_MODES)
@@ -86,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--measure",
         action="store_true",
         help="time candidate chunk sizes instead of using the cache model",
+    )
+
+    providers = sub.add_parser(
+        "providers", help="list or probe the FFT execution providers"
+    )
+    providers.add_argument("--workspace", type=int, default=512)
+    providers.add_argument(
+        "--probe",
+        action="store_true",
+        help="run the autoselect micro-benchmark and show per-provider "
+        "timings",
     )
     return parser
 
@@ -123,7 +145,9 @@ def _cmd_screen(args) -> int:
     # is the one-per-CPU sentinel (negative values reach FleetRunner's
     # validation).
     results = system.analyze_cohort(
-        recordings, jobs=None if args.jobs == 0 else args.jobs
+        recordings,
+        jobs=None if args.jobs == 0 else args.jobs,
+        provider=args.provider,
     )
     rows = []
     correct = 0
@@ -200,11 +224,60 @@ def _cmd_tune(args) -> int:
         ["chunk windows", str(tuning.chunk_windows)],
         ["source", tuning.source],
         ["fixed default", str(BATCH_CHUNK_WINDOWS)],
+        ["fft provider", tuning.provider or "--"],
     ]
     if tuning.timings:
         for candidate, seconds in sorted(tuning.timings.items()):
             rows.append([f"  probe {candidate}", f"{seconds * 1e3:.1f} ms"])
     print(format_table(["quantity", "value"], rows, title="chunk tuning"))
+    return 0
+
+
+def _cmd_providers(args) -> int:
+    from .errors import ConfigurationError
+    from .ffts.providers import registry
+
+    availability = registry.available_providers()
+    descriptions = registry.provider_descriptions()
+    probe = registry.autoselect(args.workspace) if args.probe else None
+    # Report the resolution state without side effects: the plain
+    # listing must neither run the timing probe nor die on a bad env
+    # pin — only --probe pays for the micro-benchmark.
+    pin = registry.get_default_provider_name()
+    env_value = os.environ.get(registry.PROVIDER_ENV_VAR, "").strip().lower()
+    if pin is not None:
+        active = pin
+    elif env_value and env_value != "auto":
+        try:
+            active = registry.resolve_provider_name(None, args.workspace)
+        except ConfigurationError:
+            active = f"invalid env pin {env_value!r}"
+    else:
+        cached = registry.autoselect_cached(args.workspace)
+        active = cached.provider if cached is not None else "auto (unprobed)"
+    rows = []
+    for name in registry.provider_names():
+        status = "yes" if availability[name] else "missing dependency"
+        marks = []
+        if name == active:
+            marks.append("active")
+        if probe is not None and probe.provider == name:
+            marks.append("probe winner")
+        timing = ""
+        if probe is not None and probe.timings and name in probe.timings:
+            timing = f"{probe.timings[name] * 1e3:.2f} ms"
+        rows.append(
+            [name, status, ", ".join(marks) or "--", timing or "--",
+             descriptions[name]]
+        )
+    print(format_table(
+        ["provider", "available", "state", "probe", "description"],
+        rows,
+        title=f"FFT execution providers (workspace {args.workspace})",
+    ))
+    env = registry.PROVIDER_ENV_VAR
+    print(f"\nresolution: pin={pin or '--'}, {env}="
+          f"{os.environ.get(env, '--')}, active={active}")
     return 0
 
 
@@ -217,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         "energy": _cmd_energy,
         "complexity": _cmd_complexity,
         "tune": _cmd_tune,
+        "providers": _cmd_providers,
     }
     return handlers[args.command](args)
 

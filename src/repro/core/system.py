@@ -142,6 +142,7 @@ class _BasePSA:
         recordings,
         count_ops: bool = False,
         jobs: int | None = 1,
+        provider: str | None = None,
     ) -> list[PSAResult]:
         """Run the full PSA over many recordings with the fleet engine.
 
@@ -154,6 +155,10 @@ class _BasePSA:
         jobs:
             Worker processes; 1 (default) runs the sharded pipeline
             in-process, ``None`` uses one worker per available CPU.
+        provider:
+            FFT execution provider to pin across the fleet
+            (:mod:`repro.ffts.providers`); ``None`` resolves the
+            registry chain once in the parent.
 
         The cohort's Welch windows are sharded across a process pool
         (:class:`repro.fleet.FleetRunner`) with recording arrays in
@@ -166,7 +171,9 @@ class _BasePSA:
         for rr in rr_list:
             if not isinstance(rr, RRSeries):
                 raise SignalError("analyze_cohort expects RRSeries recordings")
-        with FleetRunner(welch=self._welch, n_jobs=jobs) as runner:
+        with FleetRunner(
+            welch=self._welch, n_jobs=jobs, provider=provider
+        ) as runner:
             welch_results = runner.run(rr_list, count_ops=count_ops)
         return [self._finalize(welch) for welch in welch_results]
 

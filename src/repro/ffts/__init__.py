@@ -2,11 +2,20 @@
 
 Exposes the conventional kernels the paper compares against (split radix,
 radix-2, direct DFT), the wavelet-domain FFT of Section IV with its two
-pruning stages, and the operation-count framework behind Fig. 5 and the
-energy model.
+pruning stages, the operation-count framework behind Fig. 5 and the
+energy model, and the multi-provider execution layer
+(:mod:`repro.ffts.providers`) that decouples the analysis model from
+the numerical engine running it.
 """
 
 from .backends import FFTBackend, SplitRadixFFT
+from .providers import (
+    FFTProvider,
+    autoselect,
+    available_providers,
+    get_provider,
+    set_default_provider,
+)
 from .dft import direct_dft, direct_dft_counts
 from .opcount import (
     COMPLEX_ADD,
@@ -36,10 +45,15 @@ __all__ = [
     "COMPLEX_MULT",
     "DYNAMIC_CHECK",
     "FFTBackend",
+    "FFTProvider",
     "REAL_SCALED_COMPLEX_MULT",
     "OpCounts",
     "SplitRadixFFT",
     "PruningSpec",
+    "autoselect",
+    "available_providers",
+    "get_provider",
+    "set_default_provider",
     "TWIDDLE_SETS",
     "WaveletFFT",
     "bit_reverse_permutation",

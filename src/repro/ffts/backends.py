@@ -16,6 +16,15 @@ module adds the conventional baseline.  Third-party kernels that only
 implement the three sequential methods still work: the Fast-Lomb batch
 driver falls back to per-window calls when ``transform_batch`` is
 missing.
+
+Execution vs. accounting: since the provider layer landed, the
+*numerics* of :class:`SplitRadixFFT` run on whichever FFT execution
+provider the registry resolves (:mod:`repro.ffts.providers` — numpy,
+scipy, or the explicit split-radix oracle), while the *operation
+counts* always come from the split-radix closed forms.  The optional
+``rfft`` / ``rfft_batch`` methods expose the provider's real-input
+half-spectrum path; Fast-Lomb uses them to skip the pack/unpack stage
+when no spectrum post-processing is in play.
 """
 
 from __future__ import annotations
@@ -31,7 +40,9 @@ from .._validation import (
 )
 from ..errors import TransformError
 from .opcount import OpCounts
-from .split_radix import split_radix_counts, split_radix_fft, split_radix_fft_batch
+from .providers.base import FFTProvider
+from .providers.registry import active_provider, get_provider, require_known
+from .split_radix import split_radix_counts
 
 __all__ = ["FFTBackend", "SplitRadixFFT"]
 
@@ -63,17 +74,37 @@ class SplitRadixFFT:
     n:
         Transform size (power of two).
     use_numpy:
-        When True (default) the numerics go through ``numpy.fft`` — this
-        is "the numpy backend": the result is identical to the explicit
-        split-radix recursion but much faster for cohort-scale
-        experiments.  Operation counts always use the split-radix closed
-        forms either way.
+        When True (default) the numerics dispatch through the active
+        execution provider (:mod:`repro.ffts.providers` — historically
+        this was hard-wired ``numpy.fft``): the result is
+        ``np.allclose`` to the explicit split-radix recursion but much
+        faster for cohort-scale experiments.  ``use_numpy=False`` pins
+        the explicit oracle.  Operation counts always use the
+        split-radix closed forms either way.
+    provider:
+        Optional per-kernel provider pin (a registry name).  ``None``
+        defers to the registry's resolution chain (process pin,
+        ``REPRO_FFT_PROVIDER``, lazy autoselect) on every call, so a
+        long-lived plan follows later pins.
     """
 
-    def __init__(self, n: int, use_numpy: bool = True):
+    def __init__(
+        self, n: int, use_numpy: bool = True, provider: str | None = None
+    ):
         self.n = require_power_of_two(n, "n")
         self._use_numpy = bool(use_numpy)
+        if provider is None and not self._use_numpy:
+            provider = "explicit"
+        if provider is not None:
+            provider = require_known(provider)
+            get_provider(provider)  # fail at planning if unavailable
+        self.provider = provider
         self._counts = split_radix_counts(self.n)
+
+    def _engine(self) -> FFTProvider:
+        if self.provider is not None:
+            return get_provider(self.provider)
+        return active_provider(self.n)
 
     def transform(self, x) -> np.ndarray:
         arr = as_1d_complex_array(x, "x")
@@ -81,9 +112,7 @@ class SplitRadixFFT:
             raise TransformError(
                 f"input length {arr.size} does not match plan size {self.n}"
             )
-        if self._use_numpy:
-            return np.fft.fft(arr)
-        return split_radix_fft(arr)
+        return self._engine().fft(arr)
 
     def transform_with_counts(self, x) -> tuple[np.ndarray, OpCounts]:
         return self.transform(x), self._counts
@@ -91,13 +120,11 @@ class SplitRadixFFT:
     def transform_batch(self, x) -> np.ndarray:
         """Row-wise spectra of a ``(n_windows, n)`` batch.
 
-        Dispatches to ``numpy.fft`` along axis 1 or to the batched
-        split-radix recursion; each row matches :meth:`transform`.
+        Dispatches to the resolved execution provider along axis 1;
+        each row matches :meth:`transform`.
         """
         arr = as_2d_complex_array(x, "x", width=self.n)
-        if self._use_numpy:
-            return np.fft.fft(arr, axis=1)
-        return split_radix_fft_batch(arr)
+        return self._engine().fft_batch(arr)
 
     def transform_batch_with_counts(
         self, x
@@ -105,6 +132,32 @@ class SplitRadixFFT:
         """Batched transform plus the (static) per-row operation counts."""
         out = self.transform_batch(x)
         return out, (self._counts,) * out.shape[0]
+
+    def rfft(self, x) -> np.ndarray:
+        """Half spectrum (``n//2 + 1`` bins) of one real length-n vector.
+
+        The fused real path of Fast-Lomb: mathematically identical to
+        ``transform(x)[: n//2 + 1]`` for real input, at roughly half
+        the complex work.  Modelled counts are unchanged — the sensor
+        node is costed on the paper's packed complex pipeline.
+        """
+        arr = np.ascontiguousarray(x, dtype=np.float64)
+        if arr.ndim != 1 or arr.size != self.n:
+            raise TransformError(
+                f"rfft expects a real length-{self.n} vector, got shape "
+                f"{arr.shape}"
+            )
+        return self._engine().rfft(arr)
+
+    def rfft_batch(self, x) -> np.ndarray:
+        """Row-wise half spectra of a real ``(n_windows, n)`` batch."""
+        arr = np.ascontiguousarray(x, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise TransformError(
+                f"rfft_batch expects a real (rows, {self.n}) batch, got "
+                f"shape {arr.shape}"
+            )
+        return self._engine().rfft_batch(arr)
 
     def static_counts(self) -> OpCounts:
         return self._counts

@@ -37,6 +37,7 @@ from ..errors import SignalError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..wavelets.filters import WaveletFilter
     from .backends import SplitRadixFFT
+    from .providers.base import FFTProvider
     from .pruning import PruningSpec
     from .wavelet_fft import WaveletFFT
 
@@ -49,6 +50,7 @@ __all__ = [
     "wavelet_keep_masks",
     "wavelet_plan",
     "split_radix_plan",
+    "provider_plan",
     "warm_execution_caches",
     "plan_cache_stats",
     "clear_plan_caches",
@@ -217,7 +219,7 @@ def wavelet_plan(
     basis="haar",
     levels: int = 1,
     pruning: "PruningSpec | None" = None,
-    sub_backend: str = "numpy",
+    sub_backend: str = "auto",
 ) -> "WaveletFFT":
     """Shared, fully-planned :class:`WaveletFFT` for the given geometry.
 
@@ -271,22 +273,54 @@ def split_radix_plan(n: int, use_numpy: bool = True) -> "SplitRadixFFT":
     return plan
 
 
+_PROVIDER_PLANS: dict[str, "FFTProvider"] = {}
+
+
+def provider_plan(name: str) -> "FFTProvider":
+    """Shared execution-provider handle (stateless, safe to share).
+
+    One instance per registered provider name; built through
+    :func:`repro.ffts.providers.registry.build_provider`.  Callers go
+    through :func:`repro.ffts.providers.registry.get_provider`, which
+    validates the name and its availability first.
+    """
+    plan = _PROVIDER_PLANS.get(name)
+    if plan is None:
+        from .providers.registry import build_provider
+
+        plan = build_provider(name)
+        _PROVIDER_PLANS[name] = plan
+    return plan
+
+
+def invalidate_provider_plan(name: str) -> None:
+    """Drop one cached provider handle (re-registration hook)."""
+    _PROVIDER_PLANS.pop(name, None)
+
+
 # ----------------------------------------------------------------------
 # Pre-fork warm-up
 # ----------------------------------------------------------------------
 
 
-def warm_execution_caches(n: int, order: int = 4) -> None:
+def warm_execution_caches(
+    n: int, order: int = 4, provider: str | None = None
+) -> None:
     """Build every execution-time table an ``n``-point run can touch.
 
     Plan construction warms the design-time caches, but some tables are
     only resolved at *transform* time (the split-radix twiddle chain of
     the explicit recursion, the radix-2 stage tables, the Lagrange
-    extirpolation denominators).  The fleet engine calls this in the
-    parent **before** forking its worker pool so the tables are
-    inherited copy-on-write instead of being rebuilt once per worker;
-    spawn-based pools call it again in each worker's initializer, where
-    it warms that process's own caches.
+    extirpolation denominators, the execution provider's per-size
+    state).  The fleet engine calls this in the parent **before**
+    forking its worker pool so the tables are inherited copy-on-write
+    instead of being rebuilt once per worker; spawn-based pools call it
+    again in each worker's initializer, where it warms that process's
+    own caches.
+
+    ``provider`` names the resolved FFT execution provider to warm for
+    size ``n`` (and the half-size the fused real path and wavelet
+    sub-FFTs use); ``None`` skips provider warm-up.
     """
     n = require_power_of_two(n, "n")
     size = n
@@ -296,6 +330,13 @@ def warm_execution_caches(n: int, order: int = 4) -> None:
     bit_reversal(n)
     radix2_stage_twiddles(n)
     lagrange_denominators(order)
+    if provider is not None:
+        from .providers.registry import get_provider
+
+        engine = get_provider(provider)
+        engine.warm(n)
+        if n >= 8:
+            engine.warm(n // 2)
 
 
 # ----------------------------------------------------------------------
@@ -314,6 +355,7 @@ def plan_cache_stats() -> dict[str, int]:
         "keep_masks": len(_KEEP_MASKS),
         "wavelet_plans": len(_WAVELET_PLANS),
         "split_radix_plans": len(_SPLIT_RADIX_PLANS),
+        "provider_plans": len(_PROVIDER_PLANS),
     }
 
 
@@ -327,3 +369,4 @@ def clear_plan_caches() -> None:
     _KEEP_MASKS.clear()
     _WAVELET_PLANS.clear()
     _SPLIT_RADIX_PLANS.clear()
+    _PROVIDER_PLANS.clear()

@@ -1,0 +1,52 @@
+"""Multi-provider FFT execution layer.
+
+Decouples *what transform the paper's system asks for* (and what it
+costs on the modelled sensor node) from *which numerical engine executes
+it on the host*.  Three providers ship:
+
+* ``explicit`` — the explicit split-radix recursion, the op-count
+  oracle every other provider is tested against;
+* ``numpy``    — ``numpy.fft`` pocketfft, the always-available default;
+* ``scipy``    — ``scipy.fft`` pocketfft with multi-threaded batches,
+  auto-skipped when the optional dependency is missing.
+
+Selection goes through :mod:`~repro.ffts.providers.registry`: an
+explicit pin, :func:`set_default_provider`, the ``REPRO_FFT_PROVIDER``
+environment variable, or a lazy micro-benchmark probe
+(:func:`autoselect`).  See ``python -m repro providers`` for the live
+view of this registry.
+"""
+
+from .base import FFTProvider
+from .registry import (
+    PROVIDER_ENV_VAR,
+    ProviderChoice,
+    active_provider,
+    autoselect,
+    available_providers,
+    clear_provider_state,
+    get_default_provider_name,
+    get_provider,
+    provider_descriptions,
+    provider_names,
+    register_provider,
+    resolve_provider_name,
+    set_default_provider,
+)
+
+__all__ = [
+    "FFTProvider",
+    "PROVIDER_ENV_VAR",
+    "ProviderChoice",
+    "active_provider",
+    "autoselect",
+    "available_providers",
+    "clear_provider_state",
+    "get_default_provider_name",
+    "get_provider",
+    "provider_descriptions",
+    "provider_names",
+    "register_provider",
+    "resolve_provider_name",
+    "set_default_provider",
+]

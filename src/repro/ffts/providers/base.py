@@ -1,0 +1,56 @@
+"""The :class:`FFTProvider` protocol — pluggable numerical FFT engines.
+
+The analysis model (which transform the paper's system asks for, and what
+it *costs* on the sensor node) is decoupled from the numerical engine
+that executes it on the host.  A provider is a stateless executor of
+plain power-of-two DFTs:
+
+* ``fft(x)`` / ``fft_batch(x2d)`` — complex spectra of one vector / of a
+  dense ``(n_rows, n)`` batch,
+* ``rfft(x)`` / ``rfft_batch(x2d)`` — half spectra (``n//2 + 1`` bins)
+  of real input, the fast path the Lomb combine uses when no spectrum
+  post-processing (pruning equalisation) is in play,
+* ``warm(n)`` — pre-build any per-size execution state (twiddle chains,
+  pocketfft plans) so fleet workers inherit it copy-on-write pre-fork.
+
+Providers never participate in operation accounting: modelled op counts
+always come from the explicit split-radix / wavelet closed forms, which
+is what keeps every provider's counts identical by construction.  The
+contract is numerical: every provider's spectra must be ``np.allclose``
+to the explicit kernels (the oracle), and per-row results must not
+depend on how rows were batched together (composition independence, the
+property the fleet engine's bit-identical shard merging rests on).
+
+Concrete providers live next to this module (``explicit``, ``numpy``,
+``scipy``); the registry (:mod:`~repro.ffts.providers.registry`) selects
+between them.  Provider instances are cached as plan handles in
+:mod:`~repro.ffts.plancache`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["FFTProvider"]
+
+
+@runtime_checkable
+class FFTProvider(Protocol):
+    """Structural type of a numerical FFT execution engine."""
+
+    #: Registry name (``"explicit"``, ``"numpy"``, ``"scipy"``, ...).
+    name: str
+    #: One-line description for the CLI listing.
+    description: str
+
+    def fft(self, x: np.ndarray) -> np.ndarray: ...
+
+    def rfft(self, x: np.ndarray) -> np.ndarray: ...
+
+    def fft_batch(self, x: np.ndarray) -> np.ndarray: ...
+
+    def rfft_batch(self, x: np.ndarray) -> np.ndarray: ...
+
+    def warm(self, n: int) -> None: ...

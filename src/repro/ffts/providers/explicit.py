@@ -1,0 +1,71 @@
+"""The explicit split-radix provider — the repository's op-count oracle.
+
+Executes every transform through the explicit split-radix recursion of
+:mod:`repro.ffts.split_radix` (the kernels whose closed-form operation
+counts the paper's complexity model is built on).  It is the slowest
+provider by a wide margin — pure-numpy recursion against pocketfft —
+but its numerics define the equivalence oracle every faster provider is
+benchmarked and tested against, and it is the engine behind
+``use_numpy=False`` / ``sub_backend="split-radix"`` pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..split_radix import split_radix_fft, split_radix_fft_batch
+from .. import plancache
+
+__all__ = ["ExplicitProvider"]
+
+
+class ExplicitProvider:
+    """Explicit split-radix recursion (oracle; slow, dependency-free)."""
+
+    name = "explicit"
+    description = "explicit split-radix recursion (op-count oracle)"
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        return split_radix_fft(x)
+
+    def rfft(self, x: np.ndarray) -> np.ndarray:
+        return self.rfft_batch(
+            np.ascontiguousarray(x, dtype=np.float64)[None, :]
+        )[0]
+
+    def fft_batch(self, x: np.ndarray) -> np.ndarray:
+        return split_radix_fft_batch(x)
+
+    def rfft_batch(self, x: np.ndarray) -> np.ndarray:
+        """Real-input half spectra via one half-length complex transform.
+
+        The classic real-FFT untangling: pack even/odd samples into a
+        length-``n/2`` complex vector, run one explicit split-radix
+        transform of that half length, and recombine — so the fused
+        real path costs this provider the same work per real transform
+        as the packed complex pipeline did, not a full-length FFT per
+        workspace.
+        """
+        arr = np.ascontiguousarray(x, dtype=np.float64)
+        rows, n = arr.shape
+        if n < 4:
+            full = split_radix_fft_batch(arr.astype(np.complex128))
+            return full[:, : n // 2 + 1]
+        half = n // 2
+        z = arr[:, 0::2] + 1j * arr[:, 1::2]
+        spectrum = split_radix_fft_batch(z)
+        # Z[k] for k = 0..half (Z[half] wraps to Z[0]) and conj(Z[half-k]).
+        z_pos = np.concatenate([spectrum, spectrum[:, :1]], axis=1)
+        z_neg = np.conj(
+            np.concatenate([spectrum[:, :1], spectrum[:, ::-1]], axis=1)
+        )
+        even = 0.5 * (z_pos + z_neg)
+        odd = -0.5j * (z_pos - z_neg)
+        twiddles = np.exp(-2j * np.pi * np.arange(half + 1) / n)
+        return even + twiddles * odd
+
+    def warm(self, n: int) -> None:
+        size = int(n)
+        while size >= 4:
+            plancache.split_radix_twiddles(size)
+            size //= 2

@@ -1,0 +1,38 @@
+"""The ``numpy.fft`` (pocketfft) provider — the fast, always-available engine.
+
+This is the engine the repository historically hard-wired behind
+``use_numpy=True`` / ``sub_backend="numpy"``; the provider layer makes
+it one selectable engine among several.  pocketfft keeps an internal
+per-size plan cache, so :meth:`warm` simply runs one tiny transform of
+each flavour — the fleet engine does this pre-fork so workers inherit
+the plans copy-on-write.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NumpyFFTProvider"]
+
+
+class NumpyFFTProvider:
+    """``numpy.fft`` (pocketfft) execution."""
+
+    name = "numpy"
+    description = "numpy.fft pocketfft (always available)"
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.fft(x)
+
+    def rfft(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.rfft(x)
+
+    def fft_batch(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.fft(x, axis=1)
+
+    def rfft_batch(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.rfft(x, axis=1)
+
+    def warm(self, n: int) -> None:
+        np.fft.fft(np.zeros(n, dtype=np.complex128))
+        np.fft.rfft(np.zeros(n, dtype=np.float64))

@@ -48,8 +48,9 @@ from .opcount import (
     REAL_SCALED_COMPLEX_MULT,
     OpCounts,
 )
+from .providers import registry
 from .pruning import PruningSpec
-from .split_radix import split_radix_counts, split_radix_fft, split_radix_fft_batch
+from .split_radix import split_radix_counts
 
 __all__ = ["WaveletFFT", "wavelet_fft", "dwt_stage_cost"]
 
@@ -118,10 +119,13 @@ class WaveletFFT:
     pruning:
         A :class:`~repro.ffts.pruning.PruningSpec`; ``None`` means exact.
     sub_backend:
-        ``"numpy"`` (default, fast) or ``"split-radix"`` (the explicit
-        baseline implementation) for the innermost sub-DFT numerics.
-        Both produce identical results; operation counts always use the
-        split-radix closed forms.
+        Innermost sub-DFT numerics: ``"auto"`` (default) dispatches
+        through the active execution provider's resolution chain
+        (:mod:`repro.ffts.providers`), ``"split-radix"`` pins the
+        explicit baseline recursion, and any registered provider name
+        (``"numpy"``, ``"scipy"``, ...) pins that provider.  All
+        produce ``np.allclose`` results; operation counts always use
+        the split-radix closed forms.
     """
 
     def __init__(
@@ -130,7 +134,7 @@ class WaveletFFT:
         basis="haar",
         levels: int = 1,
         pruning: PruningSpec | None = None,
-        sub_backend: str = "numpy",
+        sub_backend: str = "auto",
     ):
         self.n = require_power_of_two(n, "n")
         if self.n < 4:
@@ -143,10 +147,15 @@ class WaveletFFT:
             )
         self.levels = int(levels)
         self.pruning = pruning if pruning is not None else PruningSpec.none()
-        if sub_backend not in ("numpy", "split-radix"):
-            raise ConfigurationError(
-                f"sub_backend must be 'numpy' or 'split-radix', got {sub_backend!r}"
-            )
+        if sub_backend not in ("auto", "split-radix"):
+            try:
+                sub_backend = registry.require_known(sub_backend)
+            except Exception:
+                raise ConfigurationError(
+                    "sub_backend must be 'auto', 'split-radix' or a "
+                    f"registered FFT provider name, got {sub_backend!r}"
+                ) from None
+            registry.get_provider(sub_backend)  # fail now if unavailable
         self.sub_backend = sub_backend
 
         hl, hh = plancache.twiddle_pair(self.n, self.bank)
@@ -183,19 +192,30 @@ class WaveletFFT:
     # Numerics
     # ------------------------------------------------------------------
 
+    def _sub_engine(self):
+        """The execution provider behind the innermost sub-DFTs.
+
+        ``"auto"`` defers to the registry's resolution chain on every
+        call (so long-lived cached plans follow later provider pins);
+        ``"split-radix"`` maps to the explicit oracle provider and any
+        other value is a pinned provider name (validated at planning,
+        availability included).
+        """
+        if self.sub_backend == "auto":
+            return registry.active_provider(self.n // 2)
+        if self.sub_backend == "split-radix":
+            return registry.get_provider("explicit")
+        return registry.get_provider(self.sub_backend)
+
     def _sub_transform(self, x: np.ndarray) -> np.ndarray:
         if self._child is not None:
             return self._child.transform(x)
-        if self.sub_backend == "split-radix":
-            return split_radix_fft(x)
-        return np.fft.fft(x)
+        return self._sub_engine().fft(x)
 
     def _sub_transform_batch(self, x: np.ndarray) -> np.ndarray:
         if self._child is not None:
             return self._child.transform_batch(x)
-        if self.sub_backend == "split-radix":
-            return split_radix_fft_batch(x)
-        return np.fft.fft(x, axis=1)
+        return self._sub_engine().fft_batch(x)
 
     def _runtime_keep_masks(
         self, l_tiled: np.ndarray, h_tiled: np.ndarray | None

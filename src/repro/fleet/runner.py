@@ -48,9 +48,15 @@ from ..lomb.welch import (
     RecordingWindows,
     WelchLomb,
     WelchLombResult,
+    analyze_spans,
     assemble_result,
 )
 from ..ffts.plancache import warm_execution_caches
+from ..ffts.providers.registry import (
+    get_default_provider_name,
+    resolve_provider_name,
+    set_default_provider,
+)
 from .sharding import (
     DEFAULT_MIN_WINDOWS_PER_SHARD,
     DEFAULT_OVERSUBSCRIPTION,
@@ -84,6 +90,8 @@ class FleetReport:
         Batch sub-batch size every process ran with.
     start_method:
         Multiprocessing start method (``None`` for the in-process path).
+    provider:
+        Resolved FFT execution provider every process was pinned to.
     """
 
     results: tuple[WelchLombResult, ...]
@@ -91,6 +99,7 @@ class FleetReport:
     n_shards: int
     chunk_windows: int
     start_method: str | None
+    provider: str | None = None
 
 
 class FleetRunner:
@@ -112,6 +121,14 @@ class FleetRunner:
     chunk_windows:
         Batch sub-batch size to pin across the fleet; ``None`` resolves
         the host-tuned value (:func:`repro.lomb.fast.get_batch_chunk_windows`).
+    provider:
+        FFT execution provider to pin across the fleet; ``None``
+        resolves the registry chain
+        (:func:`repro.ffts.providers.registry.resolve_provider_name`)
+        **once in the parent** — the resolved name is installed in
+        every worker so all shards round identically, which is what
+        keeps sharded results bit-identical to single-process ones
+        under every provider.
     """
 
     def __init__(
@@ -122,6 +139,7 @@ class FleetRunner:
         min_windows_per_shard: int = DEFAULT_MIN_WINDOWS_PER_SHARD,
         oversubscription: int = DEFAULT_OVERSUBSCRIPTION,
         chunk_windows: int | None = None,
+        provider: str | None = None,
     ):
         self.welch = welch if welch is not None else WelchLomb()
         if n_jobs is None:
@@ -136,8 +154,9 @@ class FleetRunner:
         self.min_windows_per_shard = int(min_windows_per_shard)
         self.oversubscription = int(oversubscription)
         self._chunk_windows = chunk_windows
+        self._provider = provider
         self._pool = None
-        self._pool_chunk: int | None = None
+        self._pool_key: tuple[int, str] | None = None
 
     # ------------------------------------------------------------------
 
@@ -180,11 +199,20 @@ class FleetRunner:
             if self._chunk_windows is not None
             else get_batch_chunk_windows(self.welch.analyzer.workspace_size)
         )
+        # Resolve the execution provider once, in the parent, so every
+        # process — including this one on the in-process path — runs
+        # the same engine (results are provider-dependent at the ulp
+        # level; one fleet must round one way).
+        provider = resolve_provider_name(
+            self._provider, self.welch.analyzer.workspace_size
+        )
         if self.n_jobs == 1:
-            packed = self._run_in_process(plans, shards, count_ops, chunk)
+            packed = self._run_in_process(
+                plans, shards, count_ops, chunk, provider
+            )
             n_jobs, used_method = 1, None
         else:
-            packed = self._run_pool(plans, shards, count_ops, chunk)
+            packed = self._run_pool(plans, shards, count_ops, chunk, provider)
             n_jobs, used_method = self.n_jobs, self.start_method
         results = self._merge(plans, shards, packed, count_ops)
         return FleetReport(
@@ -193,6 +221,7 @@ class FleetRunner:
             n_shards=len(shards),
             chunk_windows=chunk,
             start_method=used_method,
+            provider=provider,
         )
 
     def close(self) -> None:
@@ -216,47 +245,54 @@ class FleetRunner:
         shards,
         count_ops: bool,
         chunk: int,
+        provider: str,
     ) -> list[list[tuple]]:
         """Single-process execution of the identical shard pipeline."""
-        previous = get_chunk_override()
+        previous_chunk = get_chunk_override()
+        previous_provider = get_default_provider_name()
         set_batch_chunk_windows(chunk)
+        set_default_provider(provider)
         try:
             packed: list[list[tuple]] = []
             for shard in shards:
-                windows = plans[shard.recording].window_arrays(
-                    shard.lo, shard.hi
-                )
-                spectra = self.welch.analyzer.periodogram_batch(
-                    windows, count_ops=count_ops, validate=False
+                plan = plans[shard.recording]
+                spectra = analyze_spans(
+                    self.welch.analyzer,
+                    plan.times,
+                    plan.values,
+                    plan.spans[shard.lo : shard.hi],
+                    count_ops,
                 )
                 packed.append(pack_spectra(spectra))
             return packed
         finally:
-            set_batch_chunk_windows(previous)
+            set_batch_chunk_windows(previous_chunk)
+            set_default_provider(previous_provider)
 
-    def _ensure_pool(self, chunk: int):
+    def _ensure_pool(self, chunk: int, provider: str):
         """Create (or reuse) the persistent worker pool.
 
         The pool outlives individual :meth:`run` calls so repeated
         cohort runs — the serving pattern — pay the fork/initialise
         cost once.  Pre-fork warm-up happens right before creation:
         with the fork start method the workers inherit every plan-cache
-        table copy-on-write, so nothing is re-derived N-workers times.
-        (Plan objects themselves were built when the engine was
+        table — including the resolved provider's per-size execution
+        state — copy-on-write, so nothing is re-derived N-workers
+        times.  (Plan objects themselves were built when the engine was
         constructed.)
         """
-        if self._pool is not None and self._pool_chunk == chunk:
+        if self._pool is not None and self._pool_key == (chunk, provider):
             return self._pool
         self.close()
         analyzer = self.welch.analyzer
-        warm_execution_caches(analyzer.workspace_size, analyzer.order)
+        warm_execution_caches(analyzer.workspace_size, analyzer.order, provider)
         ctx = multiprocessing.get_context(self.start_method)
         self._pool = ctx.Pool(
             processes=self.n_jobs,
             initializer=init_worker,
-            initargs=(self.welch, chunk),
+            initargs=(self.welch, chunk, provider),
         )
-        self._pool_chunk = chunk
+        self._pool_key = (chunk, provider)
         return self._pool
 
     def _run_pool(
@@ -265,9 +301,10 @@ class FleetRunner:
         shards,
         count_ops: bool,
         chunk: int,
+        provider: str,
     ) -> list[list[tuple]]:
         """Dispatch shards over the worker pool, shared-memory backed."""
-        pool = self._ensure_pool(chunk)
+        pool = self._ensure_pool(chunk, provider)
         collected: list[list[tuple] | None] = [None] * len(shards)
         with SharedRecordingStore() as store:
             refs = [

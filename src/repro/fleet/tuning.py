@@ -53,6 +53,15 @@ DEFAULT_CHUNK_WINDOWS = 256
 #: shared) last-level caches measurably regress past this point.
 MIN_CHUNK_WINDOWS, MAX_CHUNK_WINDOWS = 32, 1024
 
+#: Largest sysfs cache reading the auto-tuner trusts.  Container and VM
+#: hosts surface the *machine's* (or a made-up) last-level cache —
+#: hundreds of MB one core can never keep resident; feeding such a
+#: reading through the footprint model picks maximal chunks that
+#: measurably thrash (batched throughput drops ~25 % on a container
+#: reporting 260 MB).  Genuinely huge LLCs (EPYC-class) are segmented
+#: per CCX, so a single worker still cannot stream more than this.
+MAX_TRUSTED_CACHE_BYTES = 64 * 1024 * 1024
+
 #: Measured per-window working set of the batch pipeline, in bytes per
 #: workspace cell: packed complex input and spectrum output (16 B each),
 #: the two real extirpolation workspaces (8 B each), and roughly half a
@@ -83,6 +92,10 @@ class ChunkTuning:
     timings:
         Candidate-to-seconds map of the timing probe (``None`` for the
         model/default paths).
+    provider:
+        FFT execution provider the tuning applies to (the timing probe
+        runs under it; the cache model is provider-independent but the
+        active provider is recorded for the report).
     """
 
     chunk_windows: int
@@ -90,6 +103,7 @@ class ChunkTuning:
     workspace_size: int
     cache_bytes: int | None = None
     timings: dict[int, float] | None = None
+    provider: str | None = None
 
 
 def _parse_cache_size(text: str) -> int | None:
@@ -189,9 +203,13 @@ def measure_chunk_windows(
 
     The workload is a cohort of identical-geometry synthetic windows
     (one frequency-grid group, the hot case), sized to exercise the
-    largest candidate at least twice.  Returns a :class:`ChunkTuning`
-    with per-candidate best-of-*repeats* timings.
+    largest candidate at least twice.  The resolved FFT execution
+    provider is pinned for the duration of the probe (and recorded in
+    the result) so a lazy mid-probe re-selection cannot skew the
+    candidate timings.  Returns a :class:`ChunkTuning` with
+    per-candidate best-of-*repeats* timings.
     """
+    from ..ffts.providers import registry
     from ..lomb import fast
 
     if not candidates:
@@ -208,6 +226,9 @@ def measure_chunk_windows(
     analyzer.periodogram_batch(windows)  # warm plans and caches untimed
     timings: dict[int, float] = {}
     previous = fast.get_chunk_override()
+    previous_provider = registry.get_default_provider_name()
+    provider = registry.resolve_provider_name(None, workspace_size)
+    registry.set_default_provider(provider)
     try:
         for candidate in candidates:
             fast.set_batch_chunk_windows(candidate)
@@ -219,6 +240,7 @@ def measure_chunk_windows(
             timings[candidate] = best
     finally:
         fast.set_batch_chunk_windows(previous)
+        registry.set_default_provider(previous_provider)
     chosen = min(timings, key=timings.get)
     return ChunkTuning(
         chunk_windows=chosen,
@@ -226,6 +248,7 @@ def measure_chunk_windows(
         workspace_size=workspace_size,
         cache_bytes=detect_cache_bytes(),
         timings=timings,
+        provider=provider,
     )
 
 
@@ -245,6 +268,15 @@ def autotune_chunk_windows(workspace_size: int = 512) -> ChunkTuning:
             chunk_windows=DEFAULT_CHUNK_WINDOWS,
             source="default",
             workspace_size=workspace_size,
+        )
+    if cache_bytes > MAX_TRUSTED_CACHE_BYTES:
+        # Virtualised / whole-machine reading: keep the measured
+        # default instead of modelling a cache one core can't use.
+        return ChunkTuning(
+            chunk_windows=DEFAULT_CHUNK_WINDOWS,
+            source="default",
+            workspace_size=workspace_size,
+            cache_bytes=cache_bytes,
         )
     return ChunkTuning(
         chunk_windows=chunk_windows_for_cache(workspace_size, cache_bytes),

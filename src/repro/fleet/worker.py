@@ -22,8 +22,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ffts.plancache import warm_execution_caches
+from ..ffts.providers.registry import set_default_provider
 from ..lomb.fast import LombSpectrum, set_batch_chunk_windows
-from ..lomb.welch import WelchLomb
+from ..lomb.welch import WelchLomb, analyze_spans
 from .shm import SharedArrayRef, attach_array
 
 __all__ = [
@@ -65,17 +66,27 @@ class ShardTask:
     count_ops: bool
 
 
-def init_worker(welch: WelchLomb, chunk_windows: int | None) -> None:
+def init_worker(
+    welch: WelchLomb,
+    chunk_windows: int | None,
+    provider: str | None = None,
+) -> None:
     """Pool initializer: install the engine and warm this process.
 
     ``chunk_windows`` pins the batch sub-batch size to the parent's
     resolved value so the whole fleet runs one consistent chunking
     policy (results never depend on it; only throughput does).
+    ``provider`` pins the FFT execution provider to the parent's
+    resolved choice — here results *do* depend on it (different engines
+    round differently), so pinning is what keeps every shard, and hence
+    the merged cohort, bit-identical to the single-process run.
     """
     if chunk_windows is not None:
         set_batch_chunk_windows(chunk_windows)
+    if provider is not None:
+        set_default_provider(provider)
     analyzer = welch.analyzer
-    warm_execution_caches(analyzer.workspace_size, analyzer.order)
+    warm_execution_caches(analyzer.workspace_size, analyzer.order, provider)
     _STATE["welch"] = welch
 
 
@@ -148,18 +159,14 @@ def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
     t_block, times = attach_array(task.times_ref)
     x_block, values = attach_array(task.values_ref)
     try:
-        windows = [
-            (times[start:stop], values[start:stop])
-            for start, stop in task.spans
-        ]
-        spectra = welch.analyzer.periodogram_batch(
-            windows, count_ops=task.count_ops, validate=False
+        spectra = analyze_spans(
+            welch.analyzer, times, values, task.spans, task.count_ops
         )
         packed = pack_spectra(spectra)
     finally:
         # Every view into the mapped blocks must be gone before close()
         # (mmap refuses to unmap while buffer exports are alive).
-        windows = times = values = None
+        spectra = times = values = None
         t_block.close()
         x_block.close()
     return task.shard_id, packed

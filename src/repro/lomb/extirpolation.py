@@ -121,6 +121,26 @@ def _fractional_spread(
     """
     ilo = (frac_pos - 0.5 * order + 1.0).astype(np.int64)
     ilo = np.clip(ilo, 0, size - order)
+    if order == 4:
+        # Closed form of the prefix/suffix chain below, with the shared
+        # sub-products factored out — noticeably fewer array passes on
+        # the hottest path (order 4 is Numerical Recipes' and this
+        # repo's default).  The multiplication orders reproduce the
+        # generic chain exactly (prefix * suffix, commuted operand
+        # pairs only), so the weights are bit-identical to it.
+        d0 = frac_pos - ilo
+        d1 = d0 - 1.0
+        d2 = d0 - 2.0
+        d3 = d0 - 3.0
+        p01 = d0 * d1
+        p32 = d3 * d2
+        weights = np.empty((frac_pos.size, 4))
+        weights[:, 0] = p32 * d1
+        weights[:, 1] = d0 * p32
+        weights[:, 2] = p01 * d3
+        weights[:, 3] = p01 * d2
+        weights *= 1.0 / lagrange_denominators(4)
+        return ilo, weights
     # diffs[:, c] = x - (ilo + c), computed from the relative offset so
     # the cells matrix is never materialised in float.
     diffs = (frac_pos - ilo)[:, None] - np.arange(order, dtype=np.float64)

@@ -23,6 +23,17 @@ Two execution paths produce the same spectra:
   through the backend's ``transform_batch`` and combined as dense
   ``(n_windows, nout)`` array operations.  Backends without a batch
   entry point fall back to sequential per-window calls.
+
+Two execution fast paths sit on top (both produce ``np.allclose``
+spectra and identical modelled op counts):
+
+* the **fused real path** (``fused_real``): plain-FFT backends expose
+  ``rfft`` / ``rfft_batch`` — resolved through the execution-provider
+  layer (:mod:`repro.ffts.providers`) — and the two real workspaces
+  skip the pack/complex-FFT/unpack stage entirely,
+* the **matrix path** (:meth:`FastLomb.periodogram_batch_matrix`):
+  uniform window layouts enter the dense kernel as zero-copy strided
+  views without per-window slicing or padding copies.
 """
 
 from __future__ import annotations
@@ -220,6 +231,17 @@ class FastLomb:
         ``"standard"`` — classic Lomb normalisation by ``2 * variance``;
         ``"denormalized"`` — multiplied back by ``2 * variance / n``
         (the paper's Welch de-normalisation, suitable for averaging).
+    fused_real:
+        The fused real-input path: the two real workspaces go through
+        the backend's ``rfft`` / ``rfft_batch`` instead of being packed
+        into one complex FFT and unpacked — algebraically the same
+        spectra (``np.allclose``) at roughly half the complex work,
+        with no pack/unpack stage.  ``None`` (default) enables it
+        automatically when the backend exposes the rfft entry points
+        and performs no spectrum post-processing (pruned wavelet
+        backends equalise the full packed spectrum, so they keep the
+        packed path).  Modelled operation counts are unchanged either
+        way — the sensor node is costed on the paper's packed pipeline.
     """
 
     def __init__(
@@ -230,6 +252,7 @@ class FastLomb:
         order: int = DEFAULT_ORDER,
         backend: FFTBackend | None = None,
         scaling: str = "standard",
+        fused_real: bool | None = None,
     ):
         self.workspace_size = require_power_of_two(workspace_size, "workspace_size")
         if oversample < 1.0:
@@ -257,6 +280,22 @@ class FastLomb:
                 f"scaling must be 'standard' or 'denormalized', got {scaling!r}"
             )
         self.scaling = scaling
+        rfft_capable = hasattr(self.backend, "rfft") and hasattr(
+            self.backend, "rfft_batch"
+        )
+        if fused_real is None:
+            fused_real = rfft_capable and self._backend_gains() is None
+        elif fused_real:
+            if not rfft_capable:
+                raise ConfigurationError(
+                    "fused_real requires a backend with rfft/rfft_batch"
+                )
+            if self._backend_gains() is not None:
+                raise ConfigurationError(
+                    "fused_real is incompatible with spectrum-equalising "
+                    "(band-drop) backends"
+                )
+        self.fused_real = bool(fused_real)
 
     # ------------------------------------------------------------------
 
@@ -361,25 +400,37 @@ class FastLomb:
         wk1 = extirpolate(plan.centered, plan.pos_data, ndim, self.order)
         wk2 = extirpolate(np.ones(n), plan.pos_window, ndim, self.order)
 
-        packed = wk1 + 1j * wk2
-        if count_ops:
-            spectrum, fft_counts = self.backend.transform_with_counts(packed)
-        else:
-            spectrum = self.backend.transform(packed)
-            fft_counts = None
-
         m = np.arange(1, nout + 1)
-        z_pos = spectrum[m]
-        z_neg = spectrum[ndim - m]
-        # Band-drop equalisation: a pruned wavelet backend advertises the
-        # known per-bin attenuation of the dropped band; dividing it back
-        # out at the read bins removes the systematic spectral tilt.
-        gains = self._backend_gains()
-        if gains is not None:
-            z_pos = z_pos * gains[m]
-            z_neg = z_neg * gains[ndim - m]
-        data_ft = 0.5 * (z_pos + np.conj(z_neg))
-        win_ft = -0.5j * (z_pos - np.conj(z_neg))
+        if self.fused_real:
+            # Fused real path: for real workspaces the packed complex
+            # FFT plus unpack is algebraically rfft(wk1)[m] and
+            # rfft(wk2)[m] directly; counts stay the modelled packed
+            # pipeline (static for a plain-FFT backend).
+            data_ft = self.backend.rfft(wk1)[m]
+            win_ft = self.backend.rfft(wk2)[m]
+            fft_counts = self.backend.static_counts() if count_ops else None
+        else:
+            packed = wk1 + 1j * wk2
+            if count_ops:
+                spectrum, fft_counts = self.backend.transform_with_counts(
+                    packed
+                )
+            else:
+                spectrum = self.backend.transform(packed)
+                fft_counts = None
+
+            z_pos = spectrum[m]
+            z_neg = spectrum[ndim - m]
+            # Band-drop equalisation: a pruned wavelet backend advertises
+            # the known per-bin attenuation of the dropped band; dividing
+            # it back out at the read bins removes the systematic
+            # spectral tilt.
+            gains = self._backend_gains()
+            if gains is not None:
+                z_pos = z_pos * gains[m]
+                z_neg = z_neg * gains[ndim - m]
+            data_ft = 0.5 * (z_pos + np.conj(z_neg))
+            win_ft = -0.5j * (z_pos - np.conj(z_neg))
 
         cx, sx = data_ft.real, -data_ft.imag
         c2, s2 = win_ft.real, -win_ft.imag
@@ -449,11 +500,16 @@ class FastLomb:
         pairs = list(windows)
         # The count_ops branch needs the counting batch entry point too;
         # kernels implementing only part of the batch protocol fall back
-        # to the sequential path, as the module docstring promises.
+        # to the sequential path, as the module docstring promises.  On
+        # the fused real path the dense kernel only ever calls
+        # rfft_batch (guaranteed at construction), so no fallback is
+        # needed — mirroring periodogram_batch_matrix.
         batch_methods = ["transform_batch"]
         if count_ops:
             batch_methods.append("transform_batch_with_counts")
-        if not all(hasattr(self.backend, name) for name in batch_methods):
+        if not self.fused_real and not all(
+            hasattr(self.backend, name) for name in batch_methods
+        ):
             return [
                 self.periodogram(t, x, count_ops=count_ops) for t, x in pairs
             ]
@@ -487,6 +543,112 @@ class FastLomb:
                     results[i] = spectrum
         return results
 
+    def periodogram_batch_matrix(
+        self, times, values, count_ops: bool = False
+    ) -> list[LombSpectrum]:
+        """Batched Fast-Lomb over a dense, equal-length window matrix.
+
+        The zero-copy fast path for uniformly-sampled recordings:
+        ``times`` / ``values`` are ``(n_windows, L)`` matrices —
+        typically strided ``sliding_window_view`` views produced by
+        :func:`repro.lomb.welch.uniform_window_matrix` — and rows go
+        straight into the same dense kernel as
+        :meth:`periodogram_batch` without per-window slicing, padding
+        or copying.  Results match the pair-based path row-for-row
+        (same spectra, same operation counts); the caller is expected
+        to have validated the parent recording.
+        """
+        t_mat = np.asarray(times, dtype=np.float64)
+        x_mat = np.asarray(values, dtype=np.float64)
+        if t_mat.ndim != 2 or t_mat.shape != x_mat.shape:
+            raise SignalError(
+                "times and values must be matching 2-D matrices, got "
+                f"shapes {t_mat.shape} and {x_mat.shape}"
+            )
+        rows, width = t_mat.shape
+        if rows == 0:
+            return []
+        if width < 4:
+            raise SignalError("windows too short: need at least 4 samples")
+        # Same capability fallback as periodogram_batch: backends that
+        # only implement the sequential protocol (and are not on the
+        # fused real path) are driven window-by-window.
+        batch_methods = ["transform_batch"]
+        if count_ops:
+            batch_methods.append("transform_batch_with_counts")
+        if not self.fused_real and not all(
+            hasattr(self.backend, name) for name in batch_methods
+        ):
+            return [
+                self.periodogram(t_mat[i], x_mat[i], count_ops=count_ops)
+                for i in range(rows)
+            ]
+        durations = t_mat[:, -1] - t_mat[:, 0]
+        if np.any(durations <= 0):
+            raise SignalError("window duration must be positive")
+        dfs, nouts = self._grid_rows(durations, width)
+        metas = [
+            (width, float(durations[i]), float(dfs[i]), int(nouts[i]))
+            for i in range(rows)
+        ]
+        ns = np.full(rows, width, dtype=np.int64)
+        results: list[LombSpectrum | None] = [None] * rows
+        chunk_windows = get_batch_chunk_windows(self.workspace_size)
+        for nout in np.unique(nouts):
+            indices = np.flatnonzero(nouts == nout)
+            for lo in range(0, indices.size, chunk_windows):
+                chunk = indices[lo : lo + chunk_windows]
+                # Contiguous runs keep the strided views intact (the
+                # overwhelmingly common case: one frequency grid for
+                # the whole recording); a fragmented group falls back
+                # to a gather copy of just those rows.
+                if chunk.size == chunk[-1] - chunk[0] + 1:
+                    sel: slice | np.ndarray = slice(
+                        int(chunk[0]), int(chunk[-1]) + 1
+                    )
+                else:
+                    sel = chunk
+                spectra = self._periodogram_group_dense(
+                    t_mat[sel],
+                    x_mat[sel],
+                    ns[sel],
+                    [metas[i] for i in chunk],
+                    int(nout),
+                    count_ops,
+                )
+                for i, spectrum in zip(chunk, spectra):
+                    results[i] = spectrum
+        return results
+
+    def _grid_rows(
+        self, durations: np.ndarray, n_samples: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`_grid` over per-row window durations.
+
+        Same formulas, applied elementwise, so every row gets exactly
+        the grid the scalar path would have derived for it.
+        """
+        dfs = 1.0 / (self.oversample * durations)
+        limit = self.workspace_size // 2 - 1
+        if self.max_frequency is None:
+            nyquist_like = 0.5 * n_samples / durations
+            nouts = np.minimum(
+                np.floor(nyquist_like / dfs).astype(np.int64), limit
+            )
+        else:
+            nouts = np.floor(self.max_frequency / dfs).astype(np.int64)
+            if np.any(nouts > limit):
+                raise SignalError(
+                    f"max_frequency {self.max_frequency} Hz needs "
+                    f"{int(nouts.max())} bins but a "
+                    f"{self.workspace_size}-point workspace supports only "
+                    f"{limit}; use shorter (Welch) windows or a larger "
+                    "workspace"
+                )
+        if np.any(nouts < 1):
+            raise SignalError("window too short: empty frequency grid")
+        return dfs, nouts
+
     def _periodogram_group(
         self,
         arrays: list[tuple[np.ndarray, np.ndarray]],
@@ -499,25 +661,58 @@ class FastLomb:
         Ragged windows are right-padded to the longest beat count in the
         group; padding enters the extirpolation as zero-valued samples
         (contributing nothing) and the Lomb combine uses per-row sample
-        counts, so padding never leaks into the results.  Window means
-        stay per-window ``ndarray.mean`` calls so the centred samples —
-        and hence dynamic-pruning decisions and operation counts — are
-        bit-identical to the sequential path; variances are re-derived
-        from the centred batch (they only scale the output power).
+        counts, so padding never leaks into the results.  The dense
+        kernel itself lives in :meth:`_periodogram_group_dense`, which
+        the zero-copy uniform-recording path
+        (:meth:`periodogram_batch_matrix`) enters directly without this
+        padding copy.
         """
-        ndim = self.workspace_size
         rows = len(arrays)
         ns = np.array([meta[0] for meta in metas], dtype=np.int64)
-        dfs = np.array([meta[2] for meta in metas])
         max_n = int(ns.max())
         t_pad = np.zeros((rows, max_n))
         x_pad = np.zeros((rows, max_n))
-        means = np.empty(rows)
         for i, (t, x) in enumerate(arrays):
             k = t.size
             t_pad[i, :k] = t
             x_pad[i, :k] = x
-            means[i] = x.mean()
+        return self._periodogram_group_dense(
+            t_pad, x_pad, ns, metas, nout, count_ops
+        )
+
+    def _periodogram_group_dense(
+        self,
+        t_pad: np.ndarray,
+        x_pad: np.ndarray,
+        ns: np.ndarray,
+        metas: list[tuple[int, float, float, int]],
+        nout: int,
+        count_ops: bool,
+    ) -> list[LombSpectrum]:
+        """Dense ``(rows, max_n)`` kernel shared by both batch entries.
+
+        ``t_pad`` / ``x_pad`` may be strided views (the
+        ``sliding_window_view`` fast path) — they are read, never
+        written.  Window means stay per-row ``ndarray.mean`` calls so
+        the centred samples — and hence dynamic-pruning decisions and
+        operation counts — are bit-identical to the sequential path;
+        variances are re-derived from the centred batch (they only
+        scale the output power).
+        """
+        ndim = self.workspace_size
+        rows, max_n = t_pad.shape
+        dfs = np.array([meta[2] for meta in metas])
+        if np.all(ns == max_n):
+            # Equal-length group (every uniform recording): one axis
+            # reduction replaces the per-row loop.  numpy's pairwise
+            # summation over the reduction axis is the same per row as
+            # the 1-D call, so the means — and everything downstream,
+            # dynamic-pruning decisions included — stay bit-identical.
+            means = x_pad.mean(axis=1)
+        else:
+            means = np.empty(rows)
+            for i in range(rows):
+                means[i] = x_pad[i, : ns[i]].mean()
         valid = np.arange(max_n)[None, :] < ns[:, None]
         centered = np.where(valid, x_pad - means[:, None], 0.0)
         # Per-row dot products over the exact (unpadded) slices: a padded
@@ -542,24 +737,33 @@ class FastLomb:
             valid.astype(np.float64), pos_window, ndim, self.order, lengths=ns
         )
 
-        packed = wk1 + 1j * wk2
-        if count_ops:
-            spectrum, fft_counts = self.backend.transform_batch_with_counts(
-                packed
+        m = np.arange(1, nout + 1)
+        if self.fused_real:
+            # Fused real path (see :meth:`periodogram`): two batched
+            # rffts instead of pack + complex FFT + unpack.
+            data_ft = self.backend.rfft_batch(wk1)[:, m]
+            win_ft = self.backend.rfft_batch(wk2)[:, m]
+            fft_counts = (
+                (self.backend.static_counts(),) * rows if count_ops else None
             )
         else:
-            spectrum = self.backend.transform_batch(packed)
-            fft_counts = None
+            packed = wk1 + 1j * wk2
+            if count_ops:
+                spectrum, fft_counts = (
+                    self.backend.transform_batch_with_counts(packed)
+                )
+            else:
+                spectrum = self.backend.transform_batch(packed)
+                fft_counts = None
 
-        m = np.arange(1, nout + 1)
-        z_pos = spectrum[:, m]
-        z_neg = spectrum[:, ndim - m]
-        gains = self._backend_gains()
-        if gains is not None:
-            z_pos = z_pos * gains[m]
-            z_neg = z_neg * gains[ndim - m]
-        data_ft = 0.5 * (z_pos + np.conj(z_neg))
-        win_ft = -0.5j * (z_pos - np.conj(z_neg))
+            z_pos = spectrum[:, m]
+            z_neg = spectrum[:, ndim - m]
+            gains = self._backend_gains()
+            if gains is not None:
+                z_pos = z_pos * gains[m]
+                z_neg = z_neg * gains[ndim - m]
+            data_ft = 0.5 * (z_pos + np.conj(z_neg))
+            win_ft = -0.5j * (z_pos - np.conj(z_neg))
 
         cx, sx = data_ft.real, -data_ft.imag
         c2, s2 = win_ft.real, -win_ft.imag

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .._validation import as_1d_float_array
 from ..errors import ConfigurationError, SignalError
@@ -32,8 +33,10 @@ __all__ = [
     "WelchLomb",
     "WelchLombResult",
     "RecordingWindows",
+    "analyze_spans",
     "assemble_result",
     "iter_windows",
+    "uniform_window_matrix",
 ]
 
 #: Fewest beats a window may contain and still be analysed.
@@ -136,6 +139,80 @@ def iter_windows(
     return list(zip(starts[keep].tolist(), stops[keep].tolist()))
 
 
+def uniform_window_matrix(
+    times: np.ndarray, values: np.ndarray, spans
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Zero-copy ``(n_windows, L)`` window matrices for uniform layouts.
+
+    When every span has the same length *and* consecutive spans start a
+    constant number of samples apart — the geometry of uniformly-sampled
+    (resampled) recordings — all windows are strided views into the
+    recording arrays, expressible as one ``sliding_window_view`` slice
+    with **no copying at all**.  Returns ``(t_mat, x_mat)`` strided
+    views in span order, or ``None`` when the layout is not uniform
+    (irregular RR tachograms almost never are; resampled or
+    evenly-gridded signals almost always are).
+
+    Both the Welch driver and the fleet shard executor route through
+    this single helper, so a uniform recording takes the same dense
+    path whether it is analysed whole or in shards — which keeps
+    sharded results bit-identical to single-process ones.
+    """
+    spans = list(spans)
+    if not spans:
+        return None
+    starts = np.fromiter((s for s, _ in spans), dtype=np.int64, count=len(spans))
+    stops = np.fromiter((s for _, s in spans), dtype=np.int64, count=len(spans))
+    lengths = stops - starts
+    length = int(lengths[0])
+    if not np.all(lengths == length):
+        return None
+    if len(spans) > 1:
+        steps = np.diff(starts)
+        step = int(steps[0])
+        if step <= 0 or not np.all(steps == step):
+            return None
+    else:
+        step = 1
+    sel = slice(int(starts[0]), int(starts[-1]) + 1, step)
+    return (
+        sliding_window_view(times, length)[sel],
+        sliding_window_view(values, length)[sel],
+    )
+
+
+def analyze_spans(
+    analyzer: FastLomb,
+    times: np.ndarray,
+    values: np.ndarray,
+    spans,
+    count_ops: bool = False,
+) -> list[LombSpectrum]:
+    """Batch-analyse the given window spans of one validated recording.
+
+    The single choke point of the batched execution engine: the Welch
+    driver (whole recording), the fleet worker (one shard) and the
+    in-process fleet path all call it, so every execution mode takes
+    the identical pipeline.  Uniform span layouts go through the
+    zero-copy :func:`uniform_window_matrix` fast path; everything else
+    slices per-window views and drives
+    :meth:`~repro.lomb.fast.FastLomb.periodogram_batch`.
+    """
+    matrix = (
+        uniform_window_matrix(times, values, spans)
+        if hasattr(analyzer, "periodogram_batch_matrix")
+        else None
+    )
+    if matrix is not None:
+        return analyzer.periodogram_batch_matrix(
+            matrix[0], matrix[1], count_ops=count_ops
+        )
+    windows = [(times[start:stop], values[start:stop]) for start, stop in spans]
+    return analyzer.periodogram_batch(
+        windows, count_ops=count_ops, validate=False
+    )
+
+
 @dataclass(frozen=True)
 class RecordingWindows:
     """Validated window layout of one recording — the shardable plan.
@@ -178,6 +255,18 @@ class RecordingWindows:
             (self.times[start:stop], self.values[start:stop])
             for start, stop in spans
         ]
+
+    def window_matrix(
+        self, lo: int = 0, hi: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Zero-copy window matrices of kept windows ``lo .. hi``.
+
+        ``None`` unless the span layout is uniform; see
+        :func:`uniform_window_matrix`.
+        """
+        return uniform_window_matrix(
+            self.times, self.values, self.spans[lo:hi]
+        )
 
 
 @dataclass(frozen=True)
@@ -324,17 +413,17 @@ class WelchLomb:
         and operation counts.
         """
         plan = self.plan_windows(times, values)
-        windows = plan.window_arrays()
         use_batch = batched and hasattr(self.analyzer, "periodogram_batch")
         if use_batch:
             # The recording was validated above; the per-window checks in
-            # the sequential entry point would only repeat it.
-            spectra: list[LombSpectrum] = self.analyzer.periodogram_batch(
-                windows, count_ops=count_ops, validate=False
+            # the sequential entry point would only repeat it.  Uniform
+            # layouts take the zero-copy matrix path inside.
+            spectra: list[LombSpectrum] = analyze_spans(
+                self.analyzer, plan.times, plan.values, plan.spans, count_ops
             )
         else:
             spectra = [
                 self.analyzer.periodogram(tw, xw, count_ops=count_ops)
-                for tw, xw in windows
+                for tw, xw in plan.window_arrays()
             ]
         return assemble_result(spectra, plan.centers, plan.skipped, count_ops)

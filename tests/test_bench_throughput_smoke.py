@@ -39,6 +39,19 @@ def test_throughput_benchmark_smoke(tmp_path):
         assert entry["speedup"] > 0
         # the batched path must agree with the sequential oracle
         assert entry["max_rel_diff_spectrogram"] < 1e-6
+        # the provider sweep: explicit is always swept and is its own
+        # 1.0x baseline; every provider must be allclose to the oracle
+        # with identical modelled op counts
+        sweep = entry["providers"]
+        per_provider = sweep["per_provider"]
+        assert "explicit" in per_provider
+        assert per_provider["explicit"]["speedup_vs_explicit"] == 1.0
+        assert sweep["best_provider"] in per_provider
+        assert sweep["best_speedup_vs_explicit"] >= 1.0
+        for provider_entry in per_provider.values():
+            assert provider_entry["allclose_vs_oracle"] is True
+            assert provider_entry["opcounts_match_oracle"] is True
+            assert provider_entry["windows_per_sec"] > 0
     # document must round-trip through JSON (what main() writes)
     out = tmp_path / "BENCH_throughput.json"
     out.write_text(json.dumps(document, indent=2))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail when compiled python artifacts are tracked by git.
+
+``__pycache__`` directories and ``*.pyc`` / ``*.pyo`` files are build
+products of whatever interpreter last imported the package; committing
+them bloats the history and churns every diff.  This script is the
+standalone form of the tier-1 guard in ``tests/test_repo_hygiene.py``:
+
+    python tools/check_no_pyc.py
+
+Exits 0 when the tree is clean, 1 with the offending paths otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Path fragments / suffixes that mark a tracked file as a compiled
+#: artifact.  Shared with the pytest guard.
+ARTIFACT_MARKERS = ("__pycache__",)
+ARTIFACT_SUFFIXES = (".pyc", ".pyo")
+
+
+def tracked_artifacts(repo_root: pathlib.Path = REPO_ROOT) -> list[str]:
+    """Git-tracked paths that are compiled python artifacts."""
+    listing = subprocess.run(
+        ["git", "ls-files", "-z"],
+        cwd=repo_root,
+        capture_output=True,
+        check=True,
+        text=True,
+    )
+    offenders = []
+    for path in listing.stdout.split("\0"):
+        if not path:
+            continue
+        parts = path.split("/")
+        if any(marker in parts for marker in ARTIFACT_MARKERS) or path.endswith(
+            ARTIFACT_SUFFIXES
+        ):
+            offenders.append(path)
+    return offenders
+
+
+def main() -> int:
+    offenders = tracked_artifacts()
+    if not offenders:
+        print("clean: no compiled artifacts tracked by git")
+        return 0
+    print(
+        f"{len(offenders)} compiled artifact(s) tracked by git "
+        "(git rm -r --cached them and keep .gitignore current):"
+    )
+    for path in offenders:
+        print(f"  {path}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
