@@ -106,14 +106,14 @@ def _bench_system(welch, runner, recordings, repeats: int) -> dict:
     seq_seconds = _best_of(
         repeats,
         lambda: [
-            welch.analyze(rr.times, rr.intervals, batched=False)
+            welch.analyze_windows(rr.times, rr.intervals, batched=False)
             for rr in recordings
         ],
     )
     batch_seconds = _best_of(
         repeats,
         lambda: [
-            welch.analyze(rr.times, rr.intervals, batched=True)
+            welch.analyze_windows(rr.times, rr.intervals, batched=True)
             for rr in recordings
         ],
     )

@@ -52,7 +52,7 @@ def _time_analyze(welch, times, intervals, batched: bool, repeats: int) -> float
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        welch.analyze(times, intervals, batched=batched)
+        welch.analyze_windows(times, intervals, batched=batched)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -76,7 +76,7 @@ def _sweep_providers(welch, times, intervals, n_windows, repeats: int) -> dict:
     try:
         for name in names:
             registry.set_default_provider(name)
-            checked = welch.analyze(
+            checked = welch.analyze_windows(
                 times, intervals, batched=True, count_ops=True
             )
             if oracle is None:  # "explicit" is registered first
@@ -155,8 +155,8 @@ def run_throughput_benchmark(
         for name, system in systems.items():
             welch = system.welch
             # Warm caches and touch both paths once before timing.
-            reference = welch.analyze(rr.times, rr.intervals, batched=False)
-            batched_result = welch.analyze(rr.times, rr.intervals, batched=True)
+            reference = welch.analyze_windows(rr.times, rr.intervals, batched=False)
+            batched_result = welch.analyze_windows(rr.times, rr.intervals, batched=True)
             n_windows = reference.n_windows
             max_rel_diff = float(
                 np.max(

@@ -3,25 +3,24 @@
 Screens the full synthetic cohort (sinus-arrhythmia patients and healthy
 controls) with the conventional system and with every pruning mode of
 the proposed system, reporting sensitivity/specificity per mode — the
-paper's Section VI.A robustness experiment at cohort scale.
+paper's Section VI.A robustness experiment at cohort scale.  Each mode
+is one declarative :class:`~repro.engine.EngineConfig`; the engine's
+fleet path analyses the whole cohort in one call.
 
 Run with:  python examples/arrhythmia_screening.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    Condition,
-    ConventionalPSA,
-    PruningSpec,
-    QualityScalablePSA,
-    make_cohort,
-)
+from repro import Condition, Engine, EngineConfig, make_cohort
 
 
-def screen(system, recordings) -> list[bool]:
-    """True per recording when the system flags sinus arrhythmia."""
-    return [system.analyze(rr).detection.is_arrhythmia for rr in recordings]
+def screen(engine: Engine, recordings) -> list[bool]:
+    """True per recording when the engine flags sinus arrhythmia."""
+    return [
+        result.detection.is_arrhythmia
+        for result in engine.analyze_cohort(recordings)
+    ]
 
 
 def main() -> None:
@@ -37,22 +36,19 @@ def main() -> None:
     print(f"cohort: {len(rsa)} sinus-arrhythmia, {len(healthy)} healthy\n")
 
     modes = [
-        ("conventional", None),
-        ("exact wavelet", PruningSpec.none()),
-        ("band drop", PruningSpec.band_only()),
-        ("band + 20%", PruningSpec.paper_mode(1)),
-        ("band + 40%", PruningSpec.paper_mode(2)),
-        ("band + 60%", PruningSpec.paper_mode(3)),
-        ("band + 60% dyn", PruningSpec.paper_mode(3, dynamic=True)),
+        ("conventional", EngineConfig.for_mode("exact")),
+        ("exact wavelet", EngineConfig(system="quality-scalable")),
+        ("band drop", EngineConfig.for_mode("band")),
+        ("band + 20%", EngineConfig.for_mode("set1")),
+        ("band + 40%", EngineConfig.for_mode("set2")),
+        ("band + 60%", EngineConfig.for_mode("set3")),
+        ("band + 60% dyn", EngineConfig.for_mode("set3", dynamic=True)),
     ]
     print(f"{'mode':16s} {'sensitivity':>12s} {'specificity':>12s}")
-    for label, spec in modes:
-        if spec is None:
-            system = ConventionalPSA()
-        else:
-            system = QualityScalablePSA(pruning=spec)
-        flags_rsa = screen(system, rsa)
-        flags_healthy = screen(system, healthy)
+    for label, config in modes:
+        with Engine(config) as engine:
+            flags_rsa = screen(engine, rsa)
+            flags_healthy = screen(engine, healthy)
         sensitivity = sum(flags_rsa) / len(flags_rsa)
         specificity = sum(not f for f in flags_healthy) / len(flags_healthy)
         print(f"{label:16s} {sensitivity:>11.0%} {specificity:>12.0%}")

@@ -11,8 +11,9 @@ Run with:  python examples/energy_budget_tuning.py
 
 from __future__ import annotations
 
-from repro import ConventionalPSA, QualityScalablePSA, make_cohort
+from repro import EngineConfig, make_cohort
 from repro.core import QualityController
+from repro.engine import build_system
 
 
 #: A CR2032 coin cell stores roughly 2.4 kJ.
@@ -45,10 +46,17 @@ def main() -> None:
             f"distorts {chosen.distortion:.1%})"
         )
 
-    # Battery-life projection for the most permissive budget.
+    # Battery-life projection for the most permissive budget.  The
+    # chosen mode becomes a declarative config (serializable for the
+    # node's deployment manifest); build_system gives the node-model
+    # view of the same system an Engine would run.
     chosen = controller.select(0.10)
-    baseline_system = ConventionalPSA()
-    tuned_system = QualityScalablePSA(pruning=chosen.spec)
+    tuned_config = EngineConfig(
+        system="quality-scalable", pruning=chosen.spec
+    )
+    print(f"\ndeployed config: {tuned_config.to_json(indent=None)}")
+    baseline_system = build_system(EngineConfig.for_mode("exact"))
+    tuned_system = build_system(tuned_config)
     report = tuned_system.energy_report(baseline_system, apply_vfs=True)
     per_window_baseline = report.baseline.energy
     per_window_tuned = report.approximate.energy

@@ -1,21 +1,17 @@
 """Quickstart: conventional vs quality-scalable HRV spectral analysis.
 
 Generates one synthetic sinus-arrhythmia patient, runs both PSA systems
-(the split-radix baseline and the pruned wavelet-FFT system at the
-paper's most aggressive mode), and prints the clinical read-out together
-with the energy savings on the sensor-node model.
+through the declarative engine facade (the split-radix baseline and the
+pruned wavelet-FFT system at the paper's most aggressive mode), and
+prints the clinical read-out together with the energy savings on the
+sensor-node model.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    ConventionalPSA,
-    PruningSpec,
-    QualityScalablePSA,
-    make_cohort,
-)
+from repro import Engine, EngineConfig, make_cohort
 
 
 def main() -> None:
@@ -26,8 +22,16 @@ def main() -> None:
         f"{rr.duration / 60:.1f} min, mean HR {rr.mean_heart_rate:.0f} bpm"
     )
 
-    conventional = ConventionalPSA()
-    proposed = QualityScalablePSA(pruning=PruningSpec.paper_mode(3))
+    # One declarative config per system; Engine resolves the execution
+    # settings (FFT provider, batch chunk size) once, up front.
+    conventional = Engine(EngineConfig.for_mode("exact"))
+    proposed = Engine(EngineConfig.for_mode("set3"))
+    print(
+        "execution: provider "
+        f"{conventional.resolved.provider} "
+        f"({conventional.resolved.provider_source}), "
+        f"chunk {conventional.resolved.chunk_windows} windows"
+    )
 
     reference = conventional.analyze(rr)
     approximate = proposed.analyze(rr)
@@ -45,14 +49,24 @@ def main() -> None:
     error = abs(approximate.lf_hf - reference.lf_hf) / reference.lf_hf
     print(f"\nLF/HF relative error from pruning: {error:.1%}")
 
-    report = proposed.energy_report(conventional, apply_vfs=True, fft_only=True)
+    # The energy model lives on the wrapped quality-scalable system.
+    report = proposed.system.energy_report(
+        conventional.system, apply_vfs=True, fft_only=True
+    )
     print(
         f"FFT-kernel energy savings with VFS: {report.energy_savings:.1%} "
         f"(runs at {report.approximate.operating_point.voltage:.2f} V / "
         f"{report.approximate.operating_point.frequency / 1e6:.0f} MHz)"
     )
-    window = proposed.energy_report(conventional, apply_vfs=True, fft_only=False)
+    window = proposed.system.energy_report(
+        conventional.system, apply_vfs=True, fft_only=False
+    )
     print(f"whole-window energy savings with VFS: {window.energy_savings:.1%}")
+
+    # The config is the portable artifact: this JSON fully describes
+    # the proposed analysis (try it with `python -m repro screen
+    # --config proposed.json`).
+    print(f"\nproposed analysis as JSON:\n{proposed.config.to_json()}")
 
 
 if __name__ == "__main__":

@@ -7,20 +7,23 @@ with significance-driven pruning, design-time/run-time thresholding, a
 sensor-node energy model with voltage-frequency scaling, and the
 synthetic-cohort evaluation harness.
 
-Quick start::
+Quick start — one declarative config, one engine facade::
 
-    from repro import (
-        ConventionalPSA, QualityScalablePSA, PruningSpec, make_cohort,
-    )
+    from repro import Engine, EngineConfig, make_cohort
 
     patient = make_cohort().get("rsa-00")
     rr = patient.rr_series(duration=600.0)
-    exact = ConventionalPSA().analyze(rr)
-    pruned = QualityScalablePSA(pruning=PruningSpec.paper_mode(3)).analyze(rr)
+    exact = Engine(EngineConfig.for_mode("exact")).analyze(rr)
+    pruned = Engine(EngineConfig.for_mode("set3")).analyze(rr)
     print(exact.lf_hf, pruned.lf_hf)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
-the paper-vs-measured record of every table and figure.
+The same engine serves cohorts (``analyze_cohort`` over the sharded
+fleet pool) and live data (``open_stream()`` emits each Welch window's
+spectrum as it completes); configs round-trip through JSON
+(``EngineConfig.to_json``/``from_json``) so an analysis is fully
+described by one file — see ``python -m repro engine``.  ``ROADMAP.md``
+documents the performance architecture; the ``examples/`` scripts walk
+every workload.
 """
 
 from .core import (
@@ -34,6 +37,7 @@ from .core import (
     calibrate,
 )
 from .ecg import Condition, PatientRecord, SyntheticCohort, TachogramSpec, make_cohort
+from .engine import Engine, EngineConfig, StreamingSession, WindowEmission
 from .errors import (
     CalibrationError,
     ConfigurationError,
@@ -56,6 +60,8 @@ __all__ = [
     "Condition",
     "ConfigurationError",
     "ConventionalPSA",
+    "Engine",
+    "EngineConfig",
     "FastLomb",
     "FixedPointError",
     "ModeProfile",
@@ -73,11 +79,13 @@ __all__ = [
     "SignalError",
     "SinusArrhythmiaDetector",
     "SplitRadixFFT",
+    "StreamingSession",
     "SyntheticCohort",
     "TachogramSpec",
     "TransformError",
     "WaveletFFT",
     "WelchLomb",
+    "WindowEmission",
     "calibrate",
     "band_powers",
     "lf_hf_ratio",

@@ -1,28 +1,37 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the library's everyday uses without writing any
+Seven subcommands cover the library's everyday uses without writing any
 code:
 
 * ``demo``        — quickstart comparison on one synthetic patient,
-* ``screen``      — cohort screening under a chosen pruning mode
-  (``--jobs N`` shards the cohort over N worker processes,
-  ``--provider`` pins the FFT execution engine),
+* ``screen``      — cohort screening under a chosen pruning mode or a
+  declarative ``--config config.json`` (``--jobs N`` shards the cohort
+  over N worker processes, ``--provider`` pins the FFT execution
+  engine),
+* ``engine``      — inspect, resolve and round-trip the declarative
+  engine configuration (:class:`repro.engine.EngineConfig`),
 * ``energy``      — energy report of a pruning mode on the node model,
 * ``complexity``  — the Fig. 5 operation-count table for a given N,
 * ``tune``        — per-host batch chunk-size probe (fleet auto-tuner),
 * ``providers``   — list/probe the FFT execution provider registry.
+
+Analysis commands are thin drivers over the engine facade
+(:mod:`repro.engine`): flags build or override an
+:class:`~repro.engine.EngineConfig`, and execution runs through
+:class:`~repro.engine.Engine`.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 
 import numpy as np
 
 from .analysis.reporting import format_percent, format_table
-from .core.system import ConventionalPSA, QualityScalablePSA
+from .core.system import QualityScalablePSA
 from .ecg.database import make_cohort
+from .engine import Engine, EngineConfig
+from .errors import ConfigurationError
 from .ffts.pruning import PruningSpec
 from .ffts.split_radix import split_radix_counts
 from .ffts.wavelet_fft import WaveletFFT
@@ -46,6 +55,39 @@ def parse_mode(name: str, dynamic: bool = False) -> PruningSpec:
     )
 
 
+def _config_from_args(args, default_mode: str = "set3") -> EngineConfig:
+    """Build the :class:`EngineConfig` a command's flags describe.
+
+    ``--config FILE`` loads the declarative base; explicit flags
+    (``--mode``, ``--provider``, ``--jobs``) override its fields —
+    the CLI layer of the documented explicit → config → env →
+    auto-probe precedence chain.
+    """
+    if getattr(args, "config", None):
+        config = EngineConfig.from_file(args.config)
+        if args.mode is not None:
+            moded = EngineConfig.for_mode(args.mode, args.dynamic)
+            config = config.replace(system=moded.system, pruning=moded.pruning)
+        elif args.dynamic:
+            # --dynamic modifies a --mode; silently ignoring it against
+            # a config file would run a different analysis than asked.
+            raise ConfigurationError(
+                "--dynamic requires --mode when --config is given "
+                "(the config file already fixes the pruning spec)"
+            )
+    else:
+        config = EngineConfig.for_mode(
+            args.mode if args.mode is not None else default_mode,
+            args.dynamic,
+        )
+    if getattr(args, "provider", None) is not None:
+        config = config.replace(provider=args.provider)
+    if getattr(args, "jobs", None) is not None:
+        # 0 is the CLI's one-per-CPU sentinel (None in config terms).
+        config = config.replace(jobs=None if args.jobs == 0 else args.jobs)
+    return config
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -58,24 +100,57 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--patient", default="rsa-05")
     demo.add_argument("--duration", type=float, default=600.0)
 
+    from .ffts.providers import provider_names
+
     screen = sub.add_parser("screen", help="screen the synthetic cohort")
-    screen.add_argument("--mode", default="set3", choices=_MODES)
+    screen.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="declarative EngineConfig JSON file (see the engine command)",
+    )
+    screen.add_argument("--mode", default=None, choices=_MODES)
     screen.add_argument("--dynamic", action="store_true")
     screen.add_argument("--patients", type=int, default=8)
     screen.add_argument("--duration", type=float, default=300.0)
     screen.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         help="worker processes for the cohort (0 = one per CPU)",
     )
-    from .ffts.providers import provider_names
-
     screen.add_argument(
         "--provider",
         default=None,
         choices=provider_names(),
         help="FFT execution provider to pin (see the providers command)",
+    )
+
+    engine_cmd = sub.add_parser(
+        "engine",
+        help="inspect/resolve/round-trip the declarative engine config",
+    )
+    engine_cmd.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="EngineConfig JSON file to inspect (defaults to flag-built)",
+    )
+    engine_cmd.add_argument("--mode", default=None, choices=_MODES)
+    engine_cmd.add_argument("--dynamic", action="store_true")
+    engine_cmd.add_argument(
+        "--provider", default=None, choices=provider_names()
+    )
+    engine_cmd.add_argument("--jobs", type=int, default=None)
+    engine_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the config as JSON (pipe into a file for --config)",
+    )
+    engine_cmd.add_argument(
+        "--resolve",
+        action="store_true",
+        help="resolve execution settings (may run the autoselect probe)",
     )
 
     energy = sub.add_parser("energy", help="energy report for a pruning mode")
@@ -115,8 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_demo(args) -> int:
     patient = make_cohort().get(args.patient)
     rr = patient.rr_series(duration=args.duration)
-    reference = ConventionalPSA().analyze(rr)
-    approx = QualityScalablePSA(pruning=PruningSpec.paper_mode(3)).analyze(rr)
+    with Engine(EngineConfig.for_mode("exact")) as exact_engine:
+        reference = exact_engine.analyze(rr)
+    with Engine(EngineConfig.for_mode("set3")) as pruned_engine:
+        approx = pruned_engine.analyze(rr)
     rows = [
         ["conventional", f"{reference.lf_hf:.3f}",
          str(reference.detection.is_arrhythmia)],
@@ -129,26 +206,18 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_screen(args) -> int:
-    spec = parse_mode(args.mode, args.dynamic)
+    config = _config_from_args(args)
     cohort = make_cohort()
-    system = (
-        QualityScalablePSA(pruning=spec)
-        if not spec.is_exact
-        else ConventionalPSA()
-    )
     patients = list(cohort)[: args.patients]
     recordings = [
         patient.rr_series(duration=args.duration) for patient in patients
     ]
-    # The fleet engine shards the whole cohort's Welch windows over the
-    # worker pool; jobs=1 runs the identical pipeline in-process and 0
-    # is the one-per-CPU sentinel (negative values reach FleetRunner's
-    # validation).
-    results = system.analyze_cohort(
-        recordings,
-        jobs=None if args.jobs == 0 else args.jobs,
-        provider=args.provider,
-    )
+    # The facade owns execution: the fleet engine shards the cohort's
+    # Welch windows over the worker pool (jobs=1 runs the identical
+    # pipeline in-process), pinned to the config's resolved provider
+    # and chunk size.
+    with Engine(config) as engine:
+        results = engine.analyze_cohort(recordings)
     rows = []
     correct = 0
     for patient, result in zip(patients, results):
@@ -159,10 +228,50 @@ def _cmd_screen(args) -> int:
             [patient.patient_id, f"{result.lf_hf:.3f}",
              str(result.detection.is_arrhythmia), "ok" if ok else "MISS"]
         )
+    title = (
+        "screening under mode "
+        f"{config.pruning.describe() if config.system != 'conventional' else 'exact'}"
+    )
     print(format_table(["patient", "LF/HF", "flagged", "verdict"], rows,
-                       title=f"screening under mode {spec.describe()}"))
+                       title=title))
     print(f"\n{correct}/{len(patients)} correct")
     return 0 if correct == len(patients) else 1
+
+
+def _cmd_engine(args) -> int:
+    config = _config_from_args(args, default_mode="exact")
+    if args.json:
+        print(config.to_json())
+        return 0
+    round_tripped = EngineConfig.from_json(config.to_json())
+    rows = [
+        ["system", config.system],
+        ["pruning", config.pruning.describe()],
+        ["fft size", str(config.psa.fft_size)],
+        ["window", f"{config.psa.window_seconds:.0f} s / "
+                   f"{config.psa.overlap:.0%} overlap"],
+        ["basis", config.psa.basis],
+        ["scaling", config.psa.scaling],
+        ["bands", ", ".join(
+            f"{band.name} [{band.low}, {band.high})" for band in config.bands
+        )],
+        ["provider", config.provider or "-- (resolve at run time)"],
+        ["chunk windows", str(config.chunk_windows)
+         if config.chunk_windows else "-- (resolve at run time)"],
+        ["jobs", str(config.jobs) if config.jobs else "one per CPU"],
+        ["JSON round-trip", "ok" if round_tripped == config else "MISMATCH"],
+    ]
+    if args.resolve:
+        resolved = config.resolve()
+        rows += [
+            ["resolved provider",
+             f"{resolved.provider} ({resolved.provider_source})"],
+            ["resolved chunk",
+             f"{resolved.chunk_windows} ({resolved.chunk_source})"],
+            ["resolved jobs", f"{resolved.jobs} ({resolved.jobs_source})"],
+        ]
+    print(format_table(["field", "value"], rows, title="engine config"))
+    return 0 if round_tripped == config else 1
 
 
 def _cmd_energy(args) -> int:
@@ -234,6 +343,7 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_providers(args) -> int:
+    from .envpins import provider_env_pin
     from .errors import ConfigurationError
     from .ffts.providers import registry
 
@@ -244,10 +354,10 @@ def _cmd_providers(args) -> int:
     # listing must neither run the timing probe nor die on a bad env
     # pin — only --probe pays for the micro-benchmark.
     pin = registry.get_default_provider_name()
-    env_value = os.environ.get(registry.PROVIDER_ENV_VAR, "").strip().lower()
+    env_value = provider_env_pin()
     if pin is not None:
         active = pin
-    elif env_value and env_value != "auto":
+    elif env_value is not None and env_value != "auto":
         try:
             active = registry.resolve_provider_name(None, args.workspace)
         except ConfigurationError:
@@ -277,7 +387,7 @@ def _cmd_providers(args) -> int:
     ))
     env = registry.PROVIDER_ENV_VAR
     print(f"\nresolution: pin={pin or '--'}, {env}="
-          f"{os.environ.get(env, '--')}, active={active}")
+          f"{env_value if env_value is not None else '--'}, active={active}")
     return 0
 
 
@@ -287,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "screen": _cmd_screen,
+        "engine": _cmd_engine,
         "energy": _cmd_energy,
         "complexity": _cmd_complexity,
         "tune": _cmd_tune,

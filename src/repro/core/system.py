@@ -9,6 +9,7 @@ DWT-based kernel, plus the energy-evaluation hooks of Section VI
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,7 +19,7 @@ from ..ffts.backends import FFTBackend
 from ..ffts.opcount import OpCounts
 from ..ffts.plancache import split_radix_plan, wavelet_plan
 from ..ffts.pruning import PruningSpec
-from ..hrv.bands import band_powers
+from ..hrv.bands import STANDARD_BANDS, band_powers
 from ..hrv.detection import DetectionResult, SinusArrhythmiaDetector
 from ..hrv.metrics import lf_hf_ratio
 from ..hrv.rr import RRSeries
@@ -28,6 +29,10 @@ from ..platform.node import ComparisonReport, SensorNodeModel
 from .config import PSAConfig
 
 __all__ = ["PSAResult", "ConventionalPSA", "QualityScalablePSA"]
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: legacy execution kwargs can warn exactly when they are used.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -84,6 +89,9 @@ class _BasePSA:
             overlap=self.config.overlap,
         )
         self._detector = SinusArrhythmiaDetector()
+        #: Band-power integration edges reported in results; the engine
+        #: facade overrides this from ``EngineConfig.bands``.
+        self.bands = STANDARD_BANDS
 
     def _build_backend(self) -> FFTBackend:
         raise NotImplementedError
@@ -99,18 +107,29 @@ class _BasePSA:
         return self._welch
 
     def analyze(
-        self, rr: RRSeries, count_ops: bool = False, batched: bool = True
+        self, rr: RRSeries, count_ops: bool = False, batched=_UNSET
     ) -> PSAResult:
         """Run the full PSA over an RR recording.
 
-        ``batched`` (default) processes all Welch windows through the
-        dense batch execution path; ``batched=False`` runs the original
-        per-window loop (same results, used as the equivalence oracle).
+        Execution settings (provider, chunk size, batching) live on the
+        engine facade (:mod:`repro.engine`); passing ``batched=`` here
+        is deprecated — the per-window sequential oracle remains
+        reachable through
+        :meth:`WelchLomb.analyze_windows(batched=False) <repro.lomb.welch.WelchLomb.analyze_windows>`.
         """
         if not isinstance(rr, RRSeries):
             raise SignalError("analyze expects an RRSeries")
-        welch = self._welch.analyze(
-            rr.times, rr.intervals, count_ops=count_ops, batched=batched
+        if batched is _UNSET:
+            batched = True
+        else:
+            warnings.warn(
+                "analyze(batched=...) is deprecated; use the repro.engine "
+                "facade to choose execution settings",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        welch = self._welch.analyze_windows(
+            rr.times, rr.intervals, count_ops=count_ops, batched=bool(batched)
         )
         return self._finalize(welch)
 
@@ -131,51 +150,79 @@ class _BasePSA:
         return PSAResult(
             welch=welch,
             lf_hf=lf_hf_ratio(averaged),
-            band_powers=band_powers(averaged),
+            band_powers=band_powers(averaged, bands=self.bands),
             window_ratios=ratios,
             detection=detection,
             counts=welch.counts,
+        )
+
+    def to_engine_config(
+        self,
+        jobs: int | None = 1,
+        provider: str | None = None,
+        chunk_windows: int | None = None,
+    ):
+        """This system's declarative :class:`~repro.engine.EngineConfig`.
+
+        The bridge from the legacy object-construction style to the
+        facade: the returned config rebuilds (or describes) exactly
+        this system — kind, pruning spec, pipeline geometry and band
+        edges — plus the given execution settings.
+        """
+        from ..engine.config import EngineConfig
+
+        return EngineConfig(
+            system=(
+                "quality-scalable"
+                if isinstance(self, QualityScalablePSA)
+                else "conventional"
+            ),
+            pruning=getattr(self, "pruning", PruningSpec.none()),
+            psa=self.config,
+            provider=provider,
+            chunk_windows=chunk_windows,
+            jobs=jobs,
+            bands=self.bands,
         )
 
     def analyze_cohort(
         self,
         recordings,
         count_ops: bool = False,
-        jobs: int | None = 1,
-        provider: str | None = None,
+        jobs=_UNSET,
+        provider=_UNSET,
     ) -> list[PSAResult]:
         """Run the full PSA over many recordings with the fleet engine.
 
-        Parameters
-        ----------
-        recordings:
-            Iterable of :class:`RRSeries`, one per patient/recording.
-        count_ops:
-            Attach executed operation counts to every result.
-        jobs:
-            Worker processes; 1 (default) runs the sharded pipeline
-            in-process, ``None`` uses one worker per available CPU.
-        provider:
-            FFT execution provider to pin across the fleet
-            (:mod:`repro.ffts.providers`); ``None`` resolves the
-            registry chain once in the parent.
-
-        The cohort's Welch windows are sharded across a process pool
-        (:class:`repro.fleet.FleetRunner`) with recording arrays in
-        shared memory; spectra, averages and operation counts are
-        identical to per-recording :meth:`analyze` calls.
+        Thin delegating wrapper over the engine facade: the cohort runs
+        through :meth:`repro.engine.Engine.analyze_cohort` on a
+        transient engine wrapping this system, so spectra, averages and
+        operation counts are identical to per-recording :meth:`analyze`
+        calls.  Passing ``jobs=`` / ``provider=`` here is deprecated —
+        those are :class:`~repro.engine.EngineConfig` fields now
+        (``Engine(EngineConfig(jobs=..., provider=...))``), kept working
+        through this shim.
         """
-        from ..fleet.runner import FleetRunner
-
+        if jobs is not _UNSET or provider is not _UNSET:
+            warnings.warn(
+                "analyze_cohort(jobs=..., provider=...) is deprecated; "
+                "these moved to EngineConfig — use "
+                "repro.engine.Engine(EngineConfig(jobs=..., provider=...))"
+                ".analyze_cohort(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        jobs = 1 if jobs is _UNSET else jobs
+        provider = None if provider is _UNSET else provider
         rr_list = list(recordings)
         for rr in rr_list:
             if not isinstance(rr, RRSeries):
                 raise SignalError("analyze_cohort expects RRSeries recordings")
-        with FleetRunner(
-            welch=self._welch, n_jobs=jobs, provider=provider
-        ) as runner:
-            welch_results = runner.run(rr_list, count_ops=count_ops)
-        return [self._finalize(welch) for welch in welch_results]
+        from ..engine.engine import Engine
+
+        config = self.to_engine_config(jobs=jobs, provider=provider)
+        with Engine(config, system=self) as engine:
+            return engine.analyze_cohort(rr_list, count_ops=count_ops)
 
     def window_counts(self, n_beats: int | None = None) -> OpCounts:
         """Design-time operation count of one nominal analysis window."""

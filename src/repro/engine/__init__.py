@@ -1,0 +1,28 @@
+"""Unified Engine/Session API — the library's execution facade.
+
+One declarative, serializable configuration
+(:class:`~repro.engine.config.EngineConfig`) describes *what* to run
+(system kind, pruning spec, pipeline geometry, band edges) and *how*
+(FFT provider, batch chunk size, worker processes); one
+:class:`~repro.engine.engine.Engine` object resolves it, warms the plan
+caches and serves whole recordings (:meth:`~repro.engine.engine.Engine.analyze`),
+cohorts over a persistent fleet pool
+(:meth:`~repro.engine.engine.Engine.analyze_cohort`) and live streams
+(:meth:`~repro.engine.engine.Engine.open_stream` →
+:class:`~repro.engine.streaming.StreamingSession`) through identical,
+bit-reproducible kernels.
+"""
+
+from .config import EngineConfig, ResolvedExecution, SYSTEM_KINDS
+from .engine import Engine, build_system
+from .streaming import StreamingSession, WindowEmission
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "ResolvedExecution",
+    "SYSTEM_KINDS",
+    "StreamingSession",
+    "WindowEmission",
+    "build_system",
+]

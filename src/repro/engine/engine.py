@@ -1,0 +1,216 @@
+"""The execution facade: one object that owns how analyses run.
+
+:class:`Engine` is the single public entry point over everything the
+performance PRs built — the batched Welch-Lomb driver, the FFT execution
+provider registry, the per-host chunk tuner and the sharded fleet
+runner.  It is constructed from one declarative
+:class:`~repro.engine.config.EngineConfig`, resolves every execution
+knob exactly once (provider, chunk size, jobs), warms the plan caches
+for the resolved provider, and then serves three workloads through the
+same pinned execution state:
+
+* :meth:`Engine.analyze` — one completed recording,
+* :meth:`Engine.analyze_cohort` — many recordings over a **persistent**
+  fleet pool (created lazily, reused across calls, released by
+  :meth:`Engine.close` / the context-manager exit),
+* :meth:`Engine.open_stream` — a :class:`~repro.engine.streaming.StreamingSession`
+  that accepts RR samples as they arrive and emits per-window spectra
+  the moment each Welch window completes.
+
+All three routes drive the identical kernels through
+:func:`repro.lomb.welch.analyze_spans`, so their per-window spectra are
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..core.system import ConventionalPSA, PSAResult, QualityScalablePSA
+from ..errors import ConfigurationError
+from ..ffts.plancache import warm_execution_caches
+from ..ffts.providers.registry import (
+    get_default_provider_name,
+    set_default_provider,
+)
+from ..hrv.rr import RRSeries
+from ..lomb.fast import (
+    get_chunk_override,
+    set_batch_chunk_windows,
+)
+from .config import EngineConfig
+
+__all__ = ["Engine", "build_system"]
+
+
+def build_system(config: EngineConfig):
+    """Construct the PSA system one config describes.
+
+    ``"conventional"`` ignores the pruning spec (the split-radix
+    baseline has nothing to prune); ``"quality-scalable"`` applies it.
+    Either system's band-power integration edges are taken from the
+    config.
+    """
+    if config.system == "conventional":
+        system = ConventionalPSA(config.psa)
+    else:
+        system = QualityScalablePSA(config.psa, pruning=config.pruning)
+    system.bands = config.bands
+    return system
+
+
+class Engine:
+    """Resolved, warmed execution facade over one :class:`EngineConfig`.
+
+    Parameters
+    ----------
+    config:
+        The declarative analysis description; defaults to the paper's
+        conventional system with auto-resolved execution settings.
+    system:
+        Pre-built PSA system to wrap instead of building one from the
+        config (the legacy entry points delegate through this so their
+        existing kernel instances — and any caller-installed state —
+        stay in use).  The config still decides execution settings.
+    warm:
+        Warm the resolved provider's execution caches at construction
+        (default); disable only when constructing many engines whose
+        providers are already warm.
+
+    The engine is cheap after the first construction for a given
+    geometry — kernels come from the shared plan cache — and safe to
+    use as a context manager; :meth:`close` only releases the optional
+    fleet pool.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        system=None,
+        warm: bool = True,
+    ):
+        if config is None:
+            config = EngineConfig()
+        elif not isinstance(config, EngineConfig):
+            raise ConfigurationError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        self.config = config
+        self._system = system if system is not None else build_system(config)
+        self.resolved = config.resolve()
+        if warm:
+            analyzer = self._system.welch.analyzer
+            warm_execution_caches(
+                analyzer.workspace_size, analyzer.order, self.resolved.provider
+            )
+        self._fleet = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def system(self):
+        """The wrapped PSA system (conventional or quality-scalable)."""
+        return self._system
+
+    @property
+    def welch(self):
+        """The windowed Welch-Lomb engine driving this facade."""
+        return self._system.welch
+
+    @classmethod
+    def from_json(cls, text: str) -> "Engine":
+        """Engine over a config serialized with ``EngineConfig.to_json``."""
+        return cls(EngineConfig.from_json(text))
+
+    @classmethod
+    def from_file(cls, path) -> "Engine":
+        """Engine over a JSON config file."""
+        return cls(EngineConfig.from_file(path))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _pinned(self):
+        """Install the resolved provider/chunk for the calling block.
+
+        Every workload this engine serves executes under the same two
+        process pins, so results cannot depend on which entry point ran
+        them; the previous pins are restored on exit (engines must not
+        leak state into code that never asked for them).
+        """
+        previous_provider = get_default_provider_name()
+        previous_chunk = get_chunk_override()
+        set_default_provider(self.resolved.provider)
+        set_batch_chunk_windows(self.resolved.chunk_windows)
+        try:
+            yield
+        finally:
+            set_default_provider(previous_provider)
+            set_batch_chunk_windows(previous_chunk)
+
+    def analyze(self, rr: RRSeries, count_ops: bool = False) -> PSAResult:
+        """Run the full PSA over one completed RR recording."""
+        with self._pinned():
+            return self._system.analyze(rr, count_ops=count_ops)
+
+    def analyze_cohort(
+        self, recordings, count_ops: bool = False
+    ) -> list[PSAResult]:
+        """Run the full PSA over many recordings with the fleet engine.
+
+        Recordings may be :class:`RRSeries` or ``(times, values)``
+        pairs.  The worker pool (``jobs > 1``) is created on first use
+        and **persists across calls** — the serving pattern pays the
+        fork/initialise cost once; :meth:`close` releases it.
+        """
+        runner = self._ensure_fleet()
+        welch_results = runner.run(list(recordings), count_ops=count_ops)
+        with self._pinned():
+            return [self._system._finalize(welch) for welch in welch_results]
+
+    def open_stream(self, count_ops: bool = False):
+        """Open a :class:`StreamingSession` for incremental ingestion.
+
+        The session accepts RR samples as they arrive (``feed`` /
+        ``feed_record``), emits each Welch window's spectrum as soon as
+        the window completes, and finalizes into the same
+        :class:`~repro.core.system.PSAResult` a whole-recording
+        :meth:`analyze` call would produce — bit-identically.
+        """
+        from .streaming import StreamingSession
+
+        return StreamingSession(self, count_ops=count_ops)
+
+    # ------------------------------------------------------------------
+    # Fleet pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_fleet(self):
+        """The persistent fleet runner, created on first cohort call."""
+        if self._fleet is None:
+            from ..fleet.runner import FleetRunner
+
+            self._fleet = FleetRunner(
+                welch=self._system.welch,
+                n_jobs=self.resolved.jobs,
+                chunk_windows=self.resolved.chunk_windows,
+                provider=self.resolved.provider,
+            )
+        return self._fleet
+
+    def close(self) -> None:
+        """Release the persistent fleet pool, if one was created."""
+        fleet, self._fleet = self._fleet, None
+        if fleet is not None:
+            fleet.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,325 @@
+"""Streaming ingestion: window-at-a-time PSA over arriving RR samples.
+
+A :class:`StreamingSession` (opened with
+:meth:`repro.engine.Engine.open_stream`) accepts RR samples
+incrementally — one beat at a time or in arbitrary ragged chunks — and
+emits each Welch window's Lomb spectrum the moment the window
+*completes*, i.e. as soon as a sample at or past the window's right
+edge arrives.  This is the online-monitoring shape of wavelet-based
+streaming HRV analysers: spectra become available with one-window
+latency instead of after the whole recording.
+
+Bit-identity with the batch path is a hard guarantee, not an
+aspiration.  The session reproduces the Welch window layout of
+:func:`repro.lomb.welch.iter_windows` *exactly* — the same float
+accumulation of start times, the same ``searchsorted`` edge rule, the
+same half-window keep filter and minimum-beat skip counter — and routes
+every emitted window through :func:`repro.lomb.welch.analyze_spans`,
+the identical choke point the whole-recording driver and the fleet
+workers use, under the owning engine's pinned provider and chunk size.
+Because every per-window kernel is batch-composition-independent (the
+invariant the fleet's sharded merges already rely on), feeding a
+recording sample-by-sample produces the same spectrogram, Welch
+average and operation counts — bit for bit — as analysing the
+completed recording in one call.
+
+A window is only *final* once a sample at or beyond its right edge has
+been seen (earlier samples can no longer arrive: times are strictly
+increasing), so interior windows stream out as data flows and the
+trailing partial window — whose extent depends on where the recording
+ends — is resolved by :meth:`StreamingSession.finalize`, which returns
+the same :class:`~repro.core.system.PSAResult` the batch path builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SignalError
+from ..hrv.rr import RRSeries
+from ..lomb.fast import LombSpectrum
+from ..lomb.welch import MIN_BEATS_PER_WINDOW, analyze_spans, assemble_result
+
+__all__ = ["StreamingSession", "WindowEmission"]
+
+#: Initial sample-buffer capacity (doubles as the recording grows).
+_INITIAL_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class WindowEmission:
+    """One completed Welch window, emitted as soon as it closed.
+
+    Attributes
+    ----------
+    index:
+        Position of this window in the final spectrogram (row index).
+    start:
+        Nominal window start time (seconds, the Welch grid position).
+    center:
+        Centre time of the window's actual samples — matches
+        ``WelchLombResult.window_times[index]``.
+    spectrum:
+        The window's Lomb spectrum (identical to
+        ``WelchLombResult.window_spectra[index]``).
+    """
+
+    index: int
+    start: float
+    center: float
+    spectrum: LombSpectrum
+
+
+class StreamingSession:
+    """Incremental RR ingestion with per-window spectral emission.
+
+    Built by :meth:`repro.engine.Engine.open_stream`; not constructed
+    directly.  Typical use::
+
+        with Engine(config) as engine:
+            session = engine.open_stream()
+            for t, rr in beat_source:          # arrives over time
+                for emission in session.feed(t, rr):
+                    update_monitor(emission.center, emission.spectrum)
+            result = session.finalize()        # == engine.analyze(...)
+
+    ``feed`` accepts scalars or array chunks; emissions are returned
+    from the ``feed`` call that completed them.  ``finalize`` analyses
+    the trailing window(s) and assembles the full
+    :class:`~repro.core.system.PSAResult`.
+    """
+
+    def __init__(self, engine, count_ops: bool = False):
+        welch = engine.welch
+        self._engine = engine
+        self._analyzer = welch.analyzer
+        self._window_seconds = float(welch.window_seconds)
+        self._step = float(welch.window_seconds) * (1.0 - float(welch.overlap))
+        self._count_ops = bool(count_ops)
+        self._times = np.empty(_INITIAL_CAPACITY)
+        self._values = np.empty(_INITIAL_CAPACITY)
+        self._n = 0
+        self._next_start: float | None = None
+        self._spectra: list[LombSpectrum] = []
+        self._centers: list[float] = []
+        self._emissions: list[WindowEmission] = []
+        self._skipped = 0
+        self._result = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Samples fed so far."""
+        return self._n
+
+    @property
+    def n_windows(self) -> int:
+        """Windows emitted so far (before finalize: completed ones only)."""
+        return len(self._spectra)
+
+    @property
+    def emissions(self) -> tuple[WindowEmission, ...]:
+        """Every window emitted so far, in window order."""
+        return tuple(self._emissions)
+
+    @property
+    def finalized(self) -> bool:
+        """True once :meth:`finalize` has produced the result."""
+        return self._result is not None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def feed(self, times, values) -> list[WindowEmission]:
+        """Append RR samples and emit every window they completed.
+
+        ``times``/``values`` are scalars (one beat) or equal-length 1-D
+        chunks: beat instants in seconds and the RR intervals they end.
+        Times must continue strictly increasing across the whole
+        session.  Returns the (possibly empty) list of windows this
+        chunk completed, in window order.
+        """
+        if self._result is not None:
+            raise SignalError("session is finalized; open a new stream")
+        t_new = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        x_new = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if t_new.ndim != 1 or x_new.ndim != 1:
+            raise SignalError("feed expects scalars or 1-D chunks")
+        if t_new.size != x_new.size:
+            raise SignalError(
+                f"times and values must match, got {t_new.size} "
+                f"and {x_new.size}"
+            )
+        if t_new.size == 0:
+            return []
+        if not (np.all(np.isfinite(t_new)) and np.all(np.isfinite(x_new))):
+            raise SignalError("fed samples contain non-finite values")
+        if t_new.size > 1 and np.any(np.diff(t_new) <= 0):
+            raise SignalError("times must be strictly increasing")
+        if self._n and t_new[0] <= self._times[self._n - 1]:
+            raise SignalError(
+                f"times must be strictly increasing: got {t_new[0]} after "
+                f"{self._times[self._n - 1]}"
+            )
+        self._append(t_new, x_new)
+        if self._next_start is None:
+            self._next_start = float(self._times[0])
+        return self._drain()
+
+    def feed_record(self, rr: RRSeries) -> list[WindowEmission]:
+        """Feed a whole :class:`RRSeries` chunk (``times``/``intervals``)."""
+        if not isinstance(rr, RRSeries):
+            raise SignalError("feed_record expects an RRSeries")
+        return self.feed(rr.times, rr.intervals)
+
+    def _append(self, t_new: np.ndarray, x_new: np.ndarray) -> None:
+        needed = self._n + t_new.size
+        if needed > self._times.size:
+            capacity = max(self._times.size * 2, needed)
+            for name in ("_times", "_values"):
+                grown = np.empty(capacity)
+                grown[: self._n] = getattr(self, name)[: self._n]
+                setattr(self, name, grown)
+        self._times[self._n : needed] = t_new
+        self._values[self._n : needed] = x_new
+        self._n = needed
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> list[WindowEmission]:
+        """Emit every window whose right edge the data has now passed.
+
+        Emission requires a sample *strictly beyond* ``start + window``:
+        a sample exactly on the edge closes the window's content but
+        leaves open whether it is the recording's breaking final window
+        (in which case no later windows exist) — that call is
+        :meth:`finalize`'s, which knows where the recording ends.
+
+        All windows one feed completes are analysed in **one** batched
+        :func:`analyze_spans` call (a large chunk can complete dozens),
+        keeping the streaming path on the dense kernel; per-window
+        results are batch-composition-independent, so this cannot
+        change any emitted spectrum.
+        """
+        latest = float(self._times[self._n - 1])
+        pending: list[tuple[float, tuple[int, int]]] = []
+        while latest > self._next_start + self._window_seconds:
+            span = self._evaluate_window(self._next_start)
+            if span is not None:
+                pending.append((self._next_start, span))
+            self._next_start += self._step
+        return self._emit(pending)
+
+    def _emit(
+        self, pending: list[tuple[float, tuple[int, int]]]
+    ) -> list[WindowEmission]:
+        """Analyse kept windows in one pinned batch and record them."""
+        if not pending:
+            return []
+        t = self._times[: self._n]
+        x = self._values[: self._n]
+        with self._engine._pinned():
+            spectra = analyze_spans(
+                self._analyzer,
+                t,
+                x,
+                [span for _, span in pending],
+                self._count_ops,
+            )
+        return [
+            self._record(start, lo, hi, spectrum)
+            for (start, (lo, hi)), spectrum in zip(pending, spectra)
+        ]
+
+    def _evaluate_window(self, start: float) -> tuple[int, int] | None:
+        """The window's sample span, or ``None`` when it is dropped.
+
+        Applies :func:`~repro.lomb.welch.iter_windows`' keep rule (at
+        least two samples, actual span at least half the nominal
+        duration) and :meth:`~repro.lomb.welch.WelchLomb.plan_windows`'
+        minimum-beat rule (skipped windows are counted, exactly like
+        the batch planner).
+        """
+        t = self._times[: self._n]
+        lo = int(np.searchsorted(t, start, side="left"))
+        hi = int(
+            np.searchsorted(t, start + self._window_seconds, side="left")
+        )
+        if hi - lo < 2:
+            return None
+        if t[hi - 1] - t[lo] < 0.5 * self._window_seconds:
+            return None
+        if hi - lo < MIN_BEATS_PER_WINDOW:
+            self._skipped += 1
+            return None
+        return lo, hi
+
+    def _record(
+        self, start: float, lo: int, hi: int, spectrum: LombSpectrum
+    ) -> WindowEmission:
+        t = self._times[: self._n]
+        center = 0.5 * (float(t[lo]) + float(t[hi - 1]))
+        emission = WindowEmission(
+            index=len(self._spectra),
+            start=float(start),
+            center=center,
+            spectrum=spectrum,
+        )
+        self._spectra.append(spectrum)
+        self._centers.append(center)
+        self._emissions.append(emission)
+        return emission
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self):
+        """Close the stream and assemble the whole-recording result.
+
+        Emits the trailing window(s) the end of the recording resolves
+        — replicating the batch planner's stopping rule, including the
+        final-window break — then assembles every emitted spectrum with
+        :func:`~repro.lomb.welch.assemble_result` and applies the same
+        clinical post-processing as :meth:`Engine.analyze`.  Idempotent:
+        repeated calls return the same :class:`PSAResult`.
+        """
+        if self._result is not None:
+            return self._result
+        if self._n < MIN_BEATS_PER_WINDOW:
+            raise SignalError(
+                f"times must have at least {MIN_BEATS_PER_WINDOW} samples, "
+                f"got {self._n}"
+            )
+        end_time = float(self._times[self._n - 1])
+        tail: list[tuple[float, tuple[int, int]]] = []
+        start = self._next_start
+        while start < end_time:
+            span = self._evaluate_window(start)
+            if span is not None:
+                tail.append((start, span))
+            if start + self._window_seconds >= end_time:
+                break
+            start += self._step
+        self._emit(tail)
+        if not self._spectra:
+            raise SignalError(
+                "no analysable windows: recording too short or too sparse"
+            )
+        welch_result = assemble_result(
+            self._spectra,
+            np.asarray(self._centers),
+            self._skipped,
+            self._count_ops,
+        )
+        with self._engine._pinned():
+            self._result = self._engine.system._finalize(welch_result)
+        return self._result

@@ -14,8 +14,8 @@ the costing conventions shared by all kernels:
   magnitude) and 1 comparison per checked term.
 
 These conventions are what a fixed-point C kernel on the paper's sensor
-node would exhibit, and they reproduce the paper's reported savings; see
-``DESIGN.md`` for the calibration discussion.
+node would exhibit, and they reproduce the paper's reported savings (the
+integration tests against the paper's tables document the calibration).
 """
 
 from __future__ import annotations

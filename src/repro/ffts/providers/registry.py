@@ -26,13 +26,13 @@ repeated resolution is a dictionary lookup.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from ...envpins import PROVIDER_ENV_VAR, provider_env_pin
 from ...errors import ConfigurationError
 from .base import FFTProvider
 
@@ -53,9 +53,6 @@ __all__ = [
     "resolve_provider_name",
     "set_default_provider",
 ]
-
-#: Environment pin consulted when no explicit default is set.
-PROVIDER_ENV_VAR = "REPRO_FFT_PROVIDER"
 
 #: Name every fallback resolves to; registered unconditionally.
 _FALLBACK = "numpy"
@@ -345,9 +342,8 @@ def resolve_provider_name(
         return name
     if _default_override is not None:
         return _default_override
-    env = os.environ.get(PROVIDER_ENV_VAR)
-    if env is not None and env.strip():
-        env = env.strip().lower()
+    env = provider_env_pin()
+    if env is not None:
         if env == "auto":
             return autoselect(workspace_size).provider
         env = require_known(env)

@@ -158,6 +158,31 @@ class FleetRunner:
         self._pool = None
         self._pool_key: tuple[int, str] | None = None
 
+    @classmethod
+    def from_config(cls, config, welch: WelchLomb | None = None, **kwargs):
+        """Runner matching one :class:`~repro.engine.EngineConfig`.
+
+        Execution settings (jobs, chunk size, provider) are resolved
+        through the config's documented precedence chain; ``welch``
+        defaults to the engine the config's system kind and geometry
+        describe.  The engine facade
+        (:meth:`repro.engine.Engine.analyze_cohort`) is the usual owner
+        of a runner built this way — it keeps the pool persistent
+        across cohort calls.
+        """
+        if welch is None:
+            from ..engine.engine import build_system
+
+            welch = build_system(config).welch
+        resolved = config.resolve()
+        return cls(
+            welch=welch,
+            n_jobs=resolved.jobs,
+            chunk_windows=resolved.chunk_windows,
+            provider=resolved.provider,
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------
 
     @staticmethod

@@ -38,12 +38,13 @@ spectra and identical modelled op counts):
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from .._validation import as_1d_float_array, require_power_of_two
+from ..envpins import CHUNK_ENV_VAR as _CHUNK_ENV_VAR
+from ..envpins import chunk_env_pin
 from ..errors import ConfigurationError, SignalError
 from ..ffts.backends import FFTBackend
 from ..ffts.opcount import OpCounts
@@ -66,10 +67,6 @@ __all__ = [
 #: Holter run in one monolithic batch is ~35 % slower than chunks of
 #: this size.
 BATCH_CHUNK_WINDOWS = 256
-
-#: Environment override for the chunk size (takes precedence over the
-#: auto-tuner, below an explicit :func:`set_batch_chunk_windows` call).
-_CHUNK_ENV_VAR = "REPRO_BATCH_CHUNK_WINDOWS"
 
 _chunk_override: int | None = None
 _chunk_tuned: dict[int, int] = {}
@@ -111,19 +108,9 @@ def get_batch_chunk_windows(workspace_size: int = 512) -> int:
     """
     if _chunk_override is not None:
         return _chunk_override
-    env = os.environ.get(_CHUNK_ENV_VAR)
+    env = chunk_env_pin()
     if env is not None:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ConfigurationError(
-                f"{_CHUNK_ENV_VAR} must be an integer, got {env!r}"
-            ) from None
-        if value < 1:
-            raise ConfigurationError(
-                f"{_CHUNK_ENV_VAR} must be >= 1, got {value}"
-            )
-        return value
+        return env
     tuned = _chunk_tuned.get(workspace_size)
     if tuned is None:
         from ..fleet.tuning import autotune_chunk_windows

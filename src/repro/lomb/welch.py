@@ -12,13 +12,17 @@ Execution: by default :meth:`WelchLomb.analyze` slices all windows up
 front and drives :meth:`FastLomb.periodogram_batch`, which groups the
 windows by frequency-grid shape and processes each group as dense
 ``(n_windows, N)`` array operations — the whole-recording hot path runs
-without a per-window Python loop.  ``batched=False`` keeps the original
-sequential loop, which serves as the equivalence oracle (the batched
-path produces the same spectra and operation counts window-for-window).
+without a per-window Python loop.  ``analyze_windows(batched=False)``
+keeps the original sequential loop, which serves as the equivalence
+oracle (the batched path produces the same spectra and operation counts
+window-for-window).  Execution *policy* — provider, chunk size, worker
+processes — lives on the engine facade (:mod:`repro.engine`), which
+routes every workload through :func:`analyze_spans`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +34,7 @@ from ..ffts.opcount import OpCounts
 from .fast import FastLomb, LombSpectrum
 
 __all__ = [
+    "MIN_BEATS_PER_WINDOW",
     "WelchLomb",
     "WelchLombResult",
     "RecordingWindows",
@@ -38,6 +43,10 @@ __all__ = [
     "iter_windows",
     "uniform_window_matrix",
 ]
+
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: legacy ``batched=`` spelling can warn exactly when it is used.
+_UNSET = object()
 
 #: Fewest beats a window may contain and still be analysed.
 MIN_BEATS_PER_WINDOW = 16
@@ -395,6 +404,35 @@ class WelchLomb:
         )
 
     def analyze(
+        self,
+        times,
+        values,
+        count_ops: bool = False,
+        batched=_UNSET,
+    ) -> WelchLombResult:
+        """Run the sliding-window analysis over a full recording.
+
+        Thin wrapper over :meth:`analyze_windows` kept as the historical
+        spelling.  Passing ``batched=`` here is deprecated — execution
+        choices live on the engine facade (:mod:`repro.engine`) now;
+        the sequential oracle remains reachable through
+        :meth:`analyze_windows`.
+        """
+        if batched is _UNSET:
+            return self.analyze_windows(times, values, count_ops=count_ops)
+        warnings.warn(
+            "WelchLomb.analyze(batched=...) is deprecated; use the "
+            "repro.engine facade to choose execution settings, or "
+            "WelchLomb.analyze_windows(batched=...) for the equivalence "
+            "oracle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.analyze_windows(
+            times, values, count_ops=count_ops, batched=bool(batched)
+        )
+
+    def analyze_windows(
         self,
         times,
         values,

@@ -1,0 +1,63 @@
+"""The public API surface stays pinned to the committed snapshot.
+
+``tools/api_surface.txt`` is the compatibility contract of the PR 4
+facade redesign: the names ``repro`` and ``repro.engine`` export, and
+the parameter lists of their public callables.  A future PR that wants
+to change the surface must regenerate the snapshot
+(``python tools/check_public_api.py --update``) so the API change shows
+up as an explicit diff — it cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_public_api", REPO_ROOT / "tools" / "check_public_api.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestApiSurface:
+    def test_snapshot_exists(self):
+        assert (REPO_ROOT / "tools" / "api_surface.txt").exists(), (
+            "tools/api_surface.txt is missing; run "
+            "`python tools/check_public_api.py --update`"
+        )
+
+    def test_surface_matches_snapshot(self):
+        checker = _load_checker()
+        committed = checker.SNAPSHOT_PATH.read_text(
+            encoding="utf-8"
+        ).splitlines()
+        current = checker.snapshot_lines()
+        assert current == committed, (
+            "public API surface drifted from tools/api_surface.txt; "
+            "if intentional, run `python tools/check_public_api.py "
+            "--update` and commit the diff"
+        )
+
+    def test_checker_cli_passes(self, capsys):
+        checker = _load_checker()
+        assert checker.main([]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_facade_names_are_pinned(self):
+        """The redesigned entry points are part of the contract."""
+        lines = (REPO_ROOT / "tools" / "api_surface.txt").read_text(
+            encoding="utf-8"
+        )
+        for needle in (
+            "repro.Engine(",
+            "repro.EngineConfig(",
+            "repro.StreamingSession(",
+            "repro.engine.build_system(config)",
+        ):
+            assert needle in lines

@@ -65,3 +65,85 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "screening under mode" in out
         assert code == 0
+
+    def test_screen_with_config_file(self, capsys, tmp_path):
+        from repro.engine import EngineConfig
+
+        path = tmp_path / "engine.json"
+        path.write_text(
+            EngineConfig.for_mode("set3", provider="numpy").to_json(),
+            encoding="utf-8",
+        )
+        code = main(
+            ["screen", "--config", str(path), "--patients", "2",
+             "--duration", "240"]
+        )
+        out = capsys.readouterr().out
+        assert "screening under mode" in out
+        assert code == 0
+
+
+class TestEngineCommand:
+    def test_engine_inspect_round_trips(self, capsys):
+        assert main(["engine", "--mode", "set3"]) == 0
+        out = capsys.readouterr().out
+        assert "quality-scalable" in out
+        assert "JSON round-trip" in out and "ok" in out
+
+    def test_engine_json_output_is_loadable(self, capsys):
+        from repro.engine import EngineConfig
+
+        assert main(
+            ["engine", "--mode", "set2", "--provider", "numpy", "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        config = EngineConfig.from_json(out)
+        assert config == EngineConfig.for_mode("set2", provider="numpy")
+
+    def test_engine_json_round_trips_through_screen_config(
+        self, capsys, tmp_path
+    ):
+        assert main(["engine", "--mode", "band", "--json"]) == 0
+        path = tmp_path / "cfg.json"
+        path.write_text(capsys.readouterr().out, encoding="utf-8")
+        assert main(["engine", "--config", str(path)]) == 0
+        assert "band-drop" in capsys.readouterr().out
+
+    def test_engine_resolve_reports_sources(self, capsys):
+        assert main(
+            ["engine", "--provider", "numpy", "--jobs", "2", "--resolve"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resolved provider" in out
+        assert "numpy (config)" in out
+        assert "2 (config)" in out
+
+    def test_dynamic_without_mode_rejected_with_config(self, tmp_path):
+        from repro.engine import EngineConfig
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "engine.json"
+        path.write_text(
+            EngineConfig.for_mode("set3").to_json(), encoding="utf-8"
+        )
+        with pytest.raises(ConfigurationError, match="--dynamic"):
+            main(["engine", "--config", str(path), "--dynamic"])
+
+    def test_missing_config_file_is_configuration_error(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            main(["engine", "--config", "/nonexistent/engine.json"])
+
+    def test_engine_flags_override_config_file(self, capsys, tmp_path):
+        from repro.engine import EngineConfig
+
+        path = tmp_path / "engine.json"
+        path.write_text(
+            EngineConfig.for_mode("set1").to_json(), encoding="utf-8"
+        )
+        assert main(
+            ["engine", "--config", str(path), "--mode", "set3", "--json"]
+        ) == 0
+        config = EngineConfig.from_json(capsys.readouterr().out)
+        assert config.pruning.twiddle_fraction == 0.6

@@ -1,0 +1,119 @@
+"""Legacy call paths: kept working, delegating, and warning exactly once.
+
+PR 4 moved execution kwargs onto the declarative
+:class:`~repro.engine.EngineConfig`.  The historical spellings —
+``analyze_cohort(jobs=, provider=)`` and ``WelchLomb.analyze(batched=)``
+— remain thin wrappers over the facade: same results, exactly one
+:class:`DeprecationWarning` per call, and **no** warning when the moved
+kwargs are not used.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ConventionalPSA, Engine, EngineConfig, QualityScalablePSA
+from repro.ecg.database import make_cohort
+from repro.ffts.pruning import PruningSpec
+from repro.lomb.fast import FastLomb
+from repro.lomb.welch import WelchLomb
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return make_cohort().get("rsa-03").rr_series(duration=420.0)
+
+
+def _deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWelchAnalyzeBatchedShim:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_warns_exactly_once_and_matches_facade(self, recording, batched):
+        welch = WelchLomb(FastLomb(max_frequency=0.4, scaling="denormalized"))
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            legacy = welch.analyze(
+                recording.times, recording.intervals, batched=batched
+            )
+        assert len(_deprecations(record)) == 1
+        assert "batched" in str(_deprecations(record)[0].message)
+        modern = welch.analyze_windows(
+            recording.times, recording.intervals, batched=batched
+        )
+        assert np.array_equal(legacy.spectrogram, modern.spectrogram)
+        assert np.array_equal(legacy.frequencies, modern.frequencies)
+
+    def test_no_warning_without_kwarg(self, recording):
+        welch = WelchLomb(FastLomb(max_frequency=0.4, scaling="denormalized"))
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            welch.analyze(recording.times, recording.intervals)
+        assert _deprecations(record) == []
+
+    def test_system_analyze_batched_warns(self, recording):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            legacy = ConventionalPSA().analyze(recording, batched=False)
+        assert len(_deprecations(record)) == 1
+        modern = ConventionalPSA().analyze(recording)
+        assert np.array_equal(
+            legacy.welch.spectrogram, modern.welch.spectrogram
+        )
+
+
+class TestAnalyzeCohortShim:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 1},
+            {"provider": "numpy"},
+            {"jobs": 1, "provider": "numpy"},
+        ],
+    )
+    def test_warns_exactly_once_and_matches_facade(self, recording, kwargs):
+        system = QualityScalablePSA(pruning=PruningSpec.paper_mode(3))
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            legacy = system.analyze_cohort([recording], **kwargs)
+        assert len(_deprecations(record)) == 1
+        assert "EngineConfig" in str(_deprecations(record)[0].message)
+
+        config = EngineConfig.for_mode(
+            "set3",
+            provider=kwargs.get("provider"),
+            jobs=kwargs.get("jobs", 1),
+        )
+        with Engine(config) as engine:
+            facade = engine.analyze_cohort([recording])
+        assert len(legacy) == len(facade) == 1
+        assert np.array_equal(
+            legacy[0].welch.spectrogram, facade[0].welch.spectrogram
+        )
+        assert legacy[0].lf_hf == facade[0].lf_hf
+        assert legacy[0].band_powers == facade[0].band_powers
+
+    def test_no_warning_without_moved_kwargs(self, recording):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            results = ConventionalPSA().analyze_cohort(
+                [recording], count_ops=True
+            )
+        assert _deprecations(record) == []
+        single = ConventionalPSA().analyze(recording, count_ops=True)
+        assert np.array_equal(
+            results[0].welch.spectrogram, single.welch.spectrogram
+        )
+        assert results[0].counts == single.counts
+
+    def test_still_validates_recordings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.errors import SignalError
+
+            with pytest.raises(SignalError, match="RRSeries"):
+                ConventionalPSA().analyze_cohort([(1, 2, 3)], jobs=1)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Snapshot-check the public API surface of ``repro`` / ``repro.engine``.
+
+The redesigned facade (PR 4) is a compatibility contract: the names each
+public module exports and the parameters its public callables accept.
+This tool renders that surface as deterministic text — one line per
+exported name, callables with their parameter lists (names and
+defaulted-ness, not default values, so the snapshot does not churn when
+a default's repr changes) — and compares it against the committed
+``tools/api_surface.txt``.
+
+Run from the repository root:
+
+    python tools/check_public_api.py            # verify (exit 1 on drift)
+    python tools/check_public_api.py --update   # rewrite the snapshot
+
+A failing check means a PR changed the public surface; if the change is
+intentional, re-run with ``--update`` and commit the new snapshot so the
+diff documents the API change explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+#: Modules whose exported surface is under contract.
+MODULES = ("repro", "repro.engine")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT_PATH = REPO_ROOT / "tools" / "api_surface.txt"
+
+
+def _describe_callable(qualname: str, obj) -> str:
+    """``qualname(param, defaulted=, *, kwonly=)`` for one callable."""
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return qualname
+    rendered: list[str] = []
+    seen_kwonly_marker = False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            rendered.append(f"*{param.name}")
+            seen_kwonly_marker = True
+            continue
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            rendered.append(f"**{param.name}")
+            continue
+        if param.kind is inspect.Parameter.KEYWORD_ONLY and not seen_kwonly_marker:
+            rendered.append("*")
+            seen_kwonly_marker = True
+        name = param.name
+        if param.default is not inspect.Parameter.empty:
+            name += "="
+        rendered.append(name)
+    return f"{qualname}({', '.join(rendered)})"
+
+
+def snapshot_lines() -> list[str]:
+    """The current API surface, one deterministic line per export."""
+    lines: list[str] = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise SystemExit(f"{module_name} has no __all__; nothing to pin")
+        lines.append(f"# {module_name}")
+        for name in sorted(exported):
+            obj = getattr(module, name)
+            qualname = f"{module_name}.{name}"
+            if callable(obj):
+                lines.append(_describe_callable(qualname, obj))
+            else:
+                lines.append(qualname)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite tools/api_surface.txt from the current surface",
+    )
+    args = parser.parse_args(argv)
+
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    current = snapshot_lines()
+    if args.update:
+        SNAPSHOT_PATH.write_text("\n".join(current) + "\n", encoding="utf-8")
+        print(f"wrote {SNAPSHOT_PATH.relative_to(REPO_ROOT)} "
+              f"({len(current)} lines)")
+        return 0
+
+    if not SNAPSHOT_PATH.exists():
+        print(f"missing {SNAPSHOT_PATH}; run with --update to create it")
+        return 1
+    committed = SNAPSHOT_PATH.read_text(encoding="utf-8").splitlines()
+    if committed == current:
+        print(f"public API surface matches ({len(current)} lines)")
+        return 0
+    print("public API surface drifted from tools/api_surface.txt:\n")
+    for line in difflib.unified_diff(
+        committed, current, "committed", "current", lineterm=""
+    ):
+        print(line)
+    print("\nif intentional: python tools/check_public_api.py --update")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
