@@ -1,0 +1,330 @@
+"""Streaming-cohort benchmark: multiplexed hub vs independent sessions.
+
+Simulates a ward of N subjects trickling beats concurrently — the
+streaming-cohort serving pattern — and measures two ways of analysing
+the exact same event sequence:
+
+* ``independent`` — N plain :class:`StreamingSession`\\ s
+  (``Engine.open_stream``), each analysing the windows its own feeds
+  complete in its own (tiny) batches;
+* ``hub``         — one :class:`StreamHub` (``Engine.open_hub``)
+  multiplexing all N sessions, analysing the windows each feed *round*
+  completes **across subjects** in one shared dense batch.
+
+Beats are replayed in round-robin uplink rounds (``burst_seconds`` of
+each subject's recording per round), so each round completes roughly
+one window per subject — the hub turns N single-window calls into one
+N-row batch.  Both paths are verified **bit-identical** (spectrogram
+and executed op counts) to whole-recording ``Engine.analyze`` for every
+subject on every run.
+
+Reported per path: total ingest+analysis wall time, aggregate
+windows/sec, and per-window emission latency (time inside the feed or
+flush call that produced the window) — mean and p95.  Results land in
+``BENCH_streaming.json`` at the repository root.
+
+Run with:  python benchmarks/bench_streaming.py [--subjects N]
+           [--minutes M] [--burst-seconds S] [--jobs J] [--repeats R]
+
+The test suite runs :func:`run_streaming_benchmark` on a tiny cohort as
+a smoke test, so this script cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ecg.rr_synthesis import TachogramSpec, generate_tachogram  # noqa: E402
+from repro.engine import Engine, EngineConfig  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_streaming.json"
+
+
+def _make_cohort(n_subjects: int, duration_minutes: float, seed: int):
+    """Synthetic monitored cohort with per-subject parameter spread."""
+    rng = np.random.default_rng(seed)
+    recordings = {}
+    for k in range(n_subjects):
+        spec = TachogramSpec(
+            mean_rr=float(rng.uniform(0.7, 1.0)),
+            lf_frequency=float(rng.uniform(0.08, 0.12)),
+            hf_frequency=float(rng.uniform(0.2, 0.3)),
+            seed=seed + k,
+        )
+        recordings[f"subject-{k:02d}"] = generate_tachogram(
+            spec, duration_minutes * 60.0
+        )
+    return recordings
+
+
+def _rounds(recordings, burst_seconds: float):
+    """Round-robin uplink rounds: one burst per subject per round.
+
+    Returns a list of rounds; each round is a list of
+    ``(subject, lo, hi)`` beat-index bursts covering ``burst_seconds``
+    of that subject's recording — the arrival pattern of a ward of
+    wearables uplinking on a shared cadence.
+    """
+    cursors = {subject: 0 for subject in recordings}
+    edges = {subject: burst_seconds for subject in recordings}
+    rounds = []
+    while True:
+        current = []
+        for subject, rr in recordings.items():
+            lo = cursors[subject]
+            if lo >= rr.times.size:
+                continue
+            hi = int(
+                np.searchsorted(rr.times, edges[subject], side="left")
+            )
+            hi = max(lo + 1, min(hi, rr.times.size))
+            current.append((subject, lo, hi))
+            cursors[subject] = hi
+            edges[subject] += burst_seconds
+        if not current:
+            return rounds
+        rounds.append(current)
+
+
+def _latency_stats(latencies: list[float]) -> dict:
+    if not latencies:
+        return {"mean_ms": None, "p95_ms": None}
+    arr = np.asarray(latencies)
+    return {
+        "mean_ms": float(arr.mean() * 1e3),
+        "p95_ms": float(np.percentile(arr, 95.0) * 1e3),
+    }
+
+
+def _run_independent(engine, recordings, rounds, count_ops=False):
+    """Replay through N plain sessions.
+
+    Returns ``(results, total_seconds, live_windows, latencies)``.
+    """
+    sessions = {
+        subject: engine.open_stream(count_ops=count_ops)
+        for subject in recordings
+    }
+    latencies: list[float] = []
+    total = 0.0
+    n_live = 0
+    for current in rounds:
+        for subject, lo, hi in current:
+            rr = recordings[subject]
+            start = time.perf_counter()
+            emitted = sessions[subject].feed(
+                rr.times[lo:hi], rr.intervals[lo:hi]
+            )
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            if emitted:
+                latencies.extend([elapsed / len(emitted)] * len(emitted))
+                n_live += len(emitted)
+    start = time.perf_counter()
+    results = {
+        subject: session.finalize()
+        for subject, session in sessions.items()
+    }
+    total += time.perf_counter() - start
+    return results, total, n_live, latencies
+
+
+def _run_hub(engine, recordings, rounds, count_ops=False):
+    """Replay through one multiplexed hub.
+
+    Returns ``(results, total_seconds, live_windows, latencies)``.
+    """
+    hub = engine.open_hub(count_ops=count_ops)
+    for subject in recordings:
+        hub.open(subject)
+    latencies: list[float] = []
+    total = 0.0
+    n_live = 0
+    for current in rounds:
+        start = time.perf_counter()
+        for subject, lo, hi in current:
+            rr = recordings[subject]
+            hub.feed(subject, rr.times[lo:hi], rr.intervals[lo:hi])
+        emitted = hub.flush()
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        count = sum(len(emissions) for emissions in emitted.values())
+        if count:
+            latencies.extend([elapsed / count] * count)
+            n_live += count
+    start = time.perf_counter()
+    results = hub.finalize_all()
+    total += time.perf_counter() - start
+    return results, total, n_live, latencies
+
+
+def run_streaming_benchmark(
+    n_subjects: int = 8,
+    duration_minutes: float = 60.0,
+    burst_seconds: float = 60.0,
+    jobs: int = 1,
+    repeats: int = 3,
+    seed: int = 2014,
+) -> dict:
+    """Benchmark hub-multiplexed vs independent streaming sessions.
+
+    Returns the result document (see :func:`main`, which writes it to
+    ``BENCH_streaming.json``).
+    """
+    recordings = _make_cohort(n_subjects, duration_minutes, seed)
+    rounds = _rounds(recordings, burst_seconds)
+    config = EngineConfig(jobs=jobs)
+    document_paths: dict[str, dict] = {}
+    with Engine(config) as engine:
+        # Exactness first: both replay paths must finalize bit-identical
+        # to whole-recording analysis, op counts included.
+        reference = {
+            subject: engine.analyze(rr, count_ops=True)
+            for subject, rr in recordings.items()
+        }
+        exact = {}
+        for name, runner in (
+            ("independent", _run_independent),
+            ("hub", _run_hub),
+        ):
+            checked, _, _, _ = runner(
+                engine, recordings, rounds, count_ops=True
+            )
+            max_rel_diff = 0.0
+            counts_equal = True
+            for subject, result in checked.items():
+                ref = reference[subject]
+                diff = float(
+                    np.max(
+                        np.abs(
+                            result.welch.spectrogram
+                            - ref.welch.spectrogram
+                        )
+                        / np.maximum(
+                            np.abs(ref.welch.spectrogram), 1e-30
+                        )
+                    )
+                )
+                max_rel_diff = max(max_rel_diff, diff)
+                counts_equal = counts_equal and (
+                    result.counts == ref.counts
+                )
+            exact[name] = {
+                "max_rel_diff_spectrogram": max_rel_diff,
+                "op_counts_equal": counts_equal,
+            }
+
+        n_windows_total = sum(
+            ref.welch.n_windows for ref in reference.values()
+        )
+        for name, runner in (
+            ("independent", _run_independent),
+            ("hub", _run_hub),
+        ):
+            best_total = float("inf")
+            best_latencies: list[float] = []
+            n_live = 0
+            for _ in range(repeats):
+                _, total, n_live, latencies = runner(
+                    engine, recordings, rounds
+                )
+                if total < best_total:
+                    best_total = total
+                    best_latencies = latencies
+            document_paths[name] = {
+                "total_seconds": best_total,
+                "windows_per_sec": n_windows_total / best_total,
+                "live_windows": n_live,
+                "per_window_latency": _latency_stats(best_latencies),
+                **exact[name],
+            }
+    document_paths["speedup_hub_vs_independent"] = (
+        document_paths["independent"]["total_seconds"]
+        / document_paths["hub"]["total_seconds"]
+    )
+    return {
+        "benchmark": (
+            "streaming cohort: multiplexed hub vs independent sessions"
+        ),
+        "host": {"cpu_count": os.cpu_count(), "jobs": jobs},
+        "workload": {
+            "n_subjects": n_subjects,
+            "duration_minutes": duration_minutes,
+            "burst_seconds": burst_seconds,
+            "n_rounds": len(rounds),
+            "n_beats_total": int(
+                sum(rr.times.size for rr in recordings.values())
+            ),
+            "n_windows_total": int(n_windows_total),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "paths": document_paths,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--subjects", type=int, default=8, help="cohort size (streams)"
+    )
+    parser.add_argument(
+        "--minutes",
+        type=float,
+        default=60.0,
+        help="recording length per subject",
+    )
+    parser.add_argument(
+        "--burst-seconds",
+        type=float,
+        default=60.0,
+        help="seconds of recording each subject uplinks per round",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the hub's shared batches",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    document = run_streaming_benchmark(
+        n_subjects=args.subjects,
+        duration_minutes=args.minutes,
+        burst_seconds=args.burst_seconds,
+        jobs=args.jobs,
+        repeats=args.repeats,
+    )
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(document, indent=2))
+    paths = document["paths"]
+    print(
+        f"\nindependent {paths['independent']['windows_per_sec']:.0f} | "
+        f"hub {paths['hub']['windows_per_sec']:.0f} windows/s "
+        f"(hub vs independent "
+        f"{paths['speedup_hub_vs_independent']:.2f}x, "
+        f"{document['workload']['n_subjects']} subjects)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,20 @@ Quick start — one declarative config, one engine facade::
     print(exact.lf_hf, pruned.lf_hf)
 
 The same engine serves cohorts (``analyze_cohort`` over the sharded
-fleet pool) and live data (``open_stream()`` emits each Welch window's
-spectrum as it completes); configs round-trip through JSON
+fleet pool), live data (``open_stream()`` emits each Welch window's
+spectrum as it completes) and streaming *cohorts* — many concurrent
+monitors multiplexed into shared analysis batches::
+
+    with Engine(EngineConfig.for_mode("set3")) as engine:
+        hub = engine.open_hub()
+        for events in uplink_rounds:          # [(subject, t, rr), ...]
+            for sid, emissions in hub.feed_round(events).items():
+                update_monitor(sid, emissions)
+        results = hub.finalize_all()          # == per-subject analyze()
+
+(`hub.open_async`/`hub.serve` add an asyncio push transport with
+backpressure; ``python -m repro stream`` replays recordings through
+it.)  Configs round-trip through JSON
 (``EngineConfig.to_json``/``from_json``) so an analysis is fully
 described by one file — see ``python -m repro engine``.  ``ROADMAP.md``
 documents the performance architecture; the ``examples/`` scripts walk
@@ -37,7 +49,13 @@ from .core import (
     calibrate,
 )
 from .ecg import Condition, PatientRecord, SyntheticCohort, TachogramSpec, make_cohort
-from .engine import Engine, EngineConfig, StreamingSession, WindowEmission
+from .engine import (
+    Engine,
+    EngineConfig,
+    StreamHub,
+    StreamingSession,
+    WindowEmission,
+)
 from .errors import (
     CalibrationError,
     ConfigurationError,
@@ -79,6 +97,7 @@ __all__ = [
     "SignalError",
     "SinusArrhythmiaDetector",
     "SplitRadixFFT",
+    "StreamHub",
     "StreamingSession",
     "SyntheticCohort",
     "TachogramSpec",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the library's everyday uses without writing any
+Eight subcommands cover the library's everyday uses without writing any
 code:
 
 * ``demo``        — quickstart comparison on one synthetic patient,
@@ -8,6 +8,9 @@ code:
   declarative ``--config config.json`` (``--jobs N`` shards the cohort
   over N worker processes, ``--provider`` pins the FFT execution
   engine),
+* ``stream``      — replay recordings as interleaved timed events
+  through the multiplexed streaming hub
+  (:class:`repro.engine.StreamHub` via its asyncio transport),
 * ``engine``      — inspect, resolve and round-trip the declarative
   engine configuration (:class:`repro.engine.EngineConfig`),
 * ``energy``      — energy report of a pruning mode on the node model,
@@ -126,6 +129,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="FFT execution provider to pin (see the providers command)",
     )
 
+    stream = sub.add_parser(
+        "stream",
+        help="replay recordings as interleaved events through the "
+        "streaming hub",
+    )
+    stream.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="declarative EngineConfig JSON file (see the engine command)",
+    )
+    stream.add_argument("--mode", default=None, choices=_MODES)
+    stream.add_argument("--dynamic", action="store_true")
+    stream.add_argument("--patients", type=int, default=4)
+    stream.add_argument("--duration", type=float, default=300.0)
+    stream.add_argument(
+        "--input",
+        default=None,
+        metavar="FILE",
+        help="CSV of 'subject,t,rr' beat rows to replay instead of the "
+        "synthetic cohort",
+    )
+    stream.add_argument(
+        "--chunk",
+        type=int,
+        default=16,
+        help="beats per uplink event (each event is one subject's burst)",
+    )
+    stream.add_argument(
+        "--round",
+        type=int,
+        default=64,
+        dest="round_events",
+        help="events per shared-batch flush round",
+    )
+    stream.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        help="replay speed multiplier (0 = fast-forward, 1 = real time)",
+    )
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-analyse each finished recording in one batch and check "
+        "the streamed result is bit-identical",
+    )
+    stream.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the shared analysis batches "
+        "(0 = one per CPU)",
+    )
+    stream.add_argument(
+        "--provider",
+        default=None,
+        choices=provider_names(),
+        help="FFT execution provider to pin (see the providers command)",
+    )
+
     engine_cmd = sub.add_parser(
         "engine",
         help="inspect/resolve/round-trip the declarative engine config",
@@ -236,6 +300,139 @@ def _cmd_screen(args) -> int:
                        title=title))
     print(f"\n{correct}/{len(patients)} correct")
     return 0 if correct == len(patients) else 1
+
+
+def _load_event_file(path) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Parse a CSV of ``subject,t,rr`` beat rows into per-subject arrays."""
+    beats: dict[str, tuple[list, list]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(",")
+                if len(parts) != 3:
+                    raise ConfigurationError(
+                        f"{path}:{line_no}: expected 'subject,t,rr', "
+                        f"got {line!r}"
+                    )
+                try:
+                    t, rr = float(parts[1]), float(parts[2])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{path}:{line_no}: t and rr must be numbers, "
+                        f"got {line!r}"
+                    ) from None
+                times, values = beats.setdefault(parts[0].strip(), ([], []))
+                times.append(t)
+                values.append(rr)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read event file {path!r}: {exc}"
+        ) from None
+    if not beats:
+        raise ConfigurationError(f"event file {path!r} holds no beat rows")
+    return {
+        subject: (np.asarray(times), np.asarray(values))
+        for subject, (times, values) in beats.items()
+    }
+
+
+def _timed_events(recordings, beats_per_event: int):
+    """Chunk per-subject beats into events, interleaved by beat time.
+
+    Each event is ``(at, subject, times, values)`` — one subject's
+    burst of up to ``beats_per_event`` beats, stamped with its first
+    beat instant; sorting by the stamp reproduces the arrival order a
+    ward of independent wearables would deliver.
+    """
+    events = []
+    for subject, (times, values) in recordings.items():
+        for lo in range(0, times.size, beats_per_event):
+            hi = min(lo + beats_per_event, times.size)
+            events.append(
+                (float(times[lo]), subject, times[lo:hi], values[lo:hi])
+            )
+    events.sort(key=lambda event: event[0])
+    return events
+
+
+def _cmd_stream(args) -> int:
+    import asyncio
+
+    from .hrv.rr import RRSeries
+
+    if args.chunk < 1:
+        raise ConfigurationError(f"--chunk must be >= 1, got {args.chunk}")
+    if args.round_events < 1:
+        raise ConfigurationError(
+            f"--round must be >= 1, got {args.round_events}"
+        )
+    config = _config_from_args(args)
+    if args.input:
+        recordings = _load_event_file(args.input)
+    else:
+        if args.patients < 1:
+            raise ConfigurationError(
+                f"--patients must be >= 1, got {args.patients}"
+            )
+        recordings = {}
+        for patient in list(make_cohort())[: args.patients]:
+            rr = patient.rr_series(duration=args.duration)
+            recordings[patient.patient_id] = (rr.times, rr.intervals)
+    events = _timed_events(recordings, args.chunk)
+    if not events:
+        raise ConfigurationError("nothing to replay: no beats in any subject")
+
+    async def replay(hub):
+        async def reader():
+            clock = events[0][0]
+            for at, subject, times, values in events:
+                if args.speed > 0 and at > clock:
+                    await asyncio.sleep((at - clock) / args.speed)
+                    clock = at
+                yield subject, times, values
+
+        return await hub.serve(reader(), round_events=args.round_events)
+
+    with Engine(config) as engine:
+        hub = engine.open_hub()
+        results = asyncio.run(replay(hub))
+        rows = []
+        exit_code = 0
+        for subject, (times, values) in recordings.items():
+            result = results[subject]
+            row = [
+                subject,
+                str(times.size),
+                str(result.welch.n_windows),
+                f"{result.lf_hf:.3f}",
+                str(result.detection.is_arrhythmia),
+            ]
+            if args.verify:
+                reference = engine.analyze(
+                    RRSeries(times=times, intervals=values)
+                )
+                identical = np.array_equal(
+                    reference.welch.spectrogram, result.welch.spectrogram
+                ) and np.array_equal(
+                    reference.welch.window_times, result.welch.window_times
+                )
+                row.append("ok" if identical else "MISMATCH")
+                exit_code = exit_code or (0 if identical else 1)
+            rows.append(row)
+        headers = ["subject", "beats", "windows", "LF/HF", "flagged"]
+        if args.verify:
+            headers.append("vs batch")
+        print(format_table(
+            headers,
+            rows,
+            title=f"streamed {len(events)} events over "
+            f"{len(recordings)} subjects "
+            f"(rounds of {args.round_events})",
+        ))
+    return exit_code
 
 
 def _cmd_engine(args) -> int:
@@ -397,6 +594,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "screen": _cmd_screen,
+        "stream": _cmd_stream,
         "engine": _cmd_engine,
         "energy": _cmd_energy,
         "complexity": _cmd_complexity,

@@ -7,21 +7,29 @@ One declarative, serializable configuration
 :class:`~repro.engine.engine.Engine` object resolves it, warms the plan
 caches and serves whole recordings (:meth:`~repro.engine.engine.Engine.analyze`),
 cohorts over a persistent fleet pool
-(:meth:`~repro.engine.engine.Engine.analyze_cohort`) and live streams
+(:meth:`~repro.engine.engine.Engine.analyze_cohort`), live streams
 (:meth:`~repro.engine.engine.Engine.open_stream` →
-:class:`~repro.engine.streaming.StreamingSession`) through identical,
-bit-reproducible kernels.
+:class:`~repro.engine.streaming.StreamingSession`) and streaming
+*cohorts* (:meth:`~repro.engine.engine.Engine.open_hub` →
+:class:`~repro.engine.hub.StreamHub`, multiplexing many concurrent
+sessions into shared analysis batches, with an asyncio push transport
+in :mod:`repro.engine.aio`) through identical, bit-reproducible
+kernels.
 """
 
+from .aio import AsyncStreamingSession
 from .config import EngineConfig, ResolvedExecution, SYSTEM_KINDS
 from .engine import Engine, build_system
+from .hub import StreamHub
 from .streaming import StreamingSession, WindowEmission
 
 __all__ = [
+    "AsyncStreamingSession",
     "Engine",
     "EngineConfig",
     "ResolvedExecution",
     "SYSTEM_KINDS",
+    "StreamHub",
     "StreamingSession",
     "WindowEmission",
     "build_system",

@@ -1,0 +1,377 @@
+"""Asyncio push transport over the streaming hub.
+
+The synchronous :class:`~repro.engine.hub.StreamHub` is pull-shaped:
+callers feed samples and flush when they choose.  This module adds the
+push shape a live deployment wants — beats arrive over a socket or
+message queue, consumers await spectra — without touching the analysis
+itself, which stays in the hub's shared synchronous batches (numpy
+releases no control to the event loop mid-kernel, so the analysis is
+simply a fast synchronous step between awaits):
+
+* :class:`AsyncStreamingSession` — one subject as an async endpoint:
+  ``await session.feed(t, rr)`` pushes samples (flushing the hub's
+  shared batch), ``async for emission in session`` consumes spectra
+  from a **bounded** queue — a slow consumer backpressures the feeder —
+  and ``await session.finalize()`` closes the stream with the usual
+  bit-identical whole-recording result.
+* :func:`serve` (also :meth:`StreamHub.serve`) — one task multiplexing
+  an (a)sync iterator of interleaved ``(subject_id, times, values)``
+  events over the hub: unseen subjects open on first sight, the shared
+  cross-subject batch flushes every ``round_events`` events, emissions
+  are delivered to async consumers, and exhaustion finalizes everyone.
+
+Cancellation is clean by construction: every hub mutation happens in
+one synchronous call between await points, so a task cancelled at any
+await leaves all sessions consistent — samples retained, analysed
+windows recorded — and the hub remains flushable and finalizable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import SignalError
+from ..hrv.rr import RRSeries
+
+__all__ = ["AsyncStreamingSession", "serve"]
+
+#: Default bound of an async session's emission queue.
+DEFAULT_MAX_QUEUE = 256
+
+#: End-of-stream marker delivered to emission queues.
+_SENTINEL = object()
+
+
+async def _as_async_iter(events):
+    """Adapt a sync iterable of events to the async protocol."""
+    if hasattr(events, "__aiter__"):
+        async for event in events:
+            yield event
+    else:
+        for event in events:
+            yield event
+
+
+async def _deliver(hub, flushed: dict) -> None:
+    """Route a flush's emissions to the registered async consumers.
+
+    Subjects without an async session just keep their emissions in the
+    session record; registered queues are bounded, so delivery awaits —
+    the backpressure path from consumer to feeder.
+    """
+    if not flushed or not hub._async_sessions:
+        # Nothing to route (also keeps the lock unbound to any loop
+        # for hubs served without async consumers — a hub outlives one
+        # asyncio.run only if its asyncio primitives were never used).
+        return
+    # One delivery at a time per hub: without the lock, a delivery
+    # blocked on one subject's full queue lets a concurrent feeder's
+    # later flush deliver that subject's *newer* windows first.
+    async with hub._deliver_lock:
+        await _deliver_unlocked(hub, flushed)
+
+
+async def _deliver_unlocked(hub, flushed: dict) -> None:
+    """:func:`_deliver`'s body, for callers already holding the lock."""
+    for subject_id, emissions in flushed.items():
+        async_session = hub._async_sessions.get(subject_id)
+        if async_session is None:
+            continue
+        for emission in emissions:
+            if async_session._ended:
+                # Ended mid-delivery (aclose on an abandoned
+                # consumer): stop pushing into its queue instead of
+                # re-wedging on it; the emissions stay in the
+                # session record either way.
+                break
+            await async_session._queue.put(emission)
+
+
+async def _drain(hub) -> None:
+    """Flush-and-deliver until nothing is pending.
+
+    Delivery awaits (bounded queues), and other feeder tasks may run
+    during those awaits and complete more windows — one flush is not
+    enough before a synchronous finalize, whose *internal* flush would
+    analyse such late windows without delivering them to their
+    consumers.  Looping until a flush finds nothing pending closes the
+    gap: after the last (empty) flush no await separates us from the
+    caller's finalize, so no task can sneak windows in between.
+    """
+    while True:
+        flushed = hub.flush()
+        if not flushed:
+            return
+        await _deliver(hub, flushed)
+
+
+class AsyncStreamingSession:
+    """One hub subject as an asyncio push/pull endpoint.
+
+    Built by :meth:`StreamHub.open_async`.  Typical use — one feeder,
+    one consumer::
+
+        session = hub.open_async("icu-bed-7")
+
+        async def feeder():
+            async for t, rr in beat_socket:
+                await session.feed(t, rr)
+            result = await session.finalize()
+
+        async def consumer():
+            async for emission in session:
+                update_monitor(emission.center, emission.spectrum)
+
+    ``feed`` pushes samples into the subject's stream and flushes the
+    hub's shared batch, so windows completed by *any* subject since the
+    last flush are analysed together and delivered; the emission queue
+    is bounded (``max_queue``), so a consumer that cannot keep up makes
+    ``feed`` await — backpressure instead of unbounded buffering.  Pass
+    ``max_queue=0`` for an unbounded queue if emissions are consumed
+    only after the fact.
+
+    Backpressure is hub-wide: deliveries from the shared batch are
+    serialised, so one subject's stalled consumer eventually stalls
+    every feeder on the hub (head-of-line blocking is the price of the
+    shared batch + bounded queues).  A consumer that stops iterating
+    must release its queue — call :meth:`aclose` in a ``finally`` (or
+    use ``max_queue=0``) so an abandoned subject cannot wedge the ward.
+    """
+
+    def __init__(self, hub, subject_id, max_queue: int = DEFAULT_MAX_QUEUE):
+        self._hub = hub
+        self._session = hub.open(subject_id)
+        self._queue: asyncio.Queue = asyncio.Queue(max_queue)
+        self._ended = False
+        hub._async_sessions[subject_id] = self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def subject_id(self):
+        """The hub key this endpoint feeds."""
+        return self._session.subject_id
+
+    @property
+    def session(self):
+        """The wrapped synchronous :class:`StreamingSession`."""
+        return self._session
+
+    @property
+    def finalized(self) -> bool:
+        return self._session.finalized
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    async def feed(self, times, values) -> None:
+        """Push RR samples and flush the hub's shared batch.
+
+        Validation and window rules are
+        :meth:`StreamingSession.feed`'s; emissions (this subject's and
+        any other pending subject's) are delivered to the registered
+        async consumers, awaiting on full queues.
+        """
+        self._hub.feed(self.subject_id, times, values)
+        # One loop tick before flushing: sibling feeders runnable this
+        # round enqueue *their* samples first, so the first feeder to
+        # reach the flush batches the whole round's windows across
+        # subjects (the rest find nothing pending) — the hub's shared
+        # dense batch instead of N per-subject slivers.
+        await asyncio.sleep(0)
+        await _deliver(self._hub, self._hub.flush())
+
+    async def feed_record(self, rr: RRSeries) -> None:
+        """Push a whole :class:`RRSeries` chunk."""
+        if not isinstance(rr, RRSeries):
+            raise SignalError("feed_record expects an RRSeries")
+        await self.feed(rr.times, rr.intervals)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    def __aiter__(self) -> "AsyncStreamingSession":
+        return self
+
+    async def __anext__(self):
+        if self._ended:
+            # Ended stream: drain what is buffered, then stop — the
+            # sentinel is only needed as a wakeup for a getter already
+            # blocked on an empty queue (see _end).
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                raise StopAsyncIteration from None
+        else:
+            item = await self._queue.get()
+        if item is _SENTINEL:
+            raise StopAsyncIteration
+        return item
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def finalize(self):
+        """Flush, finalize this subject, and end its async iteration.
+
+        The trailing windows finalization resolves are delivered to the
+        consumer before the end-of-stream marker, so ``async for``
+        observes every window of the result.  Returns the
+        :class:`~repro.core.system.PSAResult` — the same bit-identical
+        whole-recording result :meth:`StreamingSession.finalize`
+        guarantees.
+        """
+        try:
+            await _drain(self._hub)
+            # Under the delivery lock: a sibling feeder's in-flight
+            # delivery may still hold *this* subject's earlier windows
+            # (its flush scooped the shared pending set); the tail and
+            # the end marker must queue up behind them, not overtake.
+            async with self._hub._deliver_lock:
+                # Siblings may have completed windows while we awaited
+                # the lock; flush-and-deliver until quiescent, or the
+                # synchronous finalize's internal flush would analyse
+                # them and silently discard their delivery.
+                while True:
+                    flushed = self._hub.flush()
+                    if not flushed:
+                        break
+                    await _deliver_unlocked(self._hub, flushed)
+                already = self._session.n_windows
+                result = self._hub.finalize(self.subject_id)
+                for emission in self._session.emissions[already:]:
+                    await self._queue.put(emission)
+        finally:
+            # Even a failing finalize (too-short subject, dead fleet
+            # worker) must end the iteration — a consumer blocked on
+            # the queue would otherwise hang forever.
+            self._end()
+        return result
+
+    async def aclose(self) -> None:
+        """End async iteration without finalizing (cancellation path).
+
+        Safe to call from a consumer that has stopped draining its own
+        full queue — ending never blocks, the abandoned queue is
+        discarded (every emission remains in ``session.emissions``),
+        and any feeder blocked on it is released.  The underlying
+        session stays intact — a supervisor can still
+        :meth:`StreamHub.finalize` the subject after tearing the
+        transport down.  Idempotent.
+        """
+        self._end(discard=True)
+
+    def _end(self, discard: bool = False) -> None:
+        """End the stream: wake any blocked consumer, lose nothing.
+
+        Synchronous and deadlock-free by construction: a consumer can
+        only be blocked inside ``queue.get()`` while the queue is
+        *empty*, so the sentinel wakeup always fits; when the queue is
+        full (``QueueFull``) no getter is blocked, and the ``_ended``
+        flag ends iteration once the consumer drains the buffered
+        emissions (see ``__anext__``).  ``discard`` (the abandoning
+        :meth:`aclose` path) empties the queue instead — nobody will
+        read it, and draining releases a feeder blocked mid-delivery on
+        it (``_deliver`` stops at ended sessions).  Idempotent.
+        """
+        if self._ended:
+            return
+        self._ended = True
+        self._hub._async_sessions.pop(self.subject_id, None)
+        if discard:
+            if not self._queue.empty():
+                # Non-empty queue => no getter is blocked (gets only
+                # wait on empty), so no sentinel is needed — and one
+                # would refill the slot just drained and re-wedge the
+                # very putter the drain released.  Drain instead; a
+                # later __anext__ ends via the _ended pre-check.
+                while True:
+                    try:
+                        self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+            # Empty queue: a consumer may be blocked in get() — fall
+            # through to the sentinel wakeup (it always fits here).
+        try:
+            self._queue.put_nowait(_SENTINEL)
+        except asyncio.QueueFull:  # pragma: no cover - no getter waits
+            pass
+
+
+async def serve(hub, events, *, round_events: int = 64,
+                finalize: bool = True):
+    """Multiplex an (a)sync iterator of interleaved events over a hub.
+
+    ``events`` yields ``(subject_id, times, values)`` triples in
+    arrival order — subjects interleaved however the transport delivers
+    them.  Each event feeds its subject's stream (unseen subjects open
+    on first sight); every ``round_events`` events — and once at source
+    exhaustion — the hub flushes, analysing all completed windows
+    across all subjects in one shared batch, and the emissions are
+    delivered to any async consumers (:meth:`StreamHub.open_async`)
+    with backpressure.
+
+    With ``finalize=True`` (default), exhaustion finalizes every
+    subject — trailing windows in one last shared batch — ends the
+    async consumers' iteration, and returns ``{subject_id:
+    PSAResult}``; ``finalize=False`` returns ``None`` and leaves the
+    hub open for more rounds.
+
+    Cancelling the serving task is clean: hub state only mutates in
+    synchronous steps between awaits, so every session stays
+    consistent and the hub can be flushed, served again, or finalized
+    afterwards.
+    """
+    if round_events < 1:
+        raise SignalError(
+            f"round_events must be >= 1, got {round_events}"
+        )
+    count = 0
+    try:
+        async for subject_id, times, values in _as_async_iter(events):
+            hub.feed(subject_id, times, values)
+            count += 1
+            if count >= round_events:
+                await _deliver(hub, hub.flush())
+                count = 0
+        await _drain(hub)
+    except asyncio.CancelledError:
+        # Clean cancellation is resumable by design: sessions stay
+        # consistent and consumers stay subscribed for the next serve.
+        raise
+    except BaseException:
+        # A failing source or feed must not strand consumers on queues
+        # nobody will feed again; end them (never blocks).
+        for async_session in list(hub._async_sessions.values()):
+            async_session._end()
+        raise
+    if not finalize:
+        return None
+    # End every async consumer even when finalization fails — a raising
+    # finalize_all must not leave consumers awaiting forever — and
+    # deliver the trailing windows it resolves before the end marker.
+    async_sessions = list(hub._async_sessions.values())
+    already = {
+        session.subject_id: session.session.n_windows
+        for session in async_sessions
+    }
+    try:
+        results = hub.finalize_all()
+        # Tail delivery under the lock: it must queue up behind any
+        # sibling task's in-flight delivery of earlier windows.
+        async with hub._deliver_lock:
+            for async_session in async_sessions:
+                tail = async_session.session.emissions[
+                    already[async_session.subject_id]:
+                ]
+                for emission in tail:
+                    await async_session._queue.put(emission)
+    finally:
+        for async_session in async_sessions:
+            async_session._end()
+    return results

@@ -15,29 +15,27 @@ same pinned execution state:
   :meth:`Engine.close` / the context-manager exit),
 * :meth:`Engine.open_stream` — a :class:`~repro.engine.streaming.StreamingSession`
   that accepts RR samples as they arrive and emits per-window spectra
-  the moment each Welch window completes.
+  the moment each Welch window completes,
+* :meth:`Engine.open_hub` — a :class:`~repro.engine.hub.StreamHub`
+  multiplexing many concurrent streaming sessions (a streaming
+  *cohort*), analysing the windows each feed round completes across
+  sessions in one shared batch — over the persistent fleet pool when
+  ``jobs > 1`` — with an asyncio push transport in
+  :mod:`repro.engine.aio`.
 
-All three routes drive the identical kernels through
+All four routes drive the identical kernels through
 :func:`repro.lomb.welch.analyze_spans`, so their per-window spectra are
 bit-identical by construction.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-
 from ..core.system import ConventionalPSA, PSAResult, QualityScalablePSA
 from ..errors import ConfigurationError
 from ..ffts.plancache import warm_execution_caches
-from ..ffts.providers.registry import (
-    get_default_provider_name,
-    set_default_provider,
-)
 from ..hrv.rr import RRSeries
-from ..lomb.fast import (
-    get_chunk_override,
-    set_batch_chunk_windows,
-)
+from ..lomb.fast import pinned_execution
+from ..lomb.welch import analyze_spans
 from .config import EngineConfig
 
 __all__ = ["Engine", "build_system"]
@@ -134,7 +132,6 @@ class Engine:
     # Execution
     # ------------------------------------------------------------------
 
-    @contextmanager
     def _pinned(self):
         """Install the resolved provider/chunk for the calling block.
 
@@ -143,15 +140,9 @@ class Engine:
         them; the previous pins are restored on exit (engines must not
         leak state into code that never asked for them).
         """
-        previous_provider = get_default_provider_name()
-        previous_chunk = get_chunk_override()
-        set_default_provider(self.resolved.provider)
-        set_batch_chunk_windows(self.resolved.chunk_windows)
-        try:
-            yield
-        finally:
-            set_default_provider(previous_provider)
-            set_batch_chunk_windows(previous_chunk)
+        return pinned_execution(
+            self.resolved.provider, self.resolved.chunk_windows
+        )
 
     def analyze(self, rr: RRSeries, count_ops: bool = False) -> PSAResult:
         """Run the full PSA over one completed RR recording."""
@@ -185,6 +176,36 @@ class Engine:
         from .streaming import StreamingSession
 
         return StreamingSession(self, count_ops=count_ops)
+
+    def open_hub(self, count_ops: bool = False):
+        """Open a :class:`~repro.engine.hub.StreamHub` for a streaming cohort.
+
+        The hub multiplexes many concurrent streaming sessions — one
+        per subject — and analyses the windows each feed round
+        completes *across sessions* in one shared batch (over the
+        persistent fleet pool when this engine resolved ``jobs > 1``),
+        while preserving every session's bit-identical finalization.
+        """
+        from .hub import StreamHub
+
+        return StreamHub(self, count_ops=count_ops)
+
+    def _analyze_spans_batch(self, times, values, spans, count_ops: bool):
+        """Run one span batch under this engine's execution policy.
+
+        The streaming hub's choke-point hook: in-process under the
+        pinned provider/chunk, or dispatched over the persistent fleet
+        pool when the resolved job count calls for workers — both
+        bit-identical by the batch-composition-independence invariant.
+        """
+        if self.resolved.jobs > 1:
+            return self._ensure_fleet().run_spans(
+                times, values, spans, count_ops=count_ops
+            )
+        with self._pinned():
+            return analyze_spans(
+                self.welch.analyzer, times, values, spans, count_ops
+            )
 
     # ------------------------------------------------------------------
     # Fleet pool lifecycle

@@ -1,0 +1,357 @@
+"""Streaming cohorts: many concurrent sessions, one shared batch.
+
+A :class:`StreamHub` (opened with :meth:`repro.engine.Engine.open_hub`)
+owns one :class:`~repro.engine.streaming.StreamingSession` per subject
+and multiplexes their analysis.  Feeding a hub-owned session does not
+analyse anything by itself: the windows each feed completes join the
+hub's *pending set*, and :meth:`StreamHub.flush` analyses everything
+pending — across all subjects — in **one** batched call through
+:func:`repro.lomb.welch.analyze_spans`, the same choke point every
+other execution mode uses.  N trickling monitors therefore get
+dense-kernel throughput (one batch of N windows per feed round) instead
+of N tiny per-session batches; when the owning engine resolved
+``jobs > 1``, the shared batch is dispatched over the engine's
+persistent fleet pool (:meth:`repro.fleet.runner.FleetRunner.run_spans`)
+through the existing shared-memory transport.
+
+The shared batch is built by concatenating the pending windows' sample
+slices back to back — exactly the copies the batch kernel would make
+per window anyway — so deferral and multiplexing change *when* spectra
+are computed, never what they are: per-window kernels are
+batch-composition-independent (the invariant the fleet's sharded merges
+rely on), hence every subject's :meth:`finalize` stays bit-identical
+(spectrogram *and* :class:`~repro.ffts.opcount.OpCounts`) to a
+whole-recording :meth:`Engine.analyze`, regardless of how feeds from
+different subjects interleave.
+
+Typical ward-monitor use::
+
+    with Engine(config) as engine:
+        hub = engine.open_hub()
+        for events in beat_rounds:            # [(subject, t, rr), ...]
+            emitted = hub.feed_round(events)  # one shared batch
+            for subject, emissions in emitted.items():
+                update_monitor(subject, emissions)
+        results = hub.finalize_all()          # == per-subject analyze()
+
+For push-based async ingestion (``await session.feed(...)``,
+``async for emission in session``, ``await hub.serve(reader)``) see
+:mod:`repro.engine.aio`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from ..errors import SignalError
+from ..hrv.rr import RRSeries
+from .streaming import StreamingSession
+
+__all__ = ["StreamHub"]
+
+
+class StreamHub:
+    """Multiplexer of many concurrent streaming sessions over one engine.
+
+    Built by :meth:`repro.engine.Engine.open_hub`; not constructed
+    directly.  Subjects are keyed by an arbitrary hashable id (patient
+    ids, device serials); feeding an unseen subject opens its session
+    on the spot.  All sessions share the owning engine's resolved
+    execution state, and their pending windows are analysed together by
+    :meth:`flush` — in-process under the engine's pins, or over the
+    engine's persistent fleet pool when it resolved ``jobs > 1``.
+    """
+
+    def __init__(self, engine, count_ops: bool = False):
+        self._engine = engine
+        self._count_ops = bool(count_ops)
+        self._sessions: dict = {}
+        # Pending completed windows across all sessions, in feed order:
+        # (session, window start, buffer lo, buffer hi).  Buffer indices
+        # stay valid until the owning session compacts, which flush only
+        # does after analysing them.
+        self._pending: list[tuple[StreamingSession, float, int, int]] = []
+        # subject_id -> AsyncStreamingSession, maintained by repro.engine.aio.
+        self._async_sessions: dict = {}
+        # Serialises emission delivery: two concurrent flush deliveries
+        # interleaving could hand one subject its windows out of order.
+        self._deliver_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self):
+        """The owning :class:`~repro.engine.Engine`."""
+        return self._engine
+
+    @property
+    def subjects(self) -> tuple:
+        """Subject ids with an open session, in first-seen order."""
+        return tuple(self._sessions)
+
+    @property
+    def pending_windows(self) -> int:
+        """Completed windows waiting for the next :meth:`flush`."""
+        return len(self._pending)
+
+    def session(self, subject_id) -> StreamingSession:
+        """The subject's session (:class:`SignalError` if unknown)."""
+        try:
+            return self._sessions[subject_id]
+        except KeyError:
+            raise SignalError(
+                f"unknown subject {subject_id!r}; open it or feed it first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self, subject_id) -> StreamingSession:
+        """Open (and register) the subject's streaming session.
+
+        The returned session is hub-owned: its ``feed`` defers analysis
+        to the hub's shared batch and returns ``[]`` — emissions come
+        back from :meth:`flush` (or the session's ``emissions`` record).
+        """
+        self._check_open()
+        if subject_id in self._sessions:
+            raise SignalError(f"subject {subject_id!r} is already open")
+        session = StreamingSession(self._engine, count_ops=self._count_ops)
+        session._hub = self
+        session.subject_id = subject_id
+        self._sessions[subject_id] = session
+        return session
+
+    def open_async(self, subject_id, *, max_queue: int | None = None):
+        """Open the subject as an async push/pull session.
+
+        Returns an :class:`~repro.engine.aio.AsyncStreamingSession`
+        (``await feed(...)`` / ``async for emission in session``) whose
+        emission queue is bounded by ``max_queue`` — a slow consumer
+        backpressures the feeder.
+        """
+        from .aio import AsyncStreamingSession
+
+        if max_queue is None:
+            return AsyncStreamingSession(self, subject_id)
+        return AsyncStreamingSession(self, subject_id, max_queue=max_queue)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def feed(self, subject_id, times, values) -> int:
+        """Feed samples to a subject (opening it on first sight).
+
+        Validation and window-completion rules are the session's
+        (:meth:`StreamingSession.feed`); completed windows join the
+        pending set instead of being analysed.  Returns the number of
+        windows this feed completed (now pending).
+        """
+        self._check_open()
+        session = self._sessions.get(subject_id)
+        if session is None:
+            session = self.open(subject_id)
+        before = len(self._pending)
+        session.feed(times, values)
+        return len(self._pending) - before
+
+    def feed_record(self, subject_id, rr: RRSeries) -> int:
+        """Feed a whole :class:`RRSeries` chunk to a subject."""
+        if not isinstance(rr, RRSeries):
+            raise SignalError("feed_record expects an RRSeries")
+        return self.feed(subject_id, rr.times, rr.intervals)
+
+    def feed_round(self, events) -> dict:
+        """Feed one round of interleaved events, then flush once.
+
+        ``events`` is an iterable of ``(subject_id, times, values)``
+        triples — the shape a ward of wearables delivers each uplink
+        round.  All windows the round completes, across every subject,
+        are analysed in one shared batch; returns :meth:`flush`'s
+        ``{subject_id: [WindowEmission, ...]}`` mapping.
+        """
+        for subject_id, times, values in events:
+            self.feed(subject_id, times, values)
+        return self.flush()
+
+    def _enqueue(self, session: StreamingSession, pending) -> None:
+        """Session callback: completed windows join the shared batch."""
+        self._check_open()
+        for start, (lo, hi) in pending:
+            self._pending.append((session, start, lo, hi))
+
+    # ------------------------------------------------------------------
+    # Shared-batch analysis
+    # ------------------------------------------------------------------
+
+    def flush(self) -> dict:
+        """Analyse every pending window in one shared batch.
+
+        Returns ``{subject_id: [WindowEmission, ...]}`` for the subjects
+        that emitted, in feed order per subject.  The batch runs through
+        the engine: in-process under its pinned provider/chunk, or over
+        its persistent fleet pool when it resolved ``jobs > 1``.
+        """
+        emitted = self._analyze_pending(self._pending)
+        # Cleared only after the batch succeeded: a failing analysis
+        # (say a fleet worker died mid-flush) must keep the round's
+        # windows pending for a retry, not silently drop spectrogram
+        # rows from every affected subject's finalize.
+        self._pending = []
+        return emitted
+
+    def _analyze_pending(self, pending) -> dict:
+        if not pending:
+            return {}
+        # Concatenate the pending windows' sample slices back to back —
+        # the same copies the batch kernel makes per window — and
+        # analyse the lot as one span batch at the usual choke point.
+        t_cat = np.concatenate(
+            [session._times[lo:hi] for session, _, lo, hi in pending]
+        )
+        x_cat = np.concatenate(
+            [session._values[lo:hi] for session, _, lo, hi in pending]
+        )
+        edges = np.zeros(len(pending) + 1, dtype=np.int64)
+        np.cumsum(
+            [hi - lo for _, _, lo, hi in pending], out=edges[1:]
+        )
+        spans = tuple(
+            (int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:])
+        )
+        spectra = self._engine._analyze_spans_batch(
+            t_cat, x_cat, spans, self._count_ops
+        )
+        emitted: dict = {}
+        touched: dict = {}
+        for (session, start, lo, hi), spectrum in zip(pending, spectra):
+            emission = session._record(start, lo, hi, spectrum)
+            emitted.setdefault(session.subject_id, []).append(emission)
+            touched[id(session)] = session
+        for session in touched.values():
+            # flush always takes a session's *whole* deferred set, so
+            # nothing references its buffer anymore: safe to compact.
+            session._deferred = 0
+            session._compact()
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self, subject_id):
+        """Finalize one subject (flushing the shared batch first).
+
+        Returns the subject's :class:`~repro.core.system.PSAResult` —
+        bit-identical to :meth:`Engine.analyze` of the same samples.
+        The session stays registered (its result is idempotent).
+        """
+        return self.session(subject_id).finalize()
+
+    def finalize_all(self) -> dict:
+        """Finalize every subject; ``{subject_id: PSAResult}``.
+
+        The trailing windows the recording ends resolve are themselves
+        analysed as one shared cross-subject batch before per-subject
+        assembly.  A subject too short to analyse raises
+        :class:`SignalError` naming it.
+        """
+        if not self._sessions:
+            raise SignalError("hub has no subjects: nothing to finalize")
+        self.flush()
+        # Validate every subject and collect every tail *before* any
+        # analysis or assembly, so a doomed subject (too short, or no
+        # analysable window at all) fails the call without mutating its
+        # siblings; the emit-once guard below makes a retry after any
+        # later failure safe (tails are never re-recorded).
+        tails: list[tuple[StreamingSession, float, int, int]] = []
+        tailed: list[StreamingSession] = []
+        for subject_id, session in self._sessions.items():
+            if session.finalized or session._tail_emitted:
+                continue
+            try:
+                session._check_finalizable()
+            except SignalError as exc:
+                raise SignalError(f"subject {subject_id!r}: {exc}") from None
+            tail = session._tail_pending()
+            if not session._spectra and not tail:
+                raise SignalError(
+                    f"subject {subject_id!r}: no analysable windows: "
+                    "recording too short or too sparse"
+                )
+            for start, (lo, hi) in tail:
+                tails.append((session, start, lo, hi))
+            tailed.append(session)
+        self._analyze_pending(tails)
+        for session in tailed:
+            session._skipped += session._tail_skips
+            session._tail_emitted = True
+        results: dict = {}
+        for subject_id, session in self._sessions.items():
+            try:
+                results[subject_id] = session.finalize()
+            except SignalError as exc:
+                raise SignalError(f"subject {subject_id!r}: {exc}") from None
+        return results
+
+    # ------------------------------------------------------------------
+    # Async transport
+    # ------------------------------------------------------------------
+
+    async def serve(self, events, *, round_events: int = 64,
+                    finalize: bool = True):
+        """Serve an (a)sync iterator of interleaved subject events.
+
+        See :func:`repro.engine.aio.serve`, which this delegates to:
+        pulls ``(subject_id, times, values)`` events, flushes the
+        shared batch every ``round_events`` events, delivers emissions
+        to async consumers with backpressure, and (by default)
+        finalizes every subject when the source is exhausted.
+        """
+        from .aio import serve
+
+        return await serve(
+            self, events, round_events=round_events, finalize=finalize
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SignalError("hub is closed")
+
+    def close(self) -> None:
+        """Close the hub: further feeds are rejected.
+
+        Pending (un-flushed) windows are discarded — call
+        :meth:`finalize_all` first if the results matter.  Sessions
+        already finalized keep their results; async consumers receive
+        the end-of-stream marker so nobody is left awaiting a dead
+        queue.  Idempotent.
+        """
+        self._closed = True
+        pending, self._pending = self._pending, []
+        for session, _, _, _ in pending:
+            # Discarded windows can never be re-discovered (their
+            # session's window cursor is already past them), so a later
+            # finalize would silently return an incomplete spectrogram
+            # — poison it to fail loudly instead.
+            session._lost_windows = True
+        for async_session in list(self._async_sessions.values()):
+            async_session._end()
+        self._async_sessions.clear()
+
+    def __enter__(self) -> "StreamHub":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -29,6 +29,20 @@ increasing), so interior windows stream out as data flows and the
 trailing partial window — whose extent depends on where the recording
 ends — is resolved by :meth:`StreamingSession.finalize`, which returns
 the same :class:`~repro.core.system.PSAResult` the batch path builds.
+
+Memory is bounded: samples that precede the earliest window start the
+session could still need are compacted away once enough of them
+accumulate (the dropped count is tracked so :attr:`n_samples` keeps
+reporting the whole stream), so a 24 h monitor holds roughly one window
+of beats plus the compaction slack — not every beat since midnight.
+
+A session may be owned by a :class:`~repro.engine.hub.StreamHub`, in
+which case the windows a feed completes are *deferred*: the hub collects
+them across all of its sessions and analyses them in one shared batch
+(``feed`` then returns ``[]`` and the emissions come back from
+:meth:`StreamHub.flush`).  Deferral changes when spectra are computed,
+never what they are — per-window kernels are batch-composition
+independent, so the bit-identity guarantee is unchanged.
 """
 
 from __future__ import annotations
@@ -46,6 +60,12 @@ __all__ = ["StreamingSession", "WindowEmission"]
 
 #: Initial sample-buffer capacity (doubles as the recording grows).
 _INITIAL_CAPACITY = 1024
+
+#: Compact the sample buffer only once at least this many leading
+#: samples are droppable — keeps the shift cost amortised (each sample
+#: is moved O(1) times) while bounding the buffer to roughly one window
+#: of beats plus this slack.
+_COMPACT_MIN_DROPPABLE = 2048
 
 
 @dataclass(frozen=True)
@@ -101,12 +121,26 @@ class StreamingSession:
         self._times = np.empty(_INITIAL_CAPACITY)
         self._values = np.empty(_INITIAL_CAPACITY)
         self._n = 0
+        self._dropped = 0
         self._next_start: float | None = None
         self._spectra: list[LombSpectrum] = []
         self._centers: list[float] = []
         self._emissions: list[WindowEmission] = []
         self._skipped = 0
         self._result = None
+        self._tail_emitted = False
+        self._tail_skips = 0
+        # Set by StreamHub.close when it discards this session's
+        # pending (analysed-never) windows: finalize must fail loudly
+        # rather than return a result missing those rows.
+        self._lost_windows = False
+        # Windows handed to the owning hub and not yet analysed; their
+        # spans reference this buffer, so compaction must wait for zero.
+        self._deferred = 0
+        # Set by StreamHub.open for hub-owned sessions; a hub defers the
+        # analysis of completed windows to its shared cross-session batch.
+        self._hub = None
+        self.subject_id: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -114,7 +148,12 @@ class StreamingSession:
 
     @property
     def n_samples(self) -> int:
-        """Samples fed so far."""
+        """Samples fed so far (including compacted-away ones)."""
+        return self._dropped + self._n
+
+    @property
+    def buffered_samples(self) -> int:
+        """Samples currently held in memory (bounded by compaction)."""
         return self._n
 
     @property
@@ -143,7 +182,40 @@ class StreamingSession:
         chunks: beat instants in seconds and the RR intervals they end.
         Times must continue strictly increasing across the whole
         session.  Returns the (possibly empty) list of windows this
-        chunk completed, in window order.
+        chunk completed, in window order.  Hub-owned sessions defer: the
+        completed windows join the hub's pending set and this returns
+        ``[]`` — the emissions come back from :meth:`StreamHub.flush`.
+        """
+        if self._hub is not None:
+            # Before ingestion: a closed hub must reject the feed while
+            # the samples are still the caller's.  Raising after
+            # _ingest would consume window discovery (advancing
+            # _next_start) and then drop the windows on the enqueue
+            # check — finalize would silently miss those rows.
+            self._hub._check_open()
+        pending = self._ingest(times, values)
+        if self._hub is not None:
+            self._hub._enqueue(self, pending)
+            self._deferred += len(pending)
+            if self._deferred == 0:
+                # Nothing pending references the buffer (this feed
+                # completed no window, nor did earlier ones) — a sparse
+                # subject must not grow without bound while its denser
+                # hub siblings do all the flushing.
+                self._compact()
+            return []
+        emissions = self._emit(pending)
+        self._compact()
+        return emissions
+
+    def _ingest(
+        self, times, values
+    ) -> list[tuple[float, tuple[int, int]]]:
+        """Validate and append a chunk; return the windows it completed.
+
+        The returned pending entries are ``(start, (lo, hi))`` with
+        buffer-relative sample spans — valid until the next
+        :meth:`_compact` (which only runs once they are analysed).
         """
         if self._result is not None:
             raise SignalError("session is finalized; open a new stream")
@@ -194,8 +266,8 @@ class StreamingSession:
     # Emission
     # ------------------------------------------------------------------
 
-    def _drain(self) -> list[WindowEmission]:
-        """Emit every window whose right edge the data has now passed.
+    def _drain(self) -> list[tuple[float, tuple[int, int]]]:
+        """Collect every window whose right edge the data has now passed.
 
         Emission requires a sample *strictly beyond* ``start + window``:
         a sample exactly on the edge closes the window's content but
@@ -204,10 +276,11 @@ class StreamingSession:
         :meth:`finalize`'s, which knows where the recording ends.
 
         All windows one feed completes are analysed in **one** batched
-        :func:`analyze_spans` call (a large chunk can complete dozens),
-        keeping the streaming path on the dense kernel; per-window
-        results are batch-composition-independent, so this cannot
-        change any emitted spectrum.
+        :func:`analyze_spans` call (a large chunk can complete dozens) —
+        or, for hub-owned sessions, in the hub's shared cross-session
+        batch — keeping the streaming path on the dense kernel;
+        per-window results are batch-composition-independent, so this
+        cannot change any emitted spectrum.
         """
         latest = float(self._times[self._n - 1])
         pending: list[tuple[float, tuple[int, int]]] = []
@@ -216,7 +289,39 @@ class StreamingSession:
             if span is not None:
                 pending.append((self._next_start, span))
             self._next_start += self._step
-        return self._emit(pending)
+        return pending
+
+    def _compact(self) -> None:
+        """Drop buffered samples no future window can reference.
+
+        Every window still to come — streamed or finalize's tail —
+        starts at or after ``_next_start``, and window spans are found
+        with ``searchsorted(..., side="left")``, so samples strictly
+        before ``_next_start`` can never be sliced again.  They are
+        shifted out once :data:`_COMPACT_MIN_DROPPABLE` of them
+        accumulate, which bounds the buffer to roughly one window of
+        beats plus that slack on an endless stream.  Only called when no
+        pending spans reference the buffer (after analysis, never
+        between discovery and analysis).
+        """
+        if self._next_start is None:
+            return
+        cut = int(
+            np.searchsorted(
+                self._times[: self._n], self._next_start, side="left"
+            )
+        )
+        if cut < _COMPACT_MIN_DROPPABLE:
+            return
+        remaining = self._n - cut
+        # _next_start always trails the newest sample (see _drain), so
+        # at least one sample survives and the monotonicity check in
+        # _ingest keeps comparing against the true last-fed time.
+        for name in ("_times", "_values"):
+            buffer = getattr(self, name)
+            buffer[:remaining] = buffer[cut : self._n].copy()
+        self._n = remaining
+        self._dropped += cut
 
     def _emit(
         self, pending: list[tuple[float, tuple[int, int]]]
@@ -294,11 +399,44 @@ class StreamingSession:
         """
         if self._result is not None:
             return self._result
-        if self._n < MIN_BEATS_PER_WINDOW:
+        if self._lost_windows:
+            raise SignalError(
+                "cannot finalize: completed windows were discarded by "
+                "the hub's close(); the result would silently miss "
+                "spectrogram rows"
+            )
+        if self._hub is not None:
+            # Deferred windows must be analysed (in the shared batch)
+            # before the tail is resolved, or they would be lost.
+            self._hub.flush()
+        self._check_finalizable()
+        if not self._tail_emitted:
+            # Emit-once guard: if assembly below fails (or a hub-wide
+            # finalize_all fails on a sibling after batching this tail),
+            # a retry must not re-analyse, re-record or re-count the
+            # same tail.
+            self._emit(self._tail_pending())
+            self._skipped += self._tail_skips
+            self._tail_emitted = True
+        return self._assemble()
+
+    def _check_finalizable(self) -> None:
+        if self.n_samples < MIN_BEATS_PER_WINDOW:
             raise SignalError(
                 f"times must have at least {MIN_BEATS_PER_WINDOW} samples, "
-                f"got {self._n}"
+                f"got {self.n_samples}"
             )
+
+    def _tail_pending(self) -> list[tuple[float, tuple[int, int]]]:
+        """The trailing window(s) the end of the recording resolves.
+
+        Pure: the MIN_BEATS skips the tail contains are parked in
+        ``_tail_skips`` instead of ``_skipped``, and applied by the
+        caller exactly once under the emit-once guard — a failed
+        finalize retried (or a hub finalize_all that collected this
+        tail before failing on a sibling) must not double-count them.
+        """
+        skipped_before = self._skipped
         end_time = float(self._times[self._n - 1])
         tail: list[tuple[float, tuple[int, int]]] = []
         start = self._next_start
@@ -309,7 +447,12 @@ class StreamingSession:
             if start + self._window_seconds >= end_time:
                 break
             start += self._step
-        self._emit(tail)
+        self._tail_skips = self._skipped - skipped_before
+        self._skipped = skipped_before
+        return tail
+
+    def _assemble(self):
+        """Assemble every emitted spectrum into the final result."""
         if not self._spectra:
             raise SignalError(
                 "no analysable windows: recording too short or too sparse"

@@ -33,17 +33,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ConfigurationError, SignalError
 from ..hrv.rr import RRSeries
-from ..lomb.fast import (
-    get_batch_chunk_windows,
-    get_chunk_override,
-    set_batch_chunk_windows,
-)
+from ..lomb.fast import get_batch_chunk_windows, pinned_execution
 from ..lomb.welch import (
     RecordingWindows,
     WelchLomb,
@@ -52,11 +49,7 @@ from ..lomb.welch import (
     assemble_result,
 )
 from ..ffts.plancache import warm_execution_caches
-from ..ffts.providers.registry import (
-    get_default_provider_name,
-    resolve_provider_name,
-    set_default_provider,
-)
+from ..ffts.providers.registry import resolve_provider_name
 from .sharding import (
     DEFAULT_MIN_WINDOWS_PER_SHARD,
     DEFAULT_OVERSUBSCRIPTION,
@@ -65,13 +58,33 @@ from .sharding import (
 from .shm import SharedRecordingStore
 from .worker import (
     ShardTask,
+    SpanBatchTask,
     init_worker,
     pack_spectra,
     run_shard,
+    run_span_batch,
     unpack_spectra,
 )
 
 __all__ = ["FleetReport", "FleetRunner"]
+
+#: Fewest windows a :meth:`FleetRunner.run_spans` pool slice may carry —
+#: below this, splitting a span batch across more workers costs more in
+#: task dispatch than the extra parallelism recovers.
+MIN_SPANS_PER_SLICE = 8
+
+
+def _terminate_abandoned_pool(pool) -> None:
+    """`weakref.finalize` safety net for unreleased worker pools.
+
+    A :class:`FleetRunner` (or the :class:`~repro.engine.Engine` that
+    owns one) abandoned without :meth:`FleetRunner.close` must not
+    strand live worker processes — at garbage collection, and at
+    interpreter exit at the latest (``weakref.finalize`` registers
+    atexit), the pool is torn down hard.
+    """
+    pool.terminate()
+    pool.join()
 
 
 @dataclass(frozen=True)
@@ -157,6 +170,7 @@ class FleetRunner:
         self._provider = provider
         self._pool = None
         self._pool_key: tuple[int, str] | None = None
+        self._pool_finalizer: weakref.finalize | None = None
 
     @classmethod
     def from_config(cls, config, welch: WelchLomb | None = None, **kwargs):
@@ -219,18 +233,7 @@ class FleetRunner:
             min_windows_per_shard=self.min_windows_per_shard,
             oversubscription=self.oversubscription,
         )
-        chunk = (
-            self._chunk_windows
-            if self._chunk_windows is not None
-            else get_batch_chunk_windows(self.welch.analyzer.workspace_size)
-        )
-        # Resolve the execution provider once, in the parent, so every
-        # process — including this one on the in-process path — runs
-        # the same engine (results are provider-dependent at the ulp
-        # level; one fleet must round one way).
-        provider = resolve_provider_name(
-            self._provider, self.welch.analyzer.workspace_size
-        )
+        chunk, provider = self._resolve_execution()
         if self.n_jobs == 1:
             packed = self._run_in_process(
                 plans, shards, count_ops, chunk, provider
@@ -251,9 +254,31 @@ class FleetRunner:
 
     def close(self) -> None:
         """Shut the persistent worker pool down (idempotent)."""
+        self._detach_finalizer()
         pool, self._pool = self._pool, None
+        self._pool_key = None
         if pool is not None:
             pool.close()
+            pool.join()
+
+    def _detach_finalizer(self) -> None:
+        finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+
+    def _discard_pool(self) -> None:
+        """Tear the live pool down hard and forget every handle to it.
+
+        The failure path: queued sibling tasks must not keep running
+        against unlinked shared memory, and both ``_pool`` *and*
+        ``_pool_key`` must be cleared together — a stale key paired
+        with a fresh pool would claim the wrong execution settings.
+        """
+        self._detach_finalizer()
+        pool, self._pool = self._pool, None
+        self._pool_key = None
+        if pool is not None:
+            pool.terminate()
             pool.join()
 
     def __enter__(self) -> "FleetRunner":
@@ -264,6 +289,24 @@ class FleetRunner:
 
     # ------------------------------------------------------------------
 
+    def _resolve_execution(self) -> tuple[int, str]:
+        """Resolve the (chunk, provider) pair one run executes under.
+
+        Shared by every entry point (:meth:`run_report`,
+        :meth:`run_spans`): the provider is resolved once, in the
+        parent, so every process — including this one on the
+        in-process paths — runs the same engine (results are
+        provider-dependent at the ulp level; one fleet must round one
+        way).
+        """
+        workspace = self.welch.analyzer.workspace_size
+        chunk = (
+            self._chunk_windows
+            if self._chunk_windows is not None
+            else get_batch_chunk_windows(workspace)
+        )
+        return chunk, resolve_provider_name(self._provider, workspace)
+
     def _run_in_process(
         self,
         plans: list[RecordingWindows],
@@ -273,11 +316,7 @@ class FleetRunner:
         provider: str,
     ) -> list[list[tuple]]:
         """Single-process execution of the identical shard pipeline."""
-        previous_chunk = get_chunk_override()
-        previous_provider = get_default_provider_name()
-        set_batch_chunk_windows(chunk)
-        set_default_provider(provider)
-        try:
+        with pinned_execution(provider, chunk):
             packed: list[list[tuple]] = []
             for shard in shards:
                 plan = plans[shard.recording]
@@ -290,9 +329,6 @@ class FleetRunner:
                 )
                 packed.append(pack_spectra(spectra))
             return packed
-        finally:
-            set_batch_chunk_windows(previous_chunk)
-            set_default_provider(previous_provider)
 
     def _ensure_pool(self, chunk: int, provider: str):
         """Create (or reuse) the persistent worker pool.
@@ -318,6 +354,13 @@ class FleetRunner:
             initargs=(self.welch, chunk, provider),
         )
         self._pool_key = (chunk, provider)
+        # Safety net for abandoned runners: if this runner is garbage
+        # collected (or the interpreter exits) with the pool still
+        # live, tear it down rather than strand the workers.  close()
+        # detaches this, so an orderly release never terminates.
+        self._pool_finalizer = weakref.finalize(
+            self, _terminate_abandoned_pool, self._pool
+        )
         return self._pool
 
     def _run_pool(
@@ -354,11 +397,76 @@ class FleetRunner:
                 # A failed shard leaves queued siblings behind; tear the
                 # pool down rather than let them run against unlinked
                 # shared memory.
-                pool.terminate()
-                pool.join()
-                self._pool = None
+                self._discard_pool()
                 raise
         return collected  # every slot filled: imap yields one per task
+
+    def run_spans(
+        self, times, values, spans, count_ops: bool = False
+    ) -> list:
+        """Analyse one flat span batch, dispatching over the pool.
+
+        The streaming hub's execution path: ``times``/``values`` are one
+        validated sample array pair — typically many subjects' completed
+        windows concatenated back to back — and ``spans`` are its
+        ``[start, stop)`` window ranges.  With ``n_jobs > 1`` the spans
+        are split into contiguous slices over the **persistent** worker
+        pool (created on first use, shared with :meth:`run`), the
+        arrays travel once through the shm transport, and the spectra
+        come back in span order; ``n_jobs == 1`` (or a batch too small
+        to split) runs in-process.  Either way the result is
+        bit-identical to a single in-process
+        :func:`~repro.lomb.welch.analyze_spans` call: every kernel is
+        batch-composition-independent and every process is pinned to
+        the same provider and chunk size.
+        """
+        spans = tuple(spans)
+        if not spans:
+            return []
+        chunk, provider = self._resolve_execution()
+        n_slices = max(
+            1, min(self.n_jobs, len(spans) // MIN_SPANS_PER_SLICE)
+        )
+        if n_slices == 1:
+            # n_jobs == 1, or a batch too small to split: a single
+            # pool slice would pay shm setup + IPC per flush for work
+            # the (identically pinned, hence bit-identical) in-process
+            # call does cheaper.
+            with pinned_execution(provider, chunk):
+                return analyze_spans(
+                    self.welch.analyzer, times, values, spans, count_ops
+                )
+        pool = self._ensure_pool(chunk, provider)
+        bounds = [len(spans) * i // n_slices for i in range(n_slices + 1)]
+        collected: list[list[tuple] | None] = [None] * n_slices
+        with SharedRecordingStore() as store:
+            times_ref = store.put(times)
+            values_ref = store.put(values)
+            tasks = [
+                SpanBatchTask(
+                    batch_id=batch_id,
+                    times_ref=times_ref,
+                    values_ref=values_ref,
+                    spans=spans[lo:hi],
+                    count_ops=count_ops,
+                )
+                for batch_id, (lo, hi) in enumerate(
+                    zip(bounds[:-1], bounds[1:])
+                )
+            ]
+            try:
+                for batch_id, packed in pool.imap_unordered(
+                    run_span_batch, tasks
+                ):
+                    collected[batch_id] = packed
+            except BaseException:
+                self._discard_pool()
+                raise
+        return [
+            spectrum
+            for packed in collected
+            for spectrum in unpack_spectra(packed)
+        ]
 
     def _merge(
         self,

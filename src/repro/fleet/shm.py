@@ -16,6 +16,8 @@ same as creations; see python/cpython#82300).
 
 from __future__ import annotations
 
+import inspect
+import threading
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
@@ -24,6 +26,21 @@ import numpy as np
 from .._validation import as_1d_float_array
 
 __all__ = ["SharedArrayRef", "SharedRecordingStore", "attach_array"]
+
+#: Whether ``SharedMemory(..., track=False)`` exists (Python >= 3.13),
+#: probed once at import so the attach hot path never pays for the
+#: signature inspection or a try/except TypeError round trip.
+_TRACK_SUPPORTED = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__
+).parameters
+
+#: Serialises the pre-3.13 fallback below.  It swaps
+#: ``resource_tracker.register`` for a no-op **process-globally**;
+#: without the lock, two threads attaching concurrently (exactly what a
+#: multiplexed stream hub does) can each capture the other's no-op as
+#: the "original" and leave the tracker permanently disabled — or
+#: re-enable it mid-attach and register a sibling's block for teardown.
+_ATTACH_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -94,19 +111,21 @@ def attach_array(
     The attachment is unregistered from this process's resource tracker
     because the parent store owns the block's lifetime.
     """
-    try:
+    if _TRACK_SUPPORTED:
         block = shared_memory.SharedMemory(name=ref.name, track=False)
-    except TypeError:
+    else:
         # Python < 3.13 has no ``track`` parameter and unconditionally
         # registers attachments; registering here would unbalance the
         # (fork-shared) tracker's books against the parent's unlink.
-        # Suppress registration for the duration of the attach instead.
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda name, rtype: None
-        try:
-            block = shared_memory.SharedMemory(name=ref.name)
-        finally:
-            resource_tracker.register = original_register
+        # Suppress registration for the duration of the attach instead —
+        # under the module lock, because the swap is process-global.
+        with _ATTACH_LOCK:
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None
+            try:
+                block = shared_memory.SharedMemory(name=ref.name)
+            finally:
+                resource_tracker.register = original_register
     array = np.ndarray((ref.length,), dtype=np.float64, buffer=block.buf)
     array.setflags(write=False)
     return block, array

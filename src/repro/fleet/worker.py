@@ -29,8 +29,10 @@ from .shm import SharedArrayRef, attach_array
 
 __all__ = [
     "ShardTask",
+    "SpanBatchTask",
     "init_worker",
     "run_shard",
+    "run_span_batch",
     "pack_spectra",
     "unpack_spectra",
 ]
@@ -145,22 +147,26 @@ def unpack_spectra(packed) -> list[LombSpectrum]:
     return spectra
 
 
-def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
-    """Analyse one shard's windows against the installed engine.
+def _analyze_refs(
+    times_ref: SharedArrayRef,
+    values_ref: SharedArrayRef,
+    spans,
+    count_ops: bool,
+) -> list[tuple]:
+    """Attach, analyse the given spans, pack, detach.
 
-    Returns ``(shard_id, packed_spectra)`` with spectra in window
-    order.  Windows are sliced zero-copy from the shared recording
-    arrays; ``periodogram_batch`` copies them into its own padded
-    workspaces, so nothing returned references the shared blocks and
-    both attachments can be released before returning (pools outlive
+    Windows are sliced zero-copy from the shared recording arrays;
+    ``periodogram_batch`` copies them into its own padded workspaces,
+    so nothing returned references the shared blocks and both
+    attachments can be released before returning (pools outlive
     individual runs, so holding attachments would pin unlinked blocks).
     """
     welch: WelchLomb = _STATE["welch"]
-    t_block, times = attach_array(task.times_ref)
-    x_block, values = attach_array(task.values_ref)
+    t_block, times = attach_array(times_ref)
+    x_block, values = attach_array(values_ref)
     try:
         spectra = analyze_spans(
-            welch.analyzer, times, values, task.spans, task.count_ops
+            welch.analyzer, times, values, spans, count_ops
         )
         packed = pack_spectra(spectra)
     finally:
@@ -169,4 +175,56 @@ def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
         spectra = times = values = None
         t_block.close()
         x_block.close()
+    return packed
+
+
+def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
+    """Analyse one shard's windows against the installed engine.
+
+    Returns ``(shard_id, packed_spectra)`` with spectra in window order.
+    """
+    packed = _analyze_refs(
+        task.times_ref, task.values_ref, task.spans, task.count_ops
+    )
     return task.shard_id, packed
+
+
+@dataclass(frozen=True)
+class SpanBatchTask:
+    """One unit of streaming-hub pool work: a slice of a span batch.
+
+    Unlike :class:`ShardTask` there is no recording index — the span
+    batch is one flat (possibly multi-subject, concatenated) sample
+    array pair, and the parent reassembles the spectra purely by
+    ``batch_id`` order.
+
+    Attributes
+    ----------
+    batch_id:
+        Position of this slice in the dispatch order.
+    times_ref, values_ref:
+        Shared-memory handles of the batch's sample arrays.
+    spans:
+        Sample-index ``[start, stop)`` ranges of this slice's windows.
+    count_ops:
+        Attach executed operation counts to every spectrum.
+    """
+
+    batch_id: int
+    times_ref: SharedArrayRef
+    values_ref: SharedArrayRef
+    spans: tuple[tuple[int, int], ...]
+    count_ops: bool
+
+
+def run_span_batch(task: SpanBatchTask) -> tuple[int, list[tuple]]:
+    """Analyse one span-batch slice against the installed engine.
+
+    Returns ``(batch_id, packed_spectra)`` with spectra in span order —
+    the streaming-hub counterpart of :func:`run_shard`, reusing the
+    identical shm transport and packed result form.
+    """
+    packed = _analyze_refs(
+        task.times_ref, task.values_ref, task.spans, task.count_ops
+    )
+    return task.batch_id, packed

@@ -38,6 +38,7 @@ spectra and identical modelled op counts):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -95,6 +96,32 @@ def set_batch_chunk_windows(value: int | None) -> None:
 def get_chunk_override() -> int | None:
     """The explicit per-process pin, if any (used to save/restore it)."""
     return _chunk_override
+
+
+@contextmanager
+def pinned_execution(provider: str | None, chunk_windows: int | None):
+    """Install a provider/chunk pin pair for the calling block.
+
+    The one save-set-restore implementation every execution layer that
+    runs under resolved settings (the engine facade, the fleet runner's
+    in-process paths) shares: the previous pins are restored on exit,
+    so pinned blocks never leak state into code that did not ask for
+    them.
+    """
+    from ..ffts.providers.registry import (
+        get_default_provider_name,
+        set_default_provider,
+    )
+
+    previous_provider = get_default_provider_name()
+    previous_chunk = get_chunk_override()
+    set_default_provider(provider)
+    set_batch_chunk_windows(chunk_windows)
+    try:
+        yield
+    finally:
+        set_default_provider(previous_provider)
+        set_batch_chunk_windows(previous_chunk)
 
 
 def get_batch_chunk_windows(workspace_size: int = 512) -> int:

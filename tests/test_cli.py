@@ -147,3 +147,64 @@ class TestEngineCommand:
         ) == 0
         config = EngineConfig.from_json(capsys.readouterr().out)
         assert config.pruning.twiddle_fraction == 0.6
+
+
+class TestStreamCommand:
+    def test_parser_round_and_speed(self):
+        args = build_parser().parse_args(
+            ["stream", "--round", "32", "--speed", "2.5", "--chunk", "8"]
+        )
+        assert args.round_events == 32
+        assert args.speed == 2.5
+        assert args.chunk == 8
+
+    def test_stream_command_verifies_bit_identity(self, capsys):
+        code = main(
+            ["stream", "--patients", "2", "--duration", "300",
+             "--provider", "numpy", "--round", "24", "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streamed" in out and "subjects" in out
+        assert "MISMATCH" not in out
+        assert out.count(" ok") >= 2
+
+    def test_stream_command_reads_event_file(self, capsys, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "ward.csv"
+        lines = ["# subject,t,rr"]
+        for beat in range(300):
+            t = float(beat)
+            for subject, phase in (("bed-1", 0.0), ("bed-2", 0.3)):
+                rr = 0.8 + 0.05 * np.sin(2 * np.pi * 0.25 * t + phase)
+                lines.append(f"{subject},{t + 0.1},{rr:.6f}")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        code = main(
+            ["stream", "--input", str(path), "--provider", "numpy",
+             "--verify"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bed-1" in out and "bed-2" in out
+        assert "MISMATCH" not in out
+
+    def test_stream_command_rejects_empty_cohort(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="patients"):
+            main(["stream", "--patients", "0"])
+
+    def test_stream_command_rejects_bad_round(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="round"):
+            main(["stream", "--round", "0"])
+
+    def test_stream_command_bad_event_file(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        path = tmp_path / "bad.csv"
+        path.write_text("bed-1,12.0\n", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="expected"):
+            main(["stream", "--input", str(path)])

@@ -28,7 +28,12 @@ def test_energy_budget_tuning_runs(capsys):
 
 
 @pytest.mark.parametrize(
-    "name", ["arrhythmia_screening.py", "holter_monitoring.py"]
+    "name",
+    [
+        "arrhythmia_screening.py",
+        "holter_monitoring.py",
+        "ward_monitoring.py",
+    ],
 )
 def test_long_examples_importable(name):
     """The heavier examples are compiled (syntax/import check) here and

@@ -228,3 +228,173 @@ class TestFleetRunnerMultiprocess:
             pinned = runner.run(recordings)
         for a, b in zip(baseline, pinned):
             np.testing.assert_array_equal(a.spectrogram, b.spectrogram)
+
+
+def _boom(task):  # must be module-level: pool pickles it by reference
+    raise ValueError("injected shard failure")
+
+
+class TestAttachConcurrency:
+    def test_threaded_attaches_leave_tracker_intact(self, rng):
+        """Concurrent attaches must not corrupt the resource tracker.
+
+        The pre-3.13 attach fallback swaps ``resource_tracker.register``
+        process-globally; unlocked, two racing attaches (a multiplexed
+        hub's bread and butter) could leave the no-op installed forever
+        or restore the hook mid-attach and register a sibling's block.
+        The module lock makes the swap atomic: after any number of
+        concurrent attaches the canonical hook must be back.
+        """
+        import threading
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        data = rng.standard_normal(4096)
+        errors: list[Exception] = []
+        with SharedRecordingStore() as store:
+            ref = store.put(data)
+
+            def worker():
+                try:
+                    for _ in range(50):
+                        block, view = attach_array(ref)
+                        try:
+                            assert view[0] == data[0]
+                            assert view[-1] == data[-1]
+                        finally:
+                            block.close()
+                except Exception as exc:  # pragma: no cover - regression
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert resource_tracker.register is original_register
+
+
+class TestRunSpans:
+    def test_in_process_matches_analyze_spans(self):
+        from repro.ffts.providers.registry import set_default_provider
+        from repro.lomb.welch import analyze_spans
+
+        rr = _cohort(n=1, seconds=900.0)[0]
+        welch = WelchLomb(FastLomb(scaling="denormalized"))
+        plan = welch.plan_windows(rr.times, rr.intervals)
+        runner = FleetRunner(welch=welch, n_jobs=1, provider="numpy")
+        spectra = runner.run_spans(
+            plan.times, plan.values, plan.spans, count_ops=True
+        )
+        set_default_provider("numpy")
+        try:
+            reference = analyze_spans(
+                welch.analyzer, plan.times, plan.values, plan.spans, True
+            )
+        finally:
+            set_default_provider(None)
+        assert len(spectra) == len(reference)
+        for got, want in zip(spectra, reference):
+            np.testing.assert_array_equal(got.power, want.power)
+            np.testing.assert_array_equal(got.frequencies, want.frequencies)
+            assert got.counts == want.counts
+
+    def test_empty_spans_short_circuit(self):
+        rr = _cohort(n=1, seconds=600.0)[0]
+        runner = FleetRunner(n_jobs=1, provider="numpy")
+        assert runner.run_spans(rr.times, rr.intervals, []) == []
+
+
+@pytest.mark.slow
+class TestRunSpansMultiprocess:
+    def test_pool_dispatch_bit_identical(self):
+        rr = _cohort(n=1, seconds=2400.0)[0]
+        welch = WelchLomb(FastLomb(scaling="denormalized"))
+        plan = welch.plan_windows(rr.times, rr.intervals)
+        assert plan.n_windows >= 16  # enough to split across workers
+        single = FleetRunner(welch=welch, n_jobs=1, provider="numpy")
+        reference = single.run_spans(
+            plan.times, plan.values, plan.spans, count_ops=True
+        )
+        with FleetRunner(
+            welch=welch, n_jobs=2, provider="numpy"
+        ) as runner:
+            spectra = runner.run_spans(
+                plan.times, plan.values, plan.spans, count_ops=True
+            )
+            # The persistent pool stays up for the next batch.
+            assert runner._pool is not None
+            again = runner.run_spans(
+                plan.times, plan.values, plan.spans[:5]
+            )
+        assert len(again) == 5
+        assert len(spectra) == len(reference)
+        for got, want in zip(spectra, reference):
+            np.testing.assert_array_equal(got.power, want.power)
+            assert got.counts == want.counts
+
+
+@pytest.mark.slow
+class TestPoolLifecycle:
+    def test_failure_clears_pool_and_key_then_recovers(self, monkeypatch):
+        recordings = _cohort(n=2, seconds=600.0)
+        runner = FleetRunner(n_jobs=2)
+        try:
+            with monkeypatch.context() as patch:
+                patch.setattr("repro.fleet.runner.run_shard", _boom)
+                with pytest.raises(ValueError, match="injected"):
+                    runner.run(recordings)
+            # The failure path must clear *both* pool handles — a stale
+            # key next to a fresh pool would claim the wrong settings.
+            assert runner._pool is None
+            assert runner._pool_key is None
+            assert runner._pool_finalizer is None
+            results = runner.run(recordings)  # pool rebuilt cleanly
+            assert len(results) == 2
+        finally:
+            runner.close()
+
+    def test_close_clears_key_and_finalizer(self):
+        recordings = _cohort(n=2, seconds=600.0)
+        runner = FleetRunner(n_jobs=2)
+        runner.run(recordings)
+        assert runner._pool is not None
+        assert runner._pool_key is not None
+        assert runner._pool_finalizer is not None
+        runner.close()
+        assert runner._pool is None
+        assert runner._pool_key is None
+        assert runner._pool_finalizer is None
+        runner.close()  # idempotent
+
+    def test_abandoned_runner_reaps_workers(self):
+        """Dropping an un-closed runner must not strand live workers."""
+        import gc
+        import os
+        import time
+
+        def alive(pid: int) -> bool:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return False
+            except PermissionError:  # pragma: no cover - other owner
+                return True
+            return True
+
+        recordings = _cohort(n=2, seconds=600.0)
+        runner = FleetRunner(n_jobs=2)
+        runner.run(recordings)
+        pids = [worker.pid for worker in runner._pool._pool]
+        assert pids and all(alive(pid) for pid in pids)
+        del runner
+        gc.collect()
+        deadline = time.monotonic() + 10.0
+        while any(alive(pid) for pid in pids):
+            if time.monotonic() > deadline:  # pragma: no cover - hang
+                raise AssertionError(
+                    f"stranded workers after gc: "
+                    f"{[p for p in pids if alive(p)]}"
+                )
+            time.sleep(0.05)

@@ -256,6 +256,49 @@ class TestEmissionProtocol:
         _assert_identical(batch, streamed)
 
 
+class TestBoundedMemory:
+    def test_long_stream_buffer_bounded_and_identical(self):
+        """Hours of streaming hold ~one window of beats, not the stream."""
+        t = np.arange(0.0, 7200.0, 1.0)  # two hours of 1 Hz beats
+        x = (
+            0.9
+            + 0.05 * np.sin(2 * np.pi * 0.1 * t)
+            + 0.03 * np.sin(2 * np.pi * 0.25 * t)
+        )
+        rr = RRSeries(times=t, intervals=x)
+        with Engine(EngineConfig(provider="numpy")) as engine:
+            batch = engine.analyze(rr, count_ops=True)
+            session = engine.open_stream(count_ops=True)
+            max_buffered = 0
+            for lo in range(0, t.size, 250):
+                session.feed(t[lo : lo + 250], x[lo : lo + 250])
+                max_buffered = max(max_buffered, session.buffered_samples)
+            # The full stream is accounted for, but never all resident:
+            # compaction dropped everything before the earliest window
+            # the session could still need.
+            assert session.n_samples == t.size
+            assert session.buffered_samples < t.size
+            assert session._dropped > 0
+            assert max_buffered < 3000  # ~ slack + one window + one chunk
+            assert session._times.size <= 4096  # capacity stopped growing
+            streamed = session.finalize()
+        _assert_identical(batch, streamed)
+
+    def test_compaction_preserves_sample_by_sample_identity(self):
+        """Beat-at-a-time feeding across compactions stays bit-exact."""
+        t = np.arange(0.0, 2600.0, 0.8)
+        x = 0.8 + 0.02 * np.sin(2 * np.pi * 0.2 * t)
+        rr = RRSeries(times=t, intervals=x)
+        with Engine(EngineConfig(provider="numpy")) as engine:
+            batch = engine.analyze(rr, count_ops=True)
+            session = engine.open_stream(count_ops=True)
+            for beat_t, beat_x in zip(t, x):
+                session.feed(float(beat_t), float(beat_x))
+            assert session._dropped > 0
+            streamed = session.finalize()
+        _assert_identical(batch, streamed)
+
+
 class TestStreamingPruningSpecifics:
     def test_dynamic_threshold_spec_round_trips_through_stream(
         self, recording
