@@ -20,8 +20,12 @@ subject on every run.
 
 Reported per path: total ingest+analysis wall time, aggregate
 windows/sec, and per-window emission latency (time inside the feed or
-flush call that produced the window) — mean and p95.  Results land in
-``BENCH_streaming.json`` at the repository root.
+flush call that produced the window) — mean and p95.  A separate
+``steady_state`` section replays the hub with the workspace arena on
+vs off and reports per-window allocation churn (tracemalloc) and p95
+flush latency for each — the zero-allocation-steady-state claim in
+numbers.  Results land in ``BENCH_streaming.json`` at the repository
+root.
 
 Run with:  python benchmarks/bench_streaming.py [--subjects N]
            [--minutes M] [--burst-seconds S] [--jobs J] [--repeats R]
@@ -169,6 +173,86 @@ def _run_hub(engine, recordings, rounds, count_ops=False):
     return results, total, n_live, latencies
 
 
+#: Hub-replay rounds skipped before steady-state metrics start: the
+#: first flushes populate the arena pools (and the allocator's own
+#: free lists), which is exactly the transient the arena exists to
+#: amortise away.
+STEADY_STATE_WARMUP_ROUNDS = 3
+
+
+def _replay_hub_once(engine, recordings, rounds, trace_alloc: bool):
+    """One hub replay; per-round flush latencies (and allocation churn).
+
+    With ``trace_alloc`` the per-round peak-over-baseline tracemalloc
+    delta is recorded around each flush (timing numbers from a traced
+    replay are *not* comparable to untraced ones — callers run separate
+    passes for latency and allocations).
+    """
+    import tracemalloc
+
+    hub = engine.open_hub()
+    for subject in recordings:
+        hub.open(subject)
+    flush_seconds: list[float] = []
+    churn_bytes: list[int] = []
+    round_windows: list[int] = []
+    if trace_alloc:
+        tracemalloc.start()
+    try:
+        for current in rounds:
+            for subject, lo, hi in current:
+                rr = recordings[subject]
+                hub.feed(subject, rr.times[lo:hi], rr.intervals[lo:hi])
+            if trace_alloc:
+                before = tracemalloc.get_traced_memory()[0]
+                tracemalloc.reset_peak()
+            start = time.perf_counter()
+            emitted = hub.flush()
+            flush_seconds.append(time.perf_counter() - start)
+            if trace_alloc:
+                peak = tracemalloc.get_traced_memory()[1]
+                churn_bytes.append(max(0, peak - before))
+            round_windows.append(
+                sum(len(emissions) for emissions in emitted.values())
+            )
+        hub.finalize_all()
+    finally:
+        if trace_alloc:
+            tracemalloc.stop()
+        hub.close()
+    return flush_seconds, churn_bytes, round_windows
+
+
+def _measure_steady_state(config, recordings, rounds) -> dict:
+    """Steady-state per-window allocation churn and flush latency.
+
+    Two separate replays through one engine: an untraced pass for flush
+    latency, a tracemalloc pass for allocation churn — tracing skews
+    timing, so the two must never share a pass.  The first
+    :data:`STEADY_STATE_WARMUP_ROUNDS` rounds are excluded from both.
+    """
+    with Engine(config) as engine:
+        flush_seconds, _, _ = _replay_hub_once(
+            engine, recordings, rounds, trace_alloc=False
+        )
+        _, churn_bytes, round_windows = _replay_hub_once(
+            engine, recordings, rounds, trace_alloc=True
+        )
+    skip = min(STEADY_STATE_WARMUP_ROUNDS, max(0, len(rounds) - 1))
+    steady_windows = sum(round_windows[skip:])
+    steady_churn = sum(churn_bytes[skip:])
+    steady_latencies = _latency_stats(flush_seconds[skip:])
+    return {
+        "alloc_bytes_per_window": (
+            steady_churn / steady_windows if steady_windows else None
+        ),
+        "alloc_bytes_total": int(steady_churn),
+        "windows": int(steady_windows),
+        "flush_latency_mean_ms": steady_latencies["mean_ms"],
+        "flush_latency_p95_ms": steady_latencies["p95_ms"],
+    }
+
+
 def run_streaming_benchmark(
     n_subjects: int = 8,
     duration_minutes: float = 60.0,
@@ -253,6 +337,24 @@ def run_streaming_benchmark(
         document_paths["independent"]["total_seconds"]
         / document_paths["hub"]["total_seconds"]
     )
+    steady_arena = _measure_steady_state(
+        EngineConfig(jobs=jobs, arena=True), recordings, rounds
+    )
+    steady_plain = _measure_steady_state(
+        EngineConfig(jobs=jobs, arena=False), recordings, rounds
+    )
+    per_window_on = steady_arena["alloc_bytes_per_window"]
+    per_window_off = steady_plain["alloc_bytes_per_window"]
+    steady_state = {
+        "warmup_rounds_skipped": STEADY_STATE_WARMUP_ROUNDS,
+        "arena": steady_arena,
+        "no_arena": steady_plain,
+        "alloc_reduction_factor": (
+            per_window_off / per_window_on
+            if per_window_on and per_window_off
+            else None
+        ),
+    }
     return {
         "benchmark": (
             "streaming cohort: multiplexed hub vs independent sessions"
@@ -271,6 +373,7 @@ def run_streaming_benchmark(
             "seed": seed,
         },
         "paths": document_paths,
+        "steady_state": steady_state,
     }
 
 
@@ -324,6 +427,17 @@ def main(argv=None) -> None:
         f"{paths['speedup_hub_vs_independent']:.2f}x, "
         f"{document['workload']['n_subjects']} subjects)"
     )
+    steady = document["steady_state"]
+    factor = steady["alloc_reduction_factor"]
+    if factor:
+        print(
+            f"steady-state alloc/window: "
+            f"{steady['arena']['alloc_bytes_per_window']:.0f} B with arena "
+            f"vs {steady['no_arena']['alloc_bytes_per_window']:.0f} B "
+            f"without ({factor:.1f}x fewer); flush p95 "
+            f"{steady['arena']['flush_latency_p95_ms']:.2f} ms vs "
+            f"{steady['no_arena']['flush_latency_p95_ms']:.2f} ms"
+        )
 
 
 if __name__ == "__main__":

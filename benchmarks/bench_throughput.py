@@ -15,8 +15,10 @@ provider the document records windows/sec, the speedup over the
 explicit-kernel batched path, the max relative spectrogram difference
 against the explicit oracle (must be ``np.allclose``) and whether the
 modelled operation counts match the oracle exactly (they must — counts
-are modelled, never measured).  Results are written to
-``BENCH_throughput.json`` at the repository root.
+are modelled, never measured).  Each system also records steady-state
+allocation churn per window (tracemalloc) with the workspace arena on
+vs off.  Results are written to ``BENCH_throughput.json`` at the
+repository root.
 
 Run with:  python benchmarks/bench_throughput.py [--hours H] [--repeats R]
 
@@ -119,6 +121,42 @@ def _sweep_providers(welch, times, intervals, n_windows, repeats: int) -> dict:
     }
 
 
+def _steady_state_alloc(welch, times, intervals, n_windows) -> dict:
+    """Allocation churn of one batched analysis, arena on vs off.
+
+    One warmed, tracemalloc-traced ``analyze_windows`` pass per variant
+    (the warm pass populates the arena's pools — steady state is the
+    claim under test).  Alloc tracing skews wall time, so these numbers
+    live beside, never inside, the timing entries.
+    """
+    import tracemalloc
+
+    from repro.perf.workspace import WorkspaceArena, arena_scope
+
+    def churn(arena) -> int:
+        with arena_scope(arena):
+            welch.analyze_windows(times, intervals, batched=True)  # warm
+            tracemalloc.start()
+            try:
+                before = tracemalloc.get_traced_memory()[0]
+                tracemalloc.reset_peak()
+                welch.analyze_windows(times, intervals, batched=True)
+                peak = tracemalloc.get_traced_memory()[1]
+            finally:
+                tracemalloc.stop()
+        return max(0, peak - before)
+
+    with_arena = churn(WorkspaceArena())
+    without = churn(None)
+    return {
+        "arena_alloc_bytes_per_window": with_arena / n_windows,
+        "no_arena_alloc_bytes_per_window": without / n_windows,
+        "alloc_reduction_factor": (
+            without / with_arena if with_arena else None
+        ),
+    }
+
+
 def run_throughput_benchmark(
     duration_hours: float = 24.0,
     repeats: int = 3,
@@ -179,6 +217,9 @@ def run_throughput_benchmark(
                 "max_rel_diff_spectrogram": max_rel_diff,
                 "providers": _sweep_providers(
                     welch, rr.times, rr.intervals, n_windows, repeats
+                ),
+                "steady_state_alloc": _steady_state_alloc(
+                    welch, rr.times, rr.intervals, n_windows
                 ),
             }
     finally:

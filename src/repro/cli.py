@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the library's everyday uses without writing any
+Nine subcommands cover the library's everyday uses without writing any
 code:
 
 * ``demo``        — quickstart comparison on one synthetic patient,
@@ -16,7 +16,9 @@ code:
 * ``energy``      — energy report of a pruning mode on the node model,
 * ``complexity``  — the Fig. 5 operation-count table for a given N,
 * ``tune``        — per-host batch chunk-size probe (fleet auto-tuner),
-* ``providers``   — list/probe the FFT execution provider registry.
+* ``providers``   — list/probe the FFT execution provider registry,
+* ``profile``     — per-stage timing (and optional allocation) profile
+  of a streaming workload (:mod:`repro.perf`).
 
 Analysis commands are thin drivers over the engine facade
 (:mod:`repro.engine`): flags build or override an
@@ -247,6 +249,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the autoselect micro-benchmark and show per-provider "
         "timings",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-stage timing profile of a streaming workload",
+        description="Replay a synthetic streaming cohort through the hub "
+        "with the per-stage profiler enabled and print where each flush "
+        "spends its time (extirpolation, FFT dispatch, Lomb combine, "
+        "assembly, hub flush), plus the workspace arena's reuse "
+        "counters.",
+    )
+    profile.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="declarative EngineConfig JSON file (see the engine command)",
+    )
+    profile.add_argument("--mode", default=None, choices=_MODES)
+    profile.add_argument("--dynamic", action="store_true")
+    profile.add_argument("--patients", type=int, default=4)
+    profile.add_argument("--duration", type=float, default=300.0)
+    profile.add_argument(
+        "--chunk",
+        type=int,
+        default=16,
+        help="beats per uplink event (each event is one subject's burst)",
+    )
+    profile.add_argument(
+        "--round",
+        type=int,
+        default=64,
+        dest="round_events",
+        help="events per shared-batch flush round",
+    )
+    profile.add_argument(
+        "--alloc",
+        action="store_true",
+        help="also trace net allocations per stage (starts tracemalloc; "
+        "adds measurement overhead)",
+    )
+    profile.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="disable the workspace arena (profile the allocating path "
+        "for comparison)",
+    )
+    profile.add_argument(
+        "--provider",
+        default=None,
+        choices=provider_names(),
+        help="FFT execution provider to pin (see the providers command)",
     )
     return parser
 
@@ -588,6 +641,70 @@ def _cmd_providers(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import tracemalloc
+
+    if args.chunk < 1:
+        raise ConfigurationError(f"--chunk must be >= 1, got {args.chunk}")
+    if args.round_events < 1:
+        raise ConfigurationError(
+            f"--round must be >= 1, got {args.round_events}"
+        )
+    if args.patients < 1:
+        raise ConfigurationError(
+            f"--patients must be >= 1, got {args.patients}"
+        )
+    config = _config_from_args(args).replace(
+        profile=True, arena=not args.no_arena
+    )
+    recordings = {}
+    for patient in list(make_cohort())[: args.patients]:
+        rr = patient.rr_series(duration=args.duration)
+        recordings[patient.patient_id] = (rr.times, rr.intervals)
+    events = _timed_events(recordings, args.chunk)
+    started_tracing = False
+    if args.alloc and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracing = True
+    try:
+        with Engine(config) as engine:
+            if args.alloc:
+                engine.profiler.trace_alloc = True
+            hub = engine.open_hub()
+            rounds = 0
+            for lo in range(0, len(events), args.round_events):
+                for _, subject, times, values in events[
+                    lo : lo + args.round_events
+                ]:
+                    hub.feed(subject, times, values)
+                hub.flush()
+                rounds += 1
+            results = hub.finalize_all()
+            hub.close()
+            windows = sum(r.welch.n_windows for r in results.values())
+            print(
+                f"streamed {len(events)} events over "
+                f"{len(recordings)} subjects in {rounds} rounds "
+                f"({windows} windows)\n"
+            )
+            print(engine.profiler.format_report())
+            if engine.arena is not None:
+                stats = engine.arena.stats()
+                print(
+                    f"\narena: {stats['hits']} hits / "
+                    f"{stats['misses']} misses / "
+                    f"{stats['evictions']} evictions, "
+                    f"{stats['pooled_bytes'] / 1024.0:.0f} KiB pooled in "
+                    f"{stats['pooled_buffers']} buffers"
+                )
+            else:
+                print("\narena: disabled (--no-arena)")
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -600,6 +717,7 @@ def main(argv: list[str] | None = None) -> int:
         "complexity": _cmd_complexity,
         "tune": _cmd_tune,
         "providers": _cmd_providers,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -105,6 +105,20 @@ class EngineConfig:
     bands:
         Band-power integration edges reported in results (defaults to
         the standard ULF/VLF/LF/HF split).
+    arena:
+        When True (default) the engine owns a
+        :class:`~repro.perf.WorkspaceArena` and every workload leases
+        its kernel temporaries from it, making steady-state streaming
+        allocate O(1) new arrays per flush.  Results are bit-identical
+        either way; ``arena=False`` restores plain per-call allocation
+        (mainly useful for memory benchmarking).
+    profile:
+        When True the engine owns a
+        :class:`~repro.perf.StageProfiler` and activates it around
+        every workload, accumulating per-stage timings (extirpolation,
+        FFT dispatch, Lomb combine, assemble, hub flush) readable via
+        :attr:`Engine.profiler`.  Off by default: the disabled path
+        costs one None-check per kernel call.
     """
 
     system: str = "conventional"
@@ -114,6 +128,8 @@ class EngineConfig:
     chunk_windows: int | None = None
     jobs: int | None = 1
     bands: tuple[FrequencyBand, ...] = STANDARD_BANDS
+    arena: bool = True
+    profile: bool = False
 
     def __post_init__(self):
         if self.system not in SYSTEM_KINDS:
@@ -148,6 +164,8 @@ class EngineConfig:
         if not bands:
             raise ConfigurationError("bands must not be empty")
         object.__setattr__(self, "bands", bands)
+        object.__setattr__(self, "arena", bool(self.arena))
+        object.__setattr__(self, "profile", bool(self.profile))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -216,6 +234,8 @@ class EngineConfig:
                 {"name": band.name, "low": band.low, "high": band.high}
                 for band in self.bands
             ],
+            "arena": self.arena,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -233,7 +253,7 @@ class EngineConfig:
             )
         known = {
             "system", "pruning", "psa", "provider", "chunk_windows",
-            "jobs", "bands",
+            "jobs", "bands", "arena", "profile",
         }
         unknown = set(data) - known
         if unknown:
@@ -242,7 +262,9 @@ class EngineConfig:
                 f"known keys: {sorted(known)}"
             )
         kwargs: dict = {}
-        for key in ("system", "provider", "chunk_windows", "jobs"):
+        for key in (
+            "system", "provider", "chunk_windows", "jobs", "arena", "profile",
+        ):
             if key in data:
                 kwargs[key] = data[key]
         if "pruning" in data:

@@ -30,12 +30,16 @@ bit-identical by construction.
 
 from __future__ import annotations
 
+from contextlib import ExitStack, contextmanager
+
 from ..core.system import ConventionalPSA, PSAResult, QualityScalablePSA
 from ..errors import ConfigurationError
 from ..ffts.plancache import warm_execution_caches
 from ..hrv.rr import RRSeries
 from ..lomb.fast import pinned_execution
 from ..lomb.welch import analyze_spans
+from ..perf.profiler import NULL_SPAN, StageProfiler, profile_scope
+from ..perf.workspace import WorkspaceArena, arena_scope
 from .config import EngineConfig
 
 __all__ = ["Engine", "build_system"]
@@ -103,6 +107,11 @@ class Engine:
                 analyzer.workspace_size, analyzer.order, self.resolved.provider
             )
         self._fleet = None
+        # The engine owns its workspace arena (shared by every workload
+        # it serves, like the plan caches) and its per-stage profiler;
+        # both are installed scope-wise around workloads by _pinned().
+        self._arena = WorkspaceArena() if config.arena else None
+        self._profiler = StageProfiler() if config.profile else None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -118,6 +127,26 @@ class Engine:
         """The windowed Welch-Lomb engine driving this facade."""
         return self._system.welch
 
+    @property
+    def arena(self):
+        """This engine's :class:`~repro.perf.WorkspaceArena` (or ``None``).
+
+        Kernel temporaries of every workload the engine serves lease
+        from it; :meth:`WorkspaceArena.stats` exposes hit/miss/footprint
+        counters.  ``None`` when the config disabled it.
+        """
+        return self._arena
+
+    @property
+    def profiler(self):
+        """This engine's :class:`~repro.perf.StageProfiler` (or ``None``).
+
+        Populated only when the config enabled ``profile=True``; read
+        accumulated stage timings via :meth:`StageProfiler.report` /
+        :meth:`StageProfiler.format_report`.
+        """
+        return self._profiler
+
     @classmethod
     def from_json(cls, text: str) -> "Engine":
         """Engine over a config serialized with ``EngineConfig.to_json``."""
@@ -132,17 +161,39 @@ class Engine:
     # Execution
     # ------------------------------------------------------------------
 
+    @contextmanager
     def _pinned(self):
-        """Install the resolved provider/chunk for the calling block.
+        """Install this engine's execution state for the calling block.
 
-        Every workload this engine serves executes under the same two
-        process pins, so results cannot depend on which entry point ran
-        them; the previous pins are restored on exit (engines must not
-        leak state into code that never asked for them).
+        Every workload this engine serves executes under the same
+        provider/chunk process pins, the engine's workspace arena (when
+        enabled) and its profiler (when enabled), so results cannot
+        depend on which entry point ran them; all previous state is
+        restored on exit (engines must not leak state into code that
+        never asked for them).
         """
-        return pinned_execution(
-            self.resolved.provider, self.resolved.chunk_windows
-        )
+        with ExitStack() as stack:
+            stack.enter_context(
+                pinned_execution(
+                    self.resolved.provider, self.resolved.chunk_windows
+                )
+            )
+            if self._arena is not None:
+                stack.enter_context(arena_scope(self._arena))
+            if self._profiler is not None:
+                stack.enter_context(profile_scope(self._profiler))
+            yield
+
+    def _profile_span(self, stage: str):
+        """A span on this engine's profiler (no-op when profiling is off).
+
+        For engine-owned stages that run *outside* :meth:`_pinned`
+        (the hub's flush wrapper dispatches to the fleet pool without
+        installing process-wide state).
+        """
+        if self._profiler is None:
+            return NULL_SPAN
+        return self._profiler.span(stage)
 
     def analyze(self, rr: RRSeries, count_ops: bool = False) -> PSAResult:
         """Run the full PSA over one completed RR recording."""
@@ -199,9 +250,17 @@ class Engine:
         bit-identical by the batch-composition-independence invariant.
         """
         if self.resolved.jobs > 1:
-            return self._ensure_fleet().run_spans(
-                times, values, spans, count_ops=count_ops
-            )
+            # Workers own per-process arenas (installed by init_worker);
+            # the arena scope here covers the runner's in-process
+            # small-batch path, which executes in this process.
+            with ExitStack() as stack:
+                if self._arena is not None:
+                    stack.enter_context(arena_scope(self._arena))
+                if self._profiler is not None:
+                    stack.enter_context(profile_scope(self._profiler))
+                return self._ensure_fleet().run_spans(
+                    times, values, spans, count_ops=count_ops
+                )
         with self._pinned():
             return analyze_spans(
                 self.welch.analyzer, times, values, spans, count_ops
@@ -221,6 +280,7 @@ class Engine:
                 n_jobs=self.resolved.jobs,
                 chunk_windows=self.resolved.chunk_windows,
                 provider=self.resolved.provider,
+                arena=self.config.arena,
             )
         return self._fleet
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..errors import SignalError
 from ..hrv.rr import RRSeries
+from ..perf.workspace import Scratch
 from .streaming import StreamingSession
 
 __all__ = ["StreamHub"]
@@ -199,7 +200,8 @@ class StreamHub:
         the engine: in-process under its pinned provider/chunk, or over
         its persistent fleet pool when it resolved ``jobs > 1``.
         """
-        emitted = self._analyze_pending(self._pending)
+        with self._engine._profile_span("hub_flush"):
+            emitted = self._analyze_pending(self._pending)
         # Cleared only after the batch succeeded: a failing analysis
         # (say a fleet worker died mid-flush) must keep the round's
         # windows pending for a retry, not silently drop spectrogram
@@ -213,22 +215,29 @@ class StreamHub:
         # Concatenate the pending windows' sample slices back to back —
         # the same copies the batch kernel makes per window — and
         # analyse the lot as one span batch at the usual choke point.
-        t_cat = np.concatenate(
-            [session._times[lo:hi] for session, _, lo, hi in pending]
-        )
-        x_cat = np.concatenate(
-            [session._values[lo:hi] for session, _, lo, hi in pending]
-        )
+        # The concatenation buffers lease from the engine's arena, so at
+        # steady state each flush reuses the previous round's storage;
+        # the analysis only reads them and every escaping spectrum is
+        # freshly allocated, so releasing on exit is safe.
         edges = np.zeros(len(pending) + 1, dtype=np.int64)
         np.cumsum(
             [hi - lo for _, _, lo, hi in pending], out=edges[1:]
         )
+        total = int(edges[-1])
         spans = tuple(
             (int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:])
         )
-        spectra = self._engine._analyze_spans_batch(
-            t_cat, x_cat, spans, self._count_ops
-        )
+        with Scratch(self._engine.arena) as ws:
+            t_cat = ws.take((total,))
+            x_cat = ws.take((total,))
+            for (session, _, lo, hi), dst_lo, dst_hi in zip(
+                pending, edges[:-1], edges[1:]
+            ):
+                t_cat[dst_lo:dst_hi] = session._times[lo:hi]
+                x_cat[dst_lo:dst_hi] = session._values[lo:hi]
+            spectra = self._engine._analyze_spans_batch(
+                t_cat, x_cat, spans, self._count_ops
+            )
         emitted: dict = {}
         touched: dict = {}
         for (session, start, lo, hi), spectrum in zip(pending, spectra):

@@ -55,6 +55,7 @@ from ..errors import SignalError
 from ..hrv.rr import RRSeries
 from ..lomb.fast import LombSpectrum
 from ..lomb.welch import MIN_BEATS_PER_WINDOW, analyze_spans, assemble_result
+from ..perf.workspace import Scratch
 
 __all__ = ["StreamingSession", "WindowEmission"]
 
@@ -317,9 +318,15 @@ class StreamingSession:
         # _next_start always trails the newest sample (see _drain), so
         # at least one sample survives and the monotonicity check in
         # _ingest keeps comparing against the true last-fed time.
-        for name in ("_times", "_values"):
-            buffer = getattr(self, name)
-            buffer[:remaining] = buffer[cut : self._n].copy()
+        # The shift needs a bounce buffer (source and destination ranges
+        # overlap); leasing it from the engine's arena makes steady-state
+        # compaction allocation-free.
+        with Scratch(self._engine.arena) as ws:
+            bounce = ws.take((remaining,))
+            for name in ("_times", "_values"):
+                buffer = getattr(self, name)
+                np.copyto(bounce, buffer[cut : self._n])
+                buffer[:remaining] = bounce
         self._n = remaining
         self._dropped += cut
 
@@ -457,12 +464,12 @@ class StreamingSession:
             raise SignalError(
                 "no analysable windows: recording too short or too sparse"
             )
-        welch_result = assemble_result(
-            self._spectra,
-            np.asarray(self._centers),
-            self._skipped,
-            self._count_ops,
-        )
         with self._engine._pinned():
+            welch_result = assemble_result(
+                self._spectra,
+                np.asarray(self._centers),
+                self._skipped,
+                self._count_ops,
+            )
             self._result = self._engine.system._finalize(welch_result)
         return self._result

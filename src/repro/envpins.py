@@ -1,12 +1,14 @@
 """The library's environment pins, read in exactly one place.
 
-Two environment variables tune execution without touching code:
+Three environment variables tune execution without touching code:
 
 * :data:`PROVIDER_ENV_VAR` (``REPRO_FFT_PROVIDER``) — pins the FFT
   execution provider (a registered name, or ``"auto"`` to force the
   autoselect probe),
 * :data:`CHUNK_ENV_VAR` (``REPRO_BATCH_CHUNK_WINDOWS``) — pins the
-  batched execution path's windows-per-sub-batch size.
+  batched execution path's windows-per-sub-batch size,
+* :data:`CACHE_DIR_ENV_VAR` (``REPRO_CACHE_DIR``) — overrides the
+  directory of the persistent provider-autoselect cache.
 
 Every consumer — the provider registry's resolution chain, the batch
 chunk resolver in :mod:`repro.lomb.fast`, the CLI's state reporting and
@@ -24,8 +26,10 @@ import os
 from .errors import ConfigurationError
 
 __all__ = [
+    "CACHE_DIR_ENV_VAR",
     "CHUNK_ENV_VAR",
     "PROVIDER_ENV_VAR",
+    "cache_dir_env_pin",
     "chunk_env_pin",
     "provider_env_pin",
 ]
@@ -35,6 +39,9 @@ PROVIDER_ENV_VAR = "REPRO_FFT_PROVIDER"
 
 #: Environment pin fixing the batched windows-per-sub-batch size.
 CHUNK_ENV_VAR = "REPRO_BATCH_CHUNK_WINDOWS"
+
+#: Environment pin relocating the persistent autoselect cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
 
 def provider_env_pin() -> str | None:
@@ -71,3 +78,18 @@ def chunk_env_pin() -> int | None:
     if value < 1:
         raise ConfigurationError(f"{CHUNK_ENV_VAR} must be >= 1, got {value}")
     return value
+
+
+def cache_dir_env_pin() -> str | None:
+    """The ``REPRO_CACHE_DIR`` override; ``None`` when unset.
+
+    Names the directory the provider registry persists its autoselect
+    probe results under (:mod:`repro.ffts.providers.registry`).  Unlike
+    the other pins the value is a filesystem path, so only surrounding
+    whitespace is stripped — no case normalisation.
+    """
+    raw = os.environ.get(CACHE_DIR_ENV_VAR)
+    if raw is None:
+        return None
+    raw = raw.strip()
+    return raw or None

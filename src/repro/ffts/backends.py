@@ -65,6 +65,11 @@ class FFTBackend(Protocol):
         self, x
     ) -> tuple[np.ndarray, tuple[OpCounts, ...]]: ...
 
+    # Backends may additionally expose ``supports_out = True`` plus an
+    # optional ``out=`` keyword on transform_batch/rfft_batch; callers
+    # must check the flag before passing a destination (see
+    # :mod:`repro.ffts.providers.base` for the contract).
+
 
 class SplitRadixFFT:
     """The conventional baseline kernel behind the original PSA system.
@@ -117,14 +122,31 @@ class SplitRadixFFT:
     def transform_with_counts(self, x) -> tuple[np.ndarray, OpCounts]:
         return self.transform(x), self._counts
 
-    def transform_batch(self, x) -> np.ndarray:
+    @property
+    def supports_out(self) -> bool:
+        """Whether batch calls can honor ``out=`` right now.
+
+        Delegates to the provider the *next* call would resolve (the
+        pin chain can change between calls); the explicit oracle and
+        third-party providers without the flag report False, and
+        callers then simply omit ``out=``.
+        """
+        return bool(getattr(self._engine(), "supports_out", False))
+
+    def transform_batch(self, x, out: np.ndarray | None = None) -> np.ndarray:
         """Row-wise spectra of a ``(n_windows, n)`` batch.
 
         Dispatches to the resolved execution provider along axis 1;
-        each row matches :meth:`transform`.
+        each row matches :meth:`transform`.  ``out=`` is forwarded only
+        to providers advertising ``supports_out`` — per the provider
+        contract it is advisory, and callers must use the returned
+        array.
         """
         arr = as_2d_complex_array(x, "x", width=self.n)
-        return self._engine().fft_batch(arr)
+        engine = self._engine()
+        if out is not None and getattr(engine, "supports_out", False):
+            return engine.fft_batch(arr, out=out)
+        return engine.fft_batch(arr)
 
     def transform_batch_with_counts(
         self, x
@@ -149,15 +171,22 @@ class SplitRadixFFT:
             )
         return self._engine().rfft(arr)
 
-    def rfft_batch(self, x) -> np.ndarray:
-        """Row-wise half spectra of a real ``(n_windows, n)`` batch."""
+    def rfft_batch(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        """Row-wise half spectra of a real ``(n_windows, n)`` batch.
+
+        ``out=`` follows the same advisory contract as
+        :meth:`transform_batch`.
+        """
         arr = np.ascontiguousarray(x, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[1] != self.n:
             raise TransformError(
                 f"rfft_batch expects a real (rows, {self.n}) batch, got "
                 f"shape {arr.shape}"
             )
-        return self._engine().rfft_batch(arr)
+        engine = self._engine()
+        if out is not None and getattr(engine, "supports_out", False):
+            return engine.rfft_batch(arr, out=out)
+        return engine.rfft_batch(arr)
 
     def static_counts(self) -> OpCounts:
         return self._counts

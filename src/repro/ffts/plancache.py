@@ -13,8 +13,11 @@ This module is the single memoisation point for all of that design-time
 data.  Cached arrays are returned **read-only** (callers only ever index
 or multiply by them) and cached plan objects are stateless after
 construction, so sharing them between analysers is safe.  Caches are
-plain process-wide dictionaries guarded by the GIL; a racing rebuild is
-harmless (both threads compute the same value).
+process-wide, size-bounded LRU maps (:class:`_BoundedCache`) guarded by
+the GIL; a racing rebuild is harmless (both threads compute the same
+value), entries :func:`warm_execution_caches` deliberately warmed are
+pinned against eviction, and :func:`plan_cache_detail` surfaces each
+cache's hit/miss/eviction counters.
 
 The cache is what makes the batched execution engine cheap to drive:
 :class:`~repro.core.system.ConventionalPSA` /
@@ -26,6 +29,7 @@ shared, fully-planned kernels.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
@@ -53,8 +57,101 @@ __all__ = [
     "provider_plan",
     "warm_execution_caches",
     "plan_cache_stats",
+    "plan_cache_detail",
     "clear_plan_caches",
 ]
+
+#: Bound on the memoised design-table functions below.  Each entry is a
+#: per-size table; 256 distinct geometries is far beyond any real run
+#: (one study uses a handful of workspace sizes) while keeping a
+#: pathological size sweep from growing the tables without limit.
+_TABLE_CACHE_SIZE = 256
+
+
+class _BoundedCache:
+    """Size-bounded LRU mapping with pin protection for warmed entries.
+
+    The dictionary caches below used to be unbounded — fine for a study
+    that visits a handful of geometries, but a long-lived server sweeping
+    sizes or ad-hoc filter banks would grow them forever.  This wrapper
+    keeps plain-dict semantics (``get``/``put``/``len``/``clear``) and
+    adds:
+
+    * **LRU eviction** past ``maxsize`` — a ``get`` or ``put`` refreshes
+      the entry's recency; the least recently used *unpinned* entry goes
+      first.
+    * **Pins** — :func:`warm_execution_caches` pins what it warms, so a
+      deliberately warmed fleet plan can never be evicted by cache
+      pressure from incidental geometries (pinned entries do not count
+      against ``maxsize``).
+    * **Counters** — hits/misses/evictions, surfaced by
+      :func:`plan_cache_detail`.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self._pinned: set = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        self._evict()
+
+    def pin(self, key) -> None:
+        """Protect *key* from eviction (no-op when absent)."""
+        if key in self._data:
+            self._pinned.add(key)
+
+    def _evict(self) -> None:
+        over = (len(self._data) - len(self._pinned)) - self.maxsize
+        if over <= 0:
+            return
+        for key in list(self._data):
+            if over <= 0:
+                break
+            if key in self._pinned:
+                continue
+            del self._data[key]
+            self.evictions += 1
+            over -= 1
+
+    def pop(self, key, default=None):
+        self._pinned.discard(key)
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._pinned.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "pinned": len(self._pinned),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 def _freeze(arr: np.ndarray) -> np.ndarray:
@@ -68,7 +165,7 @@ def _freeze(arr: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_TABLE_CACHE_SIZE)
 def bit_reversal(n: int) -> np.ndarray:
     """Memoised bit-reversal permutation for the iterative radix-2 FFT.
 
@@ -85,7 +182,7 @@ def bit_reversal(n: int) -> np.ndarray:
     return _freeze(reversed_indices)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_TABLE_CACHE_SIZE)
 def split_radix_twiddles(n: int) -> tuple[np.ndarray, np.ndarray]:
     """Memoised ``(w1, w3)`` twiddle pair of one split-radix recursion level.
 
@@ -101,7 +198,7 @@ def split_radix_twiddles(n: int) -> tuple[np.ndarray, np.ndarray]:
     return _freeze(w1), _freeze(w3)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_TABLE_CACHE_SIZE)
 def radix2_stage_twiddles(n: int) -> tuple[np.ndarray, ...]:
     """Memoised per-stage twiddle vectors of the iterative radix-2 FFT."""
     n = require_power_of_two(n, "n")
@@ -113,7 +210,7 @@ def radix2_stage_twiddles(n: int) -> tuple[np.ndarray, ...]:
     return tuple(stages)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=_TABLE_CACHE_SIZE)
 def lagrange_denominators(order: int) -> np.ndarray:
     """Memoised reverse-Lagrange denominator table of one interpolation order.
 
@@ -140,10 +237,10 @@ def lagrange_denominators(order: int) -> np.ndarray:
 # Wavelet-FFT design data
 # ----------------------------------------------------------------------
 
-_TWIDDLE_PAIRS: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
-_KEEP_MASKS: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
-_WAVELET_PLANS: dict[tuple, "WaveletFFT"] = {}
-_SPLIT_RADIX_PLANS: dict[tuple, "SplitRadixFFT"] = {}
+_TWIDDLE_PAIRS = _BoundedCache(maxsize=128)
+_KEEP_MASKS = _BoundedCache(maxsize=128)
+_WAVELET_PLANS = _BoundedCache(maxsize=64)
+_SPLIT_RADIX_PLANS = _BoundedCache(maxsize=64)
 
 
 def _bank_key(bank: "WaveletFilter") -> tuple:
@@ -168,7 +265,7 @@ def twiddle_pair(n: int, bank: "WaveletFilter") -> tuple[np.ndarray, np.ndarray]
             _freeze(filter_response(bank.lowpass, n)),
             _freeze(filter_response(bank.highpass, n)),
         )
-        _TWIDDLE_PAIRS[key] = pair
+        _TWIDDLE_PAIRS.put(key, pair)
     return pair
 
 
@@ -205,7 +302,7 @@ def wavelet_keep_masks(
                 np.ones(n, dtype=bool) if hh_active else np.zeros(n, dtype=bool)
             )
         masks = (_freeze(hl_keep), _freeze(hh_keep))
-        _KEEP_MASKS[key] = masks
+        _KEEP_MASKS.put(key, masks)
     return masks
 
 
@@ -257,7 +354,7 @@ def wavelet_plan(
         plan = WaveletFFT(
             n, basis=bank, levels=levels, pruning=spec, sub_backend=sub_backend
         )
-        _WAVELET_PLANS[key] = plan
+        _WAVELET_PLANS.put(key, plan)
     return plan
 
 
@@ -269,11 +366,11 @@ def split_radix_plan(n: int, use_numpy: bool = True) -> "SplitRadixFFT":
     plan = _SPLIT_RADIX_PLANS.get(key)
     if plan is None:
         plan = SplitRadixFFT(n, use_numpy=use_numpy)
-        _SPLIT_RADIX_PLANS[key] = plan
+        _SPLIT_RADIX_PLANS.put(key, plan)
     return plan
 
 
-_PROVIDER_PLANS: dict[str, "FFTProvider"] = {}
+_PROVIDER_PLANS = _BoundedCache(maxsize=32)
 
 
 def provider_plan(name: str) -> "FFTProvider":
@@ -289,7 +386,7 @@ def provider_plan(name: str) -> "FFTProvider":
         from .providers.registry import build_provider
 
         plan = build_provider(name)
-        _PROVIDER_PLANS[name] = plan
+        _PROVIDER_PLANS.put(name, plan)
     return plan
 
 
@@ -337,6 +434,9 @@ def warm_execution_caches(
         engine.warm(n)
         if n >= 8:
             engine.warm(n // 2)
+        # A deliberately warmed provider handle must survive cache
+        # pressure from incidental geometries for the process lifetime.
+        _PROVIDER_PLANS.pin(provider)
 
 
 # ----------------------------------------------------------------------
@@ -345,7 +445,11 @@ def warm_execution_caches(
 
 
 def plan_cache_stats() -> dict[str, int]:
-    """Current entry counts of every cache (for tests and diagnostics)."""
+    """Current entry counts of every cache (for tests and diagnostics).
+
+    Values are plain entry counts; see :func:`plan_cache_detail` for the
+    bounded caches' hit/miss/eviction/pin counters.
+    """
     return {
         "bit_reversal": bit_reversal.cache_info().currsize,
         "split_radix_twiddles": split_radix_twiddles.cache_info().currsize,
@@ -356,6 +460,22 @@ def plan_cache_stats() -> dict[str, int]:
         "wavelet_plans": len(_WAVELET_PLANS),
         "split_radix_plans": len(_SPLIT_RADIX_PLANS),
         "provider_plans": len(_PROVIDER_PLANS),
+    }
+
+
+def plan_cache_detail() -> dict[str, dict[str, int]]:
+    """Per-cache LRU counters (size/maxsize/pinned/hits/misses/evictions).
+
+    Complements the flat entry counts of :func:`plan_cache_stats` with
+    the bounded caches' behaviour counters — the diagnostic surface for
+    confirming a warmed fleet keeps hitting its pinned plans.
+    """
+    return {
+        "twiddle_pairs": _TWIDDLE_PAIRS.stats(),
+        "keep_masks": _KEEP_MASKS.stats(),
+        "wavelet_plans": _WAVELET_PLANS.stats(),
+        "split_radix_plans": _SPLIT_RADIX_PLANS.stats(),
+        "provider_plans": _PROVIDER_PLANS.stats(),
     }
 
 

@@ -13,6 +13,18 @@ plain power-of-two DFTs:
 * ``warm(n)`` — pre-build any per-size execution state (twiddle chains,
   pocketfft plans) so fleet workers inherit it copy-on-write pre-fork.
 
+The batch entry points accept an optional ``out=`` destination so the
+steady-state streaming path can reuse workspace-arena buffers instead of
+allocating a fresh spectrum per call.  ``out=`` is strictly advisory:
+a provider that cannot write in place (scipy's pocketfft wrapper takes
+no ``out``; third-party providers may predate the keyword) simply
+ignores it and returns a fresh array, and callers must always use the
+*returned* array.  Providers that do honor it advertise
+``supports_out = True`` — the dispatch layer
+(:class:`repro.ffts.backends.SplitRadixFFT`) checks that flag before
+passing a destination, so pre-``out=`` providers keep working
+unchanged (the explicit oracle deliberately stays that way).
+
 Providers never participate in operation accounting: modelled op counts
 always come from the explicit split-radix / wavelet closed forms, which
 is what keeps every provider's counts identical by construction.  The
@@ -49,8 +61,12 @@ class FFTProvider(Protocol):
 
     def rfft(self, x: np.ndarray) -> np.ndarray: ...
 
-    def fft_batch(self, x: np.ndarray) -> np.ndarray: ...
+    def fft_batch(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray: ...
 
-    def rfft_batch(self, x: np.ndarray) -> np.ndarray: ...
+    def rfft_batch(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray: ...
 
     def warm(self, n: int) -> None: ...

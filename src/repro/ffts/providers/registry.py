@@ -12,7 +12,11 @@ tuner (:mod:`repro.fleet.tuning`):
 3. the ``REPRO_FFT_PROVIDER`` environment variable (a provider name, or
    ``"auto"`` to force the probe),
 4. a lazy, memoised :func:`autoselect` micro-benchmark that times each
-   available provider once per workspace size and keeps the fastest.
+   available provider once per workspace size and keeps the fastest —
+   measured choices persist to a small on-disk cache keyed by machine
+   identity (hostname, CPU count, numpy/scipy versions), so later
+   processes on the same host skip the probe entirely;
+   ``REPRO_FFT_PROVIDER=auto`` forces a fresh probe and refreshes it.
 
 A pinned-but-unavailable provider (``REPRO_FFT_PROVIDER=scipy`` without
 scipy installed) falls back to ``numpy`` rather than failing — the
@@ -26,13 +30,16 @@ repeated resolution is a dictionary lookup.
 
 from __future__ import annotations
 
+import json
+import os
+import socket
 import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
-from ...envpins import PROVIDER_ENV_VAR, provider_env_pin
+from ...envpins import PROVIDER_ENV_VAR, cache_dir_env_pin, provider_env_pin
 from ...errors import ConfigurationError
 from .base import FFTProvider
 
@@ -41,9 +48,11 @@ __all__ = [
     "ProviderChoice",
     "active_provider",
     "autoselect",
+    "autoselect_cache_path",
     "autoselect_cached",
     "available_providers",
     "build_provider",
+    "clear_autoselect_disk_cache",
     "clear_provider_state",
     "get_default_provider_name",
     "get_provider",
@@ -112,6 +121,9 @@ _REGISTRY: dict[str, _ProviderEntry] = {
 
 _default_override: str | None = None
 _autoselected: dict[int, "ProviderChoice"] = {}
+
+#: File name of the persistent autoselect cache inside the cache dir.
+_DISK_CACHE_NAME = "fft_autoselect.json"
 
 #: Probe geometry: one small batch per provider, best-of-``_PROBE_REPEATS``.
 #: Kept tiny so the lazy first-use probe costs milliseconds (the same
@@ -229,17 +241,108 @@ class ProviderChoice:
     workspace_size:
         Transform size the probe ran at.
     source:
-        ``"measured"`` (timing probe ran) or ``"fallback"`` (only one
-        provider available — nothing to compare).
+        ``"measured"`` (timing probe ran), ``"disk-cache"`` (a prior
+        process's measured choice was read back from the persistent
+        cache) or ``"fallback"`` (only one provider available — nothing
+        to compare).
     timings:
-        Name-to-seconds map of the probe (``None`` on the fallback
-        path).
+        Name-to-seconds map of the probe (``None`` on the fallback and
+        disk-cache paths).
     """
 
     provider: str
     workspace_size: int
     source: str
     timings: dict[str, float] | None = None
+
+
+# ----------------------------------------------------------------------
+# Persistent autoselect cache
+# ----------------------------------------------------------------------
+#
+# The timing probe is cheap but not free (milliseconds per process), and
+# a fleet re-runs it in every short-lived CLI invocation.  Measured
+# choices are therefore persisted to a small JSON file keyed by the
+# machine identity that could change the outcome — hostname, CPU count
+# and the numpy/scipy versions — plus the workspace size, so a later
+# process on the same host skips straight to the remembered winner.
+# ``REPRO_FFT_PROVIDER=auto`` bypasses the file and forces a fresh probe
+# (refreshing the stored choice); persistence failures are silently
+# ignored (the cache is an optimisation, never a dependency).
+
+
+def autoselect_cache_path() -> str:
+    """Path of the persistent autoselect cache file.
+
+    Lives under ``$REPRO_CACHE_DIR`` when set
+    (:func:`repro.envpins.cache_dir_env_pin`), else
+    ``~/.cache/repro/``.
+    """
+    base = cache_dir_env_pin()
+    if base is None:
+        base = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+    return os.path.join(base, _DISK_CACHE_NAME)
+
+
+def _disk_cache_key(workspace_size: int) -> str:
+    """Identity under which a measured choice stays valid."""
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is optional
+        scipy_version = "none"
+    return "|".join(
+        [
+            socket.gethostname(),
+            f"cpu{os.cpu_count() or 1}",
+            f"numpy{np.__version__}",
+            f"scipy{scipy_version}",
+            f"ws{int(workspace_size)}",
+        ]
+    )
+
+
+def _disk_cache_load(workspace_size: int) -> str | None:
+    """The remembered provider for this machine key, if any."""
+    try:
+        with open(autoselect_cache_path(), encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    value = data.get(_disk_cache_key(workspace_size))
+    return value if isinstance(value, str) else None
+
+
+def _disk_cache_store(workspace_size: int, provider: str) -> None:
+    """Persist a measured choice (atomic, best-effort)."""
+    path = autoselect_cache_path()
+    try:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+        data[_disk_cache_key(workspace_size)] = provider
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def clear_autoselect_disk_cache() -> None:
+    """Delete the persistent autoselect cache file (test/refresh hook)."""
+    try:
+        os.remove(autoselect_cache_path())
+    except OSError:
+        pass
 
 
 def autoselect(
@@ -286,6 +389,21 @@ def autoselect(
         )
         _autoselected[workspace_size] = choice
         return choice
+    # Only the measured branch consults the disk cache: fallback choices
+    # are trivially recomputed, and ``REPRO_FFT_PROVIDER=auto`` is the
+    # documented "re-probe this host" override, so it bypasses the file
+    # (the fresh measurement below then refreshes it).
+    force_probe = provider_env_pin() == "auto"
+    if not force_probe:
+        remembered = _disk_cache_load(workspace_size)
+        if remembered in names:
+            choice = ProviderChoice(
+                provider=remembered,
+                workspace_size=workspace_size,
+                source="disk-cache",
+            )
+            _autoselected[workspace_size] = choice
+            return choice
     rng = np.random.default_rng(2014)
     batch = (
         rng.standard_normal((rows, workspace_size))
@@ -308,6 +426,7 @@ def autoselect(
         timings=timings,
     )
     _autoselected[workspace_size] = choice
+    _disk_cache_store(workspace_size, choice.provider)
     return choice
 
 

@@ -67,10 +67,17 @@ class ScipyFFTProvider:
     def rfft(self, x: np.ndarray) -> np.ndarray:
         return self._fft.rfft(x)
 
-    def fft_batch(self, x: np.ndarray) -> np.ndarray:
+    def fft_batch(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        # scipy.fft exposes no out= parameter; per the FFTProvider
+        # contract the destination is advisory, so it is ignored and a
+        # fresh array returned (supports_out stays unset/False).
         return self._fft.fft(x, axis=1, workers=self.workers)
 
-    def rfft_batch(self, x: np.ndarray) -> np.ndarray:
+    def rfft_batch(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         return self._fft.rfft(x, axis=1, workers=self.workers)
 
     def warm(self, n: int) -> None:

@@ -142,6 +142,11 @@ class FleetRunner:
         every worker so all shards round identically, which is what
         keeps sharded results bit-identical to single-process ones
         under every provider.
+    arena:
+        Install a per-process :class:`~repro.perf.WorkspaceArena` in
+        every worker (pre-warmed with the fleet's hot kernel shapes) so
+        steady-state shards reuse buffers instead of reallocating them;
+        never affects results.
     """
 
     def __init__(
@@ -153,6 +158,7 @@ class FleetRunner:
         oversubscription: int = DEFAULT_OVERSUBSCRIPTION,
         chunk_windows: int | None = None,
         provider: str | None = None,
+        arena: bool = True,
     ):
         self.welch = welch if welch is not None else WelchLomb()
         if n_jobs is None:
@@ -168,6 +174,7 @@ class FleetRunner:
         self.oversubscription = int(oversubscription)
         self._chunk_windows = chunk_windows
         self._provider = provider
+        self._arena = bool(arena)
         self._pool = None
         self._pool_key: tuple[int, str] | None = None
         self._pool_finalizer: weakref.finalize | None = None
@@ -194,6 +201,7 @@ class FleetRunner:
             n_jobs=resolved.jobs,
             chunk_windows=resolved.chunk_windows,
             provider=resolved.provider,
+            arena=getattr(config, "arena", True),
             **kwargs,
         )
 
@@ -351,7 +359,7 @@ class FleetRunner:
         self._pool = ctx.Pool(
             processes=self.n_jobs,
             initializer=init_worker,
-            initargs=(self.welch, chunk, provider),
+            initargs=(self.welch, chunk, provider, self._arena),
         )
         self._pool_key = (chunk, provider)
         # Safety net for abandoned runners: if this runner is garbage

@@ -25,6 +25,7 @@ from ..ffts.plancache import warm_execution_caches
 from ..ffts.providers.registry import set_default_provider
 from ..lomb.fast import LombSpectrum, set_batch_chunk_windows
 from ..lomb.welch import WelchLomb, analyze_spans
+from ..perf.workspace import WorkspaceArena, set_active_arena
 from .shm import SharedArrayRef, attach_array
 
 __all__ = [
@@ -72,6 +73,7 @@ def init_worker(
     welch: WelchLomb,
     chunk_windows: int | None,
     provider: str | None = None,
+    arena: bool = True,
 ) -> None:
     """Pool initializer: install the engine and warm this process.
 
@@ -82,6 +84,11 @@ def init_worker(
     resolved choice — here results *do* depend on it (different engines
     round differently), so pinning is what keeps every shard, and hence
     the merged cohort, bit-identical to the single-process run.
+    ``arena`` installs a process-wide
+    :class:`~repro.perf.WorkspaceArena` and pre-warms its hottest
+    shapes — the ``(chunk, workspace)`` kernel matrices — so even a
+    worker's first shard reuses pooled buffers (arenas never change
+    results; the kernels run the same operations either way).
     """
     if chunk_windows is not None:
         set_batch_chunk_windows(chunk_windows)
@@ -89,6 +96,13 @@ def init_worker(
         set_default_provider(provider)
     analyzer = welch.analyzer
     warm_execution_caches(analyzer.workspace_size, analyzer.order, provider)
+    if arena:
+        worker_arena = WorkspaceArena()
+        if chunk_windows is not None and chunk_windows > 0:
+            ndim = analyzer.workspace_size
+            worker_arena.warm((chunk_windows, ndim), np.float64, count=2)
+            worker_arena.warm((chunk_windows, ndim), np.complex128, count=2)
+        set_active_arena(worker_arena)
     _STATE["welch"] = welch
 
 

@@ -33,6 +33,7 @@ import numpy as np
 from .._validation import as_1d_float_array
 from ..errors import SignalError
 from ..ffts.plancache import lagrange_denominators
+from ..perf.workspace import Scratch, carve, scratch
 
 __all__ = ["extirpolate", "extirpolate_batch", "extirpolation_weights"]
 
@@ -106,7 +107,7 @@ def extirpolate(
 
 
 def _fractional_spread(
-    frac_pos: np.ndarray, size: int, order: int
+    frac_pos: np.ndarray, size: int, order: int, ws: Scratch | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """First cell and reverse-Lagrange weights of non-integer positions.
 
@@ -118,9 +119,15 @@ def _fractional_spread(
     what makes the flattened batch path cheap.  Sequential and batched
     extirpolation share this helper, so they perform identical
     floating-point work per sample.
+
+    When *ws* is given, the order-4 temporaries (and the returned
+    arrays) are leased from it instead of freshly allocated; the
+    operations performed are identical either way, so the results are
+    bit-identical.
     """
-    ilo = (frac_pos - 0.5 * order + 1.0).astype(np.int64)
-    ilo = np.clip(ilo, 0, size - order)
+    if ws is None:
+        ws = Scratch(None)
+    n = frac_pos.size
     if order == 4:
         # Closed form of the prefix/suffix chain below, with the shared
         # sub-products factored out — noticeably fewer array passes on
@@ -128,19 +135,36 @@ def _fractional_spread(
         # repo's default).  The multiplication orders reproduce the
         # generic chain exactly (prefix * suffix, commuted operand
         # pairs only), so the weights are bit-identical to it.
-        d0 = frac_pos - ilo
-        d1 = d0 - 1.0
-        d2 = d0 - 2.0
-        d3 = d0 - 3.0
-        p01 = d0 * d1
-        p32 = d3 * d2
-        weights = np.empty((frac_pos.size, 4))
-        weights[:, 0] = p32 * d1
-        weights[:, 1] = d0 * p32
-        weights[:, 2] = p01 * d3
-        weights[:, 3] = p01 * d2
-        weights *= 1.0 / lagrange_denominators(4)
+        shifted, d1, d2, d3, p01, p32, ilo, weights = carve(
+            ws.take((11 * n,)),
+            (n,),
+            (n,),
+            (n,),
+            (n,),
+            (n,),
+            (n,),
+            ((n,), np.int64),
+            (n, 4),
+        )
+        np.subtract(frac_pos, 0.5 * order, out=shifted)
+        np.add(shifted, 1.0, out=shifted)
+        np.copyto(ilo, shifted, casting="unsafe")  # astype truncation
+        np.clip(ilo, 0, size - order, out=ilo)
+        d0 = shifted  # storage reuse only; value fully overwritten
+        np.subtract(frac_pos, ilo, out=d0)
+        np.subtract(d0, 1.0, out=d1)
+        np.subtract(d0, 2.0, out=d2)
+        np.subtract(d0, 3.0, out=d3)
+        np.multiply(d0, d1, out=p01)
+        np.multiply(d3, d2, out=p32)
+        np.multiply(p32, d1, out=weights[:, 0])
+        np.multiply(d0, p32, out=weights[:, 1])
+        np.multiply(p01, d3, out=weights[:, 2])
+        np.multiply(p01, d2, out=weights[:, 3])
+        np.multiply(weights, 1.0 / lagrange_denominators(4), out=weights)
         return ilo, weights
+    ilo = (frac_pos - 0.5 * order + 1.0).astype(np.int64)
+    ilo = np.clip(ilo, 0, size - order)
     # diffs[:, c] = x - (ilo + c), computed from the relative offset so
     # the cells matrix is never materialised in float.
     diffs = (frac_pos - ilo)[:, None] - np.arange(order, dtype=np.float64)
@@ -163,6 +187,7 @@ def extirpolate_batch(
     size: int,
     order: int = DEFAULT_ORDER,
     lengths=None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Extirpolate many windows at once onto a ``(n_windows, size)`` batch.
 
@@ -178,6 +203,11 @@ def extirpolate_batch(
         Lagrange interpolation order.
     lengths:
         Optional ``(n_windows,)`` integer array of valid sample counts.
+    out:
+        Optional ``(n_windows, size)`` float64 destination.  The scatter
+        itself runs through ``bincount`` (which always allocates its own
+        result); *out* receives a copy of it, so callers can keep the
+        batch workspace in a :class:`~repro.perf.WorkspaceArena` buffer.
 
     The scatter-add runs over a flattened ``(window, cell)`` index space
     with a single ``bincount`` — no per-window Python iteration.  Exact
@@ -185,23 +215,32 @@ def extirpolate_batch(
     ones, sample-major within each group, which is the same per-cell
     ordering the sequential :func:`extirpolate` uses; each row of the
     result is therefore bit-identical to a sequential call on that
-    window.
+    window.  All staging arrays (masks, gathered positions, flattened
+    cell indices and weights) are leased from the active workspace arena
+    when one is installed; every operation is performed identically with
+    or without an arena, so the results are bit-for-bit the same.
     """
-    vals = np.asarray(values, dtype=np.float64)
-    pos = np.asarray(positions, dtype=np.float64)
-    if vals.ndim != 2 or pos.ndim != 2 or vals.shape != pos.shape:
+    vals_in = np.asarray(values, dtype=np.float64)
+    pos_in = np.asarray(positions, dtype=np.float64)
+    if vals_in.ndim != 2 or pos_in.ndim != 2 or vals_in.shape != pos_in.shape:
         raise SignalError(
             "values and positions must be matching 2-D arrays, got shapes "
-            f"{vals.shape} and {pos.shape}"
+            f"{vals_in.shape} and {pos_in.shape}"
         )
     if size < order:
         raise SignalError(f"workspace size {size} smaller than order {order}")
     if order < 2 or order > 10:
         raise SignalError(f"order must be in [2, 10], got {order}")
-    rows, width = vals.shape
-    if lengths is None:
-        valid = np.ones(vals.shape, dtype=bool)
-    else:
+    rows, width = vals_in.shape
+    if out is not None and (
+        out.shape != (rows, size) or out.dtype != np.float64
+    ):
+        raise SignalError(
+            f"out must be float64 with shape ({rows}, {size}), got "
+            f"{out.dtype} {out.shape}"
+        )
+    counts = None
+    if lengths is not None:
         counts = np.asarray(lengths, dtype=np.int64)
         if counts.shape != (rows,):
             raise SignalError(
@@ -209,30 +248,95 @@ def extirpolate_batch(
             )
         if np.any(counts < 0) or np.any(counts > width):
             raise SignalError(f"lengths must lie in [0, {width}]")
-        valid = np.arange(width)[None, :] < counts[:, None]
-    if np.any(valid & ((pos < 0) | (pos >= size))):
-        raise SignalError(f"positions must lie in [0, {size})")
 
-    # Padding entries become zero-valued samples at cell 0: they land in
-    # the bincount but add exactly 0.0, leaving every row untouched.
-    pos = np.where(valid, pos, 0.0)
-    vals = np.where(valid, vals, 0.0)
-    row_idx = np.broadcast_to(np.arange(rows)[:, None], pos.shape)
+    with scratch() as ws:
+        shape = (rows, width)
+        # Working copies: masking and gathers must not disturb inputs.
+        # One flat lease carved into every same-itemsize staging array
+        # (int64 views over float64 storage — bit reinterpretation, not
+        # conversion) keeps the arena round-trips per call to three.
+        pos, vals, floors, row_offsets, cells = carve(
+            ws.take((5 * rows * width,)),
+            shape,
+            shape,
+            shape,
+            (shape, np.int64),
+            (shape, np.int64),
+        )
+        valid, bad, oob, exact = ws.take_block(4, shape, np.bool_)
+        np.copyto(pos, pos_in)
+        np.copyto(vals, vals_in)
 
-    exact = pos == np.floor(pos)
-    exact_flat = row_idx[exact] * size + pos[exact].astype(np.int64)
-    exact_weights = vals[exact]
+        if counts is None:
+            valid.fill(True)
+        else:
+            np.less(np.arange(width)[None, :], counts[:, None], out=valid)
+        np.less(pos, 0.0, out=bad)
+        np.greater_equal(pos, size, out=oob)
+        np.logical_or(bad, oob, out=bad)
+        np.logical_and(bad, valid, out=bad)
+        if np.any(bad):
+            raise SignalError(f"positions must lie in [0, {size})")
 
-    frac = ~exact
-    if np.any(frac):
-        ilo, weights = _fractional_spread(pos[frac], size, order)
-        base = row_idx[frac] * size + ilo
-        frac_flat = (base[:, None] + np.arange(order)).ravel()
-        frac_weights = (vals[frac][:, None] * weights).ravel()
-        flat = np.concatenate([exact_flat, frac_flat])
-        flat_weights = np.concatenate([exact_weights, frac_weights])
-    else:
-        flat = exact_flat
-        flat_weights = exact_weights
-    out = np.bincount(flat, weights=flat_weights, minlength=rows * size)
-    return out.reshape(rows, size)
+        # Padding entries become zero-valued samples at cell 0: they land
+        # in the bincount but add exactly 0.0, leaving every row untouched.
+        if counts is not None:
+            invalid = oob  # storage reuse; value fully overwritten
+            np.logical_not(valid, out=invalid)
+            np.copyto(pos, 0.0, where=invalid)
+            np.copyto(vals, 0.0, where=invalid)
+
+        np.floor(pos, out=floors)
+        np.equal(pos, floors, out=exact)
+        n_exact = int(np.count_nonzero(exact))
+        n_frac = rows * width - n_exact
+
+        # Flattened (window, cell) indices of the exact contributions:
+        # row * size + integer cell, gathered row-major like the boolean
+        # fancy indexing of the sequential formulation.
+        row_offsets[:] = (np.arange(rows, dtype=np.int64) * size)[:, None]
+        np.copyto(cells, floors, casting="unsafe")  # astype truncation
+        np.add(cells, row_offsets, out=cells)
+
+        n_flat = n_exact + n_frac * order
+        flat, flat_weights = carve(
+            ws.take((2 * n_flat,)), ((n_flat,), np.int64), (n_flat,)
+        )
+        exact_mask = exact.ravel()
+        np.compress(exact_mask, cells.ravel(), out=flat[:n_exact])
+        np.compress(exact_mask, vals.ravel(), out=flat_weights[:n_exact])
+
+        if n_frac:
+            frac = exact  # storage reuse; value fully overwritten
+            np.logical_not(exact, out=frac)
+            frac_mask = frac.ravel()
+            frac_pos, frac_vals, base = carve(
+                ws.take((3 * n_frac,)),
+                (n_frac,),
+                (n_frac,),
+                ((n_frac,), np.int64),
+            )
+            np.compress(frac_mask, pos.ravel(), out=frac_pos)
+            np.compress(frac_mask, vals.ravel(), out=frac_vals)
+            np.compress(frac_mask, row_offsets.ravel(), out=base)
+            ilo, weights = _fractional_spread(frac_pos, size, order, ws=ws)
+            np.add(base, ilo, out=base)
+            # The tails of flat/flat_weights, viewed (n_frac, order), are
+            # exactly where the ravel()ed fractional blocks of the
+            # sequential formulation land after concatenation.
+            frac_cells = flat[n_exact:].reshape(n_frac, order)
+            np.add(base[:, None], np.arange(order), out=frac_cells)
+            frac_weights = flat_weights[n_exact:].reshape(n_frac, order)
+            np.multiply(frac_vals[:, None], weights, out=frac_weights)
+
+        # bincount is by far the fastest exact scatter-add numpy offers
+        # but always allocates its result; this is the one unavoidable
+        # fresh allocation of the batch path.
+        binned = np.bincount(
+            flat, weights=flat_weights, minlength=rows * size
+        )
+    result = binned.reshape(rows, size)
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out

@@ -50,6 +50,8 @@ from ..errors import ConfigurationError, SignalError
 from ..ffts.backends import FFTBackend
 from ..ffts.opcount import OpCounts
 from ..ffts.plancache import split_radix_plan
+from ..perf.profiler import span as _profile_span
+from ..perf.workspace import carve, scratch
 from .extirpolation import DEFAULT_ORDER, extirpolate, extirpolate_batch
 
 __all__ = [
@@ -684,15 +686,27 @@ class FastLomb:
         rows = len(arrays)
         ns = np.array([meta[0] for meta in metas], dtype=np.int64)
         max_n = int(ns.max())
-        t_pad = np.zeros((rows, max_n))
-        x_pad = np.zeros((rows, max_n))
-        for i, (t, x) in enumerate(arrays):
-            k = t.size
-            t_pad[i, :k] = t
-            x_pad[i, :k] = x
-        return self._periodogram_group_dense(
-            t_pad, x_pad, ns, metas, nout, count_ops
-        )
+        # Pad width quantised up to a multiple of 64 columns: results
+        # are already pad-width-independent (the per-row slices below
+        # and the lengths masks keep padding out of every reduction —
+        # the same invariant that makes fleet shard merging exact), and
+        # a handful of stable widths keeps the workspace arena keyed on
+        # a few trailing shapes instead of one per distinct
+        # longest-window beat count.
+        pad_n = ((max_n + 63) // 64) * 64
+        # The padded matrices are pure kernel inputs (read, never
+        # escaping into results), so they lease from the active arena;
+        # the dense kernel below has released all of its own borrows by
+        # the time this scratch closes.
+        with scratch() as ws:
+            t_pad, x_pad = ws.take_block(2, (rows, pad_n), zero=True)
+            for i, (t, x) in enumerate(arrays):
+                k = t.size
+                t_pad[i, :k] = t
+                x_pad[i, :k] = x
+            return self._periodogram_group_dense(
+                t_pad, x_pad, ns, metas, nout, count_ops
+            )
 
     def _periodogram_group_dense(
         self,
@@ -712,112 +726,223 @@ class FastLomb:
         operation counts — are bit-identical to the sequential path;
         variances are re-derived from the centred batch (they only
         scale the output power).
+
+        Every intermediate (masks, workspaces, FFT outputs, the dozen
+        Lomb-combine temporaries) is leased from the active workspace
+        arena when one is installed, and each formula is staged through
+        ``out=`` ufunc calls that reproduce the original expression's
+        operation structure exactly — same operations, same operand
+        order, same rounding — so arena-on and arena-off results are
+        bit-for-bit identical.  Only ``power`` and the per-spectrum
+        frequency grids are freshly allocated: they escape into the
+        returned :class:`LombSpectrum` objects.
         """
         ndim = self.workspace_size
         rows, max_n = t_pad.shape
         dfs = np.array([meta[2] for meta in metas])
-        if np.all(ns == max_n):
-            # Equal-length group (every uniform recording): one axis
-            # reduction replaces the per-row loop.  numpy's pairwise
-            # summation over the reduction axis is the same per row as
-            # the 1-D call, so the means — and everything downstream,
-            # dynamic-pruning decisions included — stay bit-identical.
-            means = x_pad.mean(axis=1)
-        else:
-            means = np.empty(rows)
-            for i in range(rows):
-                means[i] = x_pad[i, : ns[i]].mean()
-        valid = np.arange(max_n)[None, :] < ns[:, None]
-        centered = np.where(valid, x_pad - means[:, None], 0.0)
-        # Per-row dot products over the exact (unpadded) slices: a padded
-        # reduction would round differently depending on the batch's pad
-        # width, making results depend on how windows were grouped into
-        # batches — which would break the fleet engine's bit-identical
-        # shard merging.
-        variances = np.empty(rows)
-        for i in range(rows):
-            c = centered[i, : ns[i]]
-            variances[i] = c @ c
-        variances /= ns - 1
-        if np.any(variances <= 0):
-            raise SignalError("window has zero variance")
-        # Padded slots sit at t = 0 and clip to position 0; the lengths
-        # mask keeps them out of the workspaces regardless.
-        pos_data = (t_pad - t_pad[:, :1]) * (ndim * dfs)[:, None]
-        pos_data = np.clip(pos_data, 0.0, np.nextafter(float(ndim), 0.0))
-        pos_window = np.mod(2.0 * pos_data, float(ndim))
-        wk1 = extirpolate_batch(centered, pos_data, ndim, self.order, lengths=ns)
-        wk2 = extirpolate_batch(
-            valid.astype(np.float64), pos_window, ndim, self.order, lengths=ns
-        )
-
-        m = np.arange(1, nout + 1)
-        if self.fused_real:
-            # Fused real path (see :meth:`periodogram`): two batched
-            # rffts instead of pack + complex FFT + unpack.
-            data_ft = self.backend.rfft_batch(wk1)[:, m]
-            win_ft = self.backend.rfft_batch(wk2)[:, m]
-            fft_counts = (
-                (self.backend.static_counts(),) * rows if count_ops else None
-            )
-        else:
-            packed = wk1 + 1j * wk2
-            if count_ops:
-                spectrum, fft_counts = (
-                    self.backend.transform_batch_with_counts(packed)
-                )
+        with scratch() as ws:
+            means, variances = ws.take_block(2, (rows,))
+            if np.all(ns == max_n):
+                # Equal-length group (every uniform recording): one axis
+                # reduction replaces the per-row loop.  numpy's pairwise
+                # summation over the reduction axis is the same per row
+                # as the 1-D call, so the means — and everything
+                # downstream, dynamic-pruning decisions included — stay
+                # bit-identical.
+                x_pad.mean(axis=1, out=means)
             else:
-                spectrum = self.backend.transform_batch(packed)
-                fft_counts = None
-
-            z_pos = spectrum[:, m]
-            z_neg = spectrum[:, ndim - m]
-            gains = self._backend_gains()
-            if gains is not None:
-                z_pos = z_pos * gains[m]
-                z_neg = z_neg * gains[ndim - m]
-            data_ft = 0.5 * (z_pos + np.conj(z_neg))
-            win_ft = -0.5j * (z_pos - np.conj(z_neg))
-
-        cx, sx = data_ft.real, -data_ft.imag
-        c2, s2 = win_ft.real, -win_ft.imag
-        hypo = np.maximum(np.hypot(c2, s2), 1e-30)
-        hc2wt = 0.5 * c2 / hypo
-        hs2wt = 0.5 * s2 / hypo
-        cwt = np.sqrt(np.clip(0.5 + hc2wt, 0.0, None))
-        swt = np.sign(hs2wt) * np.sqrt(np.clip(0.5 - hc2wt, 0.0, None))
-        nn = ns[:, None].astype(np.float64)
-        den_c = 0.5 * nn + hc2wt * c2 + hs2wt * s2
-        den_s = nn - den_c
-        den_c = np.maximum(den_c, 1e-30)
-        den_s = np.maximum(den_s, 1e-30)
-        cterm = (cwt * cx + swt * sx) ** 2 / den_c
-        sterm = (cwt * sx - swt * cx) ** 2 / den_s
-        raw = cterm + sterm
-        if self.scaling == "standard":
-            power = raw / (2.0 * variances[:, None])
-        else:
-            power = raw / nn
-
-        spectra: list[LombSpectrum] = []
-        for i, meta in enumerate(metas):
-            n, duration, df, _nout = meta
-            counts = None
-            if count_ops:
-                counts = sum(
-                    self._non_fft_counts(n, nout).values(), fft_counts[i]
-                )
-            spectra.append(
-                LombSpectrum(
-                    frequencies=df * m,
-                    power=power[i],
-                    mean=float(means[i]),
-                    variance=float(variances[i]),
-                    n_samples=n,
-                    duration=duration,
-                    counts=counts,
-                )
+                for i in range(rows):
+                    means[i] = x_pad[i, : ns[i]].mean()
+            valid, invalid = ws.take_block(2, (rows, max_n), np.bool_)
+            centered, pos_data, pos_window, valid_f = ws.take_block(
+                4, (rows, max_n)
             )
+            np.less(np.arange(max_n)[None, :], ns[:, None], out=valid)
+            np.subtract(x_pad, means[:, None], out=centered)
+            np.logical_not(valid, out=invalid)
+            np.copyto(centered, 0.0, where=invalid)
+            # Per-row dot products over the exact (unpadded) slices: a
+            # padded reduction would round differently depending on the
+            # batch's pad width, making results depend on how windows
+            # were grouped into batches — which would break the fleet
+            # engine's bit-identical shard merging.
+            for i in range(rows):
+                c = centered[i, : ns[i]]
+                variances[i] = c @ c
+            np.divide(variances, ns - 1, out=variances)
+            if np.any(variances <= 0):
+                raise SignalError("window has zero variance")
+            # Padded slots sit at t = 0 and clip to position 0; the
+            # lengths mask keeps them out of the workspaces regardless.
+            np.subtract(t_pad, t_pad[:, :1], out=pos_data)
+            np.multiply(pos_data, (ndim * dfs)[:, None], out=pos_data)
+            np.clip(
+                pos_data, 0.0, np.nextafter(float(ndim), 0.0), out=pos_data
+            )
+            np.multiply(pos_data, 2.0, out=pos_window)
+            np.mod(pos_window, float(ndim), out=pos_window)
+            np.copyto(valid_f, valid)
+            wk1, wk2 = ws.take_block(2, (rows, ndim))
+            with _profile_span("extirpolate"):
+                extirpolate_batch(
+                    centered, pos_data, ndim, self.order, lengths=ns, out=wk1
+                )
+                extirpolate_batch(
+                    valid_f, pos_window, ndim, self.order, lengths=ns, out=wk2
+                )
+
+            m = np.arange(1, nout + 1)
+            # Providers advertise out= support; anything else (the
+            # explicit oracle, the pruned wavelet kernel, third-party
+            # providers with the pre-out= signature) transparently
+            # keeps its fresh-allocation behaviour.
+            backend_out = getattr(self.backend, "supports_out", False)
+            with _profile_span("fft"):
+                if self.fused_real:
+                    # Fused real path (see :meth:`periodogram`): two
+                    # batched rffts instead of pack + complex FFT +
+                    # unpack.  ``m`` is contiguous, so the bin
+                    # selections are strided views, not gather copies.
+                    half = ndim // 2 + 1
+                    if backend_out:
+                        r1_buf, r2_buf = ws.take_block(
+                            2, (rows, half), np.complex128
+                        )
+                        r1 = self.backend.rfft_batch(wk1, out=r1_buf)
+                        r2 = self.backend.rfft_batch(wk2, out=r2_buf)
+                    else:
+                        r1 = self.backend.rfft_batch(wk1)
+                        r2 = self.backend.rfft_batch(wk2)
+                    data_ft = r1[:, 1 : nout + 1]
+                    win_ft = r2[:, 1 : nout + 1]
+                    fft_counts = (
+                        (self.backend.static_counts(),) * rows
+                        if count_ops
+                        else None
+                    )
+                else:
+                    packed = ws.take((rows, ndim), np.complex128)
+                    packed.real[:] = wk1
+                    packed.imag[:] = wk2
+                    if count_ops:
+                        spectrum, fft_counts = (
+                            self.backend.transform_batch_with_counts(packed)
+                        )
+                    else:
+                        if backend_out:
+                            spectrum = self.backend.transform_batch(
+                                packed,
+                                out=ws.take((rows, ndim), np.complex128),
+                            )
+                        else:
+                            spectrum = self.backend.transform_batch(packed)
+                        fft_counts = None
+
+                    # z_pos covers bins 1..nout; z_neg their mirrors
+                    # ndim-1 down to ndim-nout — both as views.
+                    z_pos = spectrum[:, 1 : nout + 1]
+                    z_neg = spectrum[:, ndim - 1 : ndim - nout - 1 : -1]
+                    gains = self._backend_gains()
+                    if gains is not None:
+                        zp, zn = ws.take_block(2, (rows, nout), np.complex128)
+                        np.multiply(z_pos, gains[1 : nout + 1], out=zp)
+                        np.multiply(
+                            z_neg,
+                            gains[ndim - 1 : ndim - nout - 1 : -1],
+                            out=zn,
+                        )
+                        z_pos, z_neg = zp, zn
+                    conj_neg, data_ft, win_ft = ws.take_block(
+                        3, (rows, nout), np.complex128
+                    )
+                    np.conjugate(z_neg, out=conj_neg)
+                    np.add(z_pos, conj_neg, out=data_ft)
+                    np.multiply(data_ft, 0.5, out=data_ft)
+                    np.subtract(z_pos, conj_neg, out=win_ft)
+                    np.multiply(win_ft, -0.5j, out=win_ft)
+
+            with _profile_span("lomb_combine"):
+                (
+                    sx,
+                    s2,
+                    hypo,
+                    hc2wt,
+                    hs2wt,
+                    cwt,
+                    swt,
+                    sgn,
+                    prod,
+                    den_c,
+                    den_s,
+                    cterm,
+                    sterm,
+                ) = ws.take_block(13, (rows, nout))
+                cx = data_ft.real
+                np.negative(data_ft.imag, out=sx)
+                c2 = win_ft.real
+                np.negative(win_ft.imag, out=s2)
+                np.hypot(c2, s2, out=hypo)
+                np.maximum(hypo, 1e-30, out=hypo)
+                np.multiply(c2, 0.5, out=hc2wt)
+                np.divide(hc2wt, hypo, out=hc2wt)
+                np.multiply(s2, 0.5, out=hs2wt)
+                np.divide(hs2wt, hypo, out=hs2wt)
+                np.add(hc2wt, 0.5, out=cwt)
+                np.clip(cwt, 0.0, None, out=cwt)
+                np.sqrt(cwt, out=cwt)
+                np.subtract(0.5, hc2wt, out=swt)
+                np.clip(swt, 0.0, None, out=swt)
+                np.sqrt(swt, out=swt)
+                np.sign(hs2wt, out=sgn)
+                np.multiply(sgn, swt, out=swt)
+                nn = ns[:, None].astype(np.float64)
+                half_nn = 0.5 * nn
+                np.multiply(hc2wt, c2, out=prod)
+                np.add(half_nn, prod, out=den_c)
+                np.multiply(hs2wt, s2, out=prod)
+                np.add(den_c, prod, out=den_c)
+                np.subtract(nn, den_c, out=den_s)
+                np.maximum(den_c, 1e-30, out=den_c)
+                np.maximum(den_s, 1e-30, out=den_s)
+                np.multiply(cwt, cx, out=cterm)
+                np.multiply(swt, sx, out=prod)
+                np.add(cterm, prod, out=cterm)
+                np.square(cterm, out=cterm)
+                np.divide(cterm, den_c, out=cterm)
+                np.multiply(cwt, sx, out=sterm)
+                np.multiply(swt, cx, out=prod)
+                np.subtract(sterm, prod, out=sterm)
+                np.square(sterm, out=sterm)
+                np.divide(sterm, den_s, out=sterm)
+                raw = cterm
+                np.add(cterm, sterm, out=raw)
+                # The power matrix escapes into the returned spectra, so
+                # it is the one combine output allocated fresh.
+                power = np.empty((rows, nout))
+                if self.scaling == "standard":
+                    np.divide(raw, 2.0 * variances[:, None], out=power)
+                else:
+                    np.divide(raw, nn, out=power)
+
+            spectra: list[LombSpectrum] = []
+            for i, meta in enumerate(metas):
+                n, duration, df, _nout = meta
+                counts = None
+                if count_ops:
+                    counts = sum(
+                        self._non_fft_counts(n, nout).values(), fft_counts[i]
+                    )
+                spectra.append(
+                    LombSpectrum(
+                        frequencies=df * m,
+                        power=power[i],
+                        mean=float(means[i]),
+                        variance=float(variances[i]),
+                        n_samples=n,
+                        duration=duration,
+                        counts=counts,
+                    )
+                )
         return spectra
 
     # ------------------------------------------------------------------

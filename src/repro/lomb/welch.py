@@ -31,6 +31,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 from .._validation import as_1d_float_array
 from ..errors import ConfigurationError, SignalError
 from ..ffts.opcount import OpCounts
+from ..perf.profiler import span as _profile_span
 from .fast import FastLomb, LombSpectrum
 
 __all__ = [
@@ -57,6 +58,7 @@ def assemble_result(
     window_times: np.ndarray,
     skipped: int,
     count_ops: bool = False,
+    out: np.ndarray | None = None,
 ) -> WelchLombResult:
     """Assemble per-window spectra into a :class:`WelchLombResult`.
 
@@ -69,41 +71,61 @@ def assemble_result(
     longest-duration window so the spectrogram is rectangular even when
     beat counts differ per window; windows already on a grid of the
     reference length are stacked with one array assignment.
+
+    *out*, when given, provides the ``(n_windows, grid_size)`` float64
+    spectrogram storage and becomes the result's ``spectrogram`` — the
+    caller then owns its lifetime (it must NOT be a workspace-arena
+    temporary, since the result keeps referencing it).  Values written
+    are identical with or without *out*.
     """
     spectra = list(spectra)
     if not spectra:
         raise SignalError(
             "no analysable windows: recording too short or too sparse"
         )
-    reference = max(spectra, key=lambda s: s.frequencies.size)
-    grid = reference.frequencies
-    sizes = np.fromiter(
-        (s.frequencies.size for s in spectra), dtype=np.intp, count=len(spectra)
-    )
-    rows = np.empty((len(spectra), grid.size))
-    full = np.flatnonzero(sizes == grid.size)
-    if full.size:
-        rows[full] = [spectra[i].power for i in full]
-    for i in np.flatnonzero(sizes != grid.size):
-        rows[i] = np.interp(
-            grid,
-            spectra[i].frequencies,
-            spectra[i].power,
-            left=0.0,
-            right=0.0,
+    with _profile_span("assemble"):
+        reference = max(spectra, key=lambda s: s.frequencies.size)
+        grid = reference.frequencies
+        sizes = np.fromiter(
+            (s.frequencies.size for s in spectra),
+            dtype=np.intp,
+            count=len(spectra),
         )
-    counts = None
-    if count_ops:
-        counts = sum((s.counts for s in spectra), OpCounts())
-    return WelchLombResult(
-        frequencies=grid,
-        spectrogram=rows,
-        averaged=rows.mean(axis=0),
-        window_times=np.asarray(window_times),
-        window_spectra=tuple(spectra),
-        counts=counts,
-        skipped_windows=skipped,
-    )
+        if out is None:
+            rows = np.empty((len(spectra), grid.size))
+        else:
+            if out.shape != (len(spectra), grid.size) or (
+                out.dtype != np.float64
+            ):
+                raise SignalError(
+                    f"out must be float64 with shape "
+                    f"({len(spectra)}, {grid.size}), got {out.dtype} "
+                    f"{out.shape}"
+                )
+            rows = out
+        full = np.flatnonzero(sizes == grid.size)
+        if full.size:
+            rows[full] = [spectra[i].power for i in full]
+        for i in np.flatnonzero(sizes != grid.size):
+            rows[i] = np.interp(
+                grid,
+                spectra[i].frequencies,
+                spectra[i].power,
+                left=0.0,
+                right=0.0,
+            )
+        counts = None
+        if count_ops:
+            counts = sum((s.counts for s in spectra), OpCounts())
+        return WelchLombResult(
+            frequencies=grid,
+            spectrogram=rows,
+            averaged=rows.mean(axis=0),
+            window_times=np.asarray(window_times),
+            window_spectra=tuple(spectra),
+            counts=counts,
+            skipped_windows=skipped,
+        )
 
 
 def iter_windows(

@@ -1,0 +1,46 @@
+"""Steady-state performance subsystem: workspace arenas and profiling.
+
+Two cooperating pieces keep the streaming hot path allocation-free at
+steady state and make the win observable:
+
+* :mod:`repro.perf.workspace` — :class:`WorkspaceArena`, a
+  shape/dtype-keyed pool of reusable buffers; kernels lease temporaries
+  through :class:`Scratch` so one code path serves both pooled and
+  plain allocation (arena-on ≡ arena-off bit-for-bit by construction).
+* :mod:`repro.perf.profiler` — :class:`StageProfiler`, near-zero
+  overhead-when-disabled timing/allocation spans around extirpolation,
+  FFT dispatch, Lomb combine, assemble and hub flush, surfaced via
+  ``python -m repro profile`` and ``EngineConfig(profile=True)``.
+"""
+
+from repro.perf.profiler import (
+    StageProfiler,
+    get_active_profiler,
+    profile_scope,
+    set_active_profiler,
+    span,
+)
+from repro.perf.workspace import (
+    Scratch,
+    WorkspaceArena,
+    arena_scope,
+    carve,
+    get_active_arena,
+    scratch,
+    set_active_arena,
+)
+
+__all__ = [
+    "Scratch",
+    "StageProfiler",
+    "WorkspaceArena",
+    "arena_scope",
+    "carve",
+    "get_active_arena",
+    "get_active_profiler",
+    "profile_scope",
+    "scratch",
+    "set_active_arena",
+    "set_active_profiler",
+    "span",
+]

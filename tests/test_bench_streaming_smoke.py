@@ -51,6 +51,22 @@ def test_streaming_benchmark_smoke(tmp_path):
         assert entry["max_rel_diff_spectrogram"] == 0.0
         assert entry["op_counts_equal"] is True
     assert paths["speedup_hub_vs_independent"] > 0
+    steady = document["steady_state"]
+    assert set(steady) == {
+        "warmup_rounds_skipped",
+        "arena",
+        "no_arena",
+        "alloc_reduction_factor",
+    }
+    for variant in ("arena", "no_arena"):
+        entry = steady[variant]
+        assert entry["windows"] > 0
+        assert entry["alloc_bytes_per_window"] >= 0
+        assert entry["flush_latency_p95_ms"] > 0
+    # The arena must cut steady-state allocation churn (the committed
+    # full-size run shows the headline factor; the tiny smoke cohort
+    # just has to show a real reduction).
+    assert steady["alloc_reduction_factor"] > 1.0
     # document must round-trip through JSON (what main() writes)
     out = tmp_path / "BENCH_streaming.json"
     out.write_text(json.dumps(document, indent=2))

@@ -52,6 +52,11 @@ def test_throughput_benchmark_smoke(tmp_path):
             assert provider_entry["allclose_vs_oracle"] is True
             assert provider_entry["opcounts_match_oracle"] is True
             assert provider_entry["windows_per_sec"] > 0
+        alloc = entry["steady_state_alloc"]
+        assert alloc["arena_alloc_bytes_per_window"] >= 0
+        assert alloc["no_arena_alloc_bytes_per_window"] > 0
+        # The arena must cut batched-analysis allocation churn.
+        assert alloc["alloc_reduction_factor"] > 1.0
     # document must round-trip through JSON (what main() writes)
     out = tmp_path / "BENCH_throughput.json"
     out.write_text(json.dumps(document, indent=2))

@@ -168,3 +168,89 @@ class TestPlanCaches:
         prop_a = QualityScalablePSA(config, pruning=PruningSpec.paper_mode(3))
         prop_b = QualityScalablePSA(config, pruning=PruningSpec.paper_mode(3))
         assert prop_a.backend is prop_b.backend
+
+
+class TestBoundedCache:
+    """The LRU layer under the plan caches: bounds, recency, pins."""
+
+    def _make(self, maxsize=3):
+        from repro.ffts.plancache import _BoundedCache
+
+        return _BoundedCache(maxsize=maxsize)
+
+    def test_get_put_roundtrip_and_counters(self):
+        cache = self._make()
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = self._make(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now least recently used
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_pinned_entries_survive_pressure(self):
+        cache = self._make(maxsize=1)
+        cache.put("keep", 1)
+        cache.pin("keep")
+        for i in range(5):
+            cache.put(f"junk{i}", i)
+        assert cache.get("keep") == 1
+
+    def test_pin_unknown_key_is_noop(self):
+        cache = self._make()
+        cache.pin("absent")
+        assert cache.stats()["pinned"] == 0
+
+    def test_pop_discards_pin(self):
+        cache = self._make()
+        cache.put("a", 1)
+        cache.pin("a")
+        assert cache.pop("a") == 1
+        assert cache.stats()["pinned"] == 0
+
+    def test_clear_empties_everything(self):
+        cache = self._make()
+        cache.put("a", 1)
+        cache.pin("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["pinned"] == 0
+
+    def test_detail_surface_shape(self):
+        from repro.ffts.plancache import plan_cache_detail
+
+        detail = plan_cache_detail()
+        assert {
+            "twiddle_pairs",
+            "keep_masks",
+            "wavelet_plans",
+            "split_radix_plans",
+            "provider_plans",
+        } <= set(detail)
+        for row in detail.values():
+            assert {
+                "size",
+                "maxsize",
+                "pinned",
+                "hits",
+                "misses",
+                "evictions",
+            } == set(row)
+
+    def test_warm_pins_provider_plan(self):
+        from repro.ffts.plancache import (
+            _PROVIDER_PLANS,
+            warm_execution_caches,
+        )
+
+        warm_execution_caches(64, provider="numpy")
+        assert "numpy" in _PROVIDER_PLANS._pinned

@@ -538,3 +538,69 @@ class TestFleetProviderPinning:
             pruning=PruningSpec.paper_mode(3)
         ).analyze_cohort([rr], provider="explicit")
         assert len(wavelet) == 1
+
+
+class TestAutoselectDiskCache:
+    """Persistence of measured autoselect choices across processes."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        registry.clear_provider_state()
+        yield
+        registry.clear_provider_state()
+
+    def test_measured_choice_is_persisted_and_read_back(self, tmp_path):
+        import json
+        import os
+
+        first = registry.autoselect(512)
+        if first.source != "measured":
+            pytest.skip("only one provider available: nothing persisted")
+        path = registry.autoselect_cache_path()
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert first.provider in data.values()
+        # A "new process" (cleared memo) resolves from disk, no probe.
+        registry.clear_provider_state()
+        second = registry.autoselect(512)
+        assert second.source == "disk-cache"
+        assert second.provider == first.provider
+        assert second.timings is None
+
+    def test_env_auto_bypasses_disk_cache(self, monkeypatch):
+        first = registry.autoselect(512)
+        if first.source != "measured":
+            pytest.skip("only one provider available: nothing persisted")
+        registry.clear_provider_state()
+        monkeypatch.setenv("REPRO_FFT_PROVIDER", "auto")
+        forced = registry.autoselect(512)
+        assert forced.source == "measured"
+
+    def test_corrupt_cache_file_is_tolerated(self):
+        import os
+
+        path = registry.autoselect_cache_path()
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not json{")
+        choice = registry.autoselect(512)
+        assert choice.source in ("measured", "fallback")
+
+    def test_clear_disk_cache_removes_file(self):
+        import os
+
+        first = registry.autoselect(512)
+        if first.source != "measured":
+            pytest.skip("only one provider available: nothing persisted")
+        assert os.path.exists(registry.autoselect_cache_path())
+        registry.clear_autoselect_disk_cache()
+        assert not os.path.exists(registry.autoselect_cache_path())
+
+    def test_key_carries_machine_identity(self):
+        from repro.ffts.providers.registry import _disk_cache_key
+
+        key = _disk_cache_key(512)
+        assert f"numpy{np.__version__}" in key
+        assert key.endswith("|ws512")
