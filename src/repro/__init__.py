@@ -64,6 +64,7 @@ from .errors import (
     ReproError,
     SignalError,
     TransformError,
+    TransportError,
 )
 from .ffts import OpCounts, PruningSpec, SplitRadixFFT, WaveletFFT
 from .hrv import RRSeries, SinusArrhythmiaDetector, band_powers, lf_hf_ratio
@@ -102,6 +103,7 @@ __all__ = [
     "SyntheticCohort",
     "TachogramSpec",
     "TransformError",
+    "TransportError",
     "WaveletFFT",
     "WelchLomb",
     "WindowEmission",

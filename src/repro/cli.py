@@ -90,6 +90,15 @@ def _config_from_args(args, default_mode: str = "set3") -> EngineConfig:
     if getattr(args, "jobs", None) is not None:
         # 0 is the CLI's one-per-CPU sentinel (None in config terms).
         config = config.replace(jobs=None if args.jobs == 0 else args.jobs)
+    if getattr(args, "workers", None):
+        # Repeatable and comma-splittable: --workers a:1 --workers b:2,c:3
+        addresses = [
+            address.strip()
+            for value in args.workers
+            for address in value.split(",")
+            if address.strip()
+        ]
+        config = config.replace(workers=tuple(addresses))
     return config
 
 
@@ -129,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=provider_names(),
         help="FFT execution provider to pin (see the providers command)",
+    )
+    screen.add_argument(
+        "--workers",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="remote fleet worker daemon to schedule shards onto "
+        "(repeatable; comma-separated lists accepted)",
     )
 
     stream = sub.add_parser(
@@ -190,6 +207,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=provider_names(),
         help="FFT execution provider to pin (see the providers command)",
+    )
+    stream.add_argument(
+        "--workers",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="remote fleet worker daemon to schedule span batches onto "
+        "(repeatable; comma-separated lists accepted)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve this host as a fleet worker daemon",
+        description="Run a fleet worker daemon: listen for a scheduler's "
+        "connection, reconstruct its exact engine (config blob, pinned "
+        "provider and chunk size, warmed plan caches, workspace arena) "
+        "and analyse the span batches it ships — bit-identically to the "
+        "scheduler running them locally.  Use --listen HOST:0 to bind an "
+        "ephemeral port (the bound address is printed on startup).",
+    )
+    worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:0 = ephemeral port)",
     )
 
     engine_cmd = sub.add_parser(
@@ -488,6 +530,12 @@ def _cmd_stream(args) -> int:
     return exit_code
 
 
+def _cmd_worker(args) -> int:
+    from .fleet.remote import run_worker_daemon
+
+    return run_worker_daemon(args.listen)
+
+
 def _cmd_engine(args) -> int:
     config = _config_from_args(args, default_mode="exact")
     if args.json:
@@ -712,6 +760,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "screen": _cmd_screen,
         "stream": _cmd_stream,
+        "worker": _cmd_worker,
         "engine": _cmd_engine,
         "energy": _cmd_energy,
         "complexity": _cmd_complexity,

@@ -68,6 +68,11 @@ class ResolvedExecution:
         Concrete worker-process count for cohort runs (>= 1).
     jobs_source:
         ``"explicit"``, ``"config"`` or ``"cpu-count"``.
+    workers:
+        Remote worker daemon addresses (``host:port``) cohort runs
+        schedule onto alongside the local slots; empty for local-only.
+    workers_source:
+        ``"explicit"``, ``"config"`` or ``"default"``.
     """
 
     provider: str
@@ -76,6 +81,8 @@ class ResolvedExecution:
     chunk_source: str
     jobs: int
     jobs_source: str
+    workers: tuple[str, ...] = ()
+    workers_source: str = "default"
 
 
 @dataclass(frozen=True)
@@ -102,6 +109,14 @@ class EngineConfig:
         through (env pin → per-host auto-tuner).
     jobs:
         Worker processes for cohort runs; ``None`` means one per CPU.
+    workers:
+        ``host:port`` addresses of remote fleet worker daemons
+        (``python -m repro worker --listen HOST:PORT``) to schedule
+        cohort shards onto alongside the local worker processes.  Empty
+        (the default) keeps execution on this host.  Results are
+        bit-identical either way: each daemon rebuilds the engine from
+        this config and runs under the scheduler's resolved
+        provider/chunk pins.
     bands:
         Band-power integration edges reported in results (defaults to
         the standard ULF/VLF/LF/HF split).
@@ -127,6 +142,7 @@ class EngineConfig:
     provider: str | None = None
     chunk_windows: int | None = None
     jobs: int | None = 1
+    workers: tuple[str, ...] = ()
     bands: tuple[FrequencyBand, ...] = STANDARD_BANDS
     arena: bool = True
     profile: bool = False
@@ -157,6 +173,17 @@ class EngineConfig:
                     f"got {self.jobs}"
                 )
             object.__setattr__(self, "jobs", int(self.jobs))
+        workers = tuple(self.workers)
+        for address in workers:
+            if not isinstance(address, str):
+                raise ConfigurationError(
+                    "workers must be 'host:port' strings, got "
+                    f"{type(address).__name__}"
+                )
+            from ..fleet.transport import parse_address
+
+            parse_address(address)
+        object.__setattr__(self, "workers", workers)
         bands = tuple(self.bands)
         for band in bands:
             if not isinstance(band, FrequencyBand):
@@ -230,6 +257,7 @@ class EngineConfig:
             "provider": self.provider,
             "chunk_windows": self.chunk_windows,
             "jobs": self.jobs,
+            "workers": list(self.workers),
             "bands": [
                 {"name": band.name, "low": band.low, "high": band.high}
                 for band in self.bands
@@ -253,7 +281,7 @@ class EngineConfig:
             )
         known = {
             "system", "pruning", "psa", "provider", "chunk_windows",
-            "jobs", "bands", "arena", "profile",
+            "jobs", "workers", "bands", "arena", "profile",
         }
         unknown = set(data) - known
         if unknown:
@@ -277,6 +305,13 @@ class EngineConfig:
             if not isinstance(psa, dict):
                 raise ConfigurationError("psa must be a mapping")
             kwargs["psa"] = PSAConfig(**psa)
+        if "workers" in data:
+            workers = data["workers"]
+            if isinstance(workers, str) or not hasattr(workers, "__iter__"):
+                raise ConfigurationError(
+                    "workers must be a list of 'host:port' strings"
+                )
+            kwargs["workers"] = tuple(workers)
         if "bands" in data:
             kwargs["bands"] = tuple(
                 FrequencyBand(**band) for band in data["bands"]
@@ -322,6 +357,7 @@ class EngineConfig:
         provider: str | None = None,
         chunk_windows: int | None = None,
         jobs: int | None = None,
+        workers=None,
     ) -> ResolvedExecution:
         """Resolve every execution knob through its precedence chain.
 
@@ -402,6 +438,18 @@ class EngineConfig:
         else:
             n_jobs, jobs_source = os.cpu_count() or 1, "cpu-count"
 
+        if workers is not None:
+            from ..fleet.transport import parse_address
+
+            worker_list = tuple(workers)
+            for address in worker_list:
+                parse_address(address)
+            workers_source = "explicit"
+        elif self.workers:
+            worker_list, workers_source = self.workers, "config"
+        else:
+            worker_list, workers_source = (), "default"
+
         return ResolvedExecution(
             provider=provider_name,
             provider_source=provider_source,
@@ -409,4 +457,6 @@ class EngineConfig:
             chunk_source=chunk_source,
             jobs=n_jobs,
             jobs_source=jobs_source,
+            workers=worker_list,
+            workers_source=workers_source,
         )

@@ -249,7 +249,7 @@ class Engine:
         pool when the resolved job count calls for workers — both
         bit-identical by the batch-composition-independence invariant.
         """
-        if self.resolved.jobs > 1:
+        if self.resolved.jobs > 1 or self.resolved.workers:
             # Workers own per-process arenas (installed by init_worker);
             # the arena scope here covers the runner's in-process
             # small-batch path, which executes in this process.
@@ -281,6 +281,8 @@ class Engine:
                 chunk_windows=self.resolved.chunk_windows,
                 provider=self.resolved.provider,
                 arena=self.config.arena,
+                workers=self.resolved.workers,
+                config=self.config if self.resolved.workers else None,
             )
         return self._fleet
 

@@ -16,6 +16,7 @@ __all__ = [
     "PlatformError",
     "CalibrationError",
     "FixedPointError",
+    "TransportError",
 ]
 
 
@@ -45,3 +46,7 @@ class CalibrationError(ReproError):
 
 class FixedPointError(ReproError):
     """Fixed-point format violation (overflow without saturation, bad Q spec)."""
+
+
+class TransportError(ReproError):
+    """A fleet transport frame or message violates the wire protocol."""

@@ -33,8 +33,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
+import threading
 import weakref
+from collections import deque
+from contextlib import ExitStack
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -50,12 +55,14 @@ from ..lomb.welch import (
 )
 from ..ffts.plancache import warm_execution_caches
 from ..ffts.providers.registry import resolve_provider_name
+from .remote import DEFAULT_TIMEOUT, RemoteTaskError, RemoteWorker
 from .sharding import (
     DEFAULT_MIN_WINDOWS_PER_SHARD,
     DEFAULT_OVERSUBSCRIPTION,
     plan_shards,
 )
 from .shm import SharedRecordingStore
+from .transport import parse_address
 from .worker import (
     ShardTask,
     SpanBatchTask,
@@ -73,6 +80,9 @@ __all__ = ["FleetReport", "FleetRunner"]
 #: task dispatch than the extra parallelism recovers.
 MIN_SPANS_PER_SLICE = 8
 
+#: Seconds between result polls while watching the pool for dead workers.
+_POOL_POLL_SECONDS = 0.2
+
 
 def _terminate_abandoned_pool(pool) -> None:
     """`weakref.finalize` safety net for unreleased worker pools.
@@ -85,6 +95,86 @@ def _terminate_abandoned_pool(pool) -> None:
     """
     pool.terminate()
     pool.join()
+
+
+@dataclass(frozen=True)
+class _WireTask:
+    """Executor-agnostic unit of scheduled work: spans over keyed arrays.
+
+    The distributed scheduler's common currency — a local pool slot
+    turns it into a :class:`~repro.fleet.worker.SpanBatchTask` over shm
+    refs, a remote slot ships the referenced arrays once and the spans
+    as index pairs (:class:`~repro.fleet.remote.RemoteWorker`), and the
+    in-process slot analyses it directly.  All three produce the same
+    packed spectra.
+    """
+
+    task_id: int
+    times_key: int
+    values_key: int
+    spans: tuple[tuple[int, int], ...]
+    count_ops: bool
+
+
+class _TaskBoard:
+    """Thread-safe work queue with reassignment, for the fleet scheduler.
+
+    Tasks are integer ids.  Executor threads :meth:`claim` one, then
+    either :meth:`complete` it with a result, :meth:`requeue` it (their
+    worker died — some other executor will re-run it; results are
+    merged order-independently so re-execution is safe), or
+    :meth:`abort` the whole board (deterministic failure that would
+    reproduce anywhere).  Every claimed task is always returned by one
+    of the three, so the queue-empty/none-in-flight state is decisive.
+    """
+
+    def __init__(self, n_tasks: int):
+        self._cond = threading.Condition()
+        self._queue: deque[int] = deque(range(n_tasks))
+        self._results: dict[int, object] = {}
+        self._n = n_tasks
+        self._failure: BaseException | None = None
+
+    def claim(self) -> int | None:
+        """Next task id to run, or ``None`` when the board is finished."""
+        with self._cond:
+            while True:
+                if self._failure is not None or len(self._results) == self._n:
+                    return None
+                if self._queue:
+                    return self._queue.popleft()
+                self._cond.wait()
+
+    def complete(self, task_id: int, result) -> None:
+        with self._cond:
+            self._results[task_id] = result
+            self._cond.notify_all()
+
+    def requeue(self, task_id: int) -> None:
+        with self._cond:
+            self._queue.append(task_id)
+            self._cond.notify_all()
+
+    def abort(self, failure: BaseException) -> None:
+        with self._cond:
+            if self._failure is None:
+                self._failure = failure
+            self._cond.notify_all()
+
+    def wait(self) -> None:
+        """Block until every task completed or the board aborted."""
+        with self._cond:
+            while self._failure is None and len(self._results) < self._n:
+                self._cond.wait()
+
+    @property
+    def failure(self) -> BaseException | None:
+        with self._cond:
+            return self._failure
+
+    def results_in_order(self) -> list:
+        with self._cond:
+            return [self._results[i] for i in range(self._n)]
 
 
 @dataclass(frozen=True)
@@ -105,6 +195,8 @@ class FleetReport:
         Multiprocessing start method (``None`` for the in-process path).
     provider:
         Resolved FFT execution provider every process was pinned to.
+    n_remote_workers:
+        Remote worker daemons that served this run (0 for local-only).
     """
 
     results: tuple[WelchLombResult, ...]
@@ -113,6 +205,7 @@ class FleetReport:
     chunk_windows: int
     start_method: str | None
     provider: str | None = None
+    n_remote_workers: int = 0
 
 
 class FleetRunner:
@@ -147,6 +240,17 @@ class FleetRunner:
         every worker (pre-warmed with the fleet's hot kernel shapes) so
         steady-state shards reuse buffers instead of reallocating them;
         never affects results.
+    workers:
+        ``host:port`` addresses of remote :class:`~repro.fleet.remote.WorkerDaemon`
+        processes to schedule shards onto alongside the local slots.
+        Requires ``config`` (the daemon rebuilds the engine from it).
+    worker_timeout:
+        Seconds of remote silence (no heartbeat) before a worker is
+        presumed dead and its shard reassigned.
+    config:
+        The :class:`~repro.engine.EngineConfig` describing ``welch``,
+        serialized to remote daemons at handshake.  Only needed when
+        ``workers`` is non-empty.
     """
 
     def __init__(
@@ -159,6 +263,9 @@ class FleetRunner:
         chunk_windows: int | None = None,
         provider: str | None = None,
         arena: bool = True,
+        workers: Sequence[str] = (),
+        worker_timeout: float = DEFAULT_TIMEOUT,
+        config=None,
     ):
         self.welch = welch if welch is not None else WelchLomb()
         if n_jobs is None:
@@ -175,9 +282,26 @@ class FleetRunner:
         self._chunk_windows = chunk_windows
         self._provider = provider
         self._arena = bool(arena)
+        self.workers = tuple(workers or ())
+        for address in self.workers:
+            parse_address(address)  # reject malformed addresses up front
+        self.worker_timeout = float(worker_timeout)
+        self._config = config
+        if self.workers and config is None:
+            raise ConfigurationError(
+                "remote workers need the EngineConfig that describes the "
+                "engine: pass config=, or build the runner via from_config()"
+            )
         self._pool = None
         self._pool_key: tuple[int, str] | None = None
         self._pool_finalizer: weakref.finalize | None = None
+        self._pool_processes: list = []
+        self._progress = None
+        self._progress_lock = threading.Lock()
+        self._last_task_by_pid: dict[int, int] = {}
+        self._remotes: dict[str, RemoteWorker] = {}
+        self._remote_ever: set[str] = set()
+        self._remote_key: tuple[int, str] | None = None
 
     @classmethod
     def from_config(cls, config, welch: WelchLomb | None = None, **kwargs):
@@ -196,6 +320,8 @@ class FleetRunner:
 
             welch = build_system(config).welch
         resolved = config.resolve()
+        kwargs.setdefault("workers", getattr(resolved, "workers", ()))
+        kwargs.setdefault("config", config)
         return cls(
             welch=welch,
             n_jobs=resolved.jobs,
@@ -237,12 +363,35 @@ class FleetRunner:
                 )
         shards = plan_shards(
             [plan.n_windows for plan in plans],
-            self.n_jobs,
+            self.n_jobs + len(self.workers),
             min_windows_per_shard=self.min_windows_per_shard,
             oversubscription=self.oversubscription,
         )
         chunk, provider = self._resolve_execution()
-        if self.n_jobs == 1:
+        n_remote = 0
+        if self.workers:
+            # Distributed path: shard geometry above already counted the
+            # remote slots; spectra merge order-independently, so which
+            # slot ran which shard can never change the result.
+            arrays = [
+                array for plan in plans for array in (plan.times, plan.values)
+            ]
+            tasks = [
+                _WireTask(
+                    task_id=shard_id,
+                    times_key=2 * shard.recording,
+                    values_key=2 * shard.recording + 1,
+                    spans=plans[shard.recording].spans[shard.lo : shard.hi],
+                    count_ops=count_ops,
+                )
+                for shard_id, shard in enumerate(shards)
+            ]
+            packed, n_remote = self._run_scheduled(
+                arrays, tasks, chunk, provider
+            )
+            n_jobs = self.n_jobs
+            used_method = self.start_method if self.n_jobs > 1 else None
+        elif self.n_jobs == 1:
             packed = self._run_in_process(
                 plans, shards, count_ops, chunk, provider
             )
@@ -258,16 +407,41 @@ class FleetRunner:
             chunk_windows=chunk,
             start_method=used_method,
             provider=provider,
+            n_remote_workers=n_remote,
         )
 
     def close(self) -> None:
-        """Shut the persistent worker pool down (idempotent)."""
+        """Shut the pool and remote connections down (idempotent)."""
+        self._close_remotes()
         self._detach_finalizer()
         pool, self._pool = self._pool, None
         self._pool_key = None
+        self._pool_processes = []
+        self._progress = None
         if pool is not None:
             pool.close()
             pool.join()
+
+    def _close_remotes(self) -> None:
+        """Say goodbye to every connected remote daemon (best-effort)."""
+        remotes, self._remotes = self._remotes, {}
+        self._remote_key = None
+        for worker in remotes.values():
+            worker.close()
+
+    def transport_stats(self) -> dict[str, dict[str, int]]:
+        """Cumulative wire-byte counters per connected remote worker.
+
+        Used by the fleet benchmark to quantify serialization/framing
+        overhead per window; empty when no remote workers are connected.
+        """
+        return {
+            address: {
+                "bytes_sent": worker.bytes_sent,
+                "bytes_received": worker.bytes_received,
+            }
+            for address, worker in self._remotes.items()
+        }
 
     def _detach_finalizer(self) -> None:
         finalizer, self._pool_finalizer = self._pool_finalizer, None
@@ -285,6 +459,8 @@ class FleetRunner:
         self._detach_finalizer()
         pool, self._pool = self._pool, None
         self._pool_key = None
+        self._pool_processes = []
+        self._progress = None
         if pool is not None:
             pool.terminate()
             pool.join()
@@ -356,12 +532,19 @@ class FleetRunner:
         analyzer = self.welch.analyzer
         warm_execution_caches(analyzer.workspace_size, analyzer.order, provider)
         ctx = multiprocessing.get_context(self.start_method)
+        self._progress = ctx.Queue()
+        self._last_task_by_pid = {}
         self._pool = ctx.Pool(
             processes=self.n_jobs,
             initializer=init_worker,
-            initargs=(self.welch, chunk, provider, self._arena),
+            initargs=(self.welch, chunk, provider, self._arena, self._progress),
         )
         self._pool_key = (chunk, provider)
+        # Hold our own references to the worker Process objects: the
+        # pool quietly replaces dead workers in its internal list, but
+        # these handles keep reporting the original pid and exit code,
+        # which is what the death watchdog needs to name the culprit.
+        self._pool_processes = list(getattr(self._pool, "_pool", []))
         # Safety net for abandoned runners: if this runner is garbage
         # collected (or the interpreter exits) with the pool still
         # live, tear it down rather than strand the workers.  close()
@@ -370,6 +553,60 @@ class FleetRunner:
             self, _terminate_abandoned_pool, self._pool
         )
         return self._pool
+
+    def _drain_progress(self) -> None:
+        """Absorb queued ``(pid, task_id)`` task-start records."""
+        progress = self._progress
+        if progress is None:
+            return
+        with self._progress_lock:
+            while True:
+                try:
+                    pid, task_id = progress.get_nowait()
+                except queue_module.Empty:
+                    return
+                except (EOFError, OSError):  # queue torn down under us
+                    return
+                self._last_task_by_pid[pid] = task_id
+
+    def _raise_if_pool_worker_died(self) -> None:
+        """Turn a silently vanished pool worker into an actionable error.
+
+        ``multiprocessing.Pool`` never errors a job whose worker died —
+        the result simply never arrives and collection blocks forever.
+        The watchdog checks the held worker-process handles and raises a
+        :class:`RuntimeError` naming the dead worker's pid, its exit
+        code, and the last task it reported starting.
+        """
+        self._drain_progress()
+        for process in self._pool_processes:
+            code = process.exitcode
+            if code is not None:
+                last = self._last_task_by_pid.get(process.pid)
+                held = "" if last is None else f" while running task {last}"
+                raise RuntimeError(
+                    f"fleet pool worker pid {process.pid} died with exit "
+                    f"code {code}{held}: its results are lost and the run "
+                    f"cannot complete"
+                )
+
+    def _collect_unordered(self, iterator, collected: list) -> None:
+        """Drain an ``imap_unordered`` iterator, watching for dead workers.
+
+        Polls with a short timeout so a worker death turns into the
+        watchdog's diagnostic instead of an indefinite hang.
+        """
+        remaining = len(collected)
+        while remaining:
+            try:
+                task_id, packed = iterator.next(timeout=_POOL_POLL_SECONDS)
+            except multiprocessing.TimeoutError:
+                self._raise_if_pool_worker_died()
+                continue
+            except StopIteration:  # pragma: no cover - remaining hits 0 first
+                break
+            collected[task_id] = packed
+            remaining -= 1
 
     def _run_pool(
         self,
@@ -399,8 +636,9 @@ class FleetRunner:
                 for shard_id, shard in enumerate(shards)
             ]
             try:
-                for shard_id, packed in pool.imap_unordered(run_shard, tasks):
-                    collected[shard_id] = packed
+                self._collect_unordered(
+                    pool.imap_unordered(run_shard, tasks), collected
+                )
             except BaseException:
                 # A failed shard leaves queued siblings behind; tear the
                 # pool down rather than let them run against unlinked
@@ -432,8 +670,9 @@ class FleetRunner:
         if not spans:
             return []
         chunk, provider = self._resolve_execution()
+        n_slots = self.n_jobs + len(self.workers)
         n_slices = max(
-            1, min(self.n_jobs, len(spans) // MIN_SPANS_PER_SLICE)
+            1, min(n_slots, len(spans) // MIN_SPANS_PER_SLICE)
         )
         if n_slices == 1:
             # n_jobs == 1, or a batch too small to split: a single
@@ -444,8 +683,32 @@ class FleetRunner:
                 return analyze_spans(
                     self.welch.analyzer, times, values, spans, count_ops
                 )
-        pool = self._ensure_pool(chunk, provider)
         bounds = [len(spans) * i // n_slices for i in range(n_slices + 1)]
+        if self.workers:
+            wire_tasks = [
+                _WireTask(
+                    task_id=batch_id,
+                    times_key=0,
+                    values_key=1,
+                    spans=spans[lo:hi],
+                    count_ops=count_ops,
+                )
+                for batch_id, (lo, hi) in enumerate(
+                    zip(bounds[:-1], bounds[1:])
+                )
+            ]
+            collected, _ = self._run_scheduled(
+                [np.asarray(times), np.asarray(values)],
+                wire_tasks,
+                chunk,
+                provider,
+            )
+            return [
+                spectrum
+                for packed in collected
+                for spectrum in unpack_spectra(packed)
+            ]
+        pool = self._ensure_pool(chunk, provider)
         collected: list[list[tuple] | None] = [None] * n_slices
         with SharedRecordingStore() as store:
             times_ref = store.put(times)
@@ -463,10 +726,9 @@ class FleetRunner:
                 )
             ]
             try:
-                for batch_id, packed in pool.imap_unordered(
-                    run_span_batch, tasks
-                ):
-                    collected[batch_id] = packed
+                self._collect_unordered(
+                    pool.imap_unordered(run_span_batch, tasks), collected
+                )
             except BaseException:
                 self._discard_pool()
                 raise
@@ -475,6 +737,219 @@ class FleetRunner:
             for packed in collected
             for spectrum in unpack_spectra(packed)
         ]
+
+    # -- distributed scheduling ----------------------------------------
+
+    def _hello(self, chunk: int, provider: str) -> dict:
+        """Handshake payload: config blob plus the parent-resolved pins.
+
+        The daemon rebuilds the engine from the config but never
+        re-resolves provider or chunk — two hosts may auto-probe
+        differently, and one fleet must round one way.
+        """
+        return {
+            "config": self._config.to_dict(),
+            "provider": provider,
+            "chunk_windows": int(chunk),
+            "arena": self._arena,
+        }
+
+    def _ensure_remotes(self, chunk: int, provider: str) -> dict[str, RemoteWorker]:
+        """Connect (or reuse) the remote workers for one run.
+
+        A *first-ever* connection failure raises
+        :class:`~repro.errors.ConfigurationError` — an address that has
+        never answered is almost always a typo, and silently running
+        without it would misreport capacity.  A worker that has served
+        before and is now gone is a runtime fault: it is skipped for
+        this run (and retried on the next), because absorbing degraded
+        capacity is exactly what the fault-tolerant scheduler is for.
+        """
+        if self._remote_key != (chunk, provider):
+            # Execution pins changed: every open session's handshake is
+            # stale, so start the connections over.
+            self._close_remotes()
+            self._remote_key = (chunk, provider)
+        hello = self._hello(chunk, provider)
+        live: dict[str, RemoteWorker] = {}
+        for address in self.workers:
+            worker = self._remotes.get(address)
+            if worker is None:
+                worker = RemoteWorker(address, timeout=self.worker_timeout)
+            if worker.connected:
+                try:
+                    # Array keys are per-run indices: clear the daemon's
+                    # uploads so this run's keys cannot alias last run's.
+                    worker.reset_arrays()
+                    live[address] = worker
+                    continue
+                except ConnectionError:
+                    pass  # died between runs: fall through and reconnect
+            try:
+                worker.connect(hello)
+            except ConnectionError as exc:
+                if address not in self._remote_ever:
+                    raise ConfigurationError(
+                        f"fleet worker {address} is unreachable: {exc}"
+                    ) from exc
+                continue  # previously healthy: run degraded this time
+            self._remote_ever.add(address)
+            live[address] = worker
+        self._remotes = live
+        return live
+
+    def _run_scheduled(
+        self,
+        arrays: list[np.ndarray],
+        tasks: list[_WireTask],
+        chunk: int,
+        provider: str,
+    ) -> tuple[list[list[tuple]], int]:
+        """Dispatch wire tasks across local slots and remote daemons.
+
+        Work-stealing over a :class:`_TaskBoard`: every executor thread
+        claims tasks until none remain.  Remote death requeues the
+        claimed task — results merge in task-id order and every kernel
+        is batch-composition-independent, so re-running a task on a
+        different slot cannot change the merged output — while
+        deterministic failures abort the whole run.  The local slots
+        never retire, so the board always drains even if every remote
+        worker dies mid-run.
+
+        Returns the packed spectra in task order plus the number of
+        remote workers that participated.
+        """
+        remotes = self._ensure_remotes(chunk, provider)
+        board = _TaskBoard(len(tasks))
+        threads: list[threading.Thread] = []
+        with ExitStack() as stack:
+            if self.n_jobs > 1:
+                pool = self._ensure_pool(chunk, provider)
+                store = stack.enter_context(SharedRecordingStore())
+                refs = [store.put(array) for array in arrays]
+                for slot in range(self.n_jobs):
+                    threads.append(
+                        threading.Thread(
+                            target=self._pool_slot_loop,
+                            args=(board, pool, refs, tasks),
+                            name=f"fleet-pool-slot-{slot}",
+                            daemon=True,
+                        )
+                    )
+            else:
+                threads.append(
+                    threading.Thread(
+                        target=self._inprocess_loop,
+                        args=(board, arrays, tasks, chunk, provider),
+                        name="fleet-local",
+                        daemon=True,
+                    )
+                )
+            for address, worker in remotes.items():
+                threads.append(
+                    threading.Thread(
+                        target=self._remote_loop,
+                        args=(board, worker, arrays, tasks),
+                        name=f"fleet-remote-{address}",
+                        daemon=True,
+                    )
+                )
+            for thread in threads:
+                thread.start()
+            board.wait()
+            for thread in threads:
+                thread.join()
+        failure = board.failure
+        if failure is not None:
+            raise failure
+        return board.results_in_order(), len(remotes)
+
+    def _pool_slot_loop(self, board, pool, refs, tasks) -> None:
+        """One local pool slot: claim a task, run it via the worker pool."""
+        while True:
+            task_id = board.claim()
+            if task_id is None:
+                return
+            task = tasks[task_id]
+            pool_task = SpanBatchTask(
+                batch_id=task.task_id,
+                times_ref=refs[task.times_key],
+                values_ref=refs[task.values_key],
+                spans=task.spans,
+                count_ops=task.count_ops,
+            )
+            try:
+                handle = pool.apply_async(run_span_batch, (pool_task,))
+                while True:
+                    if board.failure is not None:
+                        return  # run is already lost: stop polling
+                    try:
+                        _batch_id, packed = handle.get(
+                            timeout=_POOL_POLL_SECONDS
+                        )
+                        break
+                    except multiprocessing.TimeoutError:
+                        self._raise_if_pool_worker_died()
+            except BaseException as exc:
+                # Pool worker death or a deterministic task failure:
+                # either way the local pool can no longer be trusted
+                # with this run's queued siblings.
+                self._discard_pool()
+                board.abort(exc)
+                return
+            board.complete(task_id, packed)
+
+    def _inprocess_loop(self, board, arrays, tasks, chunk, provider) -> None:
+        """The ``n_jobs == 1`` local slot: run claimed tasks right here."""
+        try:
+            with pinned_execution(provider, chunk):
+                while True:
+                    task_id = board.claim()
+                    if task_id is None:
+                        return
+                    task = tasks[task_id]
+                    spectra = analyze_spans(
+                        self.welch.analyzer,
+                        arrays[task.times_key],
+                        arrays[task.values_key],
+                        task.spans,
+                        task.count_ops,
+                    )
+                    board.complete(task_id, pack_spectra(spectra))
+        except BaseException as exc:
+            board.abort(exc)
+
+    def _remote_loop(self, board, worker, arrays, tasks) -> None:
+        """One remote slot: ship claimed tasks; requeue if the worker dies."""
+        claimed: int | None = None
+        try:
+            while True:
+                claimed = board.claim()
+                if claimed is None:
+                    return
+                task = tasks[claimed]
+                worker.ensure_array(task.times_key, arrays[task.times_key])
+                worker.ensure_array(task.values_key, arrays[task.values_key])
+                packed = worker.run_task(
+                    task.task_id,
+                    task.times_key,
+                    task.values_key,
+                    task.spans,
+                    task.count_ops,
+                )
+                board.complete(claimed, packed)
+                claimed = None
+        except ConnectionError:
+            # Worker died mid-run: hand the claimed task back for
+            # reassignment (a local slot guarantees the board drains)
+            # and retire this slot; next run reconnects.
+            if claimed is not None:
+                board.requeue(claimed)
+        except BaseException as exc:
+            # RemoteTaskError and friends are deterministic — the task
+            # would fail identically on any slot, so abort the run
+            # instead of bouncing it between workers.
+            board.abort(exc)
 
     def _merge(
         self,

@@ -17,6 +17,7 @@ table are inherited copy-on-write from the warmed parent; with
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +75,7 @@ def init_worker(
     chunk_windows: int | None,
     provider: str | None = None,
     arena: bool = True,
+    progress_queue=None,
 ) -> None:
     """Pool initializer: install the engine and warm this process.
 
@@ -89,6 +91,9 @@ def init_worker(
     shapes — the ``(chunk, workspace)`` kernel matrices — so even a
     worker's first shard reuses pooled buffers (arenas never change
     results; the kernels run the same operations either way).
+    ``progress_queue`` (a ``multiprocessing`` queue) receives a
+    ``(pid, task_id)`` record as each task *starts*, so the parent's
+    watchdog can name the task a worker held when it died.
     """
     if chunk_windows is not None:
         set_batch_chunk_windows(chunk_windows)
@@ -104,6 +109,17 @@ def init_worker(
             worker_arena.warm((chunk_windows, ndim), np.complex128, count=2)
         set_active_arena(worker_arena)
     _STATE["welch"] = welch
+    _STATE["progress"] = progress_queue
+
+
+def _report_task_start(task_id: int) -> None:
+    """Tell the parent which task this process is about to run."""
+    progress = _STATE.get("progress")
+    if progress is not None:
+        try:
+            progress.put((os.getpid(), task_id))
+        except Exception:  # pragma: no cover - progress is best-effort
+            pass
 
 
 def pack_spectra(spectra) -> list[tuple]:
@@ -197,6 +213,7 @@ def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
 
     Returns ``(shard_id, packed_spectra)`` with spectra in window order.
     """
+    _report_task_start(task.shard_id)
     packed = _analyze_refs(
         task.times_ref, task.values_ref, task.spans, task.count_ops
     )
@@ -238,6 +255,7 @@ def run_span_batch(task: SpanBatchTask) -> tuple[int, list[tuple]]:
     the streaming-hub counterpart of :func:`run_shard`, reusing the
     identical shm transport and packed result form.
     """
+    _report_task_start(task.batch_id)
     packed = _analyze_refs(
         task.times_ref, task.values_ref, task.spans, task.count_ops
     )

@@ -32,7 +32,7 @@ def _load_module():
 def test_fleet_benchmark_smoke(tmp_path):
     bench = _load_module()
     document = bench.run_fleet_benchmark(
-        n_patients=2, duration_hours=0.2, jobs=2, repeats=1
+        n_patients=2, duration_hours=0.2, jobs=2, repeats=1, workers=1
     )
     assert document["workload"]["n_windows_total"] >= 6
     assert document["host"]["cpu_count"] >= 1
@@ -50,6 +50,15 @@ def test_fleet_benchmark_smoke(tmp_path):
         assert entry["max_rel_diff_spectrogram"] == 0.0
         assert entry["op_counts_equal"] is True
         assert entry["n_shards"] >= 1
+    distributed = document["distributed"]
+    assert distributed["n_workers"] == 1
+    assert set(distributed["systems"]) == set(systems)
+    for entry in distributed["systems"].values():
+        # localhost daemons must reproduce the batched path bit-exactly
+        assert entry["max_rel_diff_spectrogram"] == 0.0
+        assert entry["op_counts_equal"] is True
+        assert entry["n_remote_workers"] == 1
+        assert entry["wire_bytes_per_window"] > 0
     # document must round-trip through JSON (what main() writes)
     out = tmp_path / "BENCH_fleet.json"
     out.write_text(json.dumps(document, indent=2))
@@ -66,9 +75,11 @@ def test_fleet_benchmark_main_writes_json(tmp_path, capsys):
             "--hours", "0.2",
             "--jobs", "2",
             "--repeats", "1",
+            "--workers", "0",
             "--output", str(out),
         ]
     )
     document = json.loads(out.read_text())
     assert document["workload"]["n_patients"] == 2
+    assert "distributed" not in document
     assert "windows/s" in capsys.readouterr().out

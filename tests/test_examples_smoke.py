@@ -27,6 +27,13 @@ def test_energy_budget_tuning_runs(capsys):
     assert "Pareto frontier" in out
 
 
+def test_distributed_fleet_runs(capsys):
+    out = _run("distributed_fleet.py", capsys)
+    assert out.count("bit-identical") == 4
+    assert "2 remote daemon(s)" in out
+    assert "shut down cleanly" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [

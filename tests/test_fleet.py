@@ -9,6 +9,10 @@ single-process assembly back end.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -61,6 +65,43 @@ class TestPlanShards:
     def test_zero_window_recording_skipped(self):
         shards = plan_shards([0, 10], n_jobs=2)
         assert [s.recording for s in shards] == [1]
+
+    def test_all_zero_window_recordings_yield_no_shards(self):
+        assert plan_shards([0, 0, 0], n_jobs=4) == []
+
+    def test_zero_window_recordings_interleaved(self):
+        # Zero-window entries anywhere in the cohort keep every other
+        # recording's index and coverage intact.
+        shards = plan_shards([0, 40, 0, 50, 0], n_jobs=2)
+        assert [(s.recording, s.lo, s.hi) for s in shards] == [
+            (1, 0, 40),
+            (3, 0, 50),
+        ]
+
+    def test_cohort_smaller_than_jobs(self):
+        # Two tiny recordings over eight workers: one shard each (never
+        # split below the per-shard floor), every window exactly once.
+        shards = plan_shards([40, 50], n_jobs=8)
+        assert [(s.recording, s.lo, s.hi) for s in shards] == [
+            (0, 0, 40),
+            (1, 0, 50),
+        ]
+
+    def test_one_recording_dominates_the_cohort(self):
+        # One recording larger than every other shard combined still
+        # splits finely enough that the pool can balance it.
+        counts = [4000, 10, 12, 8]
+        shards = plan_shards(counts, n_jobs=4)
+        giant = [s for s in shards if s.recording == 0]
+        assert len(giant) > 1
+        assert giant[0].lo == 0 and giant[-1].hi == 4000
+        for left, right in zip(giant, giant[1:]):
+            assert left.hi == right.lo
+        # Small recordings remain one shard each, coverage is exact.
+        for recording in (1, 2, 3):
+            own = [s for s in shards if s.recording == recording]
+            assert [(s.lo, s.hi) for s in own] == [(0, counts[recording])]
+        assert sum(s.n_windows for s in shards) == sum(counts)
 
     def test_invalid_arguments(self):
         with pytest.raises(ConfigurationError):
@@ -398,3 +439,44 @@ class TestPoolLifecycle:
                     f"{[p for p in pids if alive(p)]}"
                 )
             time.sleep(0.05)
+
+
+def _die_holding_first_shard(task):
+    """Fork-inherited stand-in for ``run_shard`` that kills its worker.
+
+    The worker claiming shard 0 reports the task start, gives the
+    progress queue's feeder thread a moment to flush, then hard-exits —
+    the parent must turn the silent loss into a diagnostic RuntimeError.
+    """
+    from repro.fleet import worker as worker_module
+    from repro.fleet.worker import run_shard
+
+    if task.shard_id == 0:
+        worker_module._report_task_start(task.shard_id)
+        time.sleep(0.3)
+        os._exit(3)
+    return run_shard(task)
+
+
+class TestPoolWorkerDeath:
+    def test_dead_worker_raises_with_exit_code_and_task(self, monkeypatch):
+        """A worker dying mid-shard names its pid, exit code and task.
+
+        Without the watchdog, ``multiprocessing.Pool`` would simply
+        never deliver the lost shard's result and the run would hang.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method required to inherit the stand-in")
+        from repro.fleet import runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module, "run_shard", _die_holding_first_shard
+        )
+        with FleetRunner(n_jobs=2, start_method="fork") as runner:
+            with pytest.raises(RuntimeError) as excinfo:
+                runner.run(_cohort(3))
+        message = str(excinfo.value)
+        assert "exit code 3" in message
+        assert "while running task 0" in message
+        # The broken pool was discarded so the next run starts clean.
+        assert runner._pool is None

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Localhost distributed smoke: daemon up, cohort bit-identical, daemon down.
+
+Starts one worker daemon (``python -m repro worker``) on an ephemeral
+port, runs a tiny two-recording cohort through it via
+``EngineConfig(workers=[address])``, and checks the spectrograms and
+operation counts are bit-identical to the in-process engine.  Exits
+non-zero on any mismatch or if the daemon does not shut down cleanly.
+
+Run from the repository root:
+
+    python tools/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ecg.rr_synthesis import TachogramSpec, generate_tachogram  # noqa: E402
+from repro.engine import Engine, EngineConfig  # noqa: E402
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = daemon.stdout.readline()
+        match = re.search(r"listening on (\S+)", banner)
+        if match is None:
+            print(f"FAIL: no daemon address banner: {banner!r}")
+            return 1
+        address = match.group(1)
+        print(f"daemon up at {address}")
+
+        recordings = [
+            generate_tachogram(TachogramSpec(seed=2014 + k), 900.0)
+            for k in range(2)
+        ]
+        config = EngineConfig.for_mode("set3")
+        local = Engine(config)
+        remote = Engine(config.replace(workers=(address,)))
+        try:
+            reference = [
+                local.analyze(rr, count_ops=True) for rr in recordings
+            ]
+            distributed = remote.analyze_cohort(
+                recordings, count_ops=True
+            )
+        finally:
+            local.close()
+            remote.close()
+        for k, (ref, dist) in enumerate(zip(reference, distributed)):
+            if not np.array_equal(
+                ref.welch.spectrogram, dist.welch.spectrogram
+            ):
+                print(f"FAIL: recording {k} spectrogram differs")
+                return 1
+            if ref.counts != dist.counts:
+                print(f"FAIL: recording {k} op counts differ")
+                return 1
+        print(f"{len(recordings)} recordings bit-identical over {address}")
+    finally:
+        daemon.send_signal(signal.SIGINT)
+        try:
+            code = daemon.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait()
+            print("FAIL: daemon did not exit after SIGINT")
+            return 1
+        finally:
+            daemon.stdout.close()
+    if code != 0:
+        print(f"FAIL: daemon exited with status {code}")
+        return 1
+    print("daemon shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

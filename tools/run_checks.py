@@ -9,7 +9,10 @@ Runs, in order:
 1. the tier-1 test suite (``pytest -x -q`` with ``src`` on the path),
 2. the public-API surface check (``tools/check_public_api.py``),
 3. the compiled-artifact hygiene check (``tools/check_no_pyc.py``),
-4. the three benchmark smoke tests (streaming, throughput, fleet) that
+4. the localhost distributed smoke (``tools/distributed_smoke.py``):
+   worker daemon up, tiny cohort bit-identical over the socket
+   transport, daemon down cleanly,
+5. the three benchmark smoke tests (streaming, throughput, fleet) that
    exercise the measurement harnesses end to end.
 
 Each step streams its own output; the gate prints a pass/fail summary
@@ -43,6 +46,10 @@ STEPS: list[tuple[str, list[str]]] = [
     (
         "no compiled artifacts",
         [sys.executable, "tools/check_no_pyc.py"],
+    ),
+    (
+        "distributed smoke (localhost daemon)",
+        [sys.executable, "tools/distributed_smoke.py"],
     ),
     (
         "bench smoke: streaming",
