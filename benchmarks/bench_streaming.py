@@ -24,8 +24,12 @@ flush call that produced the window) — mean and p95.  A separate
 ``steady_state`` section replays the hub with the workspace arena on
 vs off and reports per-window allocation churn (tracemalloc) and p95
 flush latency for each — the zero-allocation-steady-state claim in
-numbers.  Results land in ``BENCH_streaming.json`` at the repository
-root.
+numbers.  A ``shedding`` section (``--slo``) replays the hub under a
+deterministic synthetic overload with the SLO controller off vs on and
+reports the steady-state p95, the fraction of windows analysed at
+degraded quality, and the controller's step counts — the SLO-defense
+claim in numbers.  Results land in ``BENCH_streaming.json`` at the
+repository root.
 
 Run with:  python benchmarks/bench_streaming.py [--subjects N]
            [--minutes M] [--burst-seconds S] [--jobs J] [--repeats R]
@@ -253,6 +257,129 @@ def _measure_steady_state(config, recordings, rounds) -> dict:
     }
 
 
+#: Synthetic overload for the shedding leg: every flush "costs"
+#: ``SHED_COST_MS`` per full-quality window times ``SHED_LOAD`` (a
+#: saturated node), discounted ``SHED_DISCOUNT``-fold per degradation
+#: level.  Injected through :class:`repro.testing.FlushLatencyFault`
+#: under a :class:`FaultClock`, so both legs observe *exactly* the cost
+#: model and nothing else — the comparison is deterministic.
+SHED_COST_MS = 2.0
+SHED_DISCOUNT = 0.4
+SHED_LOAD = 6.0
+
+
+def _replay_hub_overloaded(config, recordings, rounds):
+    """One hub replay under the synthetic overload; per-flush stats.
+
+    Returns ``(flush_cost_seconds, level_histograms)`` — the observed
+    (injected) cost of every flush and each flush's
+    ``{level: windows}`` histogram.
+    """
+    from repro.testing import FaultClock, FlushLatencyFault
+
+    with Engine(config) as engine:
+        hub = engine.open_hub()
+        for subject in recordings:
+            hub.open(subject)
+        clock = FaultClock().install(hub)
+        fault = FlushLatencyFault(
+            per_window_ms=SHED_COST_MS,
+            discount=SHED_DISCOUNT,
+            load=(SHED_LOAD,),
+        ).install(hub)
+        histograms = []
+        try:
+            for current in rounds:
+                for subject, lo, hi in current:
+                    rr = recordings[subject]
+                    hub.feed(subject, rr.times[lo:hi], rr.intervals[lo:hi])
+                hub.flush()
+                histograms.append(dict(hub.last_flush_levels))
+            stats = hub.controller_stats() if config.slo else None
+        finally:
+            clock.uninstall()
+            hub.close()
+    return list(fault.history), histograms, stats
+
+
+def _shed_leg_stats(costs, histograms) -> dict:
+    """Summarise one shedding leg; steady-state = second half of flushes."""
+    windows = sum(sum(h.values()) for h in histograms)
+    shed = sum(
+        count
+        for h in histograms
+        for level, count in h.items()
+        if level > 0
+    )
+    steady = costs[len(costs) // 2 :]
+    return {
+        "flushes": len(costs),
+        "windows": int(windows),
+        "shed_windows": int(shed),
+        "shed_percent": 100.0 * shed / windows if windows else None,
+        "max_backlog_windows": (
+            max(sum(h.values()) for h in histograms) if histograms else 0
+        ),
+        "p95_ms": _latency_stats(costs)["p95_ms"],
+        "steady_p95_ms": _latency_stats(steady)["p95_ms"],
+    }
+
+
+def _measure_shedding(jobs, recordings, rounds, target_ms: float) -> dict:
+    """The SLO-defense experiment: controller off vs on, same overload.
+
+    Both legs replay the identical round sequence under the same
+    deterministic saturated-node cost model; the only difference is the
+    :class:`SLOSpec` armed on the second leg.  A defended SLO shows up
+    as the ``controller_on`` steady-state p95 falling back toward (or
+    under) the target while ``controller_off`` stays pinned at the full
+    overload cost.
+    """
+    from repro.engine import SLOSpec
+
+    slo = SLOSpec(
+        target_p95_ms=target_ms,
+        window=4,
+        step_down_after=2,
+        recover_after=4,
+    )
+    off_costs, off_hists, _ = _replay_hub_overloaded(
+        EngineConfig(system="quality-scalable", jobs=jobs),
+        recordings,
+        rounds,
+    )
+    on_costs, on_hists, stats = _replay_hub_overloaded(
+        EngineConfig(system="quality-scalable", jobs=jobs, slo=slo),
+        recordings,
+        rounds,
+    )
+    off = _shed_leg_stats(off_costs, off_hists)
+    on = _shed_leg_stats(on_costs, on_hists)
+    on.update(
+        steps_down=stats["steps_down"],
+        steps_up=stats["steps_up"],
+        windows_by_level={
+            str(level): count
+            for level, count in stats["windows_by_level"].items()
+        },
+    )
+    off_p95 = off["steady_p95_ms"]
+    on_p95 = on["steady_p95_ms"]
+    return {
+        "slo": slo.to_dict(),
+        "overload": {
+            "cost_ms_per_full_window": SHED_COST_MS,
+            "level_discount": SHED_DISCOUNT,
+            "load_factor": SHED_LOAD,
+        },
+        "controller_off": off,
+        "controller_on": on,
+        "steady_p95_reduction_factor": (
+            off_p95 / on_p95 if off_p95 and on_p95 else None
+        ),
+    }
+
+
 def run_streaming_benchmark(
     n_subjects: int = 8,
     duration_minutes: float = 60.0,
@@ -260,6 +387,7 @@ def run_streaming_benchmark(
     jobs: int = 1,
     repeats: int = 3,
     seed: int = 2014,
+    slo_target_ms: float | None = None,
 ) -> dict:
     """Benchmark hub-multiplexed vs independent streaming sessions.
 
@@ -355,7 +483,12 @@ def run_streaming_benchmark(
             else None
         ),
     }
-    return {
+    shedding = (
+        _measure_shedding(jobs, recordings, rounds, slo_target_ms)
+        if slo_target_ms is not None
+        else None
+    )
+    document = {
         "benchmark": (
             "streaming cohort: multiplexed hub vs independent sessions"
         ),
@@ -375,6 +508,9 @@ def run_streaming_benchmark(
         "paths": document_paths,
         "steady_state": steady_state,
     }
+    if shedding is not None:
+        document["shedding"] = shedding
+    return document
 
 
 def main(argv=None) -> None:
@@ -404,6 +540,15 @@ def main(argv=None) -> None:
         "--repeats", type=int, default=3, help="timing repetitions (best-of)"
     )
     parser.add_argument(
+        "--slo",
+        type=float,
+        default=30.0,
+        metavar="TARGET_MS",
+        help="target p95 for the SLO-defense shedding leg "
+        "(controller on vs off under a deterministic synthetic "
+        "overload; 0 skips the leg)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=DEFAULT_OUTPUT,
@@ -416,6 +561,7 @@ def main(argv=None) -> None:
         burst_seconds=args.burst_seconds,
         jobs=args.jobs,
         repeats=args.repeats,
+        slo_target_ms=args.slo if args.slo > 0 else None,
     )
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(json.dumps(document, indent=2))
@@ -437,6 +583,19 @@ def main(argv=None) -> None:
             f"without ({factor:.1f}x fewer); flush p95 "
             f"{steady['arena']['flush_latency_p95_ms']:.2f} ms vs "
             f"{steady['no_arena']['flush_latency_p95_ms']:.2f} ms"
+        )
+    shedding = document.get("shedding")
+    if shedding:
+        on = shedding["controller_on"]
+        off = shedding["controller_off"]
+        print(
+            f"SLO defense (target "
+            f"{shedding['slo']['target_p95_ms']:.0f} ms): steady p95 "
+            f"{on['steady_p95_ms']:.1f} ms with controller vs "
+            f"{off['steady_p95_ms']:.1f} ms without "
+            f"({shedding['steady_p95_reduction_factor']:.1f}x lower, "
+            f"{on['shed_percent']:.0f}% of windows degraded, "
+            f"{on['steps_down']} step-downs)"
         )
 
 

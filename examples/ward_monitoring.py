@@ -21,6 +21,14 @@ The example drives it with asyncio end to end:
   **bit-identical** to batch-analysing the patient's completed
   recording — verified at the end against ``Engine.analyze``.
 
+Act two shows the ward under pressure: an
+:class:`~repro.engine.SLOSpec` attached to the engine config arms the
+quality-adaptive controller, a deterministic fault from
+:mod:`repro.testing` simulates a saturated analysis node, and the hub
+steps patients down the paper's degradation ladder to claw flush
+latency back — then walks them back to full quality as the surge
+passes.  The ICU patient is pinned at full quality throughout.
+
 Run with:  python examples/ward_monitoring.py
 """
 
@@ -97,6 +105,67 @@ async def run_ward(engine, recordings) -> dict:
     return results
 
 
+def demo_load_shedding() -> None:
+    """Act two: a saturated station sheds quality, then recovers."""
+    from repro import SLOSpec
+    from repro.testing import FaultClock, FlushLatencyFault
+
+    config = EngineConfig.for_mode("exact").replace(
+        system="quality-scalable",
+        slo=SLOSpec(
+            target_p95_ms=25.0,
+            window=4,
+            step_down_after=2,
+            recover_after=2,
+            policy="uniform",
+        ),
+    )
+    cohort = make_cohort()
+    patients = ["rsa-00", "rsa-03", "ctl-00", "icu-04"]
+    with Engine(config) as engine:
+        hub = engine.open_hub()
+        sessions = {pid: hub.open(pid) for pid in patients}
+        # The ICU bed never degrades, whatever the load.
+        hub.set_quality("icu-04", 0, pin=True)
+        # A deterministic stand-in for a saturated analysis node: each
+        # flush "costs" per-window time scaled by the load schedule —
+        # 6x for twelve rounds, then the surge passes.
+        clock = FaultClock().install(hub)
+        FlushLatencyFault(
+            per_window_ms=2.0, discount=0.4, load=(6.0,) * 12 + (0.05,)
+        ).install(hub)
+
+        ladder = [entry.label for entry in hub.ladder]
+        print(f"degradation ladder: {' -> '.join(ladder)}")
+        cursors = {pid: 0.0 for pid in patients}
+        for round_no in range(24):
+            for pid in patients:
+                rr = cohort.get(pid.replace("icu", "ctl")).rr_series(
+                    duration=240.0
+                )
+                times = cursors[pid] + rr.times
+                sessions[pid].feed(times, rr.intervals)
+                cursors[pid] = float(times[-1])
+            hub.flush()
+            stats = hub.controller_stats()
+            levels = " ".join(
+                f"{pid}:{ladder[hub.quality_level(pid)]}"
+                for pid in patients
+            )
+            print(
+                f"  round {round_no:2d}  "
+                f"p95 {stats['p95_ms']:6.1f} ms  {levels}"
+            )
+        stats = hub.controller_stats()
+        clock.uninstall()
+    assert stats["steps_down"] > 0 and stats["steps_up"] > 0
+    assert all(level == 0 for level in stats["levels"].values())
+    print(
+        f"shed and recovered: {stats['steps_down']} step-downs, "
+        f"{stats['steps_up']} step-ups, ICU pinned at full throughout"
+    )
+
+
 def main() -> None:
     cohort = make_cohort()
     patients = ["rsa-00", "rsa-03", "ctl-00", "ctl-01"]
@@ -131,6 +200,9 @@ def main() -> None:
                 f"LF/HF {result.lf_hf:.3f} -> {verdict}"
             )
     print("\nstreamed results verified bit-identical to batch analysis")
+
+    print("\n--- act two: overload, quality shedding, recovery ---")
+    demo_load_shedding()
 
 
 if __name__ == "__main__":

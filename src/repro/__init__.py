@@ -52,6 +52,7 @@ from .ecg import Condition, PatientRecord, SyntheticCohort, TachogramSpec, make_
 from .engine import (
     Engine,
     EngineConfig,
+    SLOSpec,
     StreamHub,
     StreamingSession,
     WindowEmission,
@@ -94,6 +95,7 @@ __all__ = [
     "QualityScalablePSA",
     "RRSeries",
     "ReproError",
+    "SLOSpec",
     "SensorNodeModel",
     "SignalError",
     "SinusArrhythmiaDetector",

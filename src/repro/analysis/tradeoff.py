@@ -21,8 +21,8 @@ from ..hrv.metrics import ratio_error
 from ..hrv.rr import RRSeries
 from ..platform.node import SensorNodeModel
 
-__all__ = ["TradeoffPoint", "energy_quality_sweep", "paper_mode_ladder",
-           "PAPER_MODE_LADDER"]
+__all__ = ["TradeoffPoint", "degradation_steps", "energy_quality_sweep",
+           "paper_mode_ladder", "PAPER_MODE_LADDER"]
 
 #: Static-only (label, spec) pairs of the Fig. 9 x-axis; dynamic modes
 #: need calibrated thresholds, see :func:`paper_mode_ladder`.
@@ -32,6 +32,30 @@ PAPER_MODE_LADDER: tuple[tuple[str, PruningSpec], ...] = (
     ("band + 40%", PruningSpec.paper_mode(2)),
     ("band + 60%", PruningSpec.paper_mode(3)),
 )
+
+
+def degradation_steps(
+    system: str, pruning: PruningSpec
+) -> tuple[tuple[str, PruningSpec], ...]:
+    """The :data:`PAPER_MODE_LADDER` entries strictly *deeper* than a base.
+
+    The runtime load-shedding controller
+    (:class:`repro.engine.controller.QualityController`) steps an
+    overloaded subject down this list, one entry at a time, and back up
+    when load recedes.  "Deeper" orders by ``(twiddle_fraction,
+    band_drop)``: every paper mode degrades a conventional (exact)
+    baseline, while a quality-scalable base only degrades further into
+    modes that prune more than it already does — stepping a Set-2
+    engine "down" to Set-1 would *raise* quality mid-overload.
+    """
+    if system == "conventional":
+        return PAPER_MODE_LADDER
+    base = (pruning.twiddle_fraction, bool(pruning.band_drop))
+    return tuple(
+        (label, spec)
+        for label, spec in PAPER_MODE_LADDER
+        if (spec.twiddle_fraction, bool(spec.band_drop)) > base
+    )
 
 
 def paper_mode_ladder(

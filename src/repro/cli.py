@@ -41,7 +41,7 @@ from .ffts.pruning import PruningSpec
 from .ffts.split_radix import split_radix_counts
 from .ffts.wavelet_fft import WaveletFFT
 
-__all__ = ["main", "build_parser", "parse_mode"]
+__all__ = ["main", "build_parser", "parse_mode", "parse_slo"]
 
 _MODES = ("exact", "band", "set1", "set2", "set3")
 
@@ -58,6 +58,28 @@ def parse_mode(name: str, dynamic: bool = False) -> PruningSpec:
     raise argparse.ArgumentTypeError(
         f"unknown mode {name!r}; choose from {', '.join(_MODES)}"
     )
+
+
+def parse_slo(text: str):
+    """Translate a ``--slo`` value into an :class:`SLOSpec`.
+
+    Accepts either a bare number (the target p95 flush latency in
+    milliseconds, everything else defaulted) or a full SLOSpec JSON
+    object for tuning hysteresis, policy, floors and tiers.
+    """
+    from .engine import SLOSpec
+
+    text = text.strip()
+    if text.startswith("{"):
+        return SLOSpec.from_json(text)
+    try:
+        target = float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--slo expects a target p95 in milliseconds or an SLOSpec "
+            f"JSON object, got {text!r}"
+        ) from None
+    return SLOSpec(target_p95_ms=target)
 
 
 def _config_from_args(args, default_mode: str = "set3") -> EngineConfig:
@@ -99,6 +121,8 @@ def _config_from_args(args, default_mode: str = "set3") -> EngineConfig:
             if address.strip()
         ]
         config = config.replace(workers=tuple(addresses))
+    if getattr(args, "slo", None) is not None:
+        config = config.replace(slo=parse_slo(args.slo))
     return config
 
 
@@ -216,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="remote fleet worker daemon to schedule span batches onto "
         "(repeatable; comma-separated lists accepted)",
     )
+    stream.add_argument(
+        "--slo",
+        default=None,
+        metavar="MS|JSON",
+        help="attach the quality-adaptive SLO controller: a target p95 "
+        "flush latency in milliseconds (e.g. 50), or a full SLOSpec "
+        "JSON object; overloaded subjects are stepped down the "
+        "paper's degradation ladder and recover when load subsides",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -232,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="127.0.0.1:0",
         metavar="HOST:PORT",
         help="address to listen on (default 127.0.0.1:0 = ephemeral port)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds between idle-connection heartbeat probes "
+        "(default: the library's HEARTBEAT_INTERVAL; must be > 0)",
     )
 
     engine_cmd = sub.add_parser(
@@ -527,13 +568,45 @@ def _cmd_stream(args) -> int:
             f"{len(recordings)} subjects "
             f"(rounds of {args.round_events})",
         ))
+        if config.slo is not None:
+            stats = hub.controller_stats()
+            ladder = stats["ladder"]
+            shed = sum(
+                count
+                for level, count in stats["windows_by_level"].items()
+                if level > 0
+            )
+            total = sum(stats["windows_by_level"].values())
+            slo_rows = [
+                [subject, str(level), ladder[level]]
+                for subject, level in sorted(stats["levels"].items())
+            ]
+            p95 = stats["p95_ms"]
+            print()
+            print(format_table(
+                ["subject", "level", "quality"],
+                slo_rows,
+                title=(
+                    f"SLO controller: p95 "
+                    f"{'--' if p95 is None else f'{p95:.1f} ms'} over "
+                    f"{stats['flushes']} flushes, "
+                    f"{stats['steps_down']} down / "
+                    f"{stats['steps_up']} up, "
+                    f"{shed}/{total} windows degraded"
+                ),
+            ))
     return exit_code
 
 
 def _cmd_worker(args) -> int:
-    from .fleet.remote import run_worker_daemon
+    from .fleet.remote import HEARTBEAT_INTERVAL, run_worker_daemon
 
-    return run_worker_daemon(args.listen)
+    interval = (
+        HEARTBEAT_INTERVAL
+        if args.heartbeat_interval is None
+        else args.heartbeat_interval
+    )
+    return run_worker_daemon(args.listen, heartbeat_interval=interval)
 
 
 def _cmd_engine(args) -> int:

@@ -15,10 +15,26 @@ cohorts over a persistent fleet pool
 sessions into shared analysis batches, with an asyncio push transport
 in :mod:`repro.engine.aio`) through identical, bit-reproducible
 kernels.
+
+Attaching an :class:`~repro.engine.controller.SLOSpec`
+(``EngineConfig(slo=...)``) arms every hub with a
+:class:`~repro.engine.controller.QualityController` that defends the
+SLO under overload by shedding subjects down the paper's pruning-mode
+ladder — quality-adaptive load shedding instead of backlog growth.
+
+Note: :class:`QualityController` here is the *runtime* load-shedding
+controller; the top-level :class:`repro.QualityController` is the
+paper's design-time quality-mode selector (:mod:`repro.core.adaptive`).
 """
 
 from .aio import AsyncStreamingSession
 from .config import EngineConfig, ResolvedExecution, SYSTEM_KINDS
+from .controller import (
+    QualityController,
+    QualityLevel,
+    SLOSpec,
+    degradation_ladder,
+)
 from .engine import Engine, build_system
 from .hub import StreamHub
 from .streaming import StreamingSession, WindowEmission
@@ -27,10 +43,14 @@ __all__ = [
     "AsyncStreamingSession",
     "Engine",
     "EngineConfig",
+    "QualityController",
+    "QualityLevel",
     "ResolvedExecution",
+    "SLOSpec",
     "SYSTEM_KINDS",
     "StreamHub",
     "StreamingSession",
     "WindowEmission",
     "build_system",
+    "degradation_ladder",
 ]

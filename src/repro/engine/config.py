@@ -23,6 +23,8 @@ chunk_windows         explicit argument → config field → process pin
                       → ``REPRO_BATCH_CHUNK_WINDOWS`` env pin →
                       per-host auto-tuner
 jobs                  explicit argument → config field → one per CPU
+worker_timeout        explicit argument → config field →
+                      ``REPRO_WORKER_TIMEOUT`` env pin → 15 s default
 ====================  =================================================
 """
 
@@ -73,6 +75,10 @@ class ResolvedExecution:
         schedule onto alongside the local slots; empty for local-only.
     workers_source:
         ``"explicit"``, ``"config"`` or ``"default"``.
+    worker_timeout:
+        Remote worker connect/heartbeat timeout in seconds (> 0).
+    worker_timeout_source:
+        ``"explicit"``, ``"config"``, ``"env"`` or ``"default"``.
     """
 
     provider: str
@@ -83,6 +89,8 @@ class ResolvedExecution:
     jobs_source: str
     workers: tuple[str, ...] = ()
     workers_source: str = "default"
+    worker_timeout: float = 15.0
+    worker_timeout_source: str = "default"
 
 
 @dataclass(frozen=True)
@@ -117,6 +125,20 @@ class EngineConfig:
         bit-identical either way: each daemon rebuilds the engine from
         this config and runs under the scheduler's resolved
         provider/chunk pins.
+    worker_timeout:
+        Remote worker connect/heartbeat timeout in seconds (> 0), or
+        ``None`` to fall through the resolution chain
+        (``REPRO_WORKER_TIMEOUT`` env pin → 15 s default).  Bounds how
+        long the scheduler waits for a daemon's handshake and how stale
+        a heartbeat may go before the worker counts as dead.
+    slo:
+        Optional :class:`~repro.engine.controller.SLOSpec`.  When set,
+        every :class:`~repro.engine.StreamHub` this engine opens
+        attaches a :class:`~repro.engine.controller.QualityController`
+        that defends the SLO by stepping overloaded subjects down the
+        paper's pruning-mode ladder (and back up with hysteresis when
+        load recedes).  ``None`` (the default) keeps every subject at
+        the configured quality forever.
     bands:
         Band-power integration edges reported in results (defaults to
         the standard ULF/VLF/LF/HF split).
@@ -143,6 +165,8 @@ class EngineConfig:
     chunk_windows: int | None = None
     jobs: int | None = 1
     workers: tuple[str, ...] = ()
+    worker_timeout: float | None = None
+    slo: "SLOSpec | None" = None
     bands: tuple[FrequencyBand, ...] = STANDARD_BANDS
     arena: bool = True
     profile: bool = False
@@ -184,6 +208,24 @@ class EngineConfig:
 
             parse_address(address)
         object.__setattr__(self, "workers", workers)
+        if self.worker_timeout is not None:
+            try:
+                timeout = float(self.worker_timeout)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    "worker_timeout must be a number (seconds), got "
+                    f"{self.worker_timeout!r}"
+                ) from None
+            if not timeout > 0:
+                raise ConfigurationError(
+                    f"worker_timeout must be > 0, got {timeout}"
+                )
+            object.__setattr__(self, "worker_timeout", timeout)
+        if self.slo is not None:
+            from .controller import SLOSpec
+
+            if not isinstance(self.slo, SLOSpec):
+                raise ConfigurationError("slo must be an SLOSpec")
         bands = tuple(self.bands)
         for band in bands:
             if not isinstance(band, FrequencyBand):
@@ -258,6 +300,8 @@ class EngineConfig:
             "chunk_windows": self.chunk_windows,
             "jobs": self.jobs,
             "workers": list(self.workers),
+            "worker_timeout": self.worker_timeout,
+            "slo": None if self.slo is None else self.slo.to_dict(),
             "bands": [
                 {"name": band.name, "low": band.low, "high": band.high}
                 for band in self.bands
@@ -281,7 +325,8 @@ class EngineConfig:
             )
         known = {
             "system", "pruning", "psa", "provider", "chunk_windows",
-            "jobs", "workers", "bands", "arena", "profile",
+            "jobs", "workers", "worker_timeout", "slo", "bands",
+            "arena", "profile",
         }
         unknown = set(data) - known
         if unknown:
@@ -291,10 +336,15 @@ class EngineConfig:
             )
         kwargs: dict = {}
         for key in (
-            "system", "provider", "chunk_windows", "jobs", "arena", "profile",
+            "system", "provider", "chunk_windows", "jobs",
+            "worker_timeout", "arena", "profile",
         ):
             if key in data:
                 kwargs[key] = data[key]
+        if data.get("slo") is not None:
+            from .controller import SLOSpec
+
+            kwargs["slo"] = SLOSpec.from_dict(data["slo"])
         if "pruning" in data:
             pruning = data["pruning"]
             if not isinstance(pruning, dict):
@@ -358,6 +408,7 @@ class EngineConfig:
         chunk_windows: int | None = None,
         jobs: int | None = None,
         workers=None,
+        worker_timeout: float | None = None,
     ) -> ResolvedExecution:
         """Resolve every execution knob through its precedence chain.
 
@@ -370,7 +421,11 @@ class EngineConfig:
         documented optional-dependency fallback); every other layer
         validates strictly.
         """
-        from ..envpins import chunk_env_pin, provider_env_pin
+        from ..envpins import (
+            chunk_env_pin,
+            provider_env_pin,
+            worker_timeout_env_pin,
+        )
         from ..ffts.providers import registry
 
         workspace = self.psa.fft_size
@@ -450,6 +505,22 @@ class EngineConfig:
         else:
             worker_list, workers_source = (), "default"
 
+        if worker_timeout is not None:
+            timeout = float(worker_timeout)
+            if not timeout > 0:
+                raise ConfigurationError(
+                    f"worker_timeout must be > 0, got {worker_timeout}"
+                )
+            timeout_source = "explicit"
+        elif self.worker_timeout is not None:
+            timeout, timeout_source = self.worker_timeout, "config"
+        elif worker_timeout_env_pin() is not None:
+            timeout, timeout_source = worker_timeout_env_pin(), "env"
+        else:
+            from ..fleet.remote import DEFAULT_TIMEOUT
+
+            timeout, timeout_source = DEFAULT_TIMEOUT, "default"
+
         return ResolvedExecution(
             provider=provider_name,
             provider_source=provider_source,
@@ -459,4 +530,6 @@ class EngineConfig:
             jobs_source=jobs_source,
             workers=worker_list,
             workers_source=workers_source,
+            worker_timeout=float(timeout),
+            worker_timeout_source=timeout_source,
         )

@@ -107,6 +107,11 @@ class Engine:
                 analyzer.workspace_size, analyzer.order, self.resolved.provider
             )
         self._fleet = None
+        # Quality variants: PSA systems for degraded ladder levels the
+        # SLO controller sheds hub subjects to, built lazily (cheap
+        # after the first — kernels come from the shared plan caches)
+        # and keyed by (system kind, pruning spec).
+        self._variants: dict = {}
         # The engine owns its workspace arena (shared by every workload
         # it serves, like the plan caches) and its per-stage profiler;
         # both are installed scope-wise around workloads by _pinned().
@@ -241,13 +246,44 @@ class Engine:
 
         return StreamHub(self, count_ops=count_ops)
 
-    def _analyze_spans_batch(self, times, values, spans, count_ops: bool):
+    def _system_for_variant(self, variant):
+        """The PSA system for one quality variant (``None`` = base).
+
+        A variant is a ``(system_kind, PruningSpec)`` pair — a rung of
+        the hub's degradation ladder.  Degraded systems are built
+        lazily from ``config.replace(...)`` and cached, so shedding a
+        subject costs one plan-cache hit, not a rebuild; the pair *is*
+        the identity of the computation, which is what makes a pinned
+        mode-M subject bit-identical to a homogeneous mode-M engine.
+        """
+        if variant is None:
+            return self._system
+        system_kind, pruning = variant
+        if (
+            system_kind == self.config.system
+            and pruning == self.config.pruning
+        ):
+            return self._system
+        cached = self._variants.get(variant)
+        if cached is None:
+            cached = build_system(
+                self.config.replace(system=system_kind, pruning=pruning)
+            )
+            self._variants[variant] = cached
+        return cached
+
+    def _analyze_spans_batch(
+        self, times, values, spans, count_ops: bool, variant=None
+    ):
         """Run one span batch under this engine's execution policy.
 
         The streaming hub's choke-point hook: in-process under the
         pinned provider/chunk, or dispatched over the persistent fleet
         pool when the resolved job count calls for workers — both
         bit-identical by the batch-composition-independence invariant.
+        ``variant`` selects a degraded quality level's kernels (a
+        ``(system_kind, PruningSpec)`` pair); ``None`` runs the base
+        config.
         """
         if self.resolved.jobs > 1 or self.resolved.workers:
             # Workers own per-process arenas (installed by init_worker);
@@ -259,11 +295,13 @@ class Engine:
                 if self._profiler is not None:
                     stack.enter_context(profile_scope(self._profiler))
                 return self._ensure_fleet().run_spans(
-                    times, values, spans, count_ops=count_ops
+                    times, values, spans, count_ops=count_ops,
+                    variant=variant,
                 )
         with self._pinned():
             return analyze_spans(
-                self.welch.analyzer, times, values, spans, count_ops
+                self._system_for_variant(variant).welch.analyzer,
+                times, values, spans, count_ops,
             )
 
     # ------------------------------------------------------------------
@@ -282,7 +320,8 @@ class Engine:
                 provider=self.resolved.provider,
                 arena=self.config.arena,
                 workers=self.resolved.workers,
-                config=self.config if self.resolved.workers else None,
+                worker_timeout=self.resolved.worker_timeout,
+                config=self.config,
             )
         return self._fleet
 

@@ -42,12 +42,14 @@ For push-based async ingestion (``await session.feed(...)``,
 from __future__ import annotations
 
 import asyncio
+import time
 
 import numpy as np
 
-from ..errors import SignalError
+from ..errors import ConfigurationError, SignalError
 from ..hrv.rr import RRSeries
 from ..perf.workspace import Scratch
+from .controller import QualityController, degradation_ladder
 from .streaming import StreamingSession
 
 __all__ = ["StreamHub"]
@@ -80,6 +82,27 @@ class StreamHub:
         # interleaving could hand one subject its windows out of order.
         self._deliver_lock = asyncio.Lock()
         self._closed = False
+        # Quality-adaptive control: the degradation ladder this hub's
+        # subjects can run at (level 0 = the configured quality) and,
+        # when the engine config carries an SLOSpec, the controller that
+        # moves them along it after each flush.  The clock and the
+        # flush-latency hook are injectable so the fault harness
+        # (repro.testing.faults) can skew time and inject latency
+        # deterministically.
+        self.ladder = degradation_ladder(engine.config)
+        #: Quality-level histogram of the most recent flush
+        #: (``{level: windows}``); empty before the first flush.  Read
+        #: by observers — the shedding benchmark and the fault
+        #: harness's latency cost model — after each flush.
+        self.last_flush_levels: dict = {}
+        self._clock = time.perf_counter
+        self._flush_latency_fault = None
+        if engine.config.slo is not None:
+            self._controller = QualityController(
+                self, engine.config.slo, clock=lambda: self._clock()
+            )
+        else:
+            self._controller = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,6 +131,69 @@ class StreamHub:
             raise SignalError(
                 f"unknown subject {subject_id!r}; open it or feed it first"
             ) from None
+
+    # ------------------------------------------------------------------
+    # Quality control
+    # ------------------------------------------------------------------
+
+    @property
+    def controller(self):
+        """The attached :class:`QualityController`, or ``None``.
+
+        Present exactly when the owning engine's config carries an
+        :class:`~repro.engine.controller.SLOSpec`.
+        """
+        return self._controller
+
+    def quality_level(self, subject_id) -> int:
+        """The subject's current degradation-ladder level (0 = full)."""
+        return self.session(subject_id)._quality_level
+
+    def set_quality(self, subject_id, level: int, pin: bool = True) -> None:
+        """Set (and by default pin) a subject's quality level.
+
+        A pinned subject is exempt from controller decisions — both
+        step-downs and recovery — until re-set with ``pin=False``.
+        Levels index :attr:`ladder`; the new level applies from the next
+        flush on (windows already analysed keep their recorded quality).
+        """
+        session = self.session(subject_id)
+        level = int(level)
+        if not 0 <= level < len(self.ladder):
+            raise ConfigurationError(
+                f"quality level must be in [0, {len(self.ladder) - 1}], "
+                f"got {level}"
+            )
+        session._quality_level = level
+        session._quality_pinned = bool(pin)
+
+    def set_tier(self, subject_id, tier: str | None) -> None:
+        """Assign a subject to a policy tier.
+
+        Tiers only matter under an :class:`SLOSpec` with
+        ``tier_floors``: a tiered subject sheds no deeper than its
+        tier's floor (tier ``None`` clears the assignment).
+        """
+        if tier is not None and (not isinstance(tier, str) or not tier):
+            raise ConfigurationError(
+                f"tier must be a non-empty string or None, got {tier!r}"
+            )
+        self.session(subject_id).tier = tier
+
+    def controller_stats(self) -> dict:
+        """The controller's decision log, levels and counters.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the
+        engine config carries no :class:`SLOSpec` — asking a hub that
+        cannot shed for its shedding record is a configuration mistake,
+        not an empty answer.
+        """
+        if self._controller is None:
+            raise ConfigurationError(
+                "hub has no quality controller: configure "
+                "EngineConfig(slo=SLOSpec(...)) to enable load shedding"
+            )
+        return self._controller.stats()
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -193,13 +279,18 @@ class StreamHub:
     # ------------------------------------------------------------------
 
     def flush(self) -> dict:
-        """Analyse every pending window in one shared batch.
+        """Analyse every pending window in one shared batch per level.
 
         Returns ``{subject_id: [WindowEmission, ...]}`` for the subjects
         that emitted, in feed order per subject.  The batch runs through
         the engine: in-process under its pinned provider/chunk, or over
-        its persistent fleet pool when it resolved ``jobs > 1``.
+        its persistent fleet pool when it resolved ``jobs > 1``.  When a
+        quality controller is attached, the flush's latency and backlog
+        feed its control loop — its decisions take effect from the
+        *next* flush.
         """
+        backlog = len(self._pending)
+        t0 = self._clock()
         with self._engine._profile_span("hub_flush"):
             emitted = self._analyze_pending(self._pending)
         # Cleared only after the batch succeeded: a failing analysis
@@ -207,41 +298,75 @@ class StreamHub:
         # windows pending for a retry, not silently drop spectrogram
         # rows from every affected subject's finalize.
         self._pending = []
+        elapsed = self._clock() - t0
+        if self._flush_latency_fault is not None:
+            # Fault-harness hook: injected latency is *added to the
+            # observation*, never slept — chaos tests steer the
+            # controller without slowing the suite down.
+            elapsed += float(self._flush_latency_fault(self, backlog, elapsed))
+        if self._controller is not None:
+            self._controller.observe(elapsed, backlog, emitted)
         return emitted
 
     def _analyze_pending(self, pending) -> dict:
+        self.last_flush_levels = {}
         if not pending:
             return {}
-        # Concatenate the pending windows' sample slices back to back —
-        # the same copies the batch kernel makes per window — and
-        # analyse the lot as one span batch at the usual choke point.
-        # The concatenation buffers lease from the engine's arena, so at
-        # steady state each flush reuses the previous round's storage;
-        # the analysis only reads them and every escaping spectrum is
-        # freshly allocated, so releasing on exit is safe.
-        edges = np.zeros(len(pending) + 1, dtype=np.int64)
-        np.cumsum(
-            [hi - lo for _, _, lo, hi in pending], out=edges[1:]
-        )
-        total = int(edges[-1])
-        spans = tuple(
-            (int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:])
-        )
-        with Scratch(self._engine.arena) as ws:
-            t_cat = ws.take((total,))
-            x_cat = ws.take((total,))
-            for (session, _, lo, hi), dst_lo, dst_hi in zip(
-                pending, edges[:-1], edges[1:]
-            ):
-                t_cat[dst_lo:dst_hi] = session._times[lo:hi]
-                x_cat[dst_lo:dst_hi] = session._values[lo:hi]
-            spectra = self._engine._analyze_spans_batch(
-                t_cat, x_cat, spans, self._count_ops
+        # Group the pending windows by the owning session's *effective*
+        # quality level: each group is one span batch under that level's
+        # kernels through the usual choke point.  Grouping only changes
+        # batch composition, which per-window kernels are independent
+        # of — a subject at level L here is bit-identical to the same
+        # windows under a homogeneous level-L engine.
+        levels: list = []
+        by_level: dict[int, list[int]] = {}
+        for i, (session, _, _, _) in enumerate(pending):
+            variant, level = session._effective_variant()
+            levels.append((variant, level))
+            by_level.setdefault(level, []).append(i)
+        self.last_flush_levels = {
+            level: len(indices) for level, indices in by_level.items()
+        }
+        spectra: list = [None] * len(pending)
+        for level in sorted(by_level):
+            indices = by_level[level]
+            variant = levels[indices[0]][0]
+            group = [pending[i] for i in indices]
+            # Concatenate the group's sample slices back to back — the
+            # same copies the batch kernel makes per window.  The
+            # concatenation buffers lease from the engine's arena, so at
+            # steady state each flush reuses the previous round's
+            # storage; the analysis only reads them and every escaping
+            # spectrum is freshly allocated, so releasing on exit is
+            # safe.
+            edges = np.zeros(len(group) + 1, dtype=np.int64)
+            np.cumsum([hi - lo for _, _, lo, hi in group], out=edges[1:])
+            total = int(edges[-1])
+            spans = tuple(
+                (int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:])
             )
+            with Scratch(self._engine.arena) as ws:
+                t_cat = ws.take((total,))
+                x_cat = ws.take((total,))
+                for (session, _, lo, hi), dst_lo, dst_hi in zip(
+                    group, edges[:-1], edges[1:]
+                ):
+                    t_cat[dst_lo:dst_hi] = session._times[lo:hi]
+                    x_cat[dst_lo:dst_hi] = session._values[lo:hi]
+                group_spectra = self._engine._analyze_spans_batch(
+                    t_cat, x_cat, spans, self._count_ops, variant=variant
+                )
+            for i, spectrum in zip(indices, group_spectra):
+                spectra[i] = spectrum
+        # Record in original feed order regardless of grouping, so each
+        # subject's emission indices and delivery order are exactly what
+        # a homogeneous hub would produce.
         emitted: dict = {}
         touched: dict = {}
-        for (session, start, lo, hi), spectrum in zip(pending, spectra):
-            emission = session._record(start, lo, hi, spectrum)
+        for (session, start, lo, hi), spectrum, (_, level) in zip(
+            pending, spectra, levels
+        ):
+            emission = session._record(start, lo, hi, spectrum, quality=level)
             emitted.setdefault(session.subject_id, []).append(emission)
             touched[id(session)] = session
         for session in touched.values():

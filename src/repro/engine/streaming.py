@@ -85,12 +85,19 @@ class WindowEmission:
     spectrum:
         The window's Lomb spectrum (identical to
         ``WelchLombResult.window_spectra[index]``).
+    quality:
+        Degradation-ladder level this window was computed at (0 = the
+        configured quality; deeper levels are the paper's pruning modes
+        an SLO controller shed the subject to — see
+        :mod:`repro.engine.controller`).  Always 0 outside a hub with
+        an :class:`~repro.engine.controller.SLOSpec` configured.
     """
 
     index: int
     start: float
     center: float
     spectrum: LombSpectrum
+    quality: int = 0
 
 
 class StreamingSession:
@@ -142,6 +149,13 @@ class StreamingSession:
         # analysis of completed windows to its shared cross-session batch.
         self._hub = None
         self.subject_id: str | None = None
+        # Quality-adaptive state (hub sessions only; plain streams stay
+        # at level 0 forever).  The level indexes the hub's degradation
+        # ladder and is read at *analysis* time — a controller decision
+        # between flushes never reinterprets already-analysed windows.
+        self._quality_level = 0
+        self._quality_pinned = False
+        self.tier: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -330,6 +344,21 @@ class StreamingSession:
         self._n = remaining
         self._dropped += cut
 
+    def _effective_variant(self):
+        """``(variant, level)`` this session currently computes at.
+
+        Plain streams and undegraded hub subjects run the base config
+        (variant ``None``, level 0); a hub subject the SLO controller
+        stepped down runs its ladder level's kernels.  The tail emitted
+        by :meth:`finalize` reads this too — a subject pinned at mode M
+        must stay bit-identical to a homogeneous mode-M run *including*
+        its final partial window.
+        """
+        if self._hub is None or self._quality_level == 0:
+            return None, 0
+        entry = self._hub.ladder[self._quality_level]
+        return (entry.system, entry.pruning), entry.level
+
     def _emit(
         self, pending: list[tuple[float, tuple[int, int]]]
     ) -> list[WindowEmission]:
@@ -338,16 +367,22 @@ class StreamingSession:
             return []
         t = self._times[: self._n]
         x = self._values[: self._n]
+        variant, level = self._effective_variant()
+        analyzer = (
+            self._analyzer
+            if variant is None
+            else self._engine._system_for_variant(variant).welch.analyzer
+        )
         with self._engine._pinned():
             spectra = analyze_spans(
-                self._analyzer,
+                analyzer,
                 t,
                 x,
                 [span for _, span in pending],
                 self._count_ops,
             )
         return [
-            self._record(start, lo, hi, spectrum)
+            self._record(start, lo, hi, spectrum, quality=level)
             for (start, (lo, hi)), spectrum in zip(pending, spectra)
         ]
 
@@ -375,7 +410,12 @@ class StreamingSession:
         return lo, hi
 
     def _record(
-        self, start: float, lo: int, hi: int, spectrum: LombSpectrum
+        self,
+        start: float,
+        lo: int,
+        hi: int,
+        spectrum: LombSpectrum,
+        quality: int = 0,
     ) -> WindowEmission:
         t = self._times[: self._n]
         center = 0.5 * (float(t[lo]) + float(t[hi - 1]))
@@ -384,6 +424,7 @@ class StreamingSession:
             start=float(start),
             center=center,
             spectrum=spectrum,
+            quality=int(quality),
         )
         self._spectra.append(spectrum)
         self._centers.append(center)

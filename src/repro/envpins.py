@@ -8,7 +8,9 @@ Three environment variables tune execution without touching code:
 * :data:`CHUNK_ENV_VAR` (``REPRO_BATCH_CHUNK_WINDOWS``) — pins the
   batched execution path's windows-per-sub-batch size,
 * :data:`CACHE_DIR_ENV_VAR` (``REPRO_CACHE_DIR``) — overrides the
-  directory of the persistent provider-autoselect cache.
+  directory of the persistent provider-autoselect cache,
+* :data:`WORKER_TIMEOUT_ENV_VAR` (``REPRO_WORKER_TIMEOUT``) — pins the
+  remote fleet worker connect/heartbeat timeout in seconds.
 
 Every consumer — the provider registry's resolution chain, the batch
 chunk resolver in :mod:`repro.lomb.fast`, the CLI's state reporting and
@@ -29,9 +31,11 @@ __all__ = [
     "CACHE_DIR_ENV_VAR",
     "CHUNK_ENV_VAR",
     "PROVIDER_ENV_VAR",
+    "WORKER_TIMEOUT_ENV_VAR",
     "cache_dir_env_pin",
     "chunk_env_pin",
     "provider_env_pin",
+    "worker_timeout_env_pin",
 ]
 
 #: Environment pin naming the FFT execution provider (or ``"auto"``).
@@ -42,6 +46,9 @@ CHUNK_ENV_VAR = "REPRO_BATCH_CHUNK_WINDOWS"
 
 #: Environment pin relocating the persistent autoselect cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Environment pin fixing the remote worker connect/heartbeat timeout.
+WORKER_TIMEOUT_ENV_VAR = "REPRO_WORKER_TIMEOUT"
 
 
 def provider_env_pin() -> str | None:
@@ -93,3 +100,29 @@ def cache_dir_env_pin() -> str | None:
         return None
     raw = raw.strip()
     return raw or None
+
+
+def worker_timeout_env_pin() -> float | None:
+    """The ``REPRO_WORKER_TIMEOUT`` pin (seconds); ``None`` when unset.
+
+    Bounds how long the fleet scheduler waits for a remote worker
+    daemon's connect/handshake and how stale a heartbeat may go before
+    the worker counts as dead.  Raises
+    :class:`~repro.errors.ConfigurationError` for non-numeric or
+    non-positive values — a present-but-broken pin must fail loudly.
+    """
+    raw = os.environ.get(WORKER_TIMEOUT_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKER_TIMEOUT_ENV_VAR} must be a number (seconds), "
+            f"got {raw!r}"
+        ) from None
+    if not value > 0:
+        raise ConfigurationError(
+            f"{WORKER_TIMEOUT_ENV_VAR} must be > 0, got {value}"
+        )
+    return value

@@ -36,6 +36,8 @@ import os
 import select
 import socket
 import threading
+import time
+import zlib
 
 import numpy as np
 
@@ -50,7 +52,10 @@ __all__ = [
 ]
 
 #: Wire-protocol revision; peers refuse a mismatch at handshake.
-PROTOCOL_VERSION = 1
+#: v2 added the optional per-task ``variant`` field (quality-adaptive
+#: load shedding) — a v1 daemon would silently ignore it and compute
+#: the wrong quality, which is exactly what the handshake check is for.
+PROTOCOL_VERSION = 2
 
 #: Seconds between ``heartbeat`` frames while a task computes.
 HEARTBEAT_INTERVAL = 1.0
@@ -60,6 +65,13 @@ HEARTBEAT_INTERVAL = 1.0
 #: for more than a couple of seconds — a full timeout means the worker
 #: process (or its host) is gone and the shard must be reassigned.
 DEFAULT_TIMEOUT = 15.0
+
+#: Bounded-backoff defaults for :meth:`RemoteWorker.reconnect`: attempt
+#: ``i`` sleeps ``min(RECONNECT_MAX_DELAY, RECONNECT_BASE_DELAY * 2**i)``
+#: plus a deterministic per-address jitter before dialling.
+RECONNECT_ATTEMPTS = 3
+RECONNECT_BASE_DELAY = 0.05
+RECONNECT_MAX_DELAY = 1.0
 
 
 class RemoteTaskError(ReproError):
@@ -250,7 +262,8 @@ class WorkerDaemon:
             if payload.get("arena", True):
                 self._install_arena(chunk, analyzer.workspace_size)
             state.update(
-                welch=welch, provider=provider, chunk=chunk, arrays={}
+                welch=welch, provider=provider, chunk=chunk, arrays={},
+                config=config, variants={},
             )
         except ReproError as exc:
             try:
@@ -313,6 +326,31 @@ class WorkerDaemon:
                 "result", {"task_id": task_id, "packed": outcome["packed"]}
             )
 
+    @staticmethod
+    def _variant_welch(state, variant: dict):
+        """The engine a task's wire variant selects (see ``run_task``).
+
+        The wire form is a plain ``{"system": ..., "pruning": {...}}``
+        dict (the frame codec carries no custom classes); it is decoded
+        back into a :class:`~repro.ffts.pruning.PruningSpec` and the
+        variant engine is built from the handshake config and cached
+        per connection — the daemon-side mirror of the parent engine's
+        variant cache.
+        """
+        from ..engine.engine import build_system
+        from ..ffts.pruning import PruningSpec
+
+        pruning = PruningSpec(**variant["pruning"])
+        key = (variant["system"], pruning)
+        cache = state["variants"]
+        welch = cache.get(key)
+        if welch is None:
+            welch = build_system(
+                state["config"].replace(system=key[0], pruning=pruning)
+            ).welch
+            cache[key] = welch
+        return welch
+
     def _compute(self, payload, state, outcome: dict) -> None:
         try:
             from ..lomb.fast import pinned_execution
@@ -330,10 +368,16 @@ class WorkerDaemon:
             spans = [
                 (int(start), int(stop)) for start, stop in payload["spans"]
             ]
+            variant = payload.get("variant")
+            welch = (
+                state["welch"]
+                if variant is None
+                else self._variant_welch(state, variant)
+            )
             with self._exec_lock:
                 with pinned_execution(state["provider"], state["chunk"]):
                     spectra = analyze_spans(
-                        state["welch"].analyzer,
+                        welch.analyzer,
                         times,
                         values,
                         spans,
@@ -344,17 +388,28 @@ class WorkerDaemon:
             outcome["error"] = f"{type(exc).__name__}: {exc}"
 
 
-def run_worker_daemon(listen: str) -> int:
+def run_worker_daemon(
+    listen: str, heartbeat_interval: float = HEARTBEAT_INTERVAL
+) -> int:
     """CLI entry point: serve ``python -m repro worker --listen HOST:PORT``.
 
     Prints the bound address (``--listen host:0`` picks an ephemeral
-    port) and serves until interrupted.
+    port) and serves until interrupted.  ``heartbeat_interval``
+    (``--heartbeat-interval``) sets the seconds between heartbeat
+    frames while a task computes — pair a longer interval with a larger
+    scheduler-side ``worker_timeout``.
     """
+    if not float(heartbeat_interval) > 0:
+        raise ConfigurationError(
+            f"heartbeat interval must be > 0, got {heartbeat_interval}"
+        )
     if ":" in listen:
         host, port = parse_address(listen, allow_ephemeral=True)
     else:
         host, port = listen, 0
-    daemon = WorkerDaemon(host=host, port=port)
+    daemon = WorkerDaemon(
+        host=host, port=port, heartbeat_interval=float(heartbeat_interval)
+    )
     print(f"worker daemon pid {os.getpid()} listening on {daemon.address}",
           flush=True)
     try:
@@ -398,6 +453,11 @@ class RemoteWorker:
         self._closed_sent = 0
         self._closed_received = 0
         self.info: dict = {}
+        #: Successful connections after the first (cumulative).
+        self.reconnects = 0
+        #: Failed connection attempts (cumulative).
+        self.connect_failures = 0
+        self._ever_connected = False
 
     @property
     def connected(self) -> bool:
@@ -433,6 +493,7 @@ class RemoteWorker:
                 (self.host, self.port), timeout=self.timeout
             )
         except OSError as exc:
+            self.connect_failures += 1
             raise ConnectionError(
                 f"cannot reach fleet worker {self.address}: {exc}"
             ) from exc
@@ -444,6 +505,7 @@ class RemoteWorker:
             kind, payload = self._recv_content(stream)
         except (ConnectionError, TransportError, socket.timeout) as exc:
             stream.close()
+            self.connect_failures += 1
             raise ConnectionError(
                 f"handshake with fleet worker {self.address} failed: {exc}"
             ) from exc
@@ -461,7 +523,48 @@ class RemoteWorker:
         self._stream = stream
         self._sent_arrays = set()
         self.info = payload
+        if self._ever_connected:
+            self.reconnects += 1
+        self._ever_connected = True
         return payload
+
+    def reconnect(
+        self,
+        hello: dict,
+        attempts: int = RECONNECT_ATTEMPTS,
+        base_delay: float = RECONNECT_BASE_DELAY,
+        max_delay: float = RECONNECT_MAX_DELAY,
+    ) -> dict:
+        """Re-dial a dead worker with bounded exponential backoff.
+
+        Attempt ``i`` sleeps ``min(max_delay, base_delay * 2**i)`` plus
+        a deterministic jitter (hashed from the address and attempt
+        number, up to half the delay — reproducible runs, but a fleet
+        of schedulers dialling one rebooted daemon still doesn't dial
+        in lockstep) before calling :meth:`connect`.  Returns the
+        ``ready`` payload of the first attempt that lands; raises the
+        last :class:`ConnectionError` when every attempt fails.
+        ``ConfigurationError`` (the daemon answered and *refused*) is
+        not retried — the worker is healthy, the request is wrong.
+
+        The connection is fully re-handshaken and the daemon's array
+        uploads start from scratch (:meth:`ensure_array` re-uploads on
+        first reference), so a caller can resume exactly where the
+        death interrupted it.
+        """
+        last: ConnectionError | None = None
+        for attempt in range(int(attempts)):
+            delay = min(float(max_delay), float(base_delay) * (2 ** attempt))
+            seed = zlib.crc32(f"{self.address}#{attempt}".encode())
+            time.sleep(delay * (1.0 + 0.5 * (seed % 1000) / 1000.0))
+            try:
+                return self.connect(hello)
+            except ConnectionError as exc:
+                last = exc
+        raise ConnectionError(
+            f"fleet worker {self.address} still unreachable after "
+            f"{attempts} reconnect attempts: {last}"
+        )
 
     @staticmethod
     def _recv_content(stream: FrameStream) -> tuple[str, dict]:
@@ -529,15 +632,32 @@ class RemoteWorker:
         values_key: int,
         spans,
         count_ops: bool,
+        variant=None,
     ) -> list[tuple]:
         """Run one span batch remotely; returns packed spectra.
 
-        Raises :class:`ConnectionError` (worker died or timed out —
-        reassign the task) or :class:`RemoteTaskError` (the task itself
-        failed — do not retry elsewhere).
+        ``variant`` (a ``(system_kind, PruningSpec)`` pair, or ``None``
+        for the handshake engine) selects a degraded quality level's
+        kernels on the daemon side; it crosses the wire as a plain
+        ``{"system", "pruning"}`` dict because the frame codec carries
+        no custom classes.  Raises :class:`ConnectionError` (worker
+        died or timed out — reassign the task) or
+        :class:`RemoteTaskError` (the task itself failed — do not retry
+        elsewhere).
         """
         stream = self._require_stream()
         spans_arr = np.asarray(spans, dtype=np.int64).reshape(-1, 2)
+        if variant is not None:
+            system_kind, pruning = variant
+            variant = {
+                "system": system_kind,
+                "pruning": {
+                    "band_drop": pruning.band_drop,
+                    "twiddle_fraction": pruning.twiddle_fraction,
+                    "dynamic": pruning.dynamic,
+                    "dynamic_threshold": pruning.dynamic_threshold,
+                },
+            }
         try:
             stream.send(
                 "task",
@@ -547,6 +667,7 @@ class RemoteWorker:
                     "values_key": int(values_key),
                     "spans": spans_arr,
                     "count_ops": bool(count_ops),
+                    "variant": variant,
                 },
             )
             kind, payload = self._recv_content(stream)

@@ -114,6 +114,9 @@ class _WireTask:
     values_key: int
     spans: tuple[tuple[int, int], ...]
     count_ops: bool
+    #: Quality variant — ``None`` (base engine) or a
+    #: ``(system_kind, PruningSpec)`` ladder rung (load shedding).
+    variant: tuple | None = None
 
 
 class _TaskBoard:
@@ -299,9 +302,18 @@ class FleetRunner:
         self._progress = None
         self._progress_lock = threading.Lock()
         self._last_task_by_pid: dict[int, int] = {}
+        # _remotes is the *live* set one run schedules onto; the
+        # registry keeps every RemoteWorker ever dialled so cumulative
+        # transport counters (bytes, reconnects) survive close() and
+        # between-run disconnects.
         self._remotes: dict[str, RemoteWorker] = {}
+        self._remote_registry: dict[str, RemoteWorker] = {}
         self._remote_ever: set[str] = set()
         self._remote_key: tuple[int, str] | None = None
+        # Quality-variant engines (degraded ladder levels), built
+        # lazily from the config — the runner-side mirror of
+        # Engine._variants for the in-process scheduling paths.
+        self._variants: dict = {}
 
     @classmethod
     def from_config(cls, config, welch: WelchLomb | None = None, **kwargs):
@@ -423,24 +435,34 @@ class FleetRunner:
             pool.join()
 
     def _close_remotes(self) -> None:
-        """Say goodbye to every connected remote daemon (best-effort)."""
-        remotes, self._remotes = self._remotes, {}
+        """Say goodbye to every connected remote daemon (best-effort).
+
+        Connections close; the worker handles stay in the registry so
+        their cumulative counters keep accumulating across reconnects.
+        """
+        self._remotes = {}
         self._remote_key = None
-        for worker in remotes.values():
+        for worker in self._remote_registry.values():
             worker.close()
 
     def transport_stats(self) -> dict[str, dict[str, int]]:
-        """Cumulative wire-byte counters per connected remote worker.
+        """Cumulative transport counters per remote worker ever dialled.
 
-        Used by the fleet benchmark to quantify serialization/framing
-        overhead per window; empty when no remote workers are connected.
+        Per address: ``bytes_sent`` / ``bytes_received`` (wire traffic,
+        cumulative across reconnects — used by the fleet benchmark to
+        quantify serialization overhead per window), ``reconnects``
+        (successful re-connections after the first) and
+        ``connect_failures`` (failed dial attempts).  Empty when no
+        remote workers were ever configured.
         """
         return {
             address: {
                 "bytes_sent": worker.bytes_sent,
                 "bytes_received": worker.bytes_received,
+                "reconnects": worker.reconnects,
+                "connect_failures": worker.connect_failures,
             }
-            for address, worker in self._remotes.items()
+            for address, worker in self._remote_registry.items()
         }
 
     def _detach_finalizer(self) -> None:
@@ -472,6 +494,33 @@ class FleetRunner:
         self.close()
 
     # ------------------------------------------------------------------
+
+    def _variant_welch(self, variant) -> WelchLomb:
+        """The engine a quality variant selects (``None`` = base).
+
+        Used by the scheduling paths that execute in *this* process
+        (the small-batch shortcut and the ``n_jobs == 1`` local slot);
+        pool workers and remote daemons hold their own mirrors of this
+        cache.  Requires the engine config — a runner built without one
+        cannot be asked to shed quality.
+        """
+        if variant is None:
+            return self.welch
+        if self._config is None:
+            raise ConfigurationError(
+                "quality-variant span batches need the EngineConfig that "
+                "describes the engine: pass config= to FleetRunner"
+            )
+        welch = self._variants.get(variant)
+        if welch is None:
+            from ..engine.engine import build_system
+
+            system_kind, pruning = variant
+            welch = build_system(
+                self._config.replace(system=system_kind, pruning=pruning)
+            ).welch
+            self._variants[variant] = welch
+        return welch
 
     def _resolve_execution(self) -> tuple[int, str]:
         """Resolve the (chunk, provider) pair one run executes under.
@@ -537,7 +586,10 @@ class FleetRunner:
         self._pool = ctx.Pool(
             processes=self.n_jobs,
             initializer=init_worker,
-            initargs=(self.welch, chunk, provider, self._arena, self._progress),
+            initargs=(
+                self.welch, chunk, provider, self._arena, self._progress,
+                self._config,
+            ),
         )
         self._pool_key = (chunk, provider)
         # Hold our own references to the worker Process objects: the
@@ -648,7 +700,7 @@ class FleetRunner:
         return collected  # every slot filled: imap yields one per task
 
     def run_spans(
-        self, times, values, spans, count_ops: bool = False
+        self, times, values, spans, count_ops: bool = False, variant=None
     ) -> list:
         """Analyse one flat span batch, dispatching over the pool.
 
@@ -665,6 +717,13 @@ class FleetRunner:
         :func:`~repro.lomb.welch.analyze_spans` call: every kernel is
         batch-composition-independent and every process is pinned to
         the same provider and chunk size.
+
+        ``variant`` runs the whole batch at a degraded quality level (a
+        ``(system_kind, PruningSpec)`` ladder rung): every slice
+        carries the variant to its executor, and each executor resolves
+        it against its own cached variant engine — so a level-M batch
+        is bit-identical across the in-process, shm-pool and socket
+        transports, exactly like the base engine.
         """
         spans = tuple(spans)
         if not spans:
@@ -681,7 +740,8 @@ class FleetRunner:
             # call does cheaper.
             with pinned_execution(provider, chunk):
                 return analyze_spans(
-                    self.welch.analyzer, times, values, spans, count_ops
+                    self._variant_welch(variant).analyzer,
+                    times, values, spans, count_ops,
                 )
         bounds = [len(spans) * i // n_slices for i in range(n_slices + 1)]
         if self.workers:
@@ -692,6 +752,7 @@ class FleetRunner:
                     values_key=1,
                     spans=spans[lo:hi],
                     count_ops=count_ops,
+                    variant=variant,
                 )
                 for batch_id, (lo, hi) in enumerate(
                     zip(bounds[:-1], bounds[1:])
@@ -720,6 +781,7 @@ class FleetRunner:
                     values_ref=values_ref,
                     spans=spans[lo:hi],
                     count_ops=count_ops,
+                    variant=variant,
                 )
                 for batch_id, (lo, hi) in enumerate(
                     zip(bounds[:-1], bounds[1:])
@@ -773,9 +835,10 @@ class FleetRunner:
         hello = self._hello(chunk, provider)
         live: dict[str, RemoteWorker] = {}
         for address in self.workers:
-            worker = self._remotes.get(address)
+            worker = self._remote_registry.get(address)
             if worker is None:
                 worker = RemoteWorker(address, timeout=self.worker_timeout)
+                self._remote_registry[address] = worker
             if worker.connected:
                 try:
                     # Array keys are per-run indices: clear the daemon's
@@ -845,11 +908,12 @@ class FleetRunner:
                         daemon=True,
                     )
                 )
+            hello = self._hello(chunk, provider)
             for address, worker in remotes.items():
                 threads.append(
                     threading.Thread(
                         target=self._remote_loop,
-                        args=(board, worker, arrays, tasks),
+                        args=(board, worker, arrays, tasks, hello),
                         name=f"fleet-remote-{address}",
                         daemon=True,
                     )
@@ -877,6 +941,7 @@ class FleetRunner:
                 values_ref=refs[task.values_key],
                 spans=task.spans,
                 count_ops=task.count_ops,
+                variant=task.variant,
             )
             try:
                 handle = pool.apply_async(run_span_batch, (pool_task,))
@@ -909,7 +974,7 @@ class FleetRunner:
                         return
                     task = tasks[task_id]
                     spectra = analyze_spans(
-                        self.welch.analyzer,
+                        self._variant_welch(task.variant).analyzer,
                         arrays[task.times_key],
                         arrays[task.values_key],
                         task.spans,
@@ -919,37 +984,59 @@ class FleetRunner:
         except BaseException as exc:
             board.abort(exc)
 
-    def _remote_loop(self, board, worker, arrays, tasks) -> None:
-        """One remote slot: ship claimed tasks; requeue if the worker dies."""
+    def _remote_loop(self, board, worker, arrays, tasks, hello) -> None:
+        """One remote slot: ship claimed tasks; rejoin if the worker dies.
+
+        A :class:`ConnectionError` requeues the claimed task
+        immediately (a local slot guarantees the board drains even if
+        this worker never comes back), then tries to *rejoin*:
+        :meth:`RemoteWorker.reconnect` re-dials with bounded backoff,
+        :meth:`RemoteWorker.reset_arrays` confirms the new session with
+        a ping/pong, and the slot resumes claiming — its array uploads
+        rebuild lazily on first reference.  If the rejoin fails the
+        slot retires for this run and the next run reconnects.
+        """
         claimed: int | None = None
-        try:
-            while True:
-                claimed = board.claim()
-                if claimed is None:
-                    return
-                task = tasks[claimed]
-                worker.ensure_array(task.times_key, arrays[task.times_key])
-                worker.ensure_array(task.values_key, arrays[task.values_key])
-                packed = worker.run_task(
-                    task.task_id,
-                    task.times_key,
-                    task.values_key,
-                    task.spans,
-                    task.count_ops,
-                )
-                board.complete(claimed, packed)
-                claimed = None
-        except ConnectionError:
-            # Worker died mid-run: hand the claimed task back for
-            # reassignment (a local slot guarantees the board drains)
-            # and retire this slot; next run reconnects.
-            if claimed is not None:
-                board.requeue(claimed)
-        except BaseException as exc:
-            # RemoteTaskError and friends are deterministic — the task
-            # would fail identically on any slot, so abort the run
-            # instead of bouncing it between workers.
-            board.abort(exc)
+        while True:
+            try:
+                while True:
+                    claimed = board.claim()
+                    if claimed is None:
+                        return
+                    task = tasks[claimed]
+                    worker.ensure_array(
+                        task.times_key, arrays[task.times_key]
+                    )
+                    worker.ensure_array(
+                        task.values_key, arrays[task.values_key]
+                    )
+                    packed = worker.run_task(
+                        task.task_id,
+                        task.times_key,
+                        task.values_key,
+                        task.spans,
+                        task.count_ops,
+                        variant=task.variant,
+                    )
+                    board.complete(claimed, packed)
+                    claimed = None
+            except ConnectionError:
+                if claimed is not None:
+                    board.requeue(claimed)
+                    claimed = None
+                if board.failure is not None:
+                    return  # run already lost: no point rejoining
+                try:
+                    worker.reconnect(hello)
+                    worker.reset_arrays()
+                except (ConnectionError, ConfigurationError):
+                    return  # rejoin failed: retire for this run
+            except BaseException as exc:
+                # RemoteTaskError and friends are deterministic — the
+                # task would fail identically on any slot, so abort the
+                # run instead of bouncing it between workers.
+                board.abort(exc)
+                return
 
     def _merge(
         self,

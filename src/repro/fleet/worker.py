@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..ffts.plancache import warm_execution_caches
 from ..ffts.providers.registry import set_default_provider
 from ..lomb.fast import LombSpectrum, set_batch_chunk_windows
@@ -76,6 +77,7 @@ def init_worker(
     provider: str | None = None,
     arena: bool = True,
     progress_queue=None,
+    config=None,
 ) -> None:
     """Pool initializer: install the engine and warm this process.
 
@@ -94,6 +96,11 @@ def init_worker(
     ``progress_queue`` (a ``multiprocessing`` queue) receives a
     ``(pid, task_id)`` record as each task *starts*, so the parent's
     watchdog can name the task a worker held when it died.
+    ``config`` (an :class:`~repro.engine.EngineConfig`) lets this
+    worker serve *quality-variant* span batches — tasks tagged with a
+    degraded pruning mode by the hub's SLO controller — by rebuilding
+    the variant's engine from ``config.replace(...)``; without it,
+    variant tasks are rejected.
     """
     if chunk_windows is not None:
         set_batch_chunk_windows(chunk_windows)
@@ -110,6 +117,8 @@ def init_worker(
         set_active_arena(worker_arena)
     _STATE["welch"] = welch
     _STATE["progress"] = progress_queue
+    _STATE["config"] = config
+    _STATE["variants"] = {}
 
 
 def _report_task_start(task_id: int) -> None:
@@ -177,11 +186,45 @@ def unpack_spectra(packed) -> list[LombSpectrum]:
     return spectra
 
 
+def _variant_welch(variant) -> WelchLomb:
+    """The engine a task's quality variant selects (``None`` = base).
+
+    A variant is a ``(system_kind, PruningSpec)`` pair — one rung of
+    the hub's degradation ladder.  Variant engines are built from the
+    installed :class:`~repro.engine.EngineConfig` and cached per
+    process, mirroring the parent engine's own variant cache, so a
+    worker serving a heterogeneous flush pays one plan-cache hit per
+    new level, not a rebuild per task.
+    """
+    if variant is None:
+        return _STATE["welch"]
+    cache = _STATE.get("variants")
+    config = _STATE.get("config")
+    if cache is None or config is None:
+        raise ConfigurationError(
+            "worker received a quality-variant task but was initialised "
+            "without an engine config: cannot build the variant's engine"
+        )
+    welch = cache.get(variant)
+    if welch is None:
+        # Imported lazily: repro.engine imports this module's package at
+        # call time only, and keeping that symmetric avoids a cycle.
+        from ..engine.engine import build_system
+
+        system_kind, pruning = variant
+        welch = build_system(
+            config.replace(system=system_kind, pruning=pruning)
+        ).welch
+        cache[variant] = welch
+    return welch
+
+
 def _analyze_refs(
     times_ref: SharedArrayRef,
     values_ref: SharedArrayRef,
     spans,
     count_ops: bool,
+    variant=None,
 ) -> list[tuple]:
     """Attach, analyse the given spans, pack, detach.
 
@@ -191,7 +234,7 @@ def _analyze_refs(
     attachments can be released before returning (pools outlive
     individual runs, so holding attachments would pin unlinked blocks).
     """
-    welch: WelchLomb = _STATE["welch"]
+    welch: WelchLomb = _variant_welch(variant)
     t_block, times = attach_array(times_ref)
     x_block, values = attach_array(values_ref)
     try:
@@ -239,6 +282,11 @@ class SpanBatchTask:
         Sample-index ``[start, stop)`` ranges of this slice's windows.
     count_ops:
         Attach executed operation counts to every spectrum.
+    variant:
+        Quality variant to run this slice at: ``None`` for the
+        installed base engine, or a ``(system_kind, PruningSpec)`` pair
+        naming a degraded ladder level (requires ``init_worker`` to
+        have received the engine config).
     """
 
     batch_id: int
@@ -246,6 +294,7 @@ class SpanBatchTask:
     values_ref: SharedArrayRef
     spans: tuple[tuple[int, int], ...]
     count_ops: bool
+    variant: tuple | None = None
 
 
 def run_span_batch(task: SpanBatchTask) -> tuple[int, list[tuple]]:
@@ -257,6 +306,7 @@ def run_span_batch(task: SpanBatchTask) -> tuple[int, list[tuple]]:
     """
     _report_task_start(task.batch_id)
     packed = _analyze_refs(
-        task.times_ref, task.values_ref, task.spans, task.count_ops
+        task.times_ref, task.values_ref, task.spans, task.count_ops,
+        variant=task.variant,
     )
     return task.batch_id, packed

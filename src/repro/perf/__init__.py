@@ -14,6 +14,7 @@ steady state and make the win observable:
 """
 
 from repro.perf.profiler import (
+    LatencyWindow,
     StageProfiler,
     get_active_profiler,
     profile_scope,
@@ -31,6 +32,7 @@ from repro.perf.workspace import (
 )
 
 __all__ = [
+    "LatencyWindow",
     "Scratch",
     "StageProfiler",
     "WorkspaceArena",

@@ -22,11 +22,14 @@ taxes another.
 
 from __future__ import annotations
 
+import math
 import time
 import tracemalloc
+from collections import deque
 from contextlib import contextmanager
 
 __all__ = [
+    "LatencyWindow",
     "StageProfiler",
     "get_active_profiler",
     "profile_scope",
@@ -145,6 +148,47 @@ class StageProfiler:
                 line += f" {row['alloc_bytes'] / 1024.0:>10.1f}"
             lines.append(line)
         return "\n".join(lines)
+
+
+class LatencyWindow:
+    """Rolling per-call latency window with percentile readout.
+
+    :class:`StageProfiler` accumulates *totals* — ideal for attribution,
+    useless for tail latency.  This companion keeps the last ``size``
+    individual observations (seconds) so SLO checks can ask for a
+    percentile of recent behaviour; the quality-adaptive controller
+    (:mod:`repro.engine.controller`) feeds it the same per-flush
+    latencies the ``hub_flush`` profiler stage times.
+    """
+
+    __slots__ = ("_window",)
+
+    def __init__(self, size: int = 32):
+        if int(size) < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._window = deque(maxlen=int(size))
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        self._window.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-th percentile (0-100) of the window, or ``None`` if empty.
+
+        Nearest-rank on the sorted window — deterministic, no
+        interpolation surprises at tiny window sizes.
+        """
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def clear(self) -> None:
+        self._window.clear()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Test-support utilities shipped with the library.
+
+Currently one module: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness the chaos suite and ``tools/chaos_smoke.py``
+drive the streaming engine with.  Everything here is import-safe in
+production code paths (nothing monkeypatches at import time) but is
+*meant* for tests: the hooks it attaches trade realism for
+reproducibility on purpose.
+"""
+
+from .faults import (
+    FaultClock,
+    FlakyFrameStream,
+    FlushLatencyFault,
+    SlowFrameStream,
+    WorkerDeathTrigger,
+)
+
+__all__ = [
+    "FaultClock",
+    "FlakyFrameStream",
+    "FlushLatencyFault",
+    "SlowFrameStream",
+    "WorkerDeathTrigger",
+]

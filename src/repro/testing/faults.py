@@ -1,0 +1,333 @@
+"""Deterministic fault injection for the streaming/fleet engine.
+
+Chaos tests need *controlled* disorder: overload that arrives on
+schedule, workers that die on the exact task the test names, clocks
+that skew by a chosen rate — and the same disorder on every run, or a
+failing chaos test cannot be debugged.  This module provides that
+disorder as small, seedable components that attach to the engine's
+injection points:
+
+* :class:`FaultClock` — a manual clock (with optional skew rate)
+  installed as ``hub._clock``, so flush-latency observations are
+  script-driven instead of wall-driven.
+* :class:`FlushLatencyFault` — a cost model installed as
+  ``hub._flush_latency_fault``: each flush's *observed* latency grows
+  with the number of windows analysed, discounted per degradation
+  level, times a scheduled load multiplier.  Injected latency is added
+  to the observation, never slept, so a chaos run steering the
+  :class:`~repro.engine.controller.QualityController` through overload
+  and recovery completes in milliseconds.
+* :class:`SlowFrameStream` / :class:`FlakyFrameStream` — transport
+  wrappers around :class:`~repro.fleet.transport.FrameStream` that
+  delay or kill the connection deterministically (by message count, by
+  message kind, or by a seeded drop rate).
+* :class:`WorkerDeathTrigger` — arms a
+  :class:`~repro.fleet.remote.RemoteWorker` to "die" (connection
+  dropped, :class:`ConnectionError` raised) after a chosen number of
+  tasks, exercising the scheduler's requeue + rejoin path against a
+  daemon that is in fact still healthy.
+
+Nothing here patches anything at import time; every component attaches
+explicitly and can be detached (:meth:`WorkerDeathTrigger.cancel`,
+``FaultClock.uninstall``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "FaultClock",
+    "FlakyFrameStream",
+    "FlushLatencyFault",
+    "SlowFrameStream",
+    "WorkerDeathTrigger",
+]
+
+
+class FaultClock:
+    """A manual, skewable clock; callable like ``time.perf_counter``.
+
+    The clock only moves when told (:meth:`advance`) or, with
+    ``tick > 0``, by a fixed amount per reading — both scaled by
+    ``rate``, the skew factor (``rate=2.0`` is a clock running twice
+    real speed; ``0.5`` half speed).  Install it on a hub to make the
+    controller's latency window entirely script-driven::
+
+        clock = FaultClock().install(hub)
+        hub.flush()           # observes 0 latency (clock never moved)
+        clock.advance(0.120)  # next flush that spans this sees 120 ms
+
+    Parameters
+    ----------
+    start:
+        Initial reading, seconds.
+    tick:
+        Seconds (pre-skew) auto-advanced on *every* reading — a cheap
+        way to give each flush a nonzero duration without scripting
+        every advance.
+    rate:
+        Skew factor applied to both ``tick`` and :meth:`advance`.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0,
+                 rate: float = 1.0):
+        if float(rate) <= 0.0:
+            raise ConfigurationError(
+                f"clock skew rate must be > 0, got {rate!r}"
+            )
+        if float(tick) < 0.0:
+            raise ConfigurationError(
+                f"clock tick must be >= 0, got {tick!r}"
+            )
+        self.now = float(start)
+        self.tick = float(tick)
+        self.rate = float(rate)
+        self.readings = 0
+        self._installed: list = []
+
+    def __call__(self) -> float:
+        value = self.now
+        self.readings += 1
+        if self.tick:
+            self.now += self.tick * self.rate
+        return value
+
+    def advance(self, seconds: float) -> "FaultClock":
+        """Move the clock forward by ``seconds * rate``."""
+        if float(seconds) < 0.0:
+            raise ConfigurationError(
+                f"cannot advance a clock backwards ({seconds!r})"
+            )
+        self.now += float(seconds) * self.rate
+        return self
+
+    def install(self, hub) -> "FaultClock":
+        """Make ``hub`` (a :class:`StreamHub`) read time from this clock."""
+        self._installed.append((hub, hub._clock))
+        hub._clock = self
+        return self
+
+    def uninstall(self) -> None:
+        """Restore every installed hub's original clock."""
+        while self._installed:
+            hub, original = self._installed.pop()
+            hub._clock = original
+
+
+class FlushLatencyFault:
+    """Modelled flush latency, installed as ``hub._flush_latency_fault``.
+
+    The hook returns *extra seconds added to the flush's observed
+    latency* (the hub never sleeps them).  The model::
+
+        extra = load[i] * sum(windows_at_level * per_window_ms
+                              * discount ** level) / 1000
+
+    where ``i`` is the flush index (the last ``load`` entry holds
+    forever, so a schedule like ``(8, 8, 8, 1)`` is a three-flush
+    overload burst followed by calm) and ``discount ** level`` is the
+    per-level cost reduction — degraded windows are modelled cheaper,
+    which is precisely what makes controller step-downs *visibly* pull
+    the observed p95 back under target in a chaos run.
+
+    Parameters
+    ----------
+    per_window_ms:
+        Modelled analysis cost of one full-quality window.
+    discount:
+        Multiplicative cost factor per degradation level, in ``(0, 1]``.
+    load:
+        Per-flush load multipliers; empty means a constant 1.0.
+    """
+
+    def __init__(self, per_window_ms: float = 2.0, discount: float = 0.5,
+                 load=()):
+        if float(per_window_ms) < 0.0:
+            raise ConfigurationError(
+                f"per_window_ms must be >= 0, got {per_window_ms!r}"
+            )
+        if not 0.0 < float(discount) <= 1.0:
+            raise ConfigurationError(
+                f"discount must be in (0, 1], got {discount!r}"
+            )
+        self.per_window_ms = float(per_window_ms)
+        self.discount = float(discount)
+        self.load = tuple(float(x) for x in load)
+        for x in self.load:
+            if x < 0.0:
+                raise ConfigurationError(
+                    f"load multipliers must be >= 0, got {x!r}"
+                )
+        self.calls = 0
+        #: Injected extra seconds, one entry per flush observed.
+        self.history: list[float] = []
+
+    def multiplier(self, call_index: int) -> float:
+        """The load multiplier in force for the given flush index."""
+        if not self.load:
+            return 1.0
+        return self.load[min(call_index, len(self.load) - 1)]
+
+    def install(self, hub) -> "FlushLatencyFault":
+        """Attach to ``hub`` (replacing any previous latency fault)."""
+        hub._flush_latency_fault = self
+        return self
+
+    def __call__(self, hub, backlog: int, elapsed: float) -> float:
+        cost_ms = 0.0
+        for level, windows in getattr(hub, "last_flush_levels", {}).items():
+            cost_ms += (
+                windows * self.per_window_ms * self.discount ** int(level)
+            )
+        extra = self.multiplier(self.calls) * cost_ms / 1000.0
+        self.calls += 1
+        self.history.append(extra)
+        return extra
+
+
+class SlowFrameStream:
+    """A :class:`FrameStream` proxy that delays sends and receives.
+
+    ``sleep`` is injectable (default: no-op, purely counting) so a test
+    can model slowness against a :class:`FaultClock` without ever
+    stalling the suite; pass ``time.sleep`` for real wall delays.
+    """
+
+    def __init__(self, inner, send_delay: float = 0.0,
+                 recv_delay: float = 0.0, sleep=None):
+        self._inner = inner
+        self.send_delay = float(send_delay)
+        self.recv_delay = float(recv_delay)
+        self._sleep = sleep if sleep is not None else (lambda _s: None)
+        self.delayed = 0
+
+    def send(self, kind: str, payload: dict | None = None) -> None:
+        if self.send_delay:
+            self.delayed += 1
+            self._sleep(self.send_delay)
+        return self._inner.send(kind, payload)
+
+    def recv(self):
+        if self.recv_delay:
+            self.delayed += 1
+            self._sleep(self.recv_delay)
+        return self._inner.recv()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class FlakyFrameStream:
+    """A :class:`FrameStream` proxy that kills the connection on cue.
+
+    Three independent, deterministic triggers — whichever fires first
+    closes the underlying socket and raises :class:`ConnectionError`
+    (exactly what a peer vanishing mid-frame produces):
+
+    * ``fail_after_sends`` / ``fail_after_recvs`` — die on the Nth
+      send/receive (1-based; ``None`` disables).
+    * ``fail_kinds`` — die when *sending* a message of a named kind
+      (e.g. ``("task",)`` kills the first task dispatch, leaving the
+      handshake and array uploads intact).
+    * ``drop_rate`` with ``seed`` — die on each send with the given
+      probability from a private :class:`random.Random`, so "random"
+      loss replays identically per seed.
+    """
+
+    def __init__(self, inner, fail_after_sends: int | None = None,
+                 fail_after_recvs: int | None = None, fail_kinds=(),
+                 drop_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= float(drop_rate) <= 1.0:
+            raise ConfigurationError(
+                f"drop_rate must be in [0, 1], got {drop_rate!r}"
+            )
+        self._inner = inner
+        self.fail_after_sends = fail_after_sends
+        self.fail_after_recvs = fail_after_recvs
+        self.fail_kinds = frozenset(fail_kinds)
+        self.drop_rate = float(drop_rate)
+        self._rng = random.Random(seed)
+        self.sends = 0
+        self.recvs = 0
+        self.failures = 0
+
+    def _die(self, why: str) -> None:
+        self.failures += 1
+        self._inner.close()
+        raise ConnectionError(f"injected fault: {why}")
+
+    def send(self, kind: str, payload: dict | None = None) -> None:
+        self.sends += 1
+        if kind in self.fail_kinds:
+            self._die(f"connection dropped sending {kind!r}")
+        if (self.fail_after_sends is not None
+                and self.sends >= self.fail_after_sends):
+            self._die(f"connection dropped on send #{self.sends}")
+        if self.drop_rate and self._rng.random() < self.drop_rate:
+            self._die("connection dropped (seeded loss)")
+        return self._inner.send(kind, payload)
+
+    def recv(self):
+        self.recvs += 1
+        if (self.fail_after_recvs is not None
+                and self.recvs >= self.fail_after_recvs):
+            self._die(f"connection dropped on recv #{self.recvs}")
+        return self._inner.recv()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class WorkerDeathTrigger:
+    """Arms a :class:`RemoteWorker` to die after N more tasks.
+
+    Wraps the worker's ``run_task``: once the armed count is spent, the
+    next task call drops the live connection (via the worker's own
+    ``_drop``, so its state matches a real peer death) and raises
+    :class:`ConnectionError` — from the scheduler's seat this is
+    indistinguishable from the daemon's machine rebooting, except the
+    daemon is still there to accept the rejoin.  One-shot per
+    :meth:`arm`; re-arm for repeated deaths, :meth:`cancel` to restore
+    the original method.
+    """
+
+    def __init__(self, worker, after_tasks: int = 0):
+        self._worker = worker
+        self._original = worker.run_task
+        self._armed: int | None = None
+        self.tasks_passed = 0
+        self.deaths = 0
+        worker.run_task = self._run_task
+        self.arm(after_tasks)
+
+    def arm(self, after_tasks: int) -> "WorkerDeathTrigger":
+        """Die after ``after_tasks`` more successful task dispatches."""
+        if int(after_tasks) < 0:
+            raise ConfigurationError(
+                f"after_tasks must be >= 0, got {after_tasks!r}"
+            )
+        self._armed = int(after_tasks)
+        return self
+
+    def disarm(self) -> None:
+        """Stop injecting (the wrapper stays attached but passes through)."""
+        self._armed = None
+
+    def cancel(self) -> None:
+        """Detach entirely, restoring the worker's original ``run_task``."""
+        self._worker.run_task = self._original
+        self._armed = None
+
+    def _run_task(self, *args, **kwargs):
+        if self._armed is not None and self._armed == 0:
+            self._armed = None  # one-shot: rejoining must succeed
+            self.deaths += 1
+            self._worker._drop()
+            raise ConnectionError("injected fault: worker death")
+        if self._armed is not None:
+            self._armed -= 1
+        self.tasks_passed += 1
+        return self._original(*args, **kwargs)

@@ -33,7 +33,11 @@ def _load_module():
 def test_streaming_benchmark_smoke(tmp_path):
     bench = _load_module()
     document = bench.run_streaming_benchmark(
-        n_subjects=3, duration_minutes=8.0, burst_seconds=60.0, repeats=1
+        n_subjects=3,
+        duration_minutes=8.0,
+        burst_seconds=60.0,
+        repeats=1,
+        slo_target_ms=30.0,
     )
     workload = document["workload"]
     assert workload["n_subjects"] == 3
@@ -67,6 +71,17 @@ def test_streaming_benchmark_smoke(tmp_path):
     # full-size run shows the headline factor; the tiny smoke cohort
     # just has to show a real reduction).
     assert steady["alloc_reduction_factor"] > 1.0
+    # The SLO-defense leg: under the same deterministic overload the
+    # controller must shed quality and pull the steady-state p95 below
+    # the uncontrolled replay's.
+    shedding = document["shedding"]
+    off, on = shedding["controller_off"], shedding["controller_on"]
+    assert off["windows"] == on["windows"] > 0
+    assert off["shed_windows"] == 0
+    assert on["steps_down"] >= 1
+    assert on["shed_percent"] > 0
+    assert on["steady_p95_ms"] < off["steady_p95_ms"]
+    assert shedding["steady_p95_reduction_factor"] > 1.0
     # document must round-trip through JSON (what main() writes)
     out = tmp_path / "BENCH_streaming.json"
     out.write_text(json.dumps(document, indent=2))

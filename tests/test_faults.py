@@ -1,0 +1,247 @@
+"""The fault-injection harness is deterministic and self-consistent.
+
+:mod:`repro.testing.faults` is test infrastructure, so it gets its own
+tests: a fault harness whose triggers fire at the wrong moment (or
+differently between runs) produces chaos tests that pass for the wrong
+reason.  Everything here runs without sockets except the
+:class:`WorkerDeathTrigger` integration check, which uses a stub worker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testing import (
+    FaultClock,
+    FlakyFrameStream,
+    FlushLatencyFault,
+    SlowFrameStream,
+    WorkerDeathTrigger,
+)
+
+
+class FakeStream:
+    """Minimal FrameStream stand-in recording traffic."""
+
+    def __init__(self, replies=()):
+        self.sent = []
+        self.replies = list(replies)
+        self.closed = False
+        self.bytes_sent = 0
+
+    def send(self, kind, payload=None):
+        self.sent.append((kind, payload))
+
+    def recv(self):
+        return self.replies.pop(0)
+
+    def close(self):
+        self.closed = True
+
+
+class TestFaultClock:
+    def test_manual_advance(self):
+        clock = FaultClock(start=10.0)
+        assert clock() == 10.0
+        clock.advance(2.5)
+        assert clock() == 12.5
+
+    def test_skew_rate_scales_advances(self):
+        clock = FaultClock(rate=2.0)
+        clock.advance(1.0)
+        assert clock() == 2.0
+
+    def test_auto_tick(self):
+        clock = FaultClock(tick=0.5)
+        assert clock() == 0.0
+        assert clock() == 0.5
+        assert clock.readings == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FaultClock(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultClock(tick=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultClock().advance(-1.0)
+
+    def test_install_uninstall_round_trip(self):
+        class HubStub:
+            _clock = staticmethod(lambda: 42.0)
+
+        hub = HubStub()
+        original = hub._clock
+        clock = FaultClock(start=5.0).install(hub)
+        assert hub._clock is clock
+        clock.uninstall()
+        assert hub._clock is original
+
+
+class TestFlushLatencyFault:
+    class HubStub:
+        def __init__(self, levels):
+            self.last_flush_levels = levels
+
+    def test_cost_model_is_exact(self):
+        fault = FlushLatencyFault(per_window_ms=10.0, discount=0.5)
+        hub = self.HubStub({0: 4, 2: 8})
+        # 4 full windows at 10ms + 8 level-2 windows at 2.5ms = 60ms.
+        assert fault(hub, 0, 0.0) == pytest.approx(0.060)
+        assert fault.history == [pytest.approx(0.060)]
+
+    def test_load_schedule_holds_last_value(self):
+        fault = FlushLatencyFault(per_window_ms=1.0, load=(3.0, 1.0))
+        hub = self.HubStub({0: 10})
+        assert fault(hub, 0, 0.0) == pytest.approx(0.030)
+        assert fault(hub, 0, 0.0) == pytest.approx(0.010)
+        assert fault(hub, 0, 0.0) == pytest.approx(0.010)  # holds
+        assert fault.calls == 3
+
+    def test_empty_flush_costs_nothing(self):
+        fault = FlushLatencyFault()
+        assert fault(self.HubStub({}), 0, 0.0) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FlushLatencyFault(per_window_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            FlushLatencyFault(discount=0.0)
+        with pytest.raises(ConfigurationError):
+            FlushLatencyFault(discount=1.5)
+        with pytest.raises(ConfigurationError):
+            FlushLatencyFault(load=(-2.0,))
+
+    def test_install(self):
+        class HubStub:
+            _flush_latency_fault = None
+
+        hub = HubStub()
+        fault = FlushLatencyFault().install(hub)
+        assert hub._flush_latency_fault is fault
+
+
+class TestSlowFrameStream:
+    def test_counts_and_delegates(self):
+        sleeps = []
+        inner = FakeStream(replies=[("pong", {})])
+        slow = SlowFrameStream(
+            inner, send_delay=0.2, recv_delay=0.1, sleep=sleeps.append
+        )
+        slow.send("ping", {})
+        assert slow.recv() == ("pong", {})
+        assert inner.sent == [("ping", {})]
+        assert sleeps == [0.2, 0.1]
+        assert slow.delayed == 2
+
+    def test_zero_delay_never_sleeps(self):
+        sleeps = []
+        slow = SlowFrameStream(FakeStream(), sleep=sleeps.append)
+        slow.send("ping")
+        assert sleeps == []
+
+    def test_attribute_passthrough(self):
+        inner = FakeStream()
+        assert SlowFrameStream(inner).bytes_sent == 0
+
+
+class TestFlakyFrameStream:
+    def test_fail_after_sends(self):
+        inner = FakeStream()
+        flaky = FlakyFrameStream(inner, fail_after_sends=2)
+        flaky.send("a")
+        with pytest.raises(ConnectionError, match="send #2"):
+            flaky.send("b")
+        assert inner.closed
+        assert flaky.failures == 1
+        assert inner.sent == [("a", None)]
+
+    def test_fail_after_recvs(self):
+        flaky = FlakyFrameStream(
+            FakeStream(replies=[("pong", {})]), fail_after_recvs=2
+        )
+        assert flaky.recv() == ("pong", {})
+        with pytest.raises(ConnectionError, match="recv #2"):
+            flaky.recv()
+
+    def test_fail_on_kind(self):
+        inner = FakeStream()
+        flaky = FlakyFrameStream(inner, fail_kinds=("task",))
+        flaky.send("array", {"key": 0})
+        with pytest.raises(ConnectionError, match="task"):
+            flaky.send("task", {})
+        assert inner.sent == [("array", {"key": 0})]
+
+    def test_seeded_loss_is_reproducible(self):
+        def failure_point(seed):
+            flaky = FlakyFrameStream(
+                FakeStream(), drop_rate=0.3, seed=seed
+            )
+            for i in range(1000):
+                try:
+                    flaky.send("m")
+                except ConnectionError:
+                    return i
+            return None
+
+        first = failure_point(7)
+        assert first is not None
+        assert failure_point(7) == first
+        assert failure_point(8) != first  # and the seed matters
+
+    def test_rejects_bad_drop_rate(self):
+        with pytest.raises(ConfigurationError):
+            FlakyFrameStream(FakeStream(), drop_rate=1.5)
+
+
+class TestWorkerDeathTrigger:
+    class WorkerStub:
+        def __init__(self):
+            self.tasks = 0
+            self.dropped = 0
+
+        def run_task(self, *args, **kwargs):
+            self.tasks += 1
+            return "ok"
+
+        def _drop(self):
+            self.dropped += 1
+
+    def test_dies_after_armed_count(self):
+        worker = self.WorkerStub()
+        trigger = WorkerDeathTrigger(worker, after_tasks=2)
+        assert worker.run_task() == "ok"
+        assert worker.run_task() == "ok"
+        with pytest.raises(ConnectionError, match="worker death"):
+            worker.run_task()
+        assert worker.dropped == 1
+        assert trigger.deaths == 1
+        assert trigger.tasks_passed == 2
+        # One-shot: the wrapper passes through after firing.
+        assert worker.run_task() == "ok"
+
+    def test_rearm_and_disarm(self):
+        worker = self.WorkerStub()
+        trigger = WorkerDeathTrigger(worker, after_tasks=0)
+        with pytest.raises(ConnectionError):
+            worker.run_task()
+        trigger.arm(0)
+        trigger.disarm()
+        assert worker.run_task() == "ok"
+        trigger.arm(0)
+        with pytest.raises(ConnectionError):
+            worker.run_task()
+        assert trigger.deaths == 2
+
+    def test_cancel_restores_original(self):
+        worker = self.WorkerStub()
+        original = worker.run_task
+        trigger = WorkerDeathTrigger(worker, after_tasks=0)
+        trigger.cancel()
+        assert worker.run_task == original
+        assert worker.run_task() == "ok"
+        assert worker.dropped == 0
+
+    def test_rejects_negative_arm(self):
+        with pytest.raises(ConfigurationError):
+            WorkerDeathTrigger(self.WorkerStub(), after_tasks=-1)

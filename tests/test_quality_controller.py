@@ -1,0 +1,371 @@
+"""The SLO controller: spec validation, hysteresis, shedding policies.
+
+Unit-level coverage of :mod:`repro.engine.controller`: the
+:class:`SLOSpec` contract (validation, JSON round-trips, canonical
+tier floors), the degradation ladder's shape, and the controller's
+hysteresis — step-downs only after consecutive breaches, recovery only
+after consecutive healthy flushes, and **no flapping** when load
+oscillates through the band between the two thresholds.  Observations
+are injected directly through ``controller.observe`` (and via the
+fault harness's clock/latency hooks), so these tests steer the control
+loop without ever depending on wall-clock behaviour.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import Engine, EngineConfig, SLOSpec, degradation_ladder
+from repro.errors import ConfigurationError
+
+
+def make_hub(slo, subjects=("s0", "s1", "s2"), system="quality-scalable"):
+    engine = Engine(EngineConfig(system=system, slo=slo))
+    hub = engine.open_hub()
+    for subject in subjects:
+        hub.open(subject)
+    return engine, hub
+
+
+class TestSLOSpec:
+    def test_defaults_are_valid(self):
+        spec = SLOSpec()
+        assert spec.target_p95_ms == 50.0
+        assert spec.max_backlog is None
+        assert spec.policy == "per-subject"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_p95_ms": 0.0},
+            {"target_p95_ms": -1.0},
+            {"max_backlog": 0},
+            {"window": 0},
+            {"step_down_after": 0},
+            {"recover_after": 0},
+            {"recovery_margin": 0.0},
+            {"recovery_margin": 1.5},
+            {"policy": "fastest-first"},
+            {"floor": -1},
+            {"ceiling": -2},
+            {"floor": 1, "ceiling": 2},
+            {"tier_floors": {"": 0}},
+            {"tier_floors": {"icu": -1}},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SLOSpec(**kwargs)
+
+    def test_tier_floors_canonicalised(self):
+        a = SLOSpec(tier_floors={"ward": 3, "icu": 0})
+        b = SLOSpec(tier_floors=(("icu", 0), ("ward", 3)))
+        assert a == b
+        assert a.tier_floors == (("icu", 0), ("ward", 3))
+        assert hash(a) == hash(b)
+        assert a.tier_floor("icu") == 0
+        assert a.tier_floor("ward") == 3
+        assert a.tier_floor("unknown") is None
+        assert a.tier_floor(None) is None
+
+    def test_json_round_trip(self):
+        spec = SLOSpec(
+            target_p95_ms=12.5,
+            max_backlog=64,
+            window=8,
+            step_down_after=3,
+            recover_after=5,
+            recovery_margin=0.5,
+            policy="uniform",
+            floor=3,
+            ceiling=1,
+            tier_floors={"icu": 0},
+        )
+        assert SLOSpec.from_json(spec.to_json()) == spec
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="max_backlogg"):
+            SLOSpec.from_dict({"max_backlogg": 3})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            SLOSpec.from_json("{not json")
+
+    def test_replace(self):
+        spec = SLOSpec().replace(target_p95_ms=5.0)
+        assert spec.target_p95_ms == 5.0
+        assert spec.window == SLOSpec().window
+
+    def test_engine_config_round_trip(self):
+        config = EngineConfig(slo=SLOSpec(target_p95_ms=9.0, floor=2))
+        rebuilt = EngineConfig.from_dict(config.to_dict())
+        assert rebuilt.slo == config.slo
+
+    def test_engine_config_rejects_non_spec(self):
+        with pytest.raises(ConfigurationError, match="SLOSpec"):
+            EngineConfig(slo={"target_p95_ms": 5.0})
+
+
+class TestDegradationLadder:
+    def test_base_config_gets_full_paper_ladder(self):
+        ladder = degradation_ladder(EngineConfig())
+        assert ladder[0].label == "full"
+        assert ladder[0].level == 0
+        assert len(ladder) == 5
+        # Strictly deeper as the level grows.
+        fractions = [entry.pruning.twiddle_fraction for entry in ladder[1:]]
+        assert fractions == sorted(fractions)
+        assert all(entry.pruning.band_drop for entry in ladder[1:])
+        assert all(
+            entry.system == "quality-scalable" for entry in ladder[1:]
+        )
+
+    def test_deepest_mode_gets_one_rung(self):
+        ladder = degradation_ladder(
+            EngineConfig.for_mode("set3", dynamic=True)
+        )
+        assert len(ladder) == 1
+        assert ladder[0].label == "full"
+
+    def test_mid_ladder_config_only_sheds_deeper(self):
+        config = EngineConfig.for_mode("set2")
+        ladder = degradation_ladder(config)
+        base_fraction = config.pruning.twiddle_fraction
+        assert all(
+            entry.pruning.twiddle_fraction > base_fraction
+            for entry in ladder[1:]
+        )
+
+
+class TestHysteresis:
+    """Streak accounting, driven by direct ``observe`` calls.
+
+    ``window=1`` makes the rolling p95 equal the last observation, so
+    each call lands exactly where the test aims it: breach (> target),
+    band (between margin*target and target) or healthy (<= margin*target).
+    """
+
+    SPEC = SLOSpec(
+        target_p95_ms=10.0, window=1, step_down_after=2, recover_after=2,
+        recovery_margin=0.7,
+    )
+    BREACH, BAND, HEALTHY = 0.020, 0.008, 0.002  # seconds
+
+    def test_step_down_needs_consecutive_breaches(self):
+        engine, hub = make_hub(self.SPEC)
+        with engine:
+            controller = hub.controller
+            controller.observe(self.BREACH, 0, {})
+            assert controller.stats()["steps_down"] == 0
+            controller.observe(self.BREACH, 0, {})
+            assert controller.stats()["steps_down"] == 1
+            assert 1 in hub.controller_stats()["levels"].values()
+
+    def test_band_resets_breach_streak(self):
+        engine, hub = make_hub(self.SPEC)
+        with engine:
+            controller = hub.controller
+            controller.observe(self.BREACH, 0, {})
+            controller.observe(self.BAND, 0, {})
+            controller.observe(self.BREACH, 0, {})
+            assert controller.stats()["steps_down"] == 0
+
+    def test_band_resets_healthy_streak(self):
+        engine, hub = make_hub(self.SPEC)
+        with engine:
+            hub.set_quality("s0", 2, pin=False)
+            controller = hub.controller
+            controller.observe(self.HEALTHY, 0, {})
+            controller.observe(self.BAND, 0, {})
+            controller.observe(self.HEALTHY, 0, {})
+            assert controller.stats()["steps_up"] == 0
+
+    def test_no_flapping_under_oscillating_load(self):
+        """Load oscillating breach/band/healthy never moves anyone."""
+        engine, hub = make_hub(self.SPEC)
+        with engine:
+            controller = hub.controller
+            before = dict(hub.controller_stats()["levels"])
+            for _ in range(10):
+                controller.observe(self.BREACH, 0, {})
+                controller.observe(self.BAND, 0, {})
+                controller.observe(self.HEALTHY, 0, {})
+            stats = controller.stats()
+            assert stats["steps_down"] == 0
+            assert stats["steps_up"] == 0
+            assert stats["levels"] == before
+            assert stats["decisions"] == []
+
+    def test_recovery_needs_consecutive_healthy(self):
+        engine, hub = make_hub(self.SPEC)
+        with engine:
+            hub.set_quality("s0", 2, pin=False)
+            controller = hub.controller
+            controller.observe(self.HEALTHY, 0, {})
+            assert controller.stats()["steps_up"] == 0
+            controller.observe(self.HEALTHY, 0, {})
+            stats = controller.stats()
+            assert stats["steps_up"] == 1
+            assert stats["levels"]["s0"] == 1
+
+    def test_backlog_breach_without_latency(self):
+        spec = self.SPEC.replace(max_backlog=5)
+        engine, hub = make_hub(spec)
+        with engine:
+            controller = hub.controller
+            controller.observe(self.HEALTHY, 50, {})
+            controller.observe(self.HEALTHY, 50, {})
+            stats = controller.stats()
+            assert stats["steps_down"] == 1
+            assert stats["decisions"][-1]["reason"] == "backlog"
+
+    def test_backlog_within_bounds_stays_healthy(self):
+        spec = self.SPEC.replace(max_backlog=5)
+        engine, hub = make_hub(spec)
+        with engine:
+            hub.set_quality("s0", 1, pin=False)
+            controller = hub.controller
+            controller.observe(self.HEALTHY, 5, {})
+            controller.observe(self.HEALTHY, 5, {})
+            assert controller.stats()["steps_up"] == 1
+
+
+class TestPolicies:
+    SPEC = SLOSpec(
+        target_p95_ms=10.0, window=1, step_down_after=1, recover_after=1,
+    )
+
+    @staticmethod
+    def _windows(n, level=0):
+        return [SimpleNamespace(quality=level) for _ in range(n)]
+
+    def _breach(self, controller, emitted=None):
+        controller.observe(0.050, 0, emitted or {})
+
+    def test_per_subject_sheds_busiest_half_first(self):
+        engine, hub = make_hub(self.SPEC)
+        with engine:
+            emitted = {
+                "s0": self._windows(9),
+                "s1": self._windows(5),
+                "s2": self._windows(1),
+            }
+            self._breach(hub.controller, emitted)
+            levels = hub.controller_stats()["levels"]
+            assert levels == {"s0": 1, "s1": 1, "s2": 0}
+
+    def test_uniform_sheds_everyone(self):
+        engine, hub = make_hub(self.SPEC.replace(policy="uniform"))
+        with engine:
+            self._breach(hub.controller, {"s0": self._windows(9)})
+            levels = hub.controller_stats()["levels"]
+            assert set(levels.values()) == {1}
+
+    def test_pinned_subjects_never_move(self):
+        engine, hub = make_hub(self.SPEC.replace(policy="uniform"))
+        with engine:
+            hub.set_quality("s1", 0, pin=True)
+            for _ in range(8):
+                self._breach(hub.controller)
+            levels = hub.controller_stats()["levels"]
+            assert levels["s1"] == 0
+            assert levels["s0"] > 0 and levels["s2"] > 0
+            assert hub.controller_stats()["pinned"] == ["s1"]
+
+    def test_floor_bounds_shedding(self):
+        engine, hub = make_hub(
+            self.SPEC.replace(policy="uniform", floor=2)
+        )
+        with engine:
+            for _ in range(10):
+                self._breach(hub.controller)
+            assert set(hub.controller_stats()["levels"].values()) == {2}
+
+    def test_tier_floor_overrides_global_floor(self):
+        engine, hub = make_hub(
+            self.SPEC.replace(policy="uniform", tier_floors={"icu": 1})
+        )
+        with engine:
+            hub.set_tier("s0", "icu")
+            for _ in range(10):
+                self._breach(hub.controller)
+            levels = hub.controller_stats()["levels"]
+            bottom = len(hub.ladder) - 1
+            assert levels["s0"] == 1
+            assert levels["s1"] == bottom and levels["s2"] == bottom
+
+    def test_ceiling_bounds_recovery(self):
+        engine, hub = make_hub(
+            self.SPEC.replace(policy="uniform", ceiling=1)
+        )
+        with engine:
+            controller = hub.controller
+            for _ in range(6):
+                self._breach(controller)
+            for _ in range(10):
+                controller.observe(0.001, 0, {})
+            assert set(hub.controller_stats()["levels"].values()) == {1}
+
+    def test_step_down_with_everyone_at_floor_is_silent(self):
+        engine, hub = make_hub(self.SPEC.replace(policy="uniform"))
+        with engine:
+            bottom = len(hub.ladder) - 1
+            for subject in hub.subjects:
+                hub.set_quality(subject, bottom, pin=False)
+            self._breach(hub.controller)
+            stats = hub.controller_stats()
+            assert stats["steps_down"] == 0
+            assert set(stats["levels"].values()) == {bottom}
+
+
+class TestControllerPlumbing:
+    def test_no_slo_means_no_controller(self):
+        with Engine(EngineConfig()) as engine:
+            hub = engine.open_hub()
+            assert hub.controller is None
+            with pytest.raises(ConfigurationError, match="SLOSpec"):
+                hub.controller_stats()
+
+    def test_set_quality_validates_level(self):
+        engine, hub = make_hub(SLOSpec())
+        with engine:
+            with pytest.raises(ConfigurationError, match="quality level"):
+                hub.set_quality("s0", len(hub.ladder))
+            with pytest.raises(ConfigurationError, match="quality level"):
+                hub.set_quality("s0", -1)
+
+    def test_set_tier_validates(self):
+        engine, hub = make_hub(SLOSpec())
+        with engine:
+            with pytest.raises(ConfigurationError, match="tier"):
+                hub.set_tier("s0", "")
+            hub.set_tier("s0", "icu")
+            hub.set_tier("s0", None)
+
+    def test_decision_log_is_a_ring(self):
+        from repro.engine.controller import _MAX_DECISIONS
+
+        spec = SLOSpec(
+            target_p95_ms=10.0, window=1, step_down_after=1,
+            recover_after=1, policy="uniform",
+        )
+        engine, hub = make_hub(spec)
+        with engine:
+            controller = hub.controller
+            for _ in range(_MAX_DECISIONS + 40):
+                controller.observe(0.050, 0, {})  # down (or at floor)
+                controller.observe(0.001, 0, {})  # up again
+            assert len(controller.stats()["decisions"]) <= _MAX_DECISIONS
+
+    def test_stats_shape(self):
+        engine, hub = make_hub(SLOSpec(target_p95_ms=7.0))
+        with engine:
+            stats = hub.controller_stats()
+            assert stats["slo"]["target_p95_ms"] == 7.0
+            assert stats["ladder"][0] == "full"
+            assert stats["flushes"] == 0
+            assert stats["p95_ms"] is None
+            assert stats["windows_by_level"] == {}

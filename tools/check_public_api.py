@@ -29,7 +29,13 @@ import sys
 from pathlib import Path
 
 #: Modules whose exported surface is under contract.
-MODULES = ("repro", "repro.engine", "repro.fleet", "repro.perf")
+MODULES = (
+    "repro",
+    "repro.engine",
+    "repro.fleet",
+    "repro.perf",
+    "repro.testing",
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT_PATH = REPO_ROOT / "tools" / "api_surface.txt"

@@ -12,7 +12,10 @@ Runs, in order:
 4. the localhost distributed smoke (``tools/distributed_smoke.py``):
    worker daemon up, tiny cohort bit-identical over the socket
    transport, daemon down cleanly,
-5. the three benchmark smoke tests (streaming, throughput, fleet) that
+5. the chaos smoke (``tools/chaos_smoke.py``): injected overload sheds
+   quality and recovers under the SLO controller; an injected worker
+   death rejoins with backoff — both bit-identical to healthy runs,
+6. the three benchmark smoke tests (streaming, throughput, fleet) that
    exercise the measurement harnesses end to end.
 
 Each step streams its own output; the gate prints a pass/fail summary
@@ -50,6 +53,10 @@ STEPS: list[tuple[str, list[str]]] = [
     (
         "distributed smoke (localhost daemon)",
         [sys.executable, "tools/distributed_smoke.py"],
+    ),
+    (
+        "chaos smoke (fault injection)",
+        [sys.executable, "tools/chaos_smoke.py"],
     ),
     (
         "bench smoke: streaming",
