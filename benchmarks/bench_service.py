@@ -1,0 +1,357 @@
+"""Service-layer benchmark: framed gateway clients vs in-process hub.
+
+Replays the same ward-of-wearables workload two ways and measures what
+the network layer costs:
+
+* ``inprocess`` — one :class:`StreamHub` fed directly
+  (``Engine.open_hub``), the zero-copy in-process baseline;
+* ``gateway``   — a :class:`GatewayServer` on an ephemeral localhost
+  port with one framed :class:`ServiceClient` per subject, every beat
+  JSON-encoded over TCP, windows pushed back down each connection.
+
+Beats are replayed in round-robin uplink rounds (``burst_seconds`` of
+each subject's recording per round).  Both paths are verified
+**bit-identical** (full wire-form result: spectrogram, window times,
+averaged spectrum, detection and executed op counts) to
+whole-recording ``Engine.analyze`` on every run — the service layer's
+core promise, measured rather than assumed.
+
+Reported per path: total ingest+analysis wall time, aggregate
+windows/sec, per-window emission latency (time inside the feed call
+that surfaced the window) mean and p95; the gateway additionally
+reports wire traffic (bytes sent/received, bytes per window, frames).
+Results land in ``BENCH_service.json`` at the repository root.
+
+Run with:  python benchmarks/bench_service.py [--subjects N]
+           [--minutes M] [--burst-seconds S] [--repeats R]
+
+The test suite runs :func:`run_service_benchmark` on a tiny cohort as
+a smoke test, so this script cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.ecg.rr_synthesis import TachogramSpec, generate_tachogram  # noqa: E402
+from repro.engine import Engine, EngineConfig  # noqa: E402
+from repro.service import (  # noqa: E402
+    GatewayThread,
+    ServiceClient,
+    ServiceConfig,
+    TenantSpec,
+)
+from repro.service.wire import result_to_dict  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+
+def _make_cohort(n_subjects: int, duration_minutes: float, seed: int):
+    """Synthetic monitored cohort with per-subject parameter spread."""
+    rng = np.random.default_rng(seed)
+    recordings = {}
+    for k in range(n_subjects):
+        spec = TachogramSpec(
+            mean_rr=float(rng.uniform(0.7, 1.0)),
+            lf_frequency=float(rng.uniform(0.08, 0.12)),
+            hf_frequency=float(rng.uniform(0.2, 0.3)),
+            seed=seed + k,
+        )
+        recordings[f"subject-{k:02d}"] = generate_tachogram(
+            spec, duration_minutes * 60.0
+        )
+    return recordings
+
+
+def _rounds(recordings, burst_seconds: float):
+    """Round-robin uplink rounds of ``(subject, lo, hi)`` beat bursts."""
+    cursors = {subject: 0 for subject in recordings}
+    edges = {subject: burst_seconds for subject in recordings}
+    rounds = []
+    while True:
+        current = []
+        for subject, rr in recordings.items():
+            lo = cursors[subject]
+            if lo >= rr.times.size:
+                continue
+            hi = int(np.searchsorted(rr.times, edges[subject], side="left"))
+            hi = max(lo + 1, min(hi, rr.times.size))
+            current.append((subject, lo, hi))
+            cursors[subject] = hi
+            edges[subject] += burst_seconds
+        if not current:
+            return rounds
+        rounds.append(current)
+
+
+def _latency_stats(latencies: list[float]) -> dict:
+    if not latencies:
+        return {"mean_ms": None, "p95_ms": None}
+    arr = np.asarray(latencies)
+    return {
+        "mean_ms": float(arr.mean() * 1e3),
+        "p95_ms": float(np.percentile(arr, 95.0) * 1e3),
+    }
+
+
+def _wire_view(result_frame: dict) -> dict:
+    return {
+        key: value
+        for key, value in result_frame.items()
+        if key not in ("op", "subject")
+    }
+
+
+def _run_inprocess(engine, recordings, rounds):
+    """Replay through one hub in-process.
+
+    Returns ``(wire_results, total_seconds, live_windows, latencies)``
+    with results already in wire form so exactness is checked on the
+    identical representation for both paths.
+    """
+    hub = engine.open_hub(count_ops=True)
+    for subject in recordings:
+        hub.open(subject)
+    latencies: list[float] = []
+    total = 0.0
+    n_live = 0
+    for current in rounds:
+        start = time.perf_counter()
+        for subject, lo, hi in current:
+            rr = recordings[subject]
+            hub.feed(subject, rr.times[lo:hi], rr.intervals[lo:hi])
+        emitted = hub.flush()
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        count = sum(len(emissions) for emissions in emitted.values())
+        if count:
+            latencies.extend([elapsed / count] * count)
+            n_live += count
+    start = time.perf_counter()
+    results = {
+        subject: result_to_dict(result)
+        for subject, result in hub.finalize_all().items()
+    }
+    total += time.perf_counter() - start
+    hub.close()
+    return results, total, n_live, latencies
+
+
+def _run_gateway(config: ServiceConfig, recordings, rounds):
+    """Replay through a localhost gateway, one framed client per subject.
+
+    Returns ``(wire_results, total_seconds, live_windows, latencies,
+    traffic)``.
+    """
+    with GatewayThread(config) as gateway:
+        clients = {
+            subject: ServiceClient(
+                gateway.address, tenant="bench", token="bench-token"
+            )
+            for subject in recordings
+        }
+        try:
+            for subject, client in clients.items():
+                client.open(subject)
+            latencies: list[float] = []
+            total = 0.0
+            n_live = 0
+            for current in rounds:
+                for subject, lo, hi in current:
+                    rr = recordings[subject]
+                    start = time.perf_counter()
+                    pushed = clients[subject].feed(
+                        rr.times[lo:hi], rr.intervals[lo:hi]
+                    )
+                    elapsed = time.perf_counter() - start
+                    total += elapsed
+                    if pushed:
+                        latencies.extend(
+                            [elapsed / len(pushed)] * len(pushed)
+                        )
+                        n_live += len(pushed)
+            start = time.perf_counter()
+            results = {
+                subject: _wire_view(client.finalize())
+                for subject, client in clients.items()
+            }
+            total += time.perf_counter() - start
+            traffic = {
+                "bytes_sent": sum(c.bytes_sent for c in clients.values()),
+                "bytes_received": sum(
+                    c.bytes_received for c in clients.values()
+                ),
+                "live_window_frames": sum(
+                    len(c.windows) for c in clients.values()
+                ),
+            }
+        finally:
+            for client in clients.values():
+                client.close()
+    return results, total, n_live, latencies, traffic
+
+
+def run_service_benchmark(
+    n_subjects: int = 8,
+    duration_minutes: float = 60.0,
+    burst_seconds: float = 60.0,
+    repeats: int = 3,
+    seed: int = 2014,
+) -> dict:
+    """Benchmark framed gateway clients against the in-process hub.
+
+    Returns the result document (see :func:`main`, which writes it to
+    ``BENCH_service.json``).
+    """
+    recordings = _make_cohort(n_subjects, duration_minutes, seed)
+    rounds = _rounds(recordings, burst_seconds)
+    engine_config = EngineConfig()
+    service_config = ServiceConfig(
+        listen="127.0.0.1:0",
+        tenants=(TenantSpec("bench", "bench-token", engine=engine_config),),
+        count_ops=True,
+    )
+    with Engine(engine_config) as engine:
+        reference = {
+            subject: result_to_dict(engine.analyze(rr, count_ops=True))
+            for subject, rr in recordings.items()
+        }
+        document_paths: dict[str, dict] = {}
+        n_windows_total = sum(
+            ref["n_windows"] for ref in reference.values()
+        )
+        best_traffic: dict | None = None
+        for name in ("inprocess", "gateway"):
+            best_total = float("inf")
+            best_latencies: list[float] = []
+            n_live = 0
+            exact = True
+            for _ in range(repeats):
+                if name == "inprocess":
+                    results, total, n_live, latencies = _run_inprocess(
+                        engine, recordings, rounds
+                    )
+                    traffic = None
+                else:
+                    results, total, n_live, latencies, traffic = (
+                        _run_gateway(service_config, recordings, rounds)
+                    )
+                exact = exact and all(
+                    results[subject] == reference[subject]
+                    for subject in recordings
+                )
+                if total < best_total:
+                    best_total = total
+                    best_latencies = latencies
+                    if traffic is not None:
+                        best_traffic = traffic
+            document_paths[name] = {
+                "total_seconds": best_total,
+                "windows_per_sec": n_windows_total / best_total,
+                "live_windows": n_live,
+                "per_window_latency": _latency_stats(best_latencies),
+                "bit_identical": exact,
+            }
+    gateway_entry = document_paths["gateway"]
+    assert best_traffic is not None
+    wire_bytes = (
+        best_traffic["bytes_sent"] + best_traffic["bytes_received"]
+    )
+    gateway_entry["wire"] = {
+        **best_traffic,
+        "bytes_total": wire_bytes,
+        "bytes_per_window": (
+            wire_bytes / n_windows_total if n_windows_total else None
+        ),
+    }
+    document = {
+        "benchmark": (
+            "network service layer: framed gateway vs in-process hub"
+        ),
+        "host": {"cpu_count": os.cpu_count()},
+        "workload": {
+            "n_subjects": n_subjects,
+            "duration_minutes": duration_minutes,
+            "burst_seconds": burst_seconds,
+            "n_rounds": len(rounds),
+            "n_beats_total": int(
+                sum(rr.times.size for rr in recordings.values())
+            ),
+            "n_windows_total": int(n_windows_total),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "paths": document_paths,
+        "slowdown_gateway_vs_inprocess": (
+            document_paths["gateway"]["total_seconds"]
+            / document_paths["inprocess"]["total_seconds"]
+        ),
+    }
+    return document
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--subjects", type=int, default=8, help="cohort size (streams)"
+    )
+    parser.add_argument(
+        "--minutes",
+        type=float,
+        default=60.0,
+        help="recording length per subject",
+    )
+    parser.add_argument(
+        "--burst-seconds",
+        type=float,
+        default=60.0,
+        help="seconds of recording each subject uplinks per round",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    document = run_service_benchmark(
+        n_subjects=args.subjects,
+        duration_minutes=args.minutes,
+        burst_seconds=args.burst_seconds,
+        repeats=args.repeats,
+    )
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(document, indent=2))
+    paths = document["paths"]
+    wire = paths["gateway"]["wire"]
+    print(
+        f"\ninprocess {paths['inprocess']['windows_per_sec']:.0f} | "
+        f"gateway {paths['gateway']['windows_per_sec']:.0f} windows/s "
+        f"(gateway vs inprocess "
+        f"{document['slowdown_gateway_vs_inprocess']:.2f}x slower, "
+        f"{document['workload']['n_subjects']} subjects, "
+        f"{wire['bytes_per_window'] / 1024.0:.1f} KiB wire/window)"
+    )
+    print(
+        "bit-identical: "
+        f"inprocess={paths['inprocess']['bit_identical']} "
+        f"gateway={paths['gateway']['bit_identical']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,186 @@
+"""Two wards, one gateway: the network service layer end to end.
+
+A hospital deployment of the streaming engine: wearables do not import
+``repro``, they speak a newline-JSON framed protocol to a central
+**ingestion gateway** (``python -m repro serve``), and dashboards read
+results over plain HTTP.  This walkthrough runs the whole stack
+in-process on an ephemeral localhost port:
+
+1. configure a gateway with two isolated tenants — a conventional-PSA
+   ward and a quality-scalable ward — each behind its own static
+   bearer token, each with its own engine and
+   :class:`~repro.engine.StreamHub`,
+2. stream two subjects per ward through framed
+   :class:`~repro.service.ServiceClient` connections with interleaved
+   feeds, watching ``window`` frames arrive live,
+3. drop one connection mid-recording and reconnect — the subject's
+   server-side session survives and resumes exactly where it stopped,
+4. finalize and verify every result is **bit-identical** (spectra and
+   operation counts) to whole-recording ``Engine.analyze``,
+5. query the REST side: ``POST /v1/analyze`` (same exactness bar) and
+   ``GET /v1/stats``,
+6. drain the gateway gracefully.
+
+Run with:  python examples/gateway_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import Engine, EngineConfig, TachogramSpec
+from repro.ecg.rr_synthesis import generate_tachogram
+from repro.service import (
+    GatewayThread,
+    ServiceClient,
+    ServiceConfig,
+    TenantSpec,
+    rest_analyze,
+    rest_stats,
+)
+from repro.service.wire import result_to_dict
+
+#: Minutes of RR data per subject (kept small so the example is quick).
+MINUTES = 15.0
+
+#: Beats per framed ``feed`` — a wearable's uplink batch.
+CHUNK = 64
+
+WARDS = {
+    "ward-conventional": EngineConfig.for_mode("exact"),
+    "ward-scalable": EngineConfig.for_mode("set3"),
+}
+
+
+def main() -> None:
+    config = ServiceConfig(
+        listen="127.0.0.1:0",
+        tenants=tuple(
+            TenantSpec(ward, f"{ward}-token", engine=engine_config)
+            for ward, engine_config in WARDS.items()
+        ),
+        count_ops=True,
+    )
+    recordings = {
+        f"subject-{k}": generate_tachogram(
+            TachogramSpec(seed=2014 + k), MINUTES * 60.0
+        )
+        for k in range(2)
+    }
+
+    # The reference every wire result must match bit for bit.
+    reference = {}
+    for ward, engine_config in WARDS.items():
+        with Engine(engine_config) as engine:
+            for subject, rr in recordings.items():
+                reference[(ward, subject)] = result_to_dict(
+                    engine.analyze(rr, count_ops=True)
+                )
+
+    with GatewayThread(config) as gateway:
+        print(f"gateway listening on {gateway.address} "
+              f"(tenants: {', '.join(WARDS)})\n")
+
+        # --- Act 1: interleaved framed streams, two wards at once. ----
+        clients = {}
+        for ward in WARDS:
+            for subject in recordings:
+                client = ServiceClient(
+                    gateway.address, tenant=ward, token=f"{ward}-token"
+                )
+                client.open(subject)
+                clients[(ward, subject)] = client
+        longest = max(rr.times.size for rr in recordings.values())
+        reconnected = False
+        for lo in range(0, longest, CHUNK):
+            for (ward, subject), client in list(clients.items()):
+                rr = recordings[subject]
+                if lo >= rr.times.size:
+                    continue
+                client.feed(
+                    rr.times[lo : lo + CHUNK],
+                    rr.intervals[lo : lo + CHUNK],
+                )
+                # --- Act 2: one dropped wearable, halfway through. ----
+                if not reconnected and ward == "ward-scalable" and (
+                    lo >= rr.times.size // 2
+                ):
+                    client.sync()          # everything sent is ingested
+                    client.close(notify=False)   # battery died, no close
+                    fresh = _reopen_when_released(
+                        ServiceClient(
+                            gateway.address, tenant=ward,
+                            token=f"{ward}-token",
+                        ),
+                        subject, gateway.address, ward,
+                    )
+                    clients[(ward, subject)] = fresh
+                    reconnected = True
+                    print(f"{ward}/{subject}: dropped mid-recording and "
+                          f"reconnected — session resumed server-side\n")
+
+        # --- Act 3: finalize; the wire results must match exactly. ---
+        print("ward               subject    windows  LF/HF  vs local")
+        for (ward, subject), client in clients.items():
+            result = client.finalize()
+            wire = {
+                key: value
+                for key, value in result.items()
+                if key not in ("op", "subject")
+            }
+            same = wire == reference[(ward, subject)]
+            print(
+                f"  {ward:<16} {subject:<10} "
+                f"{result['n_windows']:>6}  {result['lf_hf']:5.2f}  "
+                f"{'bit-identical' if same else 'DIFFERS'}"
+            )
+            assert same
+            client.close()
+
+        # --- Act 4: the REST side of the same gateway. ---------------
+        subject, rr = next(iter(recordings.items()))
+        rest_result = rest_analyze(
+            gateway.address, "ward-scalable-token",
+            rr.times, rr.intervals, count_ops=True,
+        )
+        same = rest_result == reference[("ward-scalable", subject)]
+        print(f"\nPOST /v1/analyze ({subject}): "
+              f"{'bit-identical' if same else 'DIFFERS'}")
+        assert same
+        stats = rest_stats(gateway.address, "ward-scalable-token")
+        wire = stats["service"]["wire"]
+        print(
+            f"GET /v1/stats: {wire['frames_in']} frames in / "
+            f"{wire['frames_out']} out, "
+            f"{wire['bytes_in'] / 1024.0:.0f} KiB ingested"
+        )
+    print("\ngateway drained cleanly")
+
+
+def _reopen_when_released(client, subject, address, ward):
+    """Re-attach once the gateway has noticed the dropped connection.
+
+    The server unbinds the dead consumer asynchronously (on reading
+    EOF), so an immediate re-hello can race it; real wearables retry,
+    and so does this.
+    """
+    import time
+
+    from repro.errors import ServiceError
+
+    deadline = time.monotonic() + 10.0
+    current = client
+    while True:
+        try:
+            current.open(subject)
+            return current
+        except ServiceError:
+            current.close()
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+            current = ServiceClient(
+                address, tenant=ward, token=f"{ward}-token"
+            )
+
+
+if __name__ == "__main__":
+    main()

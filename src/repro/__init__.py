@@ -31,11 +31,18 @@ monitors multiplexed into shared analysis batches::
 
 (`hub.open_async`/`hub.serve` add an asyncio push transport with
 backpressure; ``python -m repro stream`` replays recordings through
-it.)  Configs round-trip through JSON
-(``EngineConfig.to_json``/``from_json``) so an analysis is fully
-described by one file — see ``python -m repro engine``.  ``ROADMAP.md``
-documents the performance architecture; the ``examples/`` scripts walk
-every workload.
+it.)  The same hubs deploy as a network service — ``python -m repro
+serve`` runs the framed ingestion gateway + REST result API of
+:mod:`repro.service` (per-tenant hubs behind static tokens, graceful
+drain on SIGTERM), ``python -m repro stream --connect HOST:PORT``
+replays as its client, and :class:`ServiceClient` is the programmatic
+one; results served over the wire stay bit-identical to in-process
+``Engine.analyze``.  Configs round-trip through JSON
+(``EngineConfig.to_json``/``from_json``, likewise ``ServiceConfig``)
+so an analysis — or a whole deployment — is fully described by one
+file; see ``python -m repro engine``.  ``ROADMAP.md`` documents the
+performance architecture; the ``examples/`` scripts walk every
+workload.
 """
 
 from .core import (
@@ -63,6 +70,7 @@ from .errors import (
     FixedPointError,
     PlatformError,
     ReproError,
+    ServiceError,
     SignalError,
     TransformError,
     TransportError,
@@ -71,6 +79,13 @@ from .ffts import OpCounts, PruningSpec, SplitRadixFFT, WaveletFFT
 from .hrv import RRSeries, SinusArrhythmiaDetector, band_powers, lf_hf_ratio
 from .lomb import FastLomb, WelchLomb
 from .platform import SensorNodeModel
+from .service import (
+    GatewayServer,
+    GatewayThread,
+    ServiceClient,
+    ServiceConfig,
+    TenantSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -84,6 +99,8 @@ __all__ = [
     "EngineConfig",
     "FastLomb",
     "FixedPointError",
+    "GatewayServer",
+    "GatewayThread",
     "ModeProfile",
     "OpCounts",
     "PSAConfig",
@@ -97,6 +114,9 @@ __all__ = [
     "ReproError",
     "SLOSpec",
     "SensorNodeModel",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
     "SignalError",
     "SinusArrhythmiaDetector",
     "SplitRadixFFT",
@@ -104,6 +124,7 @@ __all__ = [
     "StreamingSession",
     "SyntheticCohort",
     "TachogramSpec",
+    "TenantSpec",
     "TransformError",
     "TransportError",
     "WaveletFFT",

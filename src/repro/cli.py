@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands cover the library's everyday uses without writing any
+The subcommands cover the library's everyday uses without writing any
 code:
 
 * ``demo``        — quickstart comparison on one synthetic patient,
@@ -10,7 +10,15 @@ code:
   engine),
 * ``stream``      — replay recordings as interleaved timed events
   through the multiplexed streaming hub
-  (:class:`repro.engine.StreamHub` via its asyncio transport),
+  (:class:`repro.engine.StreamHub` via its asyncio transport), or —
+  with ``--connect HOST:PORT`` — as a network client of a running
+  ``serve`` gateway,
+* ``serve``       — run the network service gateway: framed
+  newline-JSON stream ingestion plus the REST result API over
+  per-tenant streaming hubs (:mod:`repro.service`); SIGTERM drains
+  gracefully,
+* ``worker``      — serve this host as a fleet worker daemon for
+  ``--workers`` fleets,
 * ``engine``      — inspect, resolve and round-trip the declarative
   engine configuration (:class:`repro.engine.EngineConfig`),
 * ``energy``      — energy report of a pruning mode on the node model,
@@ -248,6 +256,59 @@ def build_parser() -> argparse.ArgumentParser:
         "flush latency in milliseconds (e.g. 50), or a full SLOSpec "
         "JSON object; overloaded subjects are stepped down the "
         "paper's degradation ladder and recover when load subsides",
+    )
+    stream.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="replay through a running 'serve' gateway instead of an "
+        "in-process hub (one framed connection per subject; --verify "
+        "assumes the server tenant runs the same engine config as the "
+        "local flags build)",
+    )
+    stream.add_argument(
+        "--tenant",
+        default="default",
+        help="tenant name for --connect (default: default)",
+    )
+    stream.add_argument(
+        "--token",
+        default="dev-token",
+        help="tenant token for --connect (default: dev-token)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the network service gateway (streams + REST)",
+        description="Run the ingestion gateway: one port serving the "
+        "framed newline-JSON stream protocol (hello/feed/finalize over "
+        "per-tenant streaming hubs, windows pushed back with "
+        "backpressure) and the REST result API (POST /v1/analyze, GET "
+        "/v1/subjects/<id>/windows, GET /v1/stats).  Results are "
+        "bit-identical to in-process Engine.analyze.  SIGTERM/SIGINT "
+        "drain gracefully: accepting stops, every tenant's subjects "
+        "finalize, results are pushed to connected clients.",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="address to bind (overrides the config file; port 0 = "
+        "ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="declarative ServiceConfig JSON file (tenants, tokens, "
+        "per-tenant engine configs); defaults to one 'default' tenant "
+        "with token 'dev-token'",
+    )
+    serve.add_argument(
+        "--count-ops",
+        action="store_true",
+        help="count executed operations in every tenant hub (OpCounts "
+        "in results — the bit-identity verification surface)",
     )
 
     worker = sub.add_parser(
@@ -494,18 +555,14 @@ def _timed_events(recordings, beats_per_event: int):
     return events
 
 
-def _cmd_stream(args) -> int:
-    import asyncio
-
-    from .hrv.rr import RRSeries
-
+def _replay_inputs(args):
+    """The recordings and interleaved events a stream replay drives."""
     if args.chunk < 1:
         raise ConfigurationError(f"--chunk must be >= 1, got {args.chunk}")
     if args.round_events < 1:
         raise ConfigurationError(
             f"--round must be >= 1, got {args.round_events}"
         )
-    config = _config_from_args(args)
     if args.input:
         recordings = _load_event_file(args.input)
     else:
@@ -520,6 +577,97 @@ def _cmd_stream(args) -> int:
     events = _timed_events(recordings, args.chunk)
     if not events:
         raise ConfigurationError("nothing to replay: no beats in any subject")
+    return recordings, events
+
+
+def _cmd_stream_connect(args) -> int:
+    """Replay through a running gateway instead of an in-process hub."""
+    import time as time_mod
+
+    from .hrv.rr import RRSeries
+    from .service import ServiceClient
+
+    recordings, events = _replay_inputs(args)
+    clients: dict = {}
+    try:
+        clock = events[0][0]
+        for at, subject, times, values in events:
+            client = clients.get(subject)
+            if client is None:
+                client = ServiceClient(
+                    args.connect, tenant=args.tenant, token=args.token
+                )
+                client.open(subject)
+                clients[subject] = client
+            if args.speed > 0 and at > clock:
+                time_mod.sleep((at - clock) / args.speed)
+                clock = at
+            client.feed(times, values)
+        results = {
+            subject: client.finalize() for subject, client in clients.items()
+        }
+    finally:
+        for client in clients.values():
+            client.close()
+    rows = []
+    exit_code = 0
+    reference_engine = None
+    if args.verify:
+        reference_engine = Engine(_config_from_args(args))
+    try:
+        for subject, (times, values) in recordings.items():
+            result = results[subject]
+            row = [
+                subject,
+                str(times.size),
+                str(len(clients[subject].windows)),
+                str(result["n_windows"]),
+                f"{result['lf_hf']:.3f}",
+                str(result["detection"]["is_arrhythmia"]),
+            ]
+            if args.verify:
+                reference = reference_engine.analyze(
+                    RRSeries(times=times, intervals=values)
+                )
+                identical = np.array_equal(
+                    np.asarray(result["spectrogram"]),
+                    reference.welch.spectrogram,
+                ) and np.array_equal(
+                    np.asarray(result["window_times"]),
+                    reference.welch.window_times,
+                )
+                row.append("ok" if identical else "MISMATCH")
+                exit_code = exit_code or (0 if identical else 1)
+            rows.append(row)
+    finally:
+        if reference_engine is not None:
+            reference_engine.close()
+    headers = ["subject", "beats", "pushed", "windows", "LF/HF", "flagged"]
+    if args.verify:
+        headers.append("vs local")
+    wire_bytes = sum(
+        client.bytes_sent + client.bytes_received
+        for client in clients.values()
+    )
+    print(format_table(
+        headers,
+        rows,
+        title=f"streamed {len(events)} events over {len(recordings)} "
+        f"subjects through {args.connect} "
+        f"({wire_bytes / 1024.0:.0f} KiB on the wire)",
+    ))
+    return exit_code
+
+
+def _cmd_stream(args) -> int:
+    import asyncio
+
+    from .hrv.rr import RRSeries
+
+    if args.connect:
+        return _cmd_stream_connect(args)
+    config = _config_from_args(args)
+    recordings, events = _replay_inputs(args)
 
     async def replay(hub):
         async def reader():
@@ -596,6 +744,52 @@ def _cmd_stream(args) -> int:
                 ),
             ))
     return exit_code
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .service import GatewayServer, ServiceConfig
+
+    config = (
+        ServiceConfig.from_file(args.config)
+        if args.config
+        else ServiceConfig()
+    )
+    if args.listen:
+        config = config.replace(listen=args.listen)
+    if args.count_ops:
+        config = config.replace(count_ops=True)
+
+    async def run() -> int:
+        server = GatewayServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(server.shutdown()),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        tenants = ", ".join(spec.name for spec in config.tenants)
+        print(
+            f"gateway listening on {server.address} "
+            f"(tenants: {tenants}); SIGTERM drains gracefully",
+            flush=True,
+        )
+        await server.serve_forever()
+        wire = server.stats()["wire"]
+        print(
+            f"drained: {wire['connections']} connections, "
+            f"{wire['frames_in']} frames in / {wire['frames_out']} out, "
+            f"{wire['http_requests']} HTTP requests"
+        )
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_worker(args) -> int:
@@ -833,6 +1027,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "screen": _cmd_screen,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
         "worker": _cmd_worker,
         "engine": _cmd_engine,
         "energy": _cmd_energy,

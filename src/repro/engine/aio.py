@@ -136,11 +136,38 @@ class AsyncStreamingSession:
     shared batch + bounded queues).  A consumer that stops iterating
     must release its queue — call :meth:`aclose` in a ``finally`` (or
     use ``max_queue=0``) so an abandoned subject cannot wedge the ward.
+
+    ``attach=True`` re-binds an *existing* hub subject (one whose
+    previous async endpoint was :meth:`aclose`'d — a dropped network
+    connection, say) instead of opening a fresh session: the underlying
+    :class:`StreamingSession` keeps every sample and emission it already
+    holds, so a reconnecting feeder resumes exactly where the
+    disconnect interrupted it and finalizes bit-identically.  Windows
+    analysed while no consumer was attached are not replayed into the
+    new queue — they remain in ``session.emissions`` and in the final
+    result.  Attaching a subject that still has a live async endpoint
+    raises :class:`SignalError` (two consumers would race one queue);
+    attaching an unseen subject simply opens it.
     """
 
-    def __init__(self, hub, subject_id, max_queue: int = DEFAULT_MAX_QUEUE):
+    def __init__(
+        self,
+        hub,
+        subject_id,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        attach: bool = False,
+    ):
         self._hub = hub
-        self._session = hub.open(subject_id)
+        if attach and subject_id in hub._sessions:
+            if subject_id in hub._async_sessions:
+                raise SignalError(
+                    f"subject {subject_id!r} already has a live async "
+                    "consumer; close it before re-attaching"
+                )
+            hub._check_open()
+            self._session = hub._sessions[subject_id]
+        else:
+            self._session = hub.open(subject_id)
         self._queue: asyncio.Queue = asyncio.Queue(max_queue)
         self._ended = False
         hub._async_sessions[subject_id] = self

@@ -304,6 +304,34 @@ class Engine:
                 times, values, spans, count_ops,
             )
 
+    def execution_stats(self) -> dict:
+        """Observability snapshot of this engine's execution machinery.
+
+        One plain-data dict (JSON-ready) collecting the resolved
+        execution settings, the workspace arena's reuse counters
+        (``None`` when the arena is disabled), the process-wide plan
+        caches' LRU counters, and — when a fleet pool with remote
+        workers exists — the per-worker transport byte/reconnect
+        counters.  The service gateway's ``GET /v1/stats`` endpoint is
+        built on this.
+        """
+        from ..ffts.plancache import plan_cache_detail
+
+        return {
+            "resolved": {
+                "provider": self.resolved.provider,
+                "provider_source": self.resolved.provider_source,
+                "chunk_windows": self.resolved.chunk_windows,
+                "jobs": self.resolved.jobs,
+                "workers": list(self.resolved.workers),
+            },
+            "arena": None if self._arena is None else self._arena.stats(),
+            "plan_cache": plan_cache_detail(),
+            "transport": (
+                {} if self._fleet is None else self._fleet.transport_stats()
+            ),
+        }
+
     # ------------------------------------------------------------------
     # Fleet pool lifecycle
     # ------------------------------------------------------------------

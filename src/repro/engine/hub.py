@@ -215,19 +215,26 @@ class StreamHub:
         self._sessions[subject_id] = session
         return session
 
-    def open_async(self, subject_id, *, max_queue: int | None = None):
+    def open_async(
+        self, subject_id, *, max_queue: int | None = None,
+        attach: bool = False,
+    ):
         """Open the subject as an async push/pull session.
 
         Returns an :class:`~repro.engine.aio.AsyncStreamingSession`
         (``await feed(...)`` / ``async for emission in session``) whose
         emission queue is bounded by ``max_queue`` — a slow consumer
-        backpressures the feeder.
+        backpressures the feeder.  ``attach=True`` re-binds an existing
+        subject whose previous async endpoint was closed (the
+        reconnect path — see :class:`AsyncStreamingSession`).
         """
         from .aio import AsyncStreamingSession
 
         if max_queue is None:
-            return AsyncStreamingSession(self, subject_id)
-        return AsyncStreamingSession(self, subject_id, max_queue=max_queue)
+            return AsyncStreamingSession(self, subject_id, attach=attach)
+        return AsyncStreamingSession(
+            self, subject_id, max_queue=max_queue, attach=attach
+        )
 
     # ------------------------------------------------------------------
     # Ingestion

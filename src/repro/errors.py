@@ -17,6 +17,7 @@ __all__ = [
     "CalibrationError",
     "FixedPointError",
     "TransportError",
+    "ServiceError",
 ]
 
 
@@ -50,3 +51,7 @@ class FixedPointError(ReproError):
 
 class TransportError(ReproError):
     """A fleet transport frame or message violates the wire protocol."""
+
+
+class ServiceError(ReproError):
+    """A network-service request is invalid (auth, protocol, routing)."""

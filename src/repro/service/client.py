@@ -1,0 +1,314 @@
+"""Synchronous client for the ingestion gateway.
+
+:class:`ServiceClient` speaks the framed newline-JSON stream protocol
+(:mod:`repro.service.wire`) over a plain socket — no asyncio required
+on the client side, so replay tools, tests and benchmarks stay simple
+synchronous code::
+
+    client = ServiceClient(address, tenant="ward-a", token="...")
+    client.open("subject-1")
+    for t, rr in beat_batches:
+        for window in client.feed(t, rr):     # windows already pushed
+            update_monitor(window)
+    result = client.finalize()                # full PSAResult dict
+    client.close()
+
+``feed`` opportunistically drains whatever ``window`` frames the server
+has already pushed (non-blocking), which keeps the client's receive
+buffer — and therefore the server's emission queue — moving even while
+the caller is busy producing data.  Without that drain a client that
+only reads at finalize time could deadlock against the server's
+backpressure: server blocked writing windows to a full socket, client
+blocked writing feeds to a full socket.
+
+REST access goes through the module functions (:func:`rest_analyze`,
+:func:`rest_stats`, :func:`rest_windows`), built on
+:mod:`http.client` — same no-third-party-framework rule as the server.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import socket
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..fleet.transport import parse_address
+from .wire import decode_frame, encode_frame
+
+__all__ = [
+    "ServiceClient",
+    "rest_analyze",
+    "rest_stats",
+    "rest_windows",
+]
+
+_RECV_CHUNK = 1 << 16
+
+
+def _jsonable(values):
+    """Make feed payloads JSON-serialisable (arrays → lists)."""
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    if isinstance(values, (np.floating, np.integer)):
+        return values.item()
+    return values
+
+
+class ServiceClient:
+    """One framed-stream connection to a :class:`GatewayServer`.
+
+    Parameters
+    ----------
+    address:
+        The gateway's ``host:port``.
+    tenant, token:
+        Credentials for the ``hello`` handshake (must name a
+        :class:`~repro.service.config.TenantSpec` on the server).
+    timeout:
+        Socket timeout in seconds for blocking reads (handshake,
+        finalize).  Feeds only block when the server backpressures.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        tenant: str = "default",
+        token: str = "dev-token",
+        timeout: float = 120.0,
+    ):
+        host, port = parse_address(address)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._buffer = bytearray()
+        self._tenant = tenant
+        self._token = token
+        self._subject = None
+        self._closed = False
+        #: ``window`` frames received so far, in delivery order.
+        self.windows: list[dict] = []
+        #: Non-fatal ``error`` frames the server sent (bad feeds).
+        self.errors: list[dict] = []
+        #: The ``result`` frame, once received (finalize or server drain).
+        self.result: dict | None = None
+        #: Set when the server announced a graceful drain.
+        self.shutdown_frame: dict | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, frame: dict) -> None:
+        data = encode_frame(frame)
+        self._sock.sendall(data)
+        self.bytes_sent += len(data)
+
+    def _recv_into_buffer(self, blocking: bool) -> bool:
+        """Pull available bytes; ``False`` on EOF or nothing to read."""
+        if not blocking:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+            if not readable:
+                return False
+        chunk = self._sock.recv(_RECV_CHUNK)
+        if not chunk:
+            raise ServiceError("connection closed by server")
+        self._buffer.extend(chunk)
+        self.bytes_received += len(chunk)
+        return True
+
+    def _pop_line(self) -> bytes | None:
+        idx = self._buffer.find(b"\n")
+        if idx < 0:
+            return None
+        line = bytes(self._buffer[: idx + 1])
+        del self._buffer[: idx + 1]
+        return line
+
+    def _dispatch(self, frame: dict) -> dict:
+        """Record a frame on the right pile; raise on fatal errors."""
+        op = frame.get("op")
+        if op == "window":
+            self.windows.append(frame)
+        elif op == "result":
+            self.result = frame
+        elif op == "shutdown":
+            self.shutdown_frame = frame
+        elif op == "error":
+            if frame.get("fatal"):
+                raise ServiceError(f"server error: {frame.get('error')}")
+            self.errors.append(frame)
+        return frame
+
+    def _next_frame(self) -> dict:
+        """Blocking read of the next frame."""
+        while True:
+            line = self._pop_line()
+            if line is not None:
+                return self._dispatch(decode_frame(line))
+            self._recv_into_buffer(blocking=True)
+
+    def drain(self) -> list[dict]:
+        """Non-blocking drain of already-pushed frames.
+
+        Returns the ``window`` frames received by this call.  Keeps the
+        socket's receive path moving so server-side backpressure only
+        engages when the client genuinely falls behind.
+        """
+        before = len(self.windows)
+        while True:
+            line = self._pop_line()
+            if line is not None:
+                self._dispatch(decode_frame(line))
+                continue
+            if not self._recv_into_buffer(blocking=False):
+                return self.windows[before:]
+
+    # ------------------------------------------------------------------
+    # Stream protocol
+    # ------------------------------------------------------------------
+
+    def open(self, subject: str) -> dict:
+        """Handshake: authenticate and bind this connection to a subject."""
+        self._send({
+            "op": "hello",
+            "tenant": self._tenant,
+            "token": self._token,
+            "subject": subject,
+        })
+        frame = self._next_frame()
+        if frame.get("op") != "ready":
+            raise ServiceError(f"expected ready frame, got {frame!r}")
+        self._subject = subject
+        return frame
+
+    def feed(self, times, values) -> list[dict]:
+        """Push one beat batch; returns windows drained opportunistically."""
+        self._send({
+            "op": "feed",
+            "t": _jsonable(times),
+            "rr": _jsonable(values),
+        })
+        return self.drain()
+
+    def sync(self) -> None:
+        """Ingestion barrier: block until all prior feeds are ingested.
+
+        Frames are processed in order server-side, so the ``pong``
+        reply proves every earlier ``feed`` on this connection reached
+        the hub — call this before triggering a server-side drain whose
+        result must cover everything sent.
+        """
+        self._send({"op": "ping"})
+        while True:
+            if self._next_frame().get("op") == "pong":
+                return
+
+    def finalize(self) -> dict:
+        """End the recording; returns the full result payload (dict).
+
+        Window frames still in flight are collected into
+        :attr:`windows` on the way to the ``result`` frame.
+        """
+        self._send({"op": "finalize"})
+        return self.wait_result()
+
+    def wait_result(self) -> dict:
+        """Block until a ``result`` frame arrives (e.g. server drain)."""
+        while self.result is None:
+            self._next_frame()
+        return self.result
+
+    def wait_shutdown(self) -> dict:
+        """Block until the server's ``shutdown`` frame arrives."""
+        while self.shutdown_frame is None:
+            self._next_frame()
+        return self.shutdown_frame
+
+    def close(self, notify: bool = True) -> None:
+        """Detach (the subject's server-side session survives).
+
+        ``notify=False`` skips the polite ``close`` frame — the abrupt
+        disconnect path tests exercise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if notify:
+                self._send({"op": "close"})
+        except OSError:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# REST helpers
+# ----------------------------------------------------------------------
+
+
+def _rest_request(
+    address: str,
+    method: str,
+    path: str,
+    token: str,
+    body: dict | None = None,
+    timeout: float = 120.0,
+) -> dict:
+    import http.client
+
+    host, port = parse_address(address)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload, headers={
+            "Authorization": f"Bearer {token}",
+            "Content-Type": "application/json",
+        })
+        response = conn.getresponse()
+        data = json.loads(response.read().decode("utf-8"))
+        if response.status != 200:
+            raise ServiceError(
+                f"{method} {path} failed ({response.status}): "
+                f"{data.get('error', data)}"
+            )
+        return data
+    finally:
+        conn.close()
+
+
+def rest_analyze(
+    address: str, token: str, times, values,
+    count_ops: bool = False, timeout: float = 120.0,
+) -> dict:
+    """``POST /v1/analyze``: one whole RR recording, full result back."""
+    return _rest_request(address, "POST", "/v1/analyze", token, body={
+        "t": _jsonable(np.asarray(times, dtype=float)),
+        "rr": _jsonable(np.asarray(values, dtype=float)),
+        "count_ops": bool(count_ops),
+    }, timeout=timeout)
+
+
+def rest_stats(address: str, token: str, timeout: float = 30.0) -> dict:
+    """``GET /v1/stats``: wire counters + engine/controller stats."""
+    return _rest_request(address, "GET", "/v1/stats", token, timeout=timeout)
+
+
+def rest_windows(
+    address: str, token: str, subject: str, timeout: float = 30.0
+) -> dict:
+    """``GET /v1/subjects/<id>/windows``: the subject's emissions."""
+    return _rest_request(
+        address, "GET", f"/v1/subjects/{subject}/windows", token,
+        timeout=timeout,
+    )

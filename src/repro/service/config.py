@@ -1,0 +1,299 @@
+"""Declarative configuration of the network service layer.
+
+:class:`ServiceConfig` is the service-shaped sibling of
+:class:`~repro.engine.config.EngineConfig`: one immutable dataclass,
+losslessly JSON-round-trippable (``to_dict``/``from_dict``/``to_json``/
+``from_json``/``from_file``, unknown keys rejected), that fully
+describes a deployable gateway — where it listens, which tenants it
+serves, and the wire-discipline knobs (events per shared-batch flush,
+per-frame byte cap, handshake timeout).
+
+Each :class:`TenantSpec` maps one static bearer token to one
+:class:`EngineConfig`: tenants get **isolated** engines and stream hubs
+(their own SLO controller and quality ladder, their own fleet pool),
+so one tenant's overload can never shed another tenant's quality.
+Tokens are compared constant-time at the gateway
+(:func:`hmac.compare_digest`); they are static shared secrets — the
+deployment story for rotating credentials sits in front of this layer,
+not inside it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from ..engine.config import EngineConfig
+from ..errors import ConfigurationError
+from ..fleet.transport import parse_address
+
+__all__ = ["ServiceConfig", "TenantSpec", "DEFAULT_MAX_FRAME_BYTES"]
+
+#: Hard cap on one newline-JSON frame (bytes), service default.  The
+#: same discipline as the fleet transport's MAX_FRAME_BYTES guard: a
+#: malformed or hostile client's oversized line is a protocol error,
+#: never an allocation request that wedges the event loop.
+DEFAULT_MAX_FRAME_BYTES = 1 << 22
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the gateway: a name, a token, an engine config.
+
+    Attributes
+    ----------
+    name:
+        Tenant identifier clients send in their ``hello`` frame and the
+        REST endpoints scope queries to.  Non-empty, unique per service.
+    token:
+        Static bearer token authenticating the tenant (framed ``hello``
+        and REST ``Authorization: Bearer`` alike).  Non-empty, unique
+        per service — a token identifies exactly one tenant.
+    engine:
+        The :class:`EngineConfig` this tenant's isolated engine and
+        :class:`~repro.engine.hub.StreamHub` run under (system kind,
+        pruning, provider/jobs/workers, optional SLO controller).
+    """
+
+    name: str
+    token: str
+    engine: EngineConfig = EngineConfig()
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"tenant name must be a non-empty string, got {self.name!r}"
+            )
+        if not isinstance(self.token, str) or not self.token:
+            raise ConfigurationError(
+                f"tenant {self.name!r} token must be a non-empty string"
+            )
+        if not isinstance(self.engine, EngineConfig):
+            raise ConfigurationError(
+                f"tenant {self.name!r} engine must be an EngineConfig, "
+                f"got {type(self.engine).__name__}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-ready) representation of this tenant."""
+        return {
+            "name": self.name,
+            "token": self.token,
+            "engine": self.engine.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        """Reconstruct a tenant from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"tenant spec must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"name", "token", "engine"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown tenant spec keys: {sorted(unknown)}"
+            )
+        kwargs: dict = {
+            key: data[key] for key in ("name", "token") if key in data
+        }
+        if "engine" in data:
+            kwargs["engine"] = EngineConfig.from_dict(data["engine"])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"invalid tenant spec: {exc}") from None
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable, fully serializable configuration of the gateway.
+
+    Attributes
+    ----------
+    listen:
+        ``host:port`` the gateway binds (port 0 = ephemeral; the bound
+        address is on :attr:`GatewayServer.address` after start).  One
+        port serves both protocols — framed newline-JSON streams and
+        HTTP REST — dispatched on the first byte of each connection.
+    tenants:
+        The :class:`TenantSpec` entries this service authenticates.
+        Defaults to a single ``default`` tenant with the development
+        token ``dev-token`` running the default engine config —
+        replace it for any non-local deployment.
+    round_events:
+        Feed events per shared-batch flush round when a connection is
+        pumped through :meth:`StreamHub.serve` semantics (the framed
+        path flushes per feed via the aio layer; this caps how long a
+        quiet tenant's windows may wait).
+    max_frame_bytes:
+        Per-frame byte cap of the newline-JSON protocol and the REST
+        body limit.  A longer line/body is a protocol error: the
+        offending connection gets an error frame (or a 413) and is
+        closed, other connections are untouched.
+    hello_timeout:
+        Seconds a fresh stream connection may take to send its
+        ``hello`` frame before the gateway drops it (half-open
+        connections must not accumulate).
+    count_ops:
+        When True every tenant hub counts executed operations
+        (:class:`~repro.ffts.opcount.OpCounts` in results) — the
+        bit-identity verification surface; off by default like the
+        in-process entry points.
+    """
+
+    listen: str = "127.0.0.1:8737"
+    tenants: tuple[TenantSpec, ...] = (TenantSpec("default", "dev-token"),)
+    round_events: int = 64
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    hello_timeout: float = 10.0
+    count_ops: bool = False
+
+    def __post_init__(self):
+        parse_address(self.listen, allow_ephemeral=True)
+        tenants = tuple(self.tenants)
+        if not tenants:
+            raise ConfigurationError("service needs at least one tenant")
+        names: set[str] = set()
+        tokens: set[str] = set()
+        for tenant in tenants:
+            if not isinstance(tenant, TenantSpec):
+                raise ConfigurationError(
+                    "tenants must be TenantSpec entries, got "
+                    f"{type(tenant).__name__}"
+                )
+            if tenant.name in names:
+                raise ConfigurationError(
+                    f"duplicate tenant name {tenant.name!r}"
+                )
+            if tenant.token in tokens:
+                raise ConfigurationError(
+                    f"tenant {tenant.name!r} reuses another tenant's token "
+                    "(a token must identify exactly one tenant)"
+                )
+            names.add(tenant.name)
+            tokens.add(tenant.token)
+        object.__setattr__(self, "tenants", tenants)
+        if int(self.round_events) < 1:
+            raise ConfigurationError(
+                f"round_events must be >= 1, got {self.round_events}"
+            )
+        object.__setattr__(self, "round_events", int(self.round_events))
+        if int(self.max_frame_bytes) < 1024:
+            raise ConfigurationError(
+                f"max_frame_bytes must be >= 1024, got {self.max_frame_bytes}"
+            )
+        object.__setattr__(self, "max_frame_bytes", int(self.max_frame_bytes))
+        try:
+            timeout = float(self.hello_timeout)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"hello_timeout must be a number (seconds), got "
+                f"{self.hello_timeout!r}"
+            ) from None
+        if not timeout > 0:
+            raise ConfigurationError(
+                f"hello_timeout must be > 0, got {timeout}"
+            )
+        object.__setattr__(self, "hello_timeout", timeout)
+        object.__setattr__(self, "count_ops", bool(self.count_ops))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantSpec:
+        """The named tenant (:class:`ConfigurationError` if unknown)."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise ConfigurationError(f"unknown tenant {name!r}")
+
+    def replace(self, **changes) -> "ServiceConfig":
+        """Copy with the given fields changed (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-ready) representation of this config."""
+        return {
+            "listen": self.listen,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "round_events": self.round_events,
+            "max_frame_bytes": self.max_frame_bytes,
+            "hello_timeout": self.hello_timeout,
+            "count_ops": self.count_ops,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        """Reconstruct a config from :meth:`to_dict` output.
+
+        Missing keys take their defaults; unknown keys are a
+        :class:`ConfigurationError` (a typo must not silently run a
+        different service than asked).
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"service config must be a mapping, got {type(data).__name__}"
+            )
+        known = {
+            "listen", "tenants", "round_events", "max_frame_bytes",
+            "hello_timeout", "count_ops",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown service config keys: {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        kwargs: dict = {
+            key: data[key]
+            for key in known - {"tenants"}
+            if key in data
+        }
+        if "tenants" in data:
+            tenants = data["tenants"]
+            if isinstance(tenants, (str, dict)) or not hasattr(
+                tenants, "__iter__"
+            ):
+                raise ConfigurationError(
+                    "tenants must be a list of tenant spec mappings"
+                )
+            kwargs["tenants"] = tuple(
+                TenantSpec.from_dict(entry) for entry in tenants
+            )
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"invalid service config: {exc}") from None
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text of :meth:`to_dict` (round-trips losslessly)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceConfig":
+        """Reconstruct a config from :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"service config is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path) -> "ServiceConfig":
+        """Load a config from a JSON file path."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read service config {path!r}: {exc}"
+            ) from None
+        return cls.from_json(text)

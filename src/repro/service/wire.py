@@ -1,0 +1,159 @@
+"""Newline-JSON wire protocol of the ingestion gateway.
+
+One frame is one JSON object on one line (``\\n`` terminated, UTF-8).
+The format is deliberately boring: it is debuggable with ``nc``,
+trivially bridgeable to a websocket, and — because CPython's ``json``
+serialises floats via ``repr`` (shortest round-tripping form) — it
+carries IEEE-754 doubles **bit-exactly**.  That last property is what
+lets the gateway promise byte-identical spectra to in-process
+:meth:`Engine.analyze`: nothing on the wire rounds.
+
+Client → server operations (``op`` key):
+
+``hello``
+    ``{"op": "hello", "tenant": ..., "token": ..., "subject": ...}`` —
+    authenticate and bind the connection to one subject stream.
+``feed``
+    ``{"op": "feed", "t": [...], "rr": [...]}`` — a batch of beat
+    timestamps (seconds) and RR intervals.  Scalars also accepted.
+``finalize``
+    End of recording: drain, emit the remaining windows, reply with a
+    ``result`` frame.
+``ping``
+    Ingestion barrier: replied to with ``pong`` after every earlier
+    frame on the connection has been processed.
+``close``
+    Detach without finalizing; the subject's session survives on the
+    hub so a later connection may re-attach (``hello`` again) and
+    continue feeding.
+
+Server → client frames:
+
+``ready``
+    Acknowledges ``hello``; echoes tenant/subject.
+``window``
+    One completed Welch window (index, start/center time, quality
+    level, power row) — pushed as soon as it closes.
+``result``
+    The full :class:`~repro.core.system.PSAResult` after ``finalize``.
+``error``
+    ``{"op": "error", "error": ..., "fatal": bool}``.  Non-fatal
+    errors (e.g. a feed rejected by signal validation) leave the
+    connection usable; fatal ones (auth, protocol violations) are
+    followed by a close.
+``shutdown``
+    Server-initiated graceful drain: the tenant's sessions were
+    finalized; a ``result`` frame for this connection's subject
+    precedes this frame when the subject had enough data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..core.system import PSAResult
+from ..engine.streaming import WindowEmission
+from ..errors import ServiceError
+from ..ffts.opcount import OpCounts
+
+__all__ = [
+    "encode_frame",
+    "decode_frame",
+    "emission_to_frame",
+    "result_to_dict",
+    "counts_to_dict",
+    "counts_from_dict",
+]
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame to its wire form (compact JSON + newline)."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ServiceError` on malformed JSON or a non-object
+    payload — the caller treats this as a fatal protocol error for the
+    offending connection only.
+    """
+    try:
+        frame = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServiceError(f"malformed frame: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ServiceError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def emission_to_frame(subject_id: str, emission: WindowEmission) -> dict:
+    """The ``window`` frame for one streaming emission."""
+    return {
+        "op": "window",
+        "subject": subject_id,
+        "index": emission.index,
+        "start": emission.start,
+        "center": emission.center,
+        "quality": emission.quality,
+        "power": emission.spectrum.power.tolist(),
+    }
+
+
+def counts_to_dict(counts: OpCounts | None) -> dict | None:
+    """Plain-data form of an :class:`OpCounts` (``None`` passes through)."""
+    if counts is None:
+        return None
+    return {
+        "mults": counts.mults,
+        "adds": counts.adds,
+        "compares": counts.compares,
+    }
+
+
+def counts_from_dict(data: dict | None) -> OpCounts | None:
+    """Inverse of :func:`counts_to_dict`."""
+    if data is None:
+        return None
+    return OpCounts(
+        mults=int(data["mults"]),
+        adds=int(data["adds"]),
+        compares=int(data["compares"]),
+    )
+
+
+def result_to_dict(result: PSAResult) -> dict:
+    """JSON-ready form of a :class:`PSAResult`.
+
+    Carries everything the acceptance surface compares: the frequency
+    grid, the full spectrogram (row per window), window centre times,
+    the Welch average, band powers, per-window ratios, the detection
+    verdict, skipped-window count and operation totals.  Floats
+    round-trip exactly (``json`` uses ``repr``), so equality against
+    the in-process result is bitwise, not approximate.
+    """
+    welch = result.welch
+    return {
+        "frequencies": welch.frequencies.tolist(),
+        "spectrogram": [row.tolist() for row in welch.spectrogram],
+        "averaged": welch.averaged.tolist(),
+        "window_times": welch.window_times.tolist(),
+        "skipped_windows": welch.skipped_windows,
+        "n_windows": welch.n_windows,
+        "lf_hf": result.lf_hf,
+        "band_powers": dict(result.band_powers),
+        "window_ratios": np.asarray(result.window_ratios).tolist(),
+        "detection": {
+            "is_arrhythmia": bool(result.detection.is_arrhythmia),
+            "ratio": result.detection.ratio,
+            "threshold": result.detection.threshold,
+            "window_ratios": np.asarray(
+                result.detection.window_ratios
+            ).tolist(),
+        },
+        "counts": counts_to_dict(result.counts),
+    }

@@ -1,0 +1,84 @@
+"""Smoke test: the service benchmark script must keep running.
+
+Runs :func:`run_service_benchmark` on a tiny cohort and checks the
+document structure the full run commits to ``BENCH_service.json`` —
+including the exactness guarantee both paths carry (results
+bit-identical to whole-recording analysis in wire form).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_service", BENCHMARKS / "bench_service.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_service", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_service_benchmark_smoke(tmp_path):
+    bench = _load_module()
+    document = bench.run_service_benchmark(
+        n_subjects=2,
+        duration_minutes=8.0,
+        burst_seconds=60.0,
+        repeats=1,
+    )
+    workload = document["workload"]
+    assert workload["n_subjects"] == 2
+    assert workload["n_windows_total"] >= 6
+    paths = document["paths"]
+    assert set(paths) == {"inprocess", "gateway"}
+    for name in ("inprocess", "gateway"):
+        entry = paths[name]
+        assert entry["windows_per_sec"] > 0
+        # A tiny replay can finish feeding before any window frame
+        # comes back down the socket, so live windows (and their
+        # latencies) may be empty on the gateway path.
+        assert entry["live_windows"] >= 0
+        if entry["live_windows"]:
+            assert entry["per_window_latency"]["mean_ms"] > 0
+        # The service layer's core promise, checked on every run.
+        assert entry["bit_identical"] is True
+    assert paths["inprocess"]["live_windows"] > 0
+    wire = paths["gateway"]["wire"]
+    assert wire["bytes_sent"] > 0
+    assert wire["bytes_received"] > wire["bytes_sent"]  # windows + results
+    assert wire["bytes_per_window"] > 0
+    assert wire["live_window_frames"] > 0
+    assert document["slowdown_gateway_vs_inprocess"] > 0
+    # document must round-trip through JSON (what main() writes)
+    out = tmp_path / "BENCH_service.json"
+    out.write_text(json.dumps(document, indent=2))
+    assert json.loads(out.read_text()) == document
+
+
+@pytest.mark.slow
+def test_service_benchmark_main_writes_json(tmp_path, capsys):
+    bench = _load_module()
+    out = tmp_path / "bench.json"
+    bench.main(
+        [
+            "--subjects", "2",
+            "--minutes", "6",
+            "--burst-seconds", "90",
+            "--repeats", "1",
+            "--output", str(out),
+        ]
+    )
+    document = json.loads(out.read_text())
+    assert document["workload"]["n_subjects"] == 2
+    assert "windows/s" in capsys.readouterr().out

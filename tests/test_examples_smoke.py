@@ -27,6 +27,13 @@ def test_energy_budget_tuning_runs(capsys):
     assert "Pareto frontier" in out
 
 
+def test_gateway_demo_runs(capsys):
+    out = _run("gateway_demo.py", capsys)
+    assert out.count("bit-identical") == 5
+    assert "reconnected" in out
+    assert "drained cleanly" in out
+
+
 def test_distributed_fleet_runs(capsys):
     out = _run("distributed_fleet.py", capsys)
     assert out.count("bit-identical") == 4

@@ -34,6 +34,7 @@ MODULES = (
     "repro.engine",
     "repro.fleet",
     "repro.perf",
+    "repro.service",
     "repro.testing",
 )
 

@@ -15,8 +15,11 @@ Runs, in order:
 5. the chaos smoke (``tools/chaos_smoke.py``): injected overload sheds
    quality and recovers under the SLO controller; an injected worker
    death rejoins with backoff — both bit-identical to healthy runs,
-6. the three benchmark smoke tests (streaming, throughput, fleet) that
-   exercise the measurement harnesses end to end.
+6. the service smoke (``tools/service_smoke.py``): gateway on an
+   ephemeral port, a two-subject cohort streamed through the framed
+   protocol bit-identical to ``Engine.analyze``, one REST batch upload,
+7. the four benchmark smoke tests (streaming, throughput, fleet,
+   service) that exercise the measurement harnesses end to end.
 
 Each step streams its own output; the gate prints a pass/fail summary
 table and exits non-zero if *any* step failed (later steps still run, so
@@ -59,6 +62,10 @@ STEPS: list[tuple[str, list[str]]] = [
         [sys.executable, "tools/chaos_smoke.py"],
     ),
     (
+        "service smoke (gateway + REST)",
+        [sys.executable, "tools/service_smoke.py"],
+    ),
+    (
         "bench smoke: streaming",
         [
             sys.executable,
@@ -86,6 +93,16 @@ STEPS: list[tuple[str, list[str]]] = [
             "pytest",
             "-q",
             "tests/test_bench_fleet_smoke.py",
+        ],
+    ),
+    (
+        "bench smoke: service",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "tests/test_bench_service_smoke.py",
         ],
     ),
 ]
