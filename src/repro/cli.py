@@ -160,6 +160,19 @@ def build_parser() -> argparse.ArgumentParser:
     screen.add_argument("--patients", type=int, default=8)
     screen.add_argument("--duration", type=float, default=300.0)
     screen.add_argument(
+        "--ecg",
+        action="store_true",
+        help="start from raw ECG: render each patient's waveform, "
+        "detect QRS beats and clean the RR intervals "
+        "(repro.ingest) before screening",
+    )
+    screen.add_argument(
+        "--sampling-rate",
+        type=float,
+        default=250.0,
+        help="ECG sampling rate in Hz for --ecg (default: 250)",
+    )
+    screen.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -201,6 +214,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="CSV of 'subject,t,rr' beat rows to replay instead of the "
         "synthetic cohort",
+    )
+    stream.add_argument(
+        "--ecg",
+        action="store_true",
+        help="replay raw ECG frames instead of beat events: each "
+        "subject's waveform is rendered, streamed through the "
+        "incremental QRS detector and artifact preprocessor "
+        "(repro.ingest.ECGSource), and the cleaned RR events carry "
+        "corrected-beat masks into the hub",
+    )
+    stream.add_argument(
+        "--sampling-rate",
+        type=float,
+        default=250.0,
+        help="ECG sampling rate in Hz for --ecg (default: 250)",
+    )
+    stream.add_argument(
+        "--frame",
+        type=int,
+        default=512,
+        dest="frame_samples",
+        help="ECG samples per uplink frame for --ecg (default: 512)",
     )
     stream.add_argument(
         "--chunk",
@@ -470,9 +505,25 @@ def _cmd_screen(args) -> int:
     config = _config_from_args(args)
     cohort = make_cohort()
     patients = list(cohort)[: args.patients]
-    recordings = [
-        patient.rr_series(duration=args.duration) for patient in patients
-    ]
+    if args.ecg:
+        # Full sensor path: render each patient's ECG waveform, detect
+        # QRS beats and clean the RR intervals before screening.
+        from .ecg import synthesize_ecg
+        from .ingest import ecg_record_to_rr
+
+        recordings = []
+        for index, patient in enumerate(patients):
+            rr = patient.rr_series(duration=args.duration)
+            t, ecg = synthesize_ecg(
+                rr.times, sampling_rate=args.sampling_rate, seed=index
+            )
+            recordings.append(
+                ecg_record_to_rr(t, ecg, sampling_rate=args.sampling_rate)
+            )
+    else:
+        recordings = [
+            patient.rr_series(duration=args.duration) for patient in patients
+        ]
     # The facade owns execution: the fleet engine shards the cohort's
     # Welch windows over the worker pool (jobs=1 runs the identical
     # pipeline in-process), pinned to the config's resolved provider
@@ -539,42 +590,104 @@ def _load_event_file(path) -> dict[str, tuple[np.ndarray, np.ndarray]]:
 def _timed_events(recordings, beats_per_event: int):
     """Chunk per-subject beats into events, interleaved by beat time.
 
-    Each event is ``(at, subject, times, values)`` — one subject's
-    burst of up to ``beats_per_event`` beats, stamped with its first
-    beat instant; sorting by the stamp reproduces the arrival order a
-    ward of independent wearables would deliver.
+    Each event is ``(at, subject, times, values, corrected)`` — one
+    subject's burst of up to ``beats_per_event`` beats, stamped with
+    its first beat instant; sorting by the stamp reproduces the
+    arrival order a ward of independent wearables would deliver.
     """
     events = []
     for subject, (times, values) in recordings.items():
         for lo in range(0, times.size, beats_per_event):
             hi = min(lo + beats_per_event, times.size)
             events.append(
-                (float(times[lo]), subject, times[lo:hi], values[lo:hi])
+                (float(times[lo]), subject, times[lo:hi], values[lo:hi],
+                 None)
             )
     events.sort(key=lambda event: event[0])
     return events
 
 
+def _ecg_replay_inputs(args):
+    """Raw-ECG replay: render waveforms, stream them through ingestion.
+
+    Returns ``(recordings, events)`` where ``recordings`` maps subject
+    to the *batch-reference* cleaned :class:`RRSeries`
+    (:func:`~repro.ingest.ecg_record_to_rr` of the whole record — what
+    ``--verify`` compares against) and ``events`` are the timed
+    ``(at, subject, t, rr, corrected)`` bursts an
+    :class:`~repro.ingest.ECGSource` emits frame by frame.
+    """
+    from .ecg import synthesize_ecg
+    from .ingest import ECGSource, ecg_frames, ecg_record_to_rr
+
+    if args.frame_samples < 1:
+        raise ConfigurationError(
+            f"--frame must be >= 1, got {args.frame_samples}"
+        )
+    if args.patients < 1:
+        raise ConfigurationError(
+            f"--patients must be >= 1, got {args.patients}"
+        )
+    recordings = {}
+    events = []
+    for index, patient in enumerate(list(make_cohort())[: args.patients]):
+        rr = patient.rr_series(duration=args.duration)
+        t, ecg = synthesize_ecg(
+            rr.times, sampling_rate=args.sampling_rate, seed=index
+        )
+        recordings[patient.patient_id] = ecg_record_to_rr(
+            t, ecg, sampling_rate=args.sampling_rate
+        )
+        source = ECGSource(
+            patient.patient_id,
+            ecg_frames(t, ecg, frame_samples=args.frame_samples),
+            sampling_rate=args.sampling_rate,
+        )
+        for subject, times, values, corrected in source:
+            events.append(
+                (float(times[0]), subject, times, values, corrected)
+            )
+    events.sort(key=lambda event: event[0])
+    return recordings, events
+
+
 def _replay_inputs(args):
-    """The recordings and interleaved events a stream replay drives."""
+    """The recordings and interleaved events a stream replay drives.
+
+    ``recordings`` maps subject to the batch-reference
+    :class:`RRSeries`; events are ``(at, subject, t, rr, corrected)``.
+    """
+    from .hrv.rr import RRSeries
+
     if args.chunk < 1:
         raise ConfigurationError(f"--chunk must be >= 1, got {args.chunk}")
     if args.round_events < 1:
         raise ConfigurationError(
             f"--round must be >= 1, got {args.round_events}"
         )
-    if args.input:
-        recordings = _load_event_file(args.input)
-    else:
-        if args.patients < 1:
+    if args.ecg:
+        if args.input:
             raise ConfigurationError(
-                f"--patients must be >= 1, got {args.patients}"
+                "--ecg and --input are mutually exclusive"
             )
-        recordings = {}
-        for patient in list(make_cohort())[: args.patients]:
-            rr = patient.rr_series(duration=args.duration)
-            recordings[patient.patient_id] = (rr.times, rr.intervals)
-    events = _timed_events(recordings, args.chunk)
+        recordings, events = _ecg_replay_inputs(args)
+    else:
+        if args.input:
+            pairs = _load_event_file(args.input)
+        else:
+            if args.patients < 1:
+                raise ConfigurationError(
+                    f"--patients must be >= 1, got {args.patients}"
+                )
+            pairs = {}
+            for patient in list(make_cohort())[: args.patients]:
+                rr = patient.rr_series(duration=args.duration)
+                pairs[patient.patient_id] = (rr.times, rr.intervals)
+        events = _timed_events(pairs, args.chunk)
+        recordings = {
+            subject: RRSeries(times=times, intervals=values)
+            for subject, (times, values) in pairs.items()
+        }
     if not events:
         raise ConfigurationError("nothing to replay: no beats in any subject")
     return recordings, events
@@ -584,14 +697,13 @@ def _cmd_stream_connect(args) -> int:
     """Replay through a running gateway instead of an in-process hub."""
     import time as time_mod
 
-    from .hrv.rr import RRSeries
     from .service import ServiceClient
 
     recordings, events = _replay_inputs(args)
     clients: dict = {}
     try:
         clock = events[0][0]
-        for at, subject, times, values in events:
+        for at, subject, times, values, corrected in events:
             client = clients.get(subject)
             if client is None:
                 client = ServiceClient(
@@ -602,7 +714,11 @@ def _cmd_stream_connect(args) -> int:
             if args.speed > 0 and at > clock:
                 time_mod.sleep((at - clock) / args.speed)
                 clock = at
-            client.feed(times, values)
+            client.feed(
+                times, values,
+                None if corrected is None
+                else np.asarray(corrected, dtype=float),
+            )
         results = {
             subject: client.finalize() for subject, client in clients.items()
         }
@@ -615,27 +731,28 @@ def _cmd_stream_connect(args) -> int:
     if args.verify:
         reference_engine = Engine(_config_from_args(args))
     try:
-        for subject, (times, values) in recordings.items():
+        for subject, rr in recordings.items():
             result = results[subject]
             row = [
                 subject,
-                str(times.size),
+                str(rr.times.size),
                 str(len(clients[subject].windows)),
                 str(result["n_windows"]),
                 f"{result['lf_hf']:.3f}",
                 str(result["detection"]["is_arrhythmia"]),
             ]
             if args.verify:
-                reference = reference_engine.analyze(
-                    RRSeries(times=times, intervals=values)
-                )
+                reference = reference_engine.analyze(rr)
                 identical = np.array_equal(
                     np.asarray(result["spectrogram"]),
                     reference.welch.spectrogram,
                 ) and np.array_equal(
                     np.asarray(result["window_times"]),
                     reference.welch.window_times,
-                )
+                ) and result.get("window_metrics") == [
+                    metrics.to_dict()
+                    for metrics in reference.window_metrics
+                ]
                 row.append("ok" if identical else "MISMATCH")
                 exit_code = exit_code or (0 if identical else 1)
             rows.append(row)
@@ -662,8 +779,6 @@ def _cmd_stream_connect(args) -> int:
 def _cmd_stream(args) -> int:
     import asyncio
 
-    from .hrv.rr import RRSeries
-
     if args.connect:
         return _cmd_stream_connect(args)
     config = _config_from_args(args)
@@ -672,11 +787,11 @@ def _cmd_stream(args) -> int:
     async def replay(hub):
         async def reader():
             clock = events[0][0]
-            for at, subject, times, values in events:
+            for at, subject, times, values, corrected in events:
                 if args.speed > 0 and at > clock:
                     await asyncio.sleep((at - clock) / args.speed)
                     clock = at
-                yield subject, times, values
+                yield subject, times, values, corrected
 
         return await hub.serve(reader(), round_events=args.round_events)
 
@@ -685,23 +800,23 @@ def _cmd_stream(args) -> int:
         results = asyncio.run(replay(hub))
         rows = []
         exit_code = 0
-        for subject, (times, values) in recordings.items():
+        for subject, rr in recordings.items():
             result = results[subject]
             row = [
                 subject,
-                str(times.size),
+                str(rr.times.size),
                 str(result.welch.n_windows),
                 f"{result.lf_hf:.3f}",
                 str(result.detection.is_arrhythmia),
             ]
             if args.verify:
-                reference = engine.analyze(
-                    RRSeries(times=times, intervals=values)
-                )
+                reference = engine.analyze(rr)
                 identical = np.array_equal(
                     reference.welch.spectrogram, result.welch.spectrogram
                 ) and np.array_equal(
                     reference.welch.window_times, result.welch.window_times
+                ) and (
+                    reference.window_metrics == result.window_metrics
                 )
                 row.append("ok" if identical else "MISMATCH")
                 exit_code = exit_code or (0 if identical else 1)
@@ -988,10 +1103,10 @@ def _cmd_profile(args) -> int:
             hub = engine.open_hub()
             rounds = 0
             for lo in range(0, len(events), args.round_events):
-                for _, subject, times, values in events[
+                for _, subject, times, values, corrected in events[
                     lo : lo + args.round_events
                 ]:
-                    hub.feed(subject, times, values)
+                    hub.feed(subject, times, values, corrected)
                 hub.flush()
                 rounds += 1
             results = hub.finalize_all()

@@ -70,6 +70,16 @@ class PSAResult:
     def averaged_power(self) -> np.ndarray:
         return self.welch.averaged
 
+    @property
+    def window_metrics(self):
+        """Per-window time-domain metrics and quality flags.
+
+        One :class:`~repro.hrv.metrics.WindowMetrics` per analysed
+        window, aligned with ``welch.spectrogram`` rows (empty when the
+        run predates or skipped metrics computation).
+        """
+        return self.welch.window_metrics
+
 
 class _BasePSA:
     """Shared pipeline driver; subclasses supply the FFT backend."""
@@ -129,7 +139,11 @@ class _BasePSA:
                 stacklevel=2,
             )
         welch = self._welch.analyze_windows(
-            rr.times, rr.intervals, count_ops=count_ops, batched=bool(batched)
+            rr.times,
+            rr.intervals,
+            count_ops=count_ops,
+            batched=bool(batched),
+            corrected=rr.corrected,
         )
         return self._finalize(welch)
 

@@ -9,7 +9,7 @@ experiment.
 
 from .database import Condition, PatientRecord, SyntheticCohort, make_cohort
 from .ecg_synthesis import EcgMorphology, synthesize_ecg
-from .qrs import QrsDetector, QrsResult
+from .qrs import QrsDetector, QrsResult, StreamingQrsDetector
 from .rr_synthesis import TachogramSpec, generate_tachogram
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "PatientRecord",
     "QrsDetector",
     "QrsResult",
+    "StreamingQrsDetector",
     "SyntheticCohort",
     "TachogramSpec",
     "generate_tachogram",

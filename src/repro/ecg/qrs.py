@@ -5,6 +5,22 @@ system (paper Section II); this module provides that stage so the library
 can start from a raw ECG trace: bandpass -> derivative -> squaring ->
 moving-window integration -> adaptive-threshold peak picking, then a
 parabolic refinement of each R peak on the filtered trace.
+
+Two detectors share that machinery:
+
+* :class:`QrsDetector` — whole-record batch detection (the original
+  shape: non-causal zero-phase filtering over the full trace, adaptive
+  threshold seeded from the global candidate distribution);
+* :class:`StreamingQrsDetector` — the incremental form the ingestion
+  layer feeds ECG *frames*.  It processes the trace in fixed blocks
+  with a margin of context on each side, so the beats it emits are a
+  deterministic function of the block grid alone — **any** chunking of
+  the same record (sample-by-sample or one shot) finalizes to
+  bit-identical beat times.  Its one-shot run *is* the batch reference
+  for the streaming pipeline (``detect_record``); it deliberately does
+  not reproduce :class:`QrsDetector` bit-for-bit, because zero-phase
+  filtering and globally-seeded thresholds are whole-record quantities
+  no bounded-latency detector can know.
 """
 
 from __future__ import annotations
@@ -18,7 +34,7 @@ from .._validation import as_1d_float_array, require_positive
 from ..errors import SignalError
 from ..hrv.rr import RRSeries
 
-__all__ = ["QrsDetector", "QrsResult"]
+__all__ = ["QrsDetector", "QrsResult", "StreamingQrsDetector"]
 
 
 @dataclass(frozen=True)
@@ -158,3 +174,229 @@ class QrsDetector:
             else:
                 refined[i] = float(peak)
         return refined
+
+
+class StreamingQrsDetector:
+    """Incremental QRS detection over ECG frames, chunking-invariant.
+
+    The trace is partitioned into fixed *blocks* of ``block_seconds``;
+    block *b* is analysed the moment ``margin_seconds`` of samples
+    beyond its right edge have arrived, over the context window
+    ``[b*B - M, (b+1)*B + M)``.  Filtering, peak picking and parabolic
+    refinement run on that context exactly as in
+    :meth:`QrsDetector._feature_signal` / ``_refine_peaks``; only
+    candidates *inside* the block are kept, the adaptive ``SPKI`` /
+    ``NPKI`` estimates carry across blocks (seeded from the first block
+    that produces candidates), and a cross-block refractory guard
+    rejects a candidate closer than ``refractory`` to the previously
+    accepted beat.
+
+    Because the block grid is fixed by the detector — never by how the
+    caller happens to slice the frames — every chunking of the same
+    record produces bit-identical beat times.  :meth:`detect_record` is
+    therefore the batch reference the streaming-vs-batch bit-identity
+    tests compare against.
+
+    Parameters mirror :class:`QrsDetector`, plus the block geometry.
+    ``margin_seconds`` must cover the refractory period, the
+    integration window and the refinement half-window, so no interior
+    candidate's context is ever truncated mid-record.
+    """
+
+    #: Half-window (seconds) of the parabolic refinement in
+    #: :meth:`QrsDetector._refine_peaks`.
+    _REFINE_HALF_SECONDS = 0.05
+
+    #: Tolerance (in sample periods) for frames to count as continuing
+    #: the uniform grid the detector was opened on.
+    _GRID_TOLERANCE = 0.25
+
+    def __init__(
+        self,
+        sampling_rate: float = 250.0,
+        band: tuple[float, float] = (5.0, 15.0),
+        integration_window: float = 0.12,
+        refractory: float = 0.25,
+        block_seconds: float = 8.0,
+        margin_seconds: float = 1.0,
+    ):
+        self._batch = QrsDetector(
+            sampling_rate=sampling_rate,
+            band=band,
+            integration_window=integration_window,
+            refractory=refractory,
+        )
+        self.fs = self._batch.fs
+        self.band = self._batch.band
+        self.integration_window = self._batch.integration_window
+        self.refractory = self._batch.refractory
+        require_positive(block_seconds, "block_seconds")
+        require_positive(margin_seconds, "margin_seconds")
+        needed = max(
+            self.refractory,
+            self.integration_window,
+            self._REFINE_HALF_SECONDS,
+        )
+        if margin_seconds < needed:
+            raise SignalError(
+                f"margin_seconds {margin_seconds} must be >= {needed} "
+                "(refractory / integration / refinement context)"
+            )
+        self.block_seconds = float(block_seconds)
+        self.margin_seconds = float(margin_seconds)
+        self._block = max(int(self.block_seconds * self.fs), 1)
+        self._margin = max(int(self.margin_seconds * self.fs), 1)
+        self._refractory_samples = max(int(self.refractory * self.fs), 1)
+
+        self._buffer = np.empty(0, dtype=np.float64)
+        self._offset = 0  # absolute sample index of self._buffer[0]
+        self._count = 0  # total samples ingested
+        self._t0: float | None = None  # instant of sample 0
+        self._next_block = 0
+        self._spki: float | None = None
+        self._npki: float | None = None
+        self._last_beat = -(1 << 60)  # absolute index of last accepted beat
+        self._n_beats = 0
+        self._finalized = False
+
+    @property
+    def n_beats(self) -> int:
+        """Beats emitted so far."""
+        return self._n_beats
+
+    def _clone(self) -> "StreamingQrsDetector":
+        return StreamingQrsDetector(
+            sampling_rate=self.fs,
+            band=self.band,
+            integration_window=self.integration_window,
+            refractory=self.refractory,
+            block_seconds=self.block_seconds,
+            margin_seconds=self.margin_seconds,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _process_block(self, block: int) -> list[float]:
+        """Detect beats inside one block; return their instants."""
+        lo = block * self._block
+        hi = min((block + 1) * self._block, self._count)
+        ctx_lo = max(0, lo - self._margin)
+        ctx_hi = min(self._count, hi + self._margin)
+        context = self._buffer[ctx_lo - self._offset : ctx_hi - self._offset]
+        if context.size < 2:
+            return []
+        filtered, feature = self._batch._feature_signal(context)
+        candidates, _ = sps.find_peaks(
+            feature, distance=self._refractory_samples
+        )
+        interior = candidates[
+            (candidates >= lo - ctx_lo) & (candidates < hi - ctx_lo)
+        ]
+        if interior.size == 0:
+            return []
+        if self._spki is None:
+            self._spki = float(np.percentile(feature[interior], 75))
+            self._npki = float(np.percentile(feature[interior], 25))
+        accepted: list[int] = []
+        for idx in interior:
+            threshold = self._npki + 0.25 * (self._spki - self._npki)
+            absolute = ctx_lo + int(idx)
+            if (
+                feature[idx] >= threshold
+                and absolute - self._last_beat >= self._refractory_samples
+            ):
+                accepted.append(int(idx))
+                self._last_beat = absolute
+                self._spki = 0.125 * feature[idx] + 0.875 * self._spki
+            else:
+                self._npki = 0.125 * feature[idx] + 0.875 * self._npki
+        if not accepted:
+            return []
+        refined = self._batch._refine_peaks(
+            filtered, np.asarray(accepted, dtype=np.int64)
+        )
+        self._n_beats += refined.size
+        return [
+            self._t0 + (ctx_lo + float(r)) / self.fs for r in refined
+        ]
+
+    def _drain(self, final: bool) -> np.ndarray:
+        beats: list[float] = []
+        while True:
+            block_end = (self._next_block + 1) * self._block
+            if final:
+                if self._next_block * self._block >= self._count:
+                    break
+            elif block_end + self._margin > self._count:
+                break
+            beats.extend(self._process_block(self._next_block))
+            self._next_block += 1
+            # Retire samples the next block's left margin cannot reach.
+            keep_from = max(0, self._next_block * self._block - self._margin)
+            if keep_from > self._offset:
+                self._buffer = self._buffer[keep_from - self._offset :]
+                self._offset = keep_from
+        return np.asarray(beats, dtype=np.float64)
+
+    def push(self, times, ecg) -> np.ndarray:
+        """Ingest one ECG frame; return newly finalized beat instants.
+
+        Frames must continue the uniform sample grid the first frame
+        established (``times[k] = t0 + k / fs``) — gaps or resampling
+        would silently shift every downstream RR interval.
+        """
+        if self._finalized:
+            raise SignalError("detector already finalized")
+        t = np.asarray(times, dtype=np.float64)
+        x = np.asarray(ecg, dtype=np.float64)
+        if t.ndim != 1 or x.ndim != 1 or t.size != x.size:
+            raise SignalError(
+                f"push needs matching 1-D times and ecg, got shapes "
+                f"{t.shape} and {x.shape}"
+            )
+        if t.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._t0 is None:
+            self._t0 = float(t[0])
+        expected = self._t0 + (
+            self._count + np.arange(t.size, dtype=np.float64)
+        ) / self.fs
+        if np.max(np.abs(t - expected)) > self._GRID_TOLERANCE / self.fs:
+            raise SignalError(
+                "ECG frame does not continue the uniform sample grid "
+                f"(fs={self.fs} Hz) the stream started on"
+            )
+        self._buffer = np.concatenate([self._buffer, x])
+        self._count += x.size
+        return self._drain(final=False)
+
+    def finalize(self) -> np.ndarray:
+        """Process the trailing partial blocks; return the last beats.
+
+        Raises :class:`SignalError` when the whole stream produced
+        fewer than 3 beats — the same floor batch detection enforces.
+        """
+        if self._finalized:
+            raise SignalError("detector already finalized")
+        self._finalized = True
+        if self._count < 32:
+            raise SignalError(
+                f"ECG stream of {self._count} samples is too short for "
+                "QRS detection"
+            )
+        beats = self._drain(final=True)
+        if self._n_beats < 3:
+            raise SignalError("fewer than 3 beats detected in ECG stream")
+        return beats
+
+    def detect_record(self, times, ecg) -> np.ndarray:
+        """One-shot detection over a whole record (fresh state).
+
+        Runs a pristine clone of this detector over the record in a
+        single push — the batch reference that any frame-by-frame
+        replay of the same record must match bit for bit.
+        """
+        clone = self._clone()
+        head = clone.push(times, ecg)
+        tail = clone.finalize()
+        return np.concatenate([head, tail])

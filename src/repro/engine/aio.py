@@ -194,15 +194,16 @@ class AsyncStreamingSession:
     # Ingestion
     # ------------------------------------------------------------------
 
-    async def feed(self, times, values) -> None:
+    async def feed(self, times, values, corrected=None) -> None:
         """Push RR samples and flush the hub's shared batch.
 
         Validation and window rules are
-        :meth:`StreamingSession.feed`'s; emissions (this subject's and
-        any other pending subject's) are delivered to the registered
-        async consumers, awaiting on full queues.
+        :meth:`StreamingSession.feed`'s (including the optional
+        interpolated-beat mask); emissions (this subject's and any
+        other pending subject's) are delivered to the registered async
+        consumers, awaiting on full queues.
         """
-        self._hub.feed(self.subject_id, times, values)
+        self._hub.feed(self.subject_id, times, values, corrected)
         # One loop tick before flushing: sibling feeders runnable this
         # round enqueue *their* samples first, so the first feeder to
         # reach the flush batches the whole round's windows across
@@ -215,7 +216,7 @@ class AsyncStreamingSession:
         """Push a whole :class:`RRSeries` chunk."""
         if not isinstance(rr, RRSeries):
             raise SignalError("feed_record expects an RRSeries")
-        await self.feed(rr.times, rr.intervals)
+        await self.feed(rr.times, rr.intervals, rr.corrected)
 
     # ------------------------------------------------------------------
     # Consumption
@@ -334,14 +335,15 @@ async def serve(hub, events, *, round_events: int = 64,
                 finalize: bool = True):
     """Multiplex an (a)sync iterator of interleaved events over a hub.
 
-    ``events`` yields ``(subject_id, times, values)`` triples in
-    arrival order — subjects interleaved however the transport delivers
-    them.  Each event feeds its subject's stream (unseen subjects open
-    on first sight); every ``round_events`` events — and once at source
-    exhaustion — the hub flushes, analysing all completed windows
-    across all subjects in one shared batch, and the emissions are
-    delivered to any async consumers (:meth:`StreamHub.open_async`)
-    with backpressure.
+    ``events`` yields ``(subject_id, times, values)`` triples — or
+    ``(subject_id, times, values, corrected)`` 4-tuples, the shape
+    :mod:`repro.ingest` sources emit — in arrival order, subjects
+    interleaved however the transport delivers them.  Each event feeds
+    its subject's stream (unseen subjects open on first sight); every
+    ``round_events`` events — and once at source exhaustion — the hub
+    flushes, analysing all completed windows across all subjects in one
+    shared batch, and the emissions are delivered to any async
+    consumers (:meth:`StreamHub.open_async`) with backpressure.
 
     With ``finalize=True`` (default), exhaustion finalizes every
     subject — trailing windows in one last shared batch — ends the
@@ -360,8 +362,8 @@ async def serve(hub, events, *, round_events: int = 64,
         )
     count = 0
     try:
-        async for subject_id, times, values in _as_async_iter(events):
-            hub.feed(subject_id, times, values)
+        async for subject_id, times, values, *rest in _as_async_iter(events):
+            hub.feed(subject_id, times, values, *rest)
             count += 1
             if count >= round_events:
                 await _deliver(hub, hub.flush())

@@ -37,7 +37,7 @@ from ..errors import ConfigurationError
 from ..ffts.plancache import warm_execution_caches
 from ..hrv.rr import RRSeries
 from ..lomb.fast import pinned_execution
-from ..lomb.welch import analyze_spans
+from ..lomb.welch import analyze_spans_quality
 from ..perf.profiler import NULL_SPAN, StageProfiler, profile_scope
 from ..perf.workspace import WorkspaceArena, arena_scope
 from .config import EngineConfig
@@ -273,7 +273,8 @@ class Engine:
         return cached
 
     def _analyze_spans_batch(
-        self, times, values, spans, count_ops: bool, variant=None
+        self, times, values, spans, count_ops: bool, variant=None,
+        corrected=None,
     ):
         """Run one span batch under this engine's execution policy.
 
@@ -283,7 +284,9 @@ class Engine:
         bit-identical by the batch-composition-independence invariant.
         ``variant`` selects a degraded quality level's kernels (a
         ``(system_kind, PruningSpec)`` pair); ``None`` runs the base
-        config.
+        config.  ``corrected`` is the optional interpolated-beat 0/1
+        mask aligned with ``values``.  Returns ``(spectra, metrics)``
+        with one :class:`~repro.hrv.metrics.WindowMetrics` per span.
         """
         if self.resolved.jobs > 1 or self.resolved.workers:
             # Workers own per-process arenas (installed by init_worker);
@@ -296,12 +299,12 @@ class Engine:
                     stack.enter_context(profile_scope(self._profiler))
                 return self._ensure_fleet().run_spans(
                     times, values, spans, count_ops=count_ops,
-                    variant=variant,
+                    variant=variant, corrected=corrected,
                 )
         with self._pinned():
-            return analyze_spans(
+            return analyze_spans_quality(
                 self._system_for_variant(variant).welch.analyzer,
-                times, values, spans, count_ops,
+                times, values, spans, count_ops, corrected=corrected,
             )
 
     def execution_stats(self) -> dict:

@@ -6,8 +6,8 @@ and multiplexes their analysis.  Feeding a hub-owned session does not
 analyse anything by itself: the windows each feed completes join the
 hub's *pending set*, and :meth:`StreamHub.flush` analyses everything
 pending — across all subjects — in **one** batched call through
-:func:`repro.lomb.welch.analyze_spans`, the same choke point every
-other execution mode uses.  N trickling monitors therefore get
+:func:`repro.lomb.welch.analyze_spans_quality`, the same choke point
+every other execution mode uses.  N trickling monitors therefore get
 dense-kernel throughput (one batch of N windows per feed round) instead
 of N tiny per-session batches; when the owning engine resolved
 ``jobs > 1``, the shared batch is dispatched over the engine's
@@ -240,39 +240,43 @@ class StreamHub:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def feed(self, subject_id, times, values) -> int:
+    def feed(self, subject_id, times, values, corrected=None) -> int:
         """Feed samples to a subject (opening it on first sight).
 
         Validation and window-completion rules are the session's
         (:meth:`StreamingSession.feed`); completed windows join the
-        pending set instead of being analysed.  Returns the number of
-        windows this feed completed (now pending).
+        pending set instead of being analysed.  ``corrected``
+        optionally marks interpolated beats (it feeds the per-window
+        quality flags).  Returns the number of windows this feed
+        completed (now pending).
         """
         self._check_open()
         session = self._sessions.get(subject_id)
         if session is None:
             session = self.open(subject_id)
         before = len(self._pending)
-        session.feed(times, values)
+        session.feed(times, values, corrected)
         return len(self._pending) - before
 
     def feed_record(self, subject_id, rr: RRSeries) -> int:
         """Feed a whole :class:`RRSeries` chunk to a subject."""
         if not isinstance(rr, RRSeries):
             raise SignalError("feed_record expects an RRSeries")
-        return self.feed(subject_id, rr.times, rr.intervals)
+        return self.feed(subject_id, rr.times, rr.intervals, rr.corrected)
 
     def feed_round(self, events) -> dict:
         """Feed one round of interleaved events, then flush once.
 
         ``events`` is an iterable of ``(subject_id, times, values)``
-        triples — the shape a ward of wearables delivers each uplink
-        round.  All windows the round completes, across every subject,
-        are analysed in one shared batch; returns :meth:`flush`'s
+        triples — or ``(subject_id, times, values, corrected)``
+        4-tuples, the shape :mod:`repro.ingest` sources emit — the way
+        a ward of wearables delivers each uplink round.  All windows
+        the round completes, across every subject, are analysed in one
+        shared batch; returns :meth:`flush`'s
         ``{subject_id: [WindowEmission, ...]}`` mapping.
         """
-        for subject_id, times, values in events:
-            self.feed(subject_id, times, values)
+        for subject_id, times, values, *rest in events:
+            self.feed(subject_id, times, values, *rest)
         return self.flush()
 
     def _enqueue(self, session: StreamingSession, pending) -> None:
@@ -335,6 +339,7 @@ class StreamHub:
             level: len(indices) for level, indices in by_level.items()
         }
         spectra: list = [None] * len(pending)
+        metrics: list = [None] * len(pending)
         for level in sorted(by_level):
             indices = by_level[level]
             variant = levels[indices[0]][0]
@@ -355,25 +360,39 @@ class StreamHub:
             with Scratch(self._engine.arena) as ws:
                 t_cat = ws.take((total,))
                 x_cat = ws.take((total,))
+                c_cat = ws.take((total,))
                 for (session, _, lo, hi), dst_lo, dst_hi in zip(
                     group, edges[:-1], edges[1:]
                 ):
                     t_cat[dst_lo:dst_hi] = session._times[lo:hi]
                     x_cat[dst_lo:dst_hi] = session._values[lo:hi]
-                group_spectra = self._engine._analyze_spans_batch(
-                    t_cat, x_cat, spans, self._count_ops, variant=variant
+                    c_cat[dst_lo:dst_hi] = session._corrected[lo:hi]
+                group_spectra, group_metrics = (
+                    self._engine._analyze_spans_batch(
+                        t_cat,
+                        x_cat,
+                        spans,
+                        self._count_ops,
+                        variant=variant,
+                        corrected=c_cat,
+                    )
                 )
-            for i, spectrum in zip(indices, group_spectra):
+            for i, spectrum, window in zip(
+                indices, group_spectra, group_metrics
+            ):
                 spectra[i] = spectrum
+                metrics[i] = window
         # Record in original feed order regardless of grouping, so each
         # subject's emission indices and delivery order are exactly what
         # a homogeneous hub would produce.
         emitted: dict = {}
         touched: dict = {}
-        for (session, start, lo, hi), spectrum, (_, level) in zip(
-            pending, spectra, levels
+        for (session, start, lo, hi), spectrum, window, (_, level) in zip(
+            pending, spectra, metrics, levels
         ):
-            emission = session._record(start, lo, hi, spectrum, quality=level)
+            emission = session._record(
+                start, lo, hi, spectrum, window, quality=level
+            )
             emitted.setdefault(session.subject_id, []).append(emission)
             touched[id(session)] = session
         for session in touched.values():

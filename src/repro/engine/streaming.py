@@ -14,9 +14,10 @@ aspiration.  The session reproduces the Welch window layout of
 :func:`repro.lomb.welch.iter_windows` *exactly* — the same float
 accumulation of start times, the same ``searchsorted`` edge rule, the
 same half-window keep filter and minimum-beat skip counter — and routes
-every emitted window through :func:`repro.lomb.welch.analyze_spans`,
-the identical choke point the whole-recording driver and the fleet
-workers use, under the owning engine's pinned provider and chunk size.
+every emitted window through
+:func:`repro.lomb.welch.analyze_spans_quality`, the identical choke
+point the whole-recording driver and the fleet workers use, under the
+owning engine's pinned provider and chunk size.
 Because every per-window kernel is batch-composition-independent (the
 invariant the fleet's sharded merges already rely on), feeding a
 recording sample-by-sample produces the same spectrogram, Welch
@@ -52,9 +53,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SignalError
+from ..hrv.metrics import WindowMetrics
 from ..hrv.rr import RRSeries
 from ..lomb.fast import LombSpectrum
-from ..lomb.welch import MIN_BEATS_PER_WINDOW, analyze_spans, assemble_result
+from ..lomb.welch import (
+    MIN_BEATS_PER_WINDOW,
+    analyze_spans_quality,
+    assemble_result,
+)
 from ..perf.workspace import Scratch
 
 __all__ = ["StreamingSession", "WindowEmission"]
@@ -91,6 +97,11 @@ class WindowEmission:
         an SLO controller shed the subject to — see
         :mod:`repro.engine.controller`).  Always 0 outside a hub with
         an :class:`~repro.engine.controller.SLOSpec` configured.
+    metrics:
+        Per-window time-domain metrics and quality flags
+        (:class:`~repro.hrv.metrics.WindowMetrics`), computed from the
+        same beat span as the spectrum — matches
+        ``WelchLombResult.window_metrics[index]``.
     """
 
     index: int
@@ -98,6 +109,7 @@ class WindowEmission:
     center: float
     spectrum: LombSpectrum
     quality: int = 0
+    metrics: WindowMetrics | None = None
 
 
 class StreamingSession:
@@ -128,10 +140,16 @@ class StreamingSession:
         self._count_ops = bool(count_ops)
         self._times = np.empty(_INITIAL_CAPACITY)
         self._values = np.empty(_INITIAL_CAPACITY)
+        # Interpolated-beat provenance, kept as float64 0/1 so the same
+        # buffer layout flows through every transport (the fleet's
+        # shared-memory store is float64-only); an all-zeros mask is
+        # bit-equivalent to "no provenance" in window_metrics_batch.
+        self._corrected = np.zeros(_INITIAL_CAPACITY)
         self._n = 0
         self._dropped = 0
         self._next_start: float | None = None
         self._spectra: list[LombSpectrum] = []
+        self._metrics: list[WindowMetrics] = []
         self._centers: list[float] = []
         self._emissions: list[WindowEmission] = []
         self._skipped = 0
@@ -190,16 +208,19 @@ class StreamingSession:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def feed(self, times, values) -> list[WindowEmission]:
+    def feed(self, times, values, corrected=None) -> list[WindowEmission]:
         """Append RR samples and emit every window they completed.
 
         ``times``/``values`` are scalars (one beat) or equal-length 1-D
         chunks: beat instants in seconds and the RR intervals they end.
-        Times must continue strictly increasing across the whole
-        session.  Returns the (possibly empty) list of windows this
-        chunk completed, in window order.  Hub-owned sessions defer: the
-        completed windows join the hub's pending set and this returns
-        ``[]`` — the emissions come back from :meth:`StreamHub.flush`.
+        ``corrected`` optionally marks interpolated beats (bool or 0/1
+        mask, same length) — it feeds the per-window quality flags and
+        defaults to "no beats corrected".  Times must continue strictly
+        increasing across the whole session.  Returns the (possibly
+        empty) list of windows this chunk completed, in window order.
+        Hub-owned sessions defer: the completed windows join the hub's
+        pending set and this returns ``[]`` — the emissions come back
+        from :meth:`StreamHub.flush`.
         """
         if self._hub is not None:
             # Before ingestion: a closed hub must reject the feed while
@@ -208,7 +229,7 @@ class StreamingSession:
             # _next_start) and then drop the windows on the enqueue
             # check — finalize would silently miss those rows.
             self._hub._check_open()
-        pending = self._ingest(times, values)
+        pending = self._ingest(times, values, corrected)
         if self._hub is not None:
             self._hub._enqueue(self, pending)
             self._deferred += len(pending)
@@ -224,7 +245,7 @@ class StreamingSession:
         return emissions
 
     def _ingest(
-        self, times, values
+        self, times, values, corrected=None
     ) -> list[tuple[float, tuple[int, int]]]:
         """Validate and append a chunk; return the windows it completed.
 
@@ -254,27 +275,45 @@ class StreamingSession:
                 f"times must be strictly increasing: got {t_new[0]} after "
                 f"{self._times[self._n - 1]}"
             )
-        self._append(t_new, x_new)
+        if corrected is None:
+            c_new = np.zeros(t_new.size)
+        else:
+            c_new = np.atleast_1d(
+                np.asarray(corrected, dtype=np.float64)
+            )
+            if c_new.shape != t_new.shape:
+                raise SignalError(
+                    f"corrected mask must match times, got {c_new.size} "
+                    f"and {t_new.size}"
+                )
+        self._append(t_new, x_new, c_new)
         if self._next_start is None:
             self._next_start = float(self._times[0])
         return self._drain()
 
     def feed_record(self, rr: RRSeries) -> list[WindowEmission]:
-        """Feed a whole :class:`RRSeries` chunk (``times``/``intervals``)."""
+        """Feed a whole :class:`RRSeries` chunk (``times``/``intervals``).
+
+        The series' ``corrected`` mask, when present, rides along into
+        the per-window quality flags.
+        """
         if not isinstance(rr, RRSeries):
             raise SignalError("feed_record expects an RRSeries")
-        return self.feed(rr.times, rr.intervals)
+        return self.feed(rr.times, rr.intervals, rr.corrected)
 
-    def _append(self, t_new: np.ndarray, x_new: np.ndarray) -> None:
+    def _append(
+        self, t_new: np.ndarray, x_new: np.ndarray, c_new: np.ndarray
+    ) -> None:
         needed = self._n + t_new.size
         if needed > self._times.size:
             capacity = max(self._times.size * 2, needed)
-            for name in ("_times", "_values"):
+            for name in ("_times", "_values", "_corrected"):
                 grown = np.empty(capacity)
                 grown[: self._n] = getattr(self, name)[: self._n]
                 setattr(self, name, grown)
         self._times[self._n : needed] = t_new
         self._values[self._n : needed] = x_new
+        self._corrected[self._n : needed] = c_new
         self._n = needed
 
     # ------------------------------------------------------------------
@@ -337,7 +376,7 @@ class StreamingSession:
         # compaction allocation-free.
         with Scratch(self._engine.arena) as ws:
             bounce = ws.take((remaining,))
-            for name in ("_times", "_values"):
+            for name in ("_times", "_values", "_corrected"):
                 buffer = getattr(self, name)
                 np.copyto(bounce, buffer[cut : self._n])
                 buffer[:remaining] = bounce
@@ -367,6 +406,7 @@ class StreamingSession:
             return []
         t = self._times[: self._n]
         x = self._values[: self._n]
+        c = self._corrected[: self._n]
         variant, level = self._effective_variant()
         analyzer = (
             self._analyzer
@@ -374,16 +414,19 @@ class StreamingSession:
             else self._engine._system_for_variant(variant).welch.analyzer
         )
         with self._engine._pinned():
-            spectra = analyze_spans(
+            spectra, metrics = analyze_spans_quality(
                 analyzer,
                 t,
                 x,
                 [span for _, span in pending],
                 self._count_ops,
+                corrected=c,
             )
         return [
-            self._record(start, lo, hi, spectrum, quality=level)
-            for (start, (lo, hi)), spectrum in zip(pending, spectra)
+            self._record(start, lo, hi, spectrum, window, quality=level)
+            for (start, (lo, hi)), spectrum, window in zip(
+                pending, spectra, metrics
+            )
         ]
 
     def _evaluate_window(self, start: float) -> tuple[int, int] | None:
@@ -415,6 +458,7 @@ class StreamingSession:
         lo: int,
         hi: int,
         spectrum: LombSpectrum,
+        metrics: WindowMetrics,
         quality: int = 0,
     ) -> WindowEmission:
         t = self._times[: self._n]
@@ -425,8 +469,10 @@ class StreamingSession:
             center=center,
             spectrum=spectrum,
             quality=int(quality),
+            metrics=metrics,
         )
         self._spectra.append(spectrum)
+        self._metrics.append(metrics)
         self._centers.append(center)
         self._emissions.append(emission)
         return emission
@@ -511,6 +557,7 @@ class StreamingSession:
                 np.asarray(self._centers),
                 self._skipped,
                 self._count_ops,
+                metrics=self._metrics,
             )
             self._result = self._engine.system._finalize(welch_result)
         return self._result

@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "SignalError",
+    "ValidationError",
     "TransformError",
     "PlatformError",
     "CalibrationError",
@@ -31,6 +32,16 @@ class ConfigurationError(ReproError):
 
 class SignalError(ReproError):
     """An input signal does not satisfy the documented requirements."""
+
+
+class ValidationError(SignalError):
+    """Input data fails structural validation (ordering, duplicates).
+
+    A :class:`SignalError` subclass so existing handlers keep working;
+    raised where malformed *user-supplied* data (unsorted beat times,
+    duplicate samples) would otherwise silently produce nonsense such
+    as negative RR intervals.
+    """
 
 
 class TransformError(ReproError):

@@ -26,8 +26,9 @@ boundary; this module puts the same shard protocol on a socket:
 
 Bit-identity holds across this transport by construction: arrays travel
 as raw float64 buffers (:mod:`repro.fleet.transport`), the daemon runs
-the same :func:`~repro.lomb.welch.analyze_spans` choke point under the
-same provider/chunk pins, and packed spectra come back bit-exact.
+the same :func:`~repro.lomb.welch.analyze_spans_quality` choke point
+under the same provider/chunk pins, and packed spectra and per-window
+metrics come back bit-exact.
 """
 
 from __future__ import annotations
@@ -55,7 +56,11 @@ __all__ = [
 #: v2 added the optional per-task ``variant`` field (quality-adaptive
 #: load shedding) — a v1 daemon would silently ignore it and compute
 #: the wrong quality, which is exactly what the handshake check is for.
-PROTOCOL_VERSION = 2
+#: v3 added the optional per-task ``corrected_key`` (interpolated-beat
+#: provenance) and the packed per-window ``metrics`` in every result
+#: frame — a v2 daemon would answer with a result the scheduler cannot
+#: unpack, so again the handshake refuses the pairing up front.
+PROTOCOL_VERSION = 3
 
 #: Seconds between ``heartbeat`` frames while a task computes.
 HEARTBEAT_INTERVAL = 1.0
@@ -323,7 +328,12 @@ class WorkerDaemon:
             stream.send("error", {"task_id": task_id, "message": outcome["error"]})
         else:
             stream.send(
-                "result", {"task_id": task_id, "packed": outcome["packed"]}
+                "result",
+                {
+                    "task_id": task_id,
+                    "packed": outcome["packed"],
+                    "metrics": outcome["metrics"],
+                },
             )
 
     @staticmethod
@@ -354,13 +364,19 @@ class WorkerDaemon:
     def _compute(self, payload, state, outcome: dict) -> None:
         try:
             from ..lomb.fast import pinned_execution
-            from ..lomb.welch import analyze_spans
-            from .worker import pack_spectra
+            from ..lomb.welch import analyze_spans_quality
+            from .worker import pack_metrics, pack_spectra
 
             arrays = state["arrays"]
             try:
                 times = arrays[int(payload["times_key"])]
                 values = arrays[int(payload["values_key"])]
+                corrected_key = payload.get("corrected_key")
+                corrected = (
+                    None
+                    if corrected_key is None
+                    else arrays[int(corrected_key)]
+                )
             except KeyError as exc:
                 raise TransportError(
                     f"task references unknown array key {exc.args[0]!r}"
@@ -376,14 +392,16 @@ class WorkerDaemon:
             )
             with self._exec_lock:
                 with pinned_execution(state["provider"], state["chunk"]):
-                    spectra = analyze_spans(
+                    spectra, metrics = analyze_spans_quality(
                         welch.analyzer,
                         times,
                         values,
                         spans,
                         bool(payload.get("count_ops", False)),
+                        corrected=corrected,
                     )
             outcome["packed"] = pack_spectra(spectra)
+            outcome["metrics"] = pack_metrics(metrics)
         except Exception as exc:  # deterministic task failure, not death
             outcome["error"] = f"{type(exc).__name__}: {exc}"
 
@@ -633,17 +651,23 @@ class RemoteWorker:
         spans,
         count_ops: bool,
         variant=None,
-    ) -> list[tuple]:
-        """Run one span batch remotely; returns packed spectra.
+        corrected_key: int | None = None,
+    ) -> tuple:
+        """Run one span batch remotely.
+
+        Returns ``(packed_spectra, packed_metrics)`` — the same shape
+        the shm pool's :func:`~repro.fleet.worker.run_span_batch`
+        produces, so schedulers merge both transports identically.
 
         ``variant`` (a ``(system_kind, PruningSpec)`` pair, or ``None``
         for the handshake engine) selects a degraded quality level's
         kernels on the daemon side; it crosses the wire as a plain
         ``{"system", "pruning"}`` dict because the frame codec carries
-        no custom classes.  Raises :class:`ConnectionError` (worker
-        died or timed out — reassign the task) or
-        :class:`RemoteTaskError` (the task itself failed — do not retry
-        elsewhere).
+        no custom classes.  ``corrected_key`` names a previously
+        uploaded interpolated-beat mask (``None`` for no provenance).
+        Raises :class:`ConnectionError` (worker died or timed out —
+        reassign the task) or :class:`RemoteTaskError` (the task itself
+        failed — do not retry elsewhere).
         """
         stream = self._require_stream()
         spans_arr = np.asarray(spans, dtype=np.int64).reshape(-1, 2)
@@ -668,6 +692,9 @@ class RemoteWorker:
                     "spans": spans_arr,
                     "count_ops": bool(count_ops),
                     "variant": variant,
+                    "corrected_key": (
+                        None if corrected_key is None else int(corrected_key)
+                    ),
                 },
             )
             kind, payload = self._recv_content(stream)
@@ -694,7 +721,7 @@ class RemoteWorker:
             raise ConnectionError(
                 f"fleet worker {self.address} answered task with {kind!r}"
             )
-        return payload["packed"]
+        return payload["packed"], payload["metrics"]
 
     def _drop(self) -> None:
         stream, self._stream = self._stream, None

@@ -50,7 +50,7 @@ from ..lomb.welch import (
     RecordingWindows,
     WelchLomb,
     WelchLombResult,
-    analyze_spans,
+    analyze_spans_quality,
     assemble_result,
 )
 from ..ffts.plancache import warm_execution_caches
@@ -67,9 +67,11 @@ from .worker import (
     ShardTask,
     SpanBatchTask,
     init_worker,
+    pack_metrics,
     pack_spectra,
     run_shard,
     run_span_batch,
+    unpack_metrics,
     unpack_spectra,
 )
 
@@ -117,6 +119,9 @@ class _WireTask:
     #: Quality variant — ``None`` (base engine) or a
     #: ``(system_kind, PruningSpec)`` ladder rung (load shedding).
     variant: tuple | None = None
+    #: Array key of the interpolated-beat 0/1 mask (``None`` when the
+    #: batch carries no provenance).
+    corrected_key: int | None = None
 
 
 class _TaskBoard:
@@ -346,17 +351,21 @@ class FleetRunner:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _coerce(recording) -> tuple[np.ndarray, np.ndarray]:
-        """Accept an :class:`RRSeries` or a ``(times, values)`` pair."""
+    def _coerce(recording):
+        """Accept an :class:`RRSeries` or a ``(times, values)`` pair.
+
+        Returns ``(times, values, corrected)``; the mask is ``None``
+        unless the recording is an :class:`RRSeries` carrying one.
+        """
         if isinstance(recording, RRSeries):
-            return recording.times, recording.intervals
+            return recording.times, recording.intervals, recording.corrected
         try:
             times, values = recording
         except (TypeError, ValueError):
             raise SignalError(
                 "recordings must be RRSeries or (times, values) pairs"
             ) from None
-        return times, values
+        return times, values, None
 
     def run(self, recordings, count_ops: bool = False) -> list[WelchLombResult]:
         """Analyse a cohort; one :class:`WelchLombResult` per recording."""
@@ -367,7 +376,9 @@ class FleetRunner:
         pairs = [self._coerce(recording) for recording in recordings]
         if not pairs:
             raise SignalError("cohort is empty: nothing to analyse")
-        plans = [self.welch.plan_windows(t, x) for t, x in pairs]
+        plans = [
+            self.welch.plan_windows(t, x, corrected=c) for t, x, c in pairs
+        ]
         for plan in plans:
             if not plan.spans:
                 raise SignalError(
@@ -385,16 +396,26 @@ class FleetRunner:
             # Distributed path: shard geometry above already counted the
             # remote slots; spectra merge order-independently, so which
             # slot ran which shard can never change the result.
-            arrays = [
-                array for plan in plans for array in (plan.times, plan.values)
-            ]
+            arrays: list[np.ndarray] = []
+            keys: list[tuple[int, int, int | None]] = []
+            for plan in plans:
+                t_key = len(arrays)
+                arrays.append(plan.times)
+                x_key = len(arrays)
+                arrays.append(plan.values)
+                c_key = None
+                if plan.corrected is not None:
+                    c_key = len(arrays)
+                    arrays.append(plan.corrected)
+                keys.append((t_key, x_key, c_key))
             tasks = [
                 _WireTask(
                     task_id=shard_id,
-                    times_key=2 * shard.recording,
-                    values_key=2 * shard.recording + 1,
+                    times_key=keys[shard.recording][0],
+                    values_key=keys[shard.recording][1],
                     spans=plans[shard.recording].spans[shard.lo : shard.hi],
                     count_ops=count_ops,
+                    corrected_key=keys[shard.recording][2],
                 )
                 for shard_id, shard in enumerate(shards)
             ]
@@ -550,17 +571,18 @@ class FleetRunner:
     ) -> list[list[tuple]]:
         """Single-process execution of the identical shard pipeline."""
         with pinned_execution(provider, chunk):
-            packed: list[list[tuple]] = []
+            packed: list[tuple] = []
             for shard in shards:
                 plan = plans[shard.recording]
-                spectra = analyze_spans(
+                spectra, metrics = analyze_spans_quality(
                     self.welch.analyzer,
                     plan.times,
                     plan.values,
                     plan.spans[shard.lo : shard.hi],
                     count_ops,
+                    corrected=plan.corrected,
                 )
-                packed.append(pack_spectra(spectra))
+                packed.append((pack_spectra(spectra), pack_metrics(metrics)))
             return packed
 
     def _ensure_pool(self, chunk: int, provider: str):
@@ -670,10 +692,16 @@ class FleetRunner:
     ) -> list[list[tuple]]:
         """Dispatch shards over the worker pool, shared-memory backed."""
         pool = self._ensure_pool(chunk, provider)
-        collected: list[list[tuple] | None] = [None] * len(shards)
+        collected: list[tuple | None] = [None] * len(shards)
         with SharedRecordingStore() as store:
             refs = [
-                (store.put(plan.times), store.put(plan.values))
+                (
+                    store.put(plan.times),
+                    store.put(plan.values),
+                    None
+                    if plan.corrected is None
+                    else store.put(plan.corrected),
+                )
                 for plan in plans
             ]
             tasks = [
@@ -684,6 +712,7 @@ class FleetRunner:
                     values_ref=refs[shard.recording][1],
                     spans=plans[shard.recording].spans[shard.lo : shard.hi],
                     count_ops=count_ops,
+                    corrected_ref=refs[shard.recording][2],
                 )
                 for shard_id, shard in enumerate(shards)
             ]
@@ -699,9 +728,25 @@ class FleetRunner:
                 raise
         return collected  # every slot filled: imap yields one per task
 
+    @staticmethod
+    def _flatten_collected(collected) -> tuple[list, tuple]:
+        """Concatenate per-slice packed results back into span order."""
+        spectra = [
+            spectrum
+            for packed, _metrics in collected
+            for spectrum in unpack_spectra(packed)
+        ]
+        metrics = tuple(
+            window
+            for _packed, packed_metrics in collected
+            for window in unpack_metrics(packed_metrics)
+        )
+        return spectra, metrics
+
     def run_spans(
-        self, times, values, spans, count_ops: bool = False, variant=None
-    ) -> list:
+        self, times, values, spans, count_ops: bool = False, variant=None,
+        corrected=None,
+    ) -> tuple[list, tuple]:
         """Analyse one flat span batch, dispatching over the pool.
 
         The streaming hub's execution path: ``times``/``values`` are one
@@ -714,9 +759,9 @@ class FleetRunner:
         come back in span order; ``n_jobs == 1`` (or a batch too small
         to split) runs in-process.  Either way the result is
         bit-identical to a single in-process
-        :func:`~repro.lomb.welch.analyze_spans` call: every kernel is
-        batch-composition-independent and every process is pinned to
-        the same provider and chunk size.
+        :func:`~repro.lomb.welch.analyze_spans_quality` call: every
+        kernel is batch-composition-independent and every process is
+        pinned to the same provider and chunk size.
 
         ``variant`` runs the whole batch at a degraded quality level (a
         ``(system_kind, PruningSpec)`` ladder rung): every slice
@@ -724,10 +769,15 @@ class FleetRunner:
         it against its own cached variant engine — so a level-M batch
         is bit-identical across the in-process, shm-pool and socket
         transports, exactly like the base engine.
+
+        ``corrected`` is the optional interpolated-beat 0/1 mask
+        aligned with ``values``; it travels to the executors exactly
+        like the sample arrays.  Returns ``(spectra, metrics)`` with
+        one :class:`~repro.hrv.metrics.WindowMetrics` per span.
         """
         spans = tuple(spans)
         if not spans:
-            return []
+            return [], ()
         chunk, provider = self._resolve_execution()
         n_slots = self.n_jobs + len(self.workers)
         n_slices = max(
@@ -739,12 +789,17 @@ class FleetRunner:
             # the (identically pinned, hence bit-identical) in-process
             # call does cheaper.
             with pinned_execution(provider, chunk):
-                return analyze_spans(
+                return analyze_spans_quality(
                     self._variant_welch(variant).analyzer,
-                    times, values, spans, count_ops,
+                    times, values, spans, count_ops, corrected=corrected,
                 )
         bounds = [len(spans) * i // n_slices for i in range(n_slices + 1)]
         if self.workers:
+            arrays = [np.asarray(times), np.asarray(values)]
+            corrected_key = None
+            if corrected is not None:
+                corrected_key = len(arrays)
+                arrays.append(np.asarray(corrected))
             wire_tasks = [
                 _WireTask(
                     task_id=batch_id,
@@ -753,27 +808,24 @@ class FleetRunner:
                     spans=spans[lo:hi],
                     count_ops=count_ops,
                     variant=variant,
+                    corrected_key=corrected_key,
                 )
                 for batch_id, (lo, hi) in enumerate(
                     zip(bounds[:-1], bounds[1:])
                 )
             ]
             collected, _ = self._run_scheduled(
-                [np.asarray(times), np.asarray(values)],
-                wire_tasks,
-                chunk,
-                provider,
+                arrays, wire_tasks, chunk, provider
             )
-            return [
-                spectrum
-                for packed in collected
-                for spectrum in unpack_spectra(packed)
-            ]
+            return self._flatten_collected(collected)
         pool = self._ensure_pool(chunk, provider)
-        collected: list[list[tuple] | None] = [None] * n_slices
+        collected: list[tuple | None] = [None] * n_slices
         with SharedRecordingStore() as store:
             times_ref = store.put(times)
             values_ref = store.put(values)
+            corrected_ref = (
+                None if corrected is None else store.put(corrected)
+            )
             tasks = [
                 SpanBatchTask(
                     batch_id=batch_id,
@@ -782,6 +834,7 @@ class FleetRunner:
                     spans=spans[lo:hi],
                     count_ops=count_ops,
                     variant=variant,
+                    corrected_ref=corrected_ref,
                 )
                 for batch_id, (lo, hi) in enumerate(
                     zip(bounds[:-1], bounds[1:])
@@ -794,11 +847,7 @@ class FleetRunner:
             except BaseException:
                 self._discard_pool()
                 raise
-        return [
-            spectrum
-            for packed in collected
-            for spectrum in unpack_spectra(packed)
-        ]
+        return self._flatten_collected(collected)
 
     # -- distributed scheduling ----------------------------------------
 
@@ -942,6 +991,11 @@ class FleetRunner:
                 spans=task.spans,
                 count_ops=task.count_ops,
                 variant=task.variant,
+                corrected_ref=(
+                    None
+                    if task.corrected_key is None
+                    else refs[task.corrected_key]
+                ),
             )
             try:
                 handle = pool.apply_async(run_span_batch, (pool_task,))
@@ -973,14 +1027,22 @@ class FleetRunner:
                     if task_id is None:
                         return
                     task = tasks[task_id]
-                    spectra = analyze_spans(
+                    spectra, metrics = analyze_spans_quality(
                         self._variant_welch(task.variant).analyzer,
                         arrays[task.times_key],
                         arrays[task.values_key],
                         task.spans,
                         task.count_ops,
+                        corrected=(
+                            None
+                            if task.corrected_key is None
+                            else arrays[task.corrected_key]
+                        ),
                     )
-                    board.complete(task_id, pack_spectra(spectra))
+                    board.complete(
+                        task_id,
+                        (pack_spectra(spectra), pack_metrics(metrics)),
+                    )
         except BaseException as exc:
             board.abort(exc)
 
@@ -1010,6 +1072,10 @@ class FleetRunner:
                     worker.ensure_array(
                         task.values_key, arrays[task.values_key]
                     )
+                    if task.corrected_key is not None:
+                        worker.ensure_array(
+                            task.corrected_key, arrays[task.corrected_key]
+                        )
                     packed = worker.run_task(
                         task.task_id,
                         task.times_key,
@@ -1017,6 +1083,7 @@ class FleetRunner:
                         task.spans,
                         task.count_ops,
                         variant=task.variant,
+                        corrected_key=task.corrected_key,
                     )
                     board.complete(claimed, packed)
                     claimed = None
@@ -1042,22 +1109,31 @@ class FleetRunner:
         self,
         plans: list[RecordingWindows],
         shards,
-        packed: list[list[tuple]],
+        packed: list[tuple],
         count_ops: bool,
     ) -> list[WelchLombResult]:
         """Reassemble per-shard spectra into per-recording results.
 
         Shards are emitted grouped by recording and ordered by ``lo``
         (:func:`plan_shards`), so concatenating in dispatch order
-        restores every recording's window order; the final assembly is
-        the exact single-process back end.
+        restores every recording's window order (spectra and metrics
+        alike); the final assembly is the exact single-process back end.
         """
         spectra_per_recording: list[list] = [[] for _ in plans]
-        for shard, shard_packed in zip(shards, packed):
+        metrics_per_recording: list[list] = [[] for _ in plans]
+        for shard, (shard_packed, shard_metrics) in zip(shards, packed):
             spectra_per_recording[shard.recording].extend(
                 unpack_spectra(shard_packed)
             )
+            metrics_per_recording[shard.recording].extend(
+                unpack_metrics(shard_metrics)
+            )
         return [
-            assemble_result(spectra, plan.centers, plan.skipped, count_ops)
-            for spectra, plan in zip(spectra_per_recording, plans)
+            assemble_result(
+                spectra, plan.centers, plan.skipped, count_ops,
+                metrics=metrics,
+            )
+            for spectra, metrics, plan in zip(
+                spectra_per_recording, metrics_per_recording, plans
+            )
         ]

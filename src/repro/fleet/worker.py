@@ -25,8 +25,9 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..ffts.plancache import warm_execution_caches
 from ..ffts.providers.registry import set_default_provider
+from ..hrv.metrics import WindowMetrics
 from ..lomb.fast import LombSpectrum, set_batch_chunk_windows
-from ..lomb.welch import WelchLomb, analyze_spans
+from ..lomb.welch import WelchLomb, analyze_spans_quality
 from ..perf.workspace import WorkspaceArena, set_active_arena
 from .shm import SharedArrayRef, attach_array
 
@@ -36,7 +37,9 @@ __all__ = [
     "init_worker",
     "run_shard",
     "run_span_batch",
+    "pack_metrics",
     "pack_spectra",
+    "unpack_metrics",
     "unpack_spectra",
 ]
 
@@ -61,6 +64,9 @@ class ShardTask:
         Sample-index ``[start, stop)`` ranges of this shard's windows.
     count_ops:
         Attach executed operation counts to every spectrum.
+    corrected_ref:
+        Shared-memory handle of the recording's interpolated-beat 0/1
+        mask, or ``None`` when the recording carries no provenance.
     """
 
     shard_id: int
@@ -69,6 +75,7 @@ class ShardTask:
     values_ref: SharedArrayRef
     spans: tuple[tuple[int, int], ...]
     count_ops: bool
+    corrected_ref: SharedArrayRef | None = None
 
 
 def init_worker(
@@ -186,6 +193,45 @@ def unpack_spectra(packed) -> list[LombSpectrum]:
     return spectra
 
 
+def pack_metrics(metrics) -> tuple:
+    """Compact, picklable form of a task's per-window metrics.
+
+    Eight parallel vectors (one entry per window) instead of a list of
+    dataclass instances — the same dense-over-sparse trade
+    :func:`pack_spectra` makes, and every float crosses the transports
+    as a raw float64 buffer, so the rebuilt metrics are bit-exact.
+    """
+    metrics = tuple(metrics)
+    return (
+        np.array([m.n_beats for m in metrics], dtype=np.int64),
+        np.array([m.mean_rr_ms for m in metrics]),
+        np.array([m.sdnn_ms for m in metrics]),
+        np.array([m.rmssd_ms for m in metrics]),
+        np.array([m.pnn50 for m in metrics]),
+        np.array([m.pnn20 for m in metrics]),
+        np.array([m.corrected_fraction for m in metrics]),
+        np.array([m.flags for m in metrics], dtype=np.int64),
+    )
+
+
+def unpack_metrics(packed) -> tuple[WindowMetrics, ...]:
+    """Rebuild :class:`WindowMetrics` records from :func:`pack_metrics`."""
+    n_beats, means, sdnns, rmssds, p50s, p20s, fractions, flags = packed
+    return tuple(
+        WindowMetrics(
+            n_beats=int(n_beats[i]),
+            mean_rr_ms=float(means[i]),
+            sdnn_ms=float(sdnns[i]),
+            rmssd_ms=float(rmssds[i]),
+            pnn50=float(p50s[i]),
+            pnn20=float(p20s[i]),
+            corrected_fraction=float(fractions[i]),
+            flags=int(flags[i]),
+        )
+        for i in range(n_beats.size)
+    )
+
+
 def _variant_welch(variant) -> WelchLomb:
     """The engine a task's quality variant selects (``None`` = base).
 
@@ -225,40 +271,51 @@ def _analyze_refs(
     spans,
     count_ops: bool,
     variant=None,
-) -> list[tuple]:
+    corrected_ref: SharedArrayRef | None = None,
+) -> tuple[list[tuple], tuple]:
     """Attach, analyse the given spans, pack, detach.
 
     Windows are sliced zero-copy from the shared recording arrays;
     ``periodogram_batch`` copies them into its own padded workspaces,
-    so nothing returned references the shared blocks and both
+    so nothing returned references the shared blocks and the
     attachments can be released before returning (pools outlive
     individual runs, so holding attachments would pin unlinked blocks).
+    Returns ``(packed_spectra, packed_metrics)``.
     """
     welch: WelchLomb = _variant_welch(variant)
     t_block, times = attach_array(times_ref)
     x_block, values = attach_array(values_ref)
+    c_block = corrected = None
+    if corrected_ref is not None:
+        c_block, corrected = attach_array(corrected_ref)
     try:
-        spectra = analyze_spans(
-            welch.analyzer, times, values, spans, count_ops
+        spectra, metrics = analyze_spans_quality(
+            welch.analyzer, times, values, spans, count_ops,
+            corrected=corrected,
         )
         packed = pack_spectra(spectra)
+        packed_metrics = pack_metrics(metrics)
     finally:
         # Every view into the mapped blocks must be gone before close()
         # (mmap refuses to unmap while buffer exports are alive).
-        spectra = times = values = None
+        spectra = times = values = corrected = None
         t_block.close()
         x_block.close()
-    return packed
+        if c_block is not None:
+            c_block.close()
+    return packed, packed_metrics
 
 
-def run_shard(task: ShardTask) -> tuple[int, list[tuple]]:
+def run_shard(task: ShardTask) -> tuple[int, tuple]:
     """Analyse one shard's windows against the installed engine.
 
-    Returns ``(shard_id, packed_spectra)`` with spectra in window order.
+    Returns ``(shard_id, (packed_spectra, packed_metrics))`` with
+    spectra and metrics in window order.
     """
     _report_task_start(task.shard_id)
     packed = _analyze_refs(
-        task.times_ref, task.values_ref, task.spans, task.count_ops
+        task.times_ref, task.values_ref, task.spans, task.count_ops,
+        corrected_ref=task.corrected_ref,
     )
     return task.shard_id, packed
 
@@ -287,6 +344,9 @@ class SpanBatchTask:
         installed base engine, or a ``(system_kind, PruningSpec)`` pair
         naming a degraded ladder level (requires ``init_worker`` to
         have received the engine config).
+    corrected_ref:
+        Shared-memory handle of the batch's interpolated-beat 0/1
+        mask, or ``None`` when the batch carries no provenance.
     """
 
     batch_id: int
@@ -295,18 +355,20 @@ class SpanBatchTask:
     spans: tuple[tuple[int, int], ...]
     count_ops: bool
     variant: tuple | None = None
+    corrected_ref: SharedArrayRef | None = None
 
 
-def run_span_batch(task: SpanBatchTask) -> tuple[int, list[tuple]]:
+def run_span_batch(task: SpanBatchTask) -> tuple[int, tuple]:
     """Analyse one span-batch slice against the installed engine.
 
-    Returns ``(batch_id, packed_spectra)`` with spectra in span order —
-    the streaming-hub counterpart of :func:`run_shard`, reusing the
-    identical shm transport and packed result form.
+    Returns ``(batch_id, (packed_spectra, packed_metrics))`` with
+    spectra and metrics in span order — the streaming-hub counterpart
+    of :func:`run_shard`, reusing the identical shm transport and
+    packed result form.
     """
     _report_task_start(task.batch_id)
     packed = _analyze_refs(
         task.times_ref, task.values_ref, task.spans, task.count_ops,
-        variant=task.variant,
+        variant=task.variant, corrected_ref=task.corrected_ref,
     )
     return task.batch_id, packed

@@ -18,37 +18,55 @@ from .bands import (
 )
 from .detection import DetectionResult, SinusArrhythmiaDetector
 from .metrics import (
+    FLAG_ARTIFACT_RUN,
+    FLAG_FEW_BEATS,
+    FLAG_HIGH_CORRECTED,
+    WindowMetrics,
     lf_hf_ratio,
+    pnn20,
     pnn50,
     ratio_error,
     rmssd,
     sdnn,
     sdsd,
     time_domain_summary,
+    window_metrics_batch,
 )
-from .preprocessing import ArtifactReport, detect_ectopic_mask, filter_artifacts
+from .preprocessing import (
+    ArtifactReport,
+    StreamingPreprocessor,
+    detect_ectopic_mask,
+    filter_artifacts,
+)
 from .rr import RRSeries
 
 __all__ = [
     "ArtifactReport",
     "DetectionResult",
+    "FLAG_ARTIFACT_RUN",
+    "FLAG_FEW_BEATS",
+    "FLAG_HIGH_CORRECTED",
     "FrequencyBand",
     "HF_BAND",
     "LF_BAND",
     "RRSeries",
     "STANDARD_BANDS",
     "SinusArrhythmiaDetector",
+    "StreamingPreprocessor",
     "ULF_BAND",
     "VLF_BAND",
+    "WindowMetrics",
     "band_power",
     "band_powers",
     "detect_ectopic_mask",
     "filter_artifacts",
     "lf_hf_ratio",
+    "pnn20",
     "pnn50",
     "ratio_error",
     "rmssd",
     "sdnn",
     "sdsd",
     "time_domain_summary",
+    "window_metrics_batch",
 ]

@@ -5,6 +5,18 @@ beats whose RR excursions would leak broadband power into the LF/HF
 bands.  The standard remedy — used before any spectral HRV analysis —
 is local-median filtering of implausible intervals.  The synthetic
 cohort can inject ectopics so this path is exercised end to end.
+
+Two shapes of the same rule live here:
+
+* :func:`filter_artifacts` — whole-record batch cleaning;
+* :class:`StreamingPreprocessor` — the incremental form the ingestion
+  layer (:mod:`repro.ingest`) runs between a beat source and
+  ``StreamingSession.feed``.  It resolves each interval the moment its
+  centred median window is complete (``half`` beats of lookahead) and
+  is **provably equal** to the batch path: both flag and replace with
+  ``np.median`` over the *original* intervals under the same reflective
+  padding, so a record pushed through in arbitrary chunk sizes yields
+  bit-identical cleaned values and corrected masks.
 """
 
 from __future__ import annotations
@@ -17,7 +29,12 @@ from .._validation import require_in_range, require_positive
 from ..errors import SignalError
 from .rr import RRSeries
 
-__all__ = ["ArtifactReport", "filter_artifacts", "detect_ectopic_mask"]
+__all__ = [
+    "ArtifactReport",
+    "StreamingPreprocessor",
+    "detect_ectopic_mask",
+    "filter_artifacts",
+]
 
 
 @dataclass(frozen=True)
@@ -89,7 +106,7 @@ def filter_artifacts(
         )
     if not np.any(flagged):
         return ArtifactReport(
-            series=series,
+            series=series.with_corrected(flagged),
             corrected_indices=np.array([], dtype=np.int64),
             fraction_corrected=0.0,
         )
@@ -101,7 +118,159 @@ def filter_artifacts(
     for i in np.flatnonzero(flagged):
         cleaned[i] = np.median(padded[i : i + window])
     return ArtifactReport(
-        series=RRSeries(times=series.times, intervals=cleaned),
+        series=RRSeries(
+            times=series.times, intervals=cleaned, corrected=flagged
+        ),
         corrected_indices=np.flatnonzero(flagged),
         fraction_corrected=fraction,
     )
+
+
+class StreamingPreprocessor:
+    """Incremental ectopic rejection + artifact interpolation.
+
+    Feed ``(times, intervals)`` chunks with :meth:`push`; each call
+    returns the ``(times, cleaned, corrected)`` arrays for every
+    interval whose centred median window became complete — interval
+    ``i`` resolves once interval ``i + window//2`` has been ingested.
+    :meth:`finalize` resolves the final ``window//2`` intervals using
+    the same end-reflection the batch path pads with, and enforces the
+    batch path's global rules (minimum length, flagged-fraction cap).
+
+    Equality with :func:`filter_artifacts` is structural: the batch
+    replacement median is computed over the *pre-replacement* intervals
+    (its padded buffer is built before any replacement lands), so the
+    detection median and the replacement value coincide — one
+    ``np.median`` per position over the original values, which is
+    exactly what this class computes.  The only behavioural divergence
+    is failure timing: the batch path rejects an unusable recording
+    before emitting anything, while the stream has necessarily already
+    emitted cleaned beats when :meth:`finalize` discovers the total
+    flagged fraction exceeded ``max_fraction`` and raises.
+    """
+
+    def __init__(
+        self,
+        window: int = 11,
+        tolerance: float = 0.2,
+        max_fraction: float = 0.3,
+    ):
+        if window < 3 or window % 2 == 0:
+            raise SignalError(
+                f"window must be an odd integer >= 3, got {window}"
+            )
+        require_in_range(tolerance, 0.01, 1.0, "tolerance")
+        require_positive(max_fraction, "max_fraction")
+        self._window = int(window)
+        self._half = self._window // 2
+        self._tolerance = float(tolerance)
+        self._max_fraction = float(max_fraction)
+        self._rr = np.empty(0, dtype=np.float64)
+        self._times = np.empty(0, dtype=np.float64)
+        self._offset = 0  # absolute index of self._rr[0]
+        self._t_offset = 0  # absolute index of self._times[0]
+        self._next = 0  # next absolute position to resolve
+        self._count = 0  # total intervals ingested
+        self._n_flagged = 0
+        self._finalized = False
+
+    @property
+    def n_ingested(self) -> int:
+        """Total intervals pushed so far."""
+        return self._count
+
+    @property
+    def n_flagged(self) -> int:
+        """Intervals flagged (and replaced) among the resolved ones."""
+        return self._n_flagged
+
+    def _median_at(self, i: int, n_total: int | None) -> float:
+        """Centred median of the original intervals around position *i*.
+
+        Reflective indexing reproduces the batch path's padded buffer:
+        ``j < 0 -> -j`` at the start, ``j >= n -> 2n - 2 - j`` at the
+        end (only applicable once the record length *n* is known).
+        """
+        idx = np.arange(i - self._half, i + self._half + 1)
+        idx = np.abs(idx)
+        if n_total is not None:
+            over = idx >= n_total
+            idx[over] = 2 * n_total - 2 - idx[over]
+        return float(np.median(self._rr[idx - self._offset]))
+
+    def _resolve(self, last: int):
+        """Resolve positions ``self._next .. last`` (absolute, inclusive)."""
+        last = min(last, self._count - 1)
+        out_t: list[float] = []
+        out_rr: list[float] = []
+        out_c: list[bool] = []
+        n_total = self._count if self._finalized else None
+        while self._next <= last:
+            i = self._next
+            med = self._median_at(i, n_total)
+            raw = float(self._rr[i - self._offset])
+            flagged = abs(raw - med) / med > self._tolerance
+            out_t.append(float(self._times[i - self._t_offset]))
+            out_rr.append(med if flagged else raw)
+            out_c.append(bool(flagged))
+            self._n_flagged += flagged
+            self._next += 1
+        # Drop context the next resolutions can no longer reach: a
+        # position needs originals back to ``i - half`` only.
+        keep_from = max(0, self._next - self._half)
+        if keep_from > self._offset:
+            self._rr = self._rr[keep_from - self._offset :]
+            self._offset = keep_from
+        if self._next > self._t_offset:
+            self._times = self._times[self._next - self._t_offset :]
+            self._t_offset = self._next
+        return (
+            np.asarray(out_t, dtype=np.float64),
+            np.asarray(out_rr, dtype=np.float64),
+            np.asarray(out_c, dtype=bool),
+        )
+
+    def push(self, times, intervals):
+        """Ingest one chunk; return the newly resolved cleaned beats.
+
+        Returns ``(times, cleaned, corrected)`` arrays (possibly empty
+        while the median window is still filling).
+        """
+        if self._finalized:
+            raise SignalError("preprocessor already finalized")
+        t = np.asarray(times, dtype=np.float64)
+        rr = np.asarray(intervals, dtype=np.float64)
+        if t.ndim != 1 or rr.ndim != 1 or t.size != rr.size:
+            raise SignalError(
+                "push needs matching 1-D times and intervals, got shapes "
+                f"{t.shape} and {rr.shape}"
+            )
+        self._times = np.concatenate([self._times, t])
+        self._rr = np.concatenate([self._rr, rr])
+        self._count += rr.size
+        return self._resolve(self._count - self._half - 1)
+
+    def finalize(self):
+        """Resolve the tail; enforce the batch path's global rules.
+
+        Returns the final ``(times, cleaned, corrected)`` arrays.
+        Raises :class:`SignalError` when the record was shorter than
+        the median window or when the total flagged fraction exceeds
+        ``max_fraction`` — the same conditions the batch path rejects.
+        """
+        if self._finalized:
+            raise SignalError("preprocessor already finalized")
+        if self._count < self._window:
+            raise SignalError(
+                f"series of {self._count} beats shorter than window "
+                f"{self._window}"
+            )
+        self._finalized = True
+        out = self._resolve(self._count - 1)
+        fraction = self._n_flagged / self._count
+        if fraction > self._max_fraction:
+            raise SignalError(
+                f"{fraction:.0%} of beats flagged as artifacts "
+                f"(limit {self._max_fraction:.0%}); recording rejected"
+            )
+        return out

@@ -14,13 +14,26 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import as_1d_float_array
-from ..errors import SignalError
+from ..errors import SignalError, ValidationError
 
 __all__ = ["RRSeries"]
 
 #: Physiological plausibility range for an RR interval in seconds
 #: (~30 to ~200 beats per minute).
 _MIN_RR, _MAX_RR = 0.3, 2.0
+
+
+def _as_corrected_mask(corrected, n: int) -> np.ndarray | None:
+    """Normalise an optional corrected-beat mask to a bool array."""
+    if corrected is None:
+        return None
+    mask = np.asarray(corrected)
+    if mask.ndim != 1 or mask.size != n:
+        raise SignalError(
+            f"corrected mask must be 1-D of length {n}, got shape "
+            f"{mask.shape}"
+        )
+    return mask.astype(bool)
 
 
 @dataclass(frozen=True)
@@ -34,10 +47,16 @@ class RRSeries:
         the time of the beat *ending* interval ``intervals[k]``.
     intervals:
         RR intervals in seconds, all positive.
+    corrected:
+        Optional boolean mask marking intervals that were interpolated
+        by artifact preprocessing (:mod:`repro.hrv.preprocessing` or
+        the streaming ingestion layer).  ``None`` means provenance is
+        unknown — metrics then report a zero corrected fraction.
     """
 
     times: np.ndarray
     intervals: np.ndarray
+    corrected: np.ndarray | None = None
 
     def __post_init__(self):
         t = as_1d_float_array(self.times, "times", min_length=2)
@@ -52,6 +71,9 @@ class RRSeries:
             raise SignalError("RR intervals must be positive")
         object.__setattr__(self, "times", t)
         object.__setattr__(self, "intervals", rr)
+        object.__setattr__(
+            self, "corrected", _as_corrected_mask(self.corrected, rr.size)
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -66,10 +88,25 @@ class RRSeries:
 
     @classmethod
     def from_beat_times(cls, beat_times) -> "RRSeries":
-        """Build a series from detected beat instants (e.g. QRS output)."""
+        """Build a series from detected beat instants (e.g. QRS output).
+
+        Beat times must be strictly increasing; unsorted or duplicate
+        instants raise :class:`~repro.errors.ValidationError` rather
+        than silently yielding zero or negative RR intervals.
+        """
         t = as_1d_float_array(beat_times, "beat_times", min_length=3)
-        intervals = np.diff(t)
-        return cls(times=t[1:], intervals=intervals)
+        steps = np.diff(t)
+        if np.any(steps < 0):
+            raise ValidationError(
+                "beat times are not sorted: they must be strictly "
+                "increasing instants"
+            )
+        if np.any(steps == 0):
+            raise ValidationError(
+                "beat times contain duplicates: each beat must have a "
+                "unique instant"
+            )
+        return cls(times=t[1:], intervals=steps)
 
     # ------------------------------------------------------------------
     # Properties
@@ -103,6 +140,12 @@ class RRSeries:
     # Operations
     # ------------------------------------------------------------------
 
+    def with_corrected(self, corrected) -> "RRSeries":
+        """Copy of the series carrying a corrected-beat mask."""
+        return RRSeries(
+            times=self.times, intervals=self.intervals, corrected=corrected
+        )
+
     def slice_time(self, start: float, stop: float) -> "RRSeries":
         """Sub-series with beat times in ``[start, stop)``."""
         if stop <= start:
@@ -112,10 +155,22 @@ class RRSeries:
             raise SignalError(
                 f"time slice [{start}, {stop}) holds fewer than 2 beats"
             )
-        return RRSeries(times=self.times[mask], intervals=self.intervals[mask])
+        return RRSeries(
+            times=self.times[mask],
+            intervals=self.intervals[mask],
+            corrected=(
+                None if self.corrected is None else self.corrected[mask]
+            ),
+        )
 
     def head(self, n: int) -> "RRSeries":
         """First *n* intervals."""
         if n < 2:
             raise SignalError(f"head needs n >= 2, got {n}")
-        return RRSeries(times=self.times[:n], intervals=self.intervals[:n])
+        return RRSeries(
+            times=self.times[:n],
+            intervals=self.intervals[:n],
+            corrected=(
+                None if self.corrected is None else self.corrected[:n]
+            ),
+        )

@@ -1,0 +1,43 @@
+"""Signal ingestion: pluggable sources from sensor to ``hub.feed``.
+
+The paper's pipeline starts at the sensor — raw ECG on a body node —
+while the execution layers (:class:`~repro.engine.StreamingSession`,
+:class:`~repro.engine.StreamHub`, fleet, gateway) consume cleaned RR
+events.  This package is the boundary between the two: a
+:class:`SignalSource` emits ``(subject, times, rr, corrected)`` events,
+and three implementations cover the deployment shapes —
+
+* :class:`TachogramSource` — a pre-cleaned RR tachogram (the path every
+  earlier layer assumed);
+* :class:`BeatTimesSource` — detected beat instants (e.g. an external
+  delineator), converted to RR events with optional incremental
+  artifact preprocessing;
+* :class:`ECGSource` — raw ECG frames through the chunking-invariant
+  :class:`~repro.ecg.StreamingQrsDetector` and the incremental
+  :class:`~repro.hrv.StreamingPreprocessor`.
+
+:func:`ecg_record_to_rr` is the batch reference: the same detection and
+cleaning run whole-record, producing the :class:`~repro.hrv.RRSeries`
+(with corrected-beat mask) that a frame-by-frame replay through any
+transport must finalize bit-identical to.
+"""
+
+from .sources import (
+    BeatTimesSource,
+    ECGSource,
+    RREvent,
+    SignalSource,
+    TachogramSource,
+    ecg_frames,
+    ecg_record_to_rr,
+)
+
+__all__ = [
+    "BeatTimesSource",
+    "ECGSource",
+    "RREvent",
+    "SignalSource",
+    "TachogramSource",
+    "ecg_frames",
+    "ecg_record_to_rr",
+]

@@ -1,0 +1,312 @@
+"""Signal sources: ECG / beat-time / tachogram streams as RR events.
+
+Every source yields :class:`RREvent` tuples — ``(subject, times,
+values, corrected)`` — the exact shape :meth:`StreamHub.feed` and
+:func:`StreamHub.serve` ingest, so a source plugs into any execution
+layer with a plain loop::
+
+    for subject, times, values, corrected in source:
+        hub.feed(subject, times, values, corrected)
+
+The chain is incremental end to end but *provably equal* to the batch
+path: the streaming QRS detector is chunking-invariant by construction
+(:class:`~repro.ecg.StreamingQrsDetector`), the RR conversion mirrors
+:meth:`RRSeries.from_beat_times` element by element, and the streaming
+preprocessor replays :func:`~repro.hrv.preprocessing.filter_artifacts`
+median-for-median — so the concatenated events of any replay equal
+:func:`ecg_record_to_rr` of the whole record, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, NamedTuple
+
+import numpy as np
+
+from ..ecg.qrs import StreamingQrsDetector
+from ..errors import SignalError, ValidationError
+from ..hrv.preprocessing import StreamingPreprocessor, filter_artifacts
+from ..hrv.rr import RRSeries
+
+__all__ = [
+    "BeatTimesSource",
+    "ECGSource",
+    "RREvent",
+    "SignalSource",
+    "TachogramSource",
+    "ecg_frames",
+    "ecg_record_to_rr",
+]
+
+#: Default beats per emitted RR event (an uplink-burst-sized chunk).
+DEFAULT_CHUNK_BEATS = 64
+
+
+class RREvent(NamedTuple):
+    """One burst of cleaned RR intervals from a source.
+
+    Unpacks as the 4-tuple ``(subject, times, values, corrected)`` that
+    :meth:`StreamHub.feed` / ``hub.serve`` accept directly;
+    ``corrected`` is a boolean mask (or ``None`` when the source has no
+    provenance information).
+    """
+
+    subject: str
+    times: np.ndarray
+    values: np.ndarray
+    corrected: np.ndarray | None
+
+
+class SignalSource:
+    """A stream of per-subject RR events.
+
+    Subclasses implement :meth:`events`; iteration delegates to it, so
+    ``for event in source`` and ``hub.serve(source.events())`` are both
+    natural spellings.
+    """
+
+    #: Subject identifier every event of this source carries.
+    subject: str
+
+    def events(self) -> Iterator[RREvent]:
+        """Yield the source's :class:`RREvent` stream."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[RREvent]:
+        return self.events()
+
+
+def _chunk_spans(n: int, chunk: int):
+    if chunk < 1:
+        raise SignalError(f"chunk_beats must be >= 1, got {chunk}")
+    for lo in range(0, n, chunk):
+        yield lo, min(lo + chunk, n)
+
+
+class TachogramSource(SignalSource):
+    """Replay an existing RR tachogram in uplink-sized events.
+
+    ``rr`` may be an :class:`RRSeries` (its ``corrected`` mask, when
+    present, rides along) or a plain ``(times, values)`` pair.
+    """
+
+    def __init__(self, subject: str, rr, chunk_beats: int = DEFAULT_CHUNK_BEATS):
+        self.subject = str(subject)
+        if isinstance(rr, RRSeries):
+            self._times = rr.times
+            self._values = rr.intervals
+            self._corrected = rr.corrected
+        else:
+            times, values = rr
+            self._times = np.asarray(times, dtype=np.float64)
+            self._values = np.asarray(values, dtype=np.float64)
+            self._corrected = None
+        self._chunk = int(chunk_beats)
+
+    def events(self) -> Iterator[RREvent]:
+        for lo, hi in _chunk_spans(self._times.size, self._chunk):
+            yield RREvent(
+                self.subject,
+                self._times[lo:hi],
+                self._values[lo:hi],
+                None
+                if self._corrected is None
+                else self._corrected[lo:hi],
+            )
+
+
+class _BeatPipeline:
+    """Shared tail of the beat-driven sources: beats -> cleaned RR.
+
+    Converts beat instants to RR intervals exactly as
+    :meth:`RRSeries.from_beat_times` (interval ``k`` ends at beat
+    ``k+1``) and optionally routes them through the incremental
+    artifact preprocessor.
+    """
+
+    def __init__(self, preprocess, window, tolerance, max_fraction):
+        self._prev_beat: float | None = None
+        self._preprocessor = (
+            StreamingPreprocessor(
+                window=window,
+                tolerance=tolerance,
+                max_fraction=max_fraction,
+            )
+            if preprocess
+            else None
+        )
+
+    def push(self, beats: np.ndarray):
+        """Convert newly detected beats; return ``(t, rr, corrected)``."""
+        beats = np.asarray(beats, dtype=np.float64)
+        if beats.size == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty, np.empty(0, dtype=bool)
+        if self._prev_beat is None:
+            prev = beats[0]
+            tail = beats[1:]
+        else:
+            prev = self._prev_beat
+            tail = beats
+        self._prev_beat = float(beats[-1])
+        with_prev = np.concatenate(([prev], tail))
+        steps = np.diff(with_prev)
+        if np.any(steps <= 0):
+            raise ValidationError(
+                "beat times are not strictly increasing"
+            )
+        if self._preprocessor is None:
+            return tail, steps, np.zeros(tail.size, dtype=bool)
+        return self._preprocessor.push(tail, steps)
+
+    def finalize(self):
+        """Flush the preprocessor's lookahead tail."""
+        if self._preprocessor is None:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty, np.empty(0, dtype=bool)
+        return self._preprocessor.finalize()
+
+
+class BeatTimesSource(SignalSource):
+    """RR events from detected beat instants (external delineator).
+
+    With ``preprocess=True`` (default) the intervals pass through the
+    incremental ectopic/artifact stage; the emitted ``corrected`` masks
+    mark interpolated beats.
+    """
+
+    def __init__(
+        self,
+        subject: str,
+        beat_times,
+        chunk_beats: int = DEFAULT_CHUNK_BEATS,
+        preprocess: bool = True,
+        window: int = 11,
+        tolerance: float = 0.2,
+        max_fraction: float = 0.3,
+    ):
+        self.subject = str(subject)
+        beats = np.asarray(beat_times, dtype=np.float64)
+        if beats.ndim != 1 or beats.size < 3:
+            raise SignalError(
+                f"need at least 3 1-D beat times, got shape {beats.shape}"
+            )
+        steps = np.diff(beats)
+        if np.any(steps < 0):
+            raise ValidationError(
+                "beat times are not sorted: they must be strictly "
+                "increasing instants"
+            )
+        if np.any(steps == 0):
+            raise ValidationError(
+                "beat times contain duplicates: each beat must have a "
+                "unique instant"
+            )
+        self._beats = beats
+        self._chunk = int(chunk_beats)
+        self._pipeline_args = (preprocess, window, tolerance, max_fraction)
+
+    def events(self) -> Iterator[RREvent]:
+        pipeline = _BeatPipeline(*self._pipeline_args)
+        for lo, hi in _chunk_spans(self._beats.size, self._chunk):
+            t, rr, corrected = pipeline.push(self._beats[lo:hi])
+            if t.size:
+                yield RREvent(self.subject, t, rr, corrected)
+        t, rr, corrected = pipeline.finalize()
+        if t.size:
+            yield RREvent(self.subject, t, rr, corrected)
+
+
+class ECGSource(SignalSource):
+    """RR events from raw ECG frames: detect beats, clean intervals.
+
+    ``frames`` is an iterable of ``(times, ecg)`` sample chunks on a
+    uniform grid (any chunking — the block-based detector makes the
+    output invariant to it).  Each incoming frame yields at most one
+    event carrying every RR interval that frame resolved.
+    """
+
+    def __init__(
+        self,
+        subject: str,
+        frames: Iterable,
+        sampling_rate: float = 250.0,
+        detector: StreamingQrsDetector | None = None,
+        preprocess: bool = True,
+        window: int = 11,
+        tolerance: float = 0.2,
+        max_fraction: float = 0.3,
+    ):
+        self.subject = str(subject)
+        self._frames = frames
+        self._detector = (
+            detector
+            if detector is not None
+            else StreamingQrsDetector(sampling_rate=sampling_rate)
+        )
+        self._pipeline_args = (preprocess, window, tolerance, max_fraction)
+
+    def events(self) -> Iterator[RREvent]:
+        pipeline = _BeatPipeline(*self._pipeline_args)
+        for times, ecg in self._frames:
+            beats = self._detector.push(times, ecg)
+            t, rr, corrected = pipeline.push(beats)
+            if t.size:
+                yield RREvent(self.subject, t, rr, corrected)
+        beats = self._detector.finalize()
+        t1, rr1, c1 = pipeline.push(beats)
+        t2, rr2, c2 = pipeline.finalize()
+        t = np.concatenate([t1, t2])
+        if t.size:
+            yield RREvent(
+                self.subject,
+                t,
+                np.concatenate([rr1, rr2]),
+                np.concatenate([c1, c2]),
+            )
+
+
+def ecg_frames(times, ecg, frame_samples: int = 512):
+    """Slice a whole ECG record into uniform frames (replay helper)."""
+    t = np.asarray(times, dtype=np.float64)
+    x = np.asarray(ecg, dtype=np.float64)
+    if frame_samples < 1:
+        raise SignalError(f"frame_samples must be >= 1, got {frame_samples}")
+    for lo in range(0, t.size, frame_samples):
+        hi = min(lo + frame_samples, t.size)
+        yield t[lo:hi], x[lo:hi]
+
+
+def ecg_record_to_rr(
+    times,
+    ecg,
+    sampling_rate: float = 250.0,
+    detector: StreamingQrsDetector | None = None,
+    preprocess: bool = True,
+    window: int = 11,
+    tolerance: float = 0.2,
+    max_fraction: float = 0.3,
+) -> RRSeries:
+    """Whole-record ECG -> cleaned RR series (the batch reference).
+
+    Runs the streaming detector one-shot (its chunking invariance makes
+    that the canonical batch detection), converts to an
+    :class:`RRSeries`, and applies whole-record artifact filtering.
+    The returned series carries the corrected-beat mask, so feeding it
+    to :meth:`Engine.analyze` yields the per-window metrics and quality
+    flags the streamed replay of the same record must reproduce
+    bit-identically.
+    """
+    base = (
+        detector
+        if detector is not None
+        else StreamingQrsDetector(sampling_rate=sampling_rate)
+    )
+    beats = base.detect_record(times, ecg)
+    rr = RRSeries.from_beat_times(beats)
+    if not preprocess:
+        return rr
+    report = filter_artifacts(
+        rr, window=window, tolerance=tolerance, max_fraction=max_fraction
+    )
+    return report.series

@@ -31,6 +31,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 from .._validation import as_1d_float_array
 from ..errors import ConfigurationError, SignalError
 from ..ffts.opcount import OpCounts
+from ..hrv.metrics import WindowMetrics, window_metrics_batch
 from ..perf.profiler import span as _profile_span
 from .fast import FastLomb, LombSpectrum
 
@@ -40,6 +41,7 @@ __all__ = [
     "WelchLombResult",
     "RecordingWindows",
     "analyze_spans",
+    "analyze_spans_quality",
     "assemble_result",
     "iter_windows",
     "uniform_window_matrix",
@@ -59,6 +61,7 @@ def assemble_result(
     skipped: int,
     count_ops: bool = False,
     out: np.ndarray | None = None,
+    metrics=None,
 ) -> WelchLombResult:
     """Assemble per-window spectra into a :class:`WelchLombResult`.
 
@@ -77,8 +80,17 @@ def assemble_result(
     caller then owns its lifetime (it must NOT be a workspace-arena
     temporary, since the result keeps referencing it).  Values written
     are identical with or without *out*.
+
+    *metrics*, when given, is the per-window :class:`WindowMetrics`
+    sequence aligned with *spectra* (one entry per kept window, in the
+    same order) and lands on the result's ``window_metrics``.
     """
     spectra = list(spectra)
+    metrics = tuple(metrics) if metrics is not None else ()
+    if metrics and len(metrics) != len(spectra):
+        raise SignalError(
+            f"{len(metrics)} window metrics for {len(spectra)} spectra"
+        )
     if not spectra:
         raise SignalError(
             "no analysable windows: recording too short or too sparse"
@@ -125,6 +137,7 @@ def assemble_result(
             window_spectra=tuple(spectra),
             counts=counts,
             skipped_windows=skipped,
+            window_metrics=metrics,
         )
 
 
@@ -244,6 +257,28 @@ def analyze_spans(
     )
 
 
+def analyze_spans_quality(
+    analyzer: FastLomb,
+    times: np.ndarray,
+    values: np.ndarray,
+    spans,
+    count_ops: bool = False,
+    corrected: np.ndarray | None = None,
+) -> tuple[list[LombSpectrum], tuple[WindowMetrics, ...]]:
+    """:func:`analyze_spans` plus per-window time-domain metrics.
+
+    The quality-aware choke point: every execution mode that carries
+    :class:`WindowMetrics` (streaming sessions, hub batches, fleet
+    workers, the gateway) computes them here, from the *same* spans the
+    Lomb kernel analyses, so spectra and metrics can never disagree
+    about which beats a window held.  ``corrected`` is the optional
+    0/1 interpolated-beat mask aligned with ``values``.
+    """
+    spectra = analyze_spans(analyzer, times, values, spans, count_ops)
+    metrics = window_metrics_batch(values, spans, corrected=corrected)
+    return spectra, metrics
+
+
 @dataclass(frozen=True)
 class RecordingWindows:
     """Validated window layout of one recording — the shardable plan.
@@ -265,6 +300,10 @@ class RecordingWindows:
     skipped:
         Windows rejected for holding fewer than
         :data:`MIN_BEATS_PER_WINDOW` beats.
+    corrected:
+        Optional float64 0/1 mask of interpolated beats, aligned with
+        ``values`` (float so it rides the same shared-memory and socket
+        array paths the recording arrays do).
     """
 
     times: np.ndarray
@@ -272,6 +311,7 @@ class RecordingWindows:
     spans: tuple[tuple[int, int], ...]
     centers: np.ndarray
     skipped: int
+    corrected: np.ndarray | None = None
 
     @property
     def n_windows(self) -> int:
@@ -321,6 +361,9 @@ class WelchLombResult:
         Total executed operation counts (``None`` unless requested).
     skipped_windows:
         Number of windows rejected for having too few beats.
+    window_metrics:
+        Per-window :class:`~repro.hrv.metrics.WindowMetrics` (empty
+        when the run did not compute them).
     """
 
     frequencies: np.ndarray
@@ -330,6 +373,7 @@ class WelchLombResult:
     window_spectra: tuple[LombSpectrum, ...]
     counts: OpCounts | None = None
     skipped_windows: int = 0
+    window_metrics: tuple[WindowMetrics, ...] = ()
 
     @property
     def n_windows(self) -> int:
@@ -388,12 +432,15 @@ class WelchLomb:
         self.window_seconds = float(window_seconds)
         self.overlap = float(overlap)
 
-    def plan_windows(self, times, values) -> RecordingWindows:
+    def plan_windows(self, times, values, corrected=None) -> RecordingWindows:
         """Validate a recording and lay out its analysable windows.
 
         This is the shared front half of :meth:`analyze`; the fleet
         engine calls it directly to shard the resulting spans across
-        worker processes.
+        worker processes.  ``corrected``, when given, is the
+        interpolated-beat mask aligned with ``values`` (any real or
+        boolean dtype; stored as float64 0/1 so it travels the same
+        array transports the recording does).
         """
         t = as_1d_float_array(times, "times", min_length=MIN_BEATS_PER_WINDOW)
         x = as_1d_float_array(values, "values", min_length=MIN_BEATS_PER_WINDOW)
@@ -403,6 +450,14 @@ class WelchLomb:
             )
         if np.any(np.diff(t) <= 0):
             raise SignalError("times must be strictly increasing")
+        mask = None
+        if corrected is not None:
+            mask = np.ascontiguousarray(corrected, dtype=np.float64)
+            if mask.shape != x.shape:
+                raise SignalError(
+                    f"corrected mask length {mask.size} does not match "
+                    f"values {x.size}"
+                )
         spans = iter_windows(t, self.window_seconds, self.overlap)
         kept: list[tuple[int, int]] = []
         skipped = 0
@@ -423,6 +478,7 @@ class WelchLomb:
             spans=tuple(kept),
             centers=centers,
             skipped=skipped,
+            corrected=mask,
         )
 
     def analyze(
@@ -460,6 +516,7 @@ class WelchLomb:
         values,
         count_ops: bool = False,
         batched: bool = True,
+        corrected=None,
     ) -> WelchLombResult:
         """Run the sliding-window analysis over a full recording.
 
@@ -470,9 +527,11 @@ class WelchLomb:
         ``batched`` (default) drives all windows through
         :meth:`FastLomb.periodogram_batch`; ``batched=False`` runs the
         original per-window loop.  Both paths produce the same spectra
-        and operation counts.
+        and operation counts.  Per-window time-domain metrics are
+        always computed over the kept spans; ``corrected`` threads the
+        interpolated-beat mask into their quality flags.
         """
-        plan = self.plan_windows(times, values)
+        plan = self.plan_windows(times, values, corrected=corrected)
         use_batch = batched and hasattr(self.analyzer, "periodogram_batch")
         if use_batch:
             # The recording was validated above; the per-window checks in
@@ -486,4 +545,9 @@ class WelchLomb:
                 self.analyzer.periodogram(tw, xw, count_ops=count_ops)
                 for tw, xw in plan.window_arrays()
             ]
-        return assemble_result(spectra, plan.centers, plan.skipped, count_ops)
+        metrics = window_metrics_batch(
+            plan.values, plan.spans, corrected=plan.corrected
+        )
+        return assemble_result(
+            spectra, plan.centers, plan.skipped, count_ops, metrics=metrics
+        )

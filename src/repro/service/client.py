@@ -185,13 +185,21 @@ class ServiceClient:
         self._subject = subject
         return frame
 
-    def feed(self, times, values) -> list[dict]:
-        """Push one beat batch; returns windows drained opportunistically."""
-        self._send({
+    def feed(self, times, values, corrected=None) -> list[dict]:
+        """Push one beat batch; returns windows drained opportunistically.
+
+        ``corrected`` optionally carries the per-beat correction mask
+        (0/1, same length as ``times``) so server-side window metrics
+        report artifact provenance.
+        """
+        frame = {
             "op": "feed",
             "t": _jsonable(times),
             "rr": _jsonable(values),
-        })
+        }
+        if corrected is not None:
+            frame["corrected"] = _jsonable(corrected)
+        self._send(frame)
         return self.drain()
 
     def sync(self) -> None:
@@ -289,14 +297,19 @@ def _rest_request(
 
 def rest_analyze(
     address: str, token: str, times, values,
-    count_ops: bool = False, timeout: float = 120.0,
+    count_ops: bool = False, corrected=None, timeout: float = 120.0,
 ) -> dict:
     """``POST /v1/analyze``: one whole RR recording, full result back."""
-    return _rest_request(address, "POST", "/v1/analyze", token, body={
+    body = {
         "t": _jsonable(np.asarray(times, dtype=float)),
         "rr": _jsonable(np.asarray(values, dtype=float)),
         "count_ops": bool(count_ops),
-    }, timeout=timeout)
+    }
+    if corrected is not None:
+        body["corrected"] = _jsonable(np.asarray(corrected, dtype=float))
+    return _rest_request(
+        address, "POST", "/v1/analyze", token, body=body, timeout=timeout
+    )
 
 
 def rest_stats(address: str, token: str, timeout: float = 30.0) -> dict:

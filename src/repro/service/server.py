@@ -483,7 +483,10 @@ class GatewayServer:
             op = frame.get("op")
             if op == "feed":
                 try:
-                    await async_session.feed(frame.get("t"), frame.get("rr"))
+                    await async_session.feed(
+                        frame.get("t"), frame.get("rr"),
+                        frame.get("corrected"),
+                    )
                 except (SignalError, TypeError, ValueError) as exc:
                     # Bad samples poison this feed only; the stream and
                     # its siblings continue.
@@ -611,9 +614,14 @@ class GatewayServer:
         t, rr = data.get("t"), data.get("rr")
         if t is None or rr is None:
             raise SignalError("body needs 't' and 'rr' arrays")
+        corrected = data.get("corrected")
         series = RRSeries(
             times=np.asarray(t, dtype=float),
             intervals=np.asarray(rr, dtype=float),
+            corrected=(
+                None if corrected is None
+                else np.asarray(corrected, dtype=float)
+            ),
         )
         # Synchronous on the event loop on purpose: analyze installs
         # process-wide provider/chunk pins, which would race a
@@ -631,6 +639,7 @@ class GatewayServer:
                 # Hub already drained (post-shutdown REST): serve the
                 # retained result's windows.
                 payload = tenant.results[subject]
+                metrics = payload.get("window_metrics") or []
                 return 200, {
                     "subject": subject,
                     "finalized": True,
@@ -638,6 +647,9 @@ class GatewayServer:
                         {
                             "index": i,
                             "center": payload["window_times"][i],
+                            "metrics": (
+                                metrics[i] if i < len(metrics) else None
+                            ),
                             "power": payload["spectrogram"][i],
                         }
                         for i in range(payload["n_windows"])
@@ -654,6 +666,10 @@ class GatewayServer:
                     "start": emission.start,
                     "center": emission.center,
                     "quality": emission.quality,
+                    "metrics": (
+                        None if emission.metrics is None
+                        else emission.metrics.to_dict()
+                    ),
                     "power": emission.spectrum.power.tolist(),
                 }
                 for emission in session.emissions

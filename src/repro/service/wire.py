@@ -16,6 +16,9 @@ Client → server operations (``op`` key):
 ``feed``
     ``{"op": "feed", "t": [...], "rr": [...]}`` — a batch of beat
     timestamps (seconds) and RR intervals.  Scalars also accepted.
+    An optional ``"corrected"`` key carries the per-beat correction
+    mask (0/1 floats, same length) produced by artifact filtering;
+    it feeds the per-window quality metrics downstream.
 ``finalize``
     End of recording: drain, emit the remaining windows, reply with a
     ``result`` frame.
@@ -100,6 +103,9 @@ def emission_to_frame(subject_id: str, emission: WindowEmission) -> dict:
         "start": emission.start,
         "center": emission.center,
         "quality": emission.quality,
+        "metrics": (
+            None if emission.metrics is None else emission.metrics.to_dict()
+        ),
         "power": emission.spectrum.power.tolist(),
     }
 
@@ -147,6 +153,7 @@ def result_to_dict(result: PSAResult) -> dict:
         "lf_hf": result.lf_hf,
         "band_powers": dict(result.band_powers),
         "window_ratios": np.asarray(result.window_ratios).tolist(),
+        "window_metrics": [m.to_dict() for m in result.window_metrics],
         "detection": {
             "is_arrhythmia": bool(result.detection.is_arrhythmia),
             "ratio": result.detection.ratio,

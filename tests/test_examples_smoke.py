@@ -17,7 +17,10 @@ def _run(name: str, capsys) -> str:
 
 def test_quickstart_runs(capsys):
     out = _run("quickstart.py", capsys)
+    assert "ECG samples" in out
+    assert "ingested:" in out
     assert "LF/HF" in out
+    assert "SDNN" in out
     assert "energy savings" in out
 
 
@@ -32,6 +35,14 @@ def test_gateway_demo_runs(capsys):
     assert out.count("bit-identical") == 5
     assert "reconnected" in out
     assert "drained cleanly" in out
+
+
+def test_ecg_ward_runs(capsys):
+    out = _run("ecg_ward.py", capsys)
+    assert out.count("bit-identical") == 3
+    assert "beats corrected in flight" in out
+    assert "high_corrected" in out
+    assert "DIVERGED" not in out
 
 
 def test_distributed_fleet_runs(capsys):

@@ -325,7 +325,7 @@ class TestRunSpans:
         welch = WelchLomb(FastLomb(scaling="denormalized"))
         plan = welch.plan_windows(rr.times, rr.intervals)
         runner = FleetRunner(welch=welch, n_jobs=1, provider="numpy")
-        spectra = runner.run_spans(
+        spectra, metrics = runner.run_spans(
             plan.times, plan.values, plan.spans, count_ops=True
         )
         set_default_provider("numpy")
@@ -336,6 +336,7 @@ class TestRunSpans:
         finally:
             set_default_provider(None)
         assert len(spectra) == len(reference)
+        assert len(metrics) == len(reference)
         for got, want in zip(spectra, reference):
             np.testing.assert_array_equal(got.power, want.power)
             np.testing.assert_array_equal(got.frequencies, want.frequencies)
@@ -344,7 +345,7 @@ class TestRunSpans:
     def test_empty_spans_short_circuit(self):
         rr = _cohort(n=1, seconds=600.0)[0]
         runner = FleetRunner(n_jobs=1, provider="numpy")
-        assert runner.run_spans(rr.times, rr.intervals, []) == []
+        assert runner.run_spans(rr.times, rr.intervals, []) == ([], ())
 
 
 @pytest.mark.slow
@@ -355,22 +356,23 @@ class TestRunSpansMultiprocess:
         plan = welch.plan_windows(rr.times, rr.intervals)
         assert plan.n_windows >= 16  # enough to split across workers
         single = FleetRunner(welch=welch, n_jobs=1, provider="numpy")
-        reference = single.run_spans(
+        reference, ref_metrics = single.run_spans(
             plan.times, plan.values, plan.spans, count_ops=True
         )
         with FleetRunner(
             welch=welch, n_jobs=2, provider="numpy"
         ) as runner:
-            spectra = runner.run_spans(
+            spectra, metrics = runner.run_spans(
                 plan.times, plan.values, plan.spans, count_ops=True
             )
             # The persistent pool stays up for the next batch.
             assert runner._pool is not None
-            again = runner.run_spans(
+            again, _ = runner.run_spans(
                 plan.times, plan.values, plan.spans[:5]
             )
         assert len(again) == 5
         assert len(spectra) == len(reference)
+        assert metrics == ref_metrics
         for got, want in zip(spectra, reference):
             np.testing.assert_array_equal(got.power, want.power)
             assert got.counts == want.counts

@@ -142,11 +142,64 @@ class TestMetrics:
         # diffs: 100 ms, 10 ms, 10 ms -> 1 of 3 above 50 ms.
         assert pnn50(series) == pytest.approx(1.0 / 3.0)
 
+    def test_pnn20(self):
+        from repro.hrv import pnn20
+
+        series = RRSeries.from_intervals([0.8, 0.9, 0.91, 0.94])
+        # diffs: 100 ms, 10 ms, 30 ms -> 2 of 3 above 20 ms.
+        assert pnn20(series) == pytest.approx(2.0 / 3.0)
+        # pNN20's threshold is laxer, so it can only ever be >= pNN50.
+        assert pnn20(series) >= pnn50(series)
+
     def test_summary_keys(self, rng):
         summary = time_domain_summary(_series(rng))
         assert set(summary) == {
-            "mean_rr_ms", "mean_hr_bpm", "sdnn_ms", "rmssd_ms", "sdsd_ms", "pnn50",
+            "mean_rr_ms", "mean_hr_bpm", "sdnn_ms", "rmssd_ms", "sdsd_ms",
+            "pnn50", "pnn20",
         }
+
+    def test_window_metrics_batch_flags(self):
+        from repro.hrv.metrics import (
+            FLAG_ARTIFACT_RUN,
+            FLAG_FEW_BEATS,
+            FLAG_HIGH_CORRECTED,
+            WindowMetrics,
+            window_metrics_batch,
+        )
+
+        rng = np.random.default_rng(5)
+        rr = 0.8 + 0.01 * rng.standard_normal(200)
+        corrected = np.zeros(200)
+        corrected[100:104] = 1.0  # a 4-beat artifact run
+        spans = [(0, 80), (80, 120), (120, 140)]
+        metrics = window_metrics_batch(rr, spans, corrected=corrected)
+        assert len(metrics) == 3
+        assert all(isinstance(m, WindowMetrics) for m in metrics)
+        # First window: 80 clean beats, no flags.
+        assert metrics[0].flags == 0
+        assert metrics[0].n_beats == 80
+        # Second window: 40 beats (few), 10% corrected, run of 4.
+        assert metrics[1].flags & FLAG_FEW_BEATS
+        assert metrics[1].flags & FLAG_HIGH_CORRECTED
+        assert metrics[1].flags & FLAG_ARTIFACT_RUN
+        assert metrics[1].corrected_fraction == pytest.approx(0.1)
+        assert set(metrics[1].flag_names) == {
+            "few_beats", "high_corrected", "artifact_run",
+        }
+        # Round trip through the wire form is exact.
+        assert (
+            WindowMetrics.from_dict(metrics[1].to_dict()) == metrics[1]
+        )
+
+    def test_window_metrics_none_mask_equals_zero_mask(self):
+        from repro.hrv.metrics import window_metrics_batch
+
+        rng = np.random.default_rng(9)
+        rr = 0.8 + 0.01 * rng.standard_normal(150)
+        spans = [(0, 100), (50, 150)]
+        assert window_metrics_batch(rr, spans) == window_metrics_batch(
+            rr, spans, corrected=np.zeros(150)
+        )
 
     @given(
         seed=st.integers(min_value=0, max_value=2**31 - 1),

@@ -1,0 +1,378 @@
+"""The ingestion layer's bit-identity contract, end to end.
+
+The tentpole invariant under test: an ECG record replayed
+frame-by-frame through :class:`~repro.ingest.ECGSource` (streaming QRS
+detection + incremental artifact preprocessing) and fed into any
+execution layer finalizes **bit-identical** — spectrogram,
+:class:`OpCounts`, per-window time-domain metrics and quality flags —
+to the one-shot batch path (:func:`~repro.ingest.ecg_record_to_rr`
+followed by :meth:`Engine.analyze`).  The matrix spans both PSA
+systems, every pruning mode, and the in-process / shm-pool / socket /
+gateway transports.
+
+Alongside the matrix live the satellite suites: preprocessing edge
+cases (empty pushes, all-ectopic stretches, boundary artifacts,
+monotone time axes) and source-level validation (unsorted/duplicate
+beats rejected with :class:`ValidationError`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecg import make_cohort, synthesize_ecg
+from repro.engine import Engine, EngineConfig
+from repro.errors import SignalError, ValidationError
+from repro.fleet import WorkerDaemon
+from repro.hrv.metrics import (
+    FLAG_HIGH_CORRECTED,
+    WindowMetrics,
+)
+from repro.hrv.preprocessing import StreamingPreprocessor, filter_artifacts
+from repro.hrv.rr import RRSeries
+from repro.ingest import (
+    BeatTimesSource,
+    ECGSource,
+    RREvent,
+    TachogramSource,
+    ecg_frames,
+    ecg_record_to_rr,
+)
+
+SAMPLING_RATE = 250.0
+
+_MODES = ("exact", "band", "set1", "set2", "set3")
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures: one rendered ECG record + its batch reference
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ecg_record():
+    """A rendered ECG trace of one synthetic patient (~5 minutes)."""
+    patient = list(make_cohort())[0]
+    rr = patient.rr_series(duration=300.0)
+    t, ecg = synthesize_ecg(rr.times, sampling_rate=SAMPLING_RATE, seed=3)
+    return t, ecg
+
+
+@pytest.fixture(scope="module")
+def batch_rr(ecg_record) -> RRSeries:
+    """Whole-record detection + cleaning: the batch reference."""
+    t, ecg = ecg_record
+    return ecg_record_to_rr(t, ecg, sampling_rate=SAMPLING_RATE)
+
+
+def _stream_events(ecg_record, frame_samples: int = 512):
+    t, ecg = ecg_record
+    source = ECGSource(
+        "subject-1",
+        ecg_frames(t, ecg, frame_samples=frame_samples),
+        sampling_rate=SAMPLING_RATE,
+    )
+    return list(source)
+
+
+def _assert_results_identical(streamed, reference):
+    """Bitwise equality of two PSAResults, quality surface included."""
+    np.testing.assert_array_equal(
+        streamed.welch.spectrogram, reference.welch.spectrogram
+    )
+    np.testing.assert_array_equal(
+        streamed.welch.frequencies, reference.welch.frequencies
+    )
+    np.testing.assert_array_equal(
+        streamed.welch.window_times, reference.welch.window_times
+    )
+    assert streamed.counts == reference.counts
+    assert streamed.lf_hf == reference.lf_hf
+    assert streamed.window_metrics == reference.window_metrics
+    assert streamed.detection.is_arrhythmia == reference.detection.is_arrhythmia
+
+
+def _run_hub(config: EngineConfig, events, batch_rr) -> tuple:
+    """Feed events through a hub under *config*; return (streamed, ref)."""
+    with Engine(config) as engine:
+        hub = engine.open_hub(count_ops=True)
+        for subject, times, values, corrected in events:
+            hub.feed(subject, times, values, corrected)
+        streamed = hub.finalize("subject-1")
+        reference = engine.analyze(batch_rr, count_ops=True)
+    return streamed, reference
+
+
+# ----------------------------------------------------------------------
+# The bit-identity matrix
+# ----------------------------------------------------------------------
+
+
+class TestBitIdentityMatrix:
+    @pytest.mark.parametrize("mode", _MODES)
+    def test_all_modes_in_process(self, ecg_record, batch_rr, mode):
+        """Both PSA systems, every pruning mode: stream == batch."""
+        events = _stream_events(ecg_record)
+        streamed, reference = _run_hub(
+            EngineConfig.for_mode(mode, jobs=1), events, batch_rr
+        )
+        _assert_results_identical(streamed, reference)
+        # The quality surface is populated, not vestigial.
+        assert len(streamed.window_metrics) == streamed.welch.n_windows
+        assert all(
+            isinstance(m, WindowMetrics) for m in streamed.window_metrics
+        )
+
+    def test_frame_size_invariance(self, ecg_record, batch_rr):
+        """Any uplink framing produces the same cleaned RR events."""
+        reference = None
+        for frame_samples in (128, 512, 4096):
+            events = _stream_events(ecg_record, frame_samples=frame_samples)
+            t = np.concatenate([e.times for e in events])
+            rr = np.concatenate([e.values for e in events])
+            corrected = np.concatenate([e.corrected for e in events])
+            if reference is None:
+                reference = (t, rr, corrected)
+            else:
+                np.testing.assert_array_equal(t, reference[0])
+                np.testing.assert_array_equal(rr, reference[1])
+                np.testing.assert_array_equal(corrected, reference[2])
+        np.testing.assert_array_equal(reference[0], batch_rr.times)
+        np.testing.assert_array_equal(reference[1], batch_rr.intervals)
+        np.testing.assert_array_equal(reference[2], batch_rr.corrected)
+
+    @pytest.mark.slow
+    def test_shm_pool_transport(self, ecg_record, batch_rr):
+        events = _stream_events(ecg_record)
+        streamed, reference = _run_hub(
+            EngineConfig.for_mode("set3", jobs=2), events, batch_rr
+        )
+        _assert_results_identical(streamed, reference)
+
+    @pytest.mark.slow
+    def test_socket_transport(self, ecg_record, batch_rr):
+        events = _stream_events(ecg_record)
+        with WorkerDaemon() as daemon:
+            daemon.start()
+            streamed, reference = _run_hub(
+                EngineConfig.for_mode(
+                    "set3", jobs=1, workers=(daemon.address,)
+                ),
+                events,
+                batch_rr,
+            )
+        _assert_results_identical(streamed, reference)
+
+    @pytest.mark.slow
+    def test_gateway_transport(self, ecg_record, batch_rr):
+        from repro.service import GatewayThread, ServiceClient, ServiceConfig
+        from repro.service.wire import result_to_dict
+
+        events = _stream_events(ecg_record)
+        with GatewayThread(
+            ServiceConfig(listen="127.0.0.1:0", count_ops=True)
+        ) as gateway:
+            with ServiceClient(gateway.address) as client:
+                client.open("subject-1")
+                for subject, times, values, corrected in events:
+                    client.feed(
+                        times, values, np.asarray(corrected, dtype=float)
+                    )
+                result = client.finalize()
+        # The gateway's default tenant runs EngineConfig(): compare
+        # against the same config's in-process batch analysis, in the
+        # wire's own (bit-exact) JSON form.
+        with Engine(EngineConfig()) as engine:
+            reference = result_to_dict(engine.analyze(batch_rr, count_ops=True))
+        payload = {
+            key: value
+            for key, value in result.items()
+            if key not in ("op", "subject")
+        }
+        assert payload == reference
+        # Quality metrics crossed the wire with every window.
+        assert len(payload["window_metrics"]) == payload["n_windows"]
+
+    def test_corrected_beats_flag_windows(self):
+        """Perturbed beats get corrected and the flags match batch."""
+        patient = list(make_cohort())[1]
+        rr = patient.rr_series(duration=300.0)
+        beats = np.concatenate([[rr.times[0] - rr.intervals[0]], rr.times])
+        # Shove a cluster of beats off their grid — classic ectopics.
+        beats = beats.copy()
+        for k in range(40, 56, 3):
+            beats[k] += 0.22
+        raw = RRSeries.from_beat_times(beats)
+        reference_rr = filter_artifacts(raw).series
+        assert np.count_nonzero(reference_rr.corrected) > 0
+
+        source = BeatTimesSource("subject-1", beats, chunk_beats=17)
+        events = list(source)
+        config = EngineConfig.for_mode("set3", jobs=1)
+        with Engine(config) as engine:
+            hub = engine.open_hub(count_ops=True)
+            for subject, times, values, corrected in events:
+                hub.feed(subject, times, values, corrected)
+            streamed = hub.finalize("subject-1")
+            reference = engine.analyze(reference_rr, count_ops=True)
+        _assert_results_identical(streamed, reference)
+        fractions = [m.corrected_fraction for m in streamed.window_metrics]
+        assert max(fractions) > 0.0
+        assert any(
+            m.flags & FLAG_HIGH_CORRECTED
+            for m in streamed.window_metrics
+            if m.corrected_fraction > 0.05
+        ) or all(f <= 0.05 for f in fractions)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+
+
+class TestSources:
+    def test_tachogram_source_round_trip(self):
+        rr = list(make_cohort())[0].rr_series(duration=200.0)
+        events = list(TachogramSource("s", rr, chunk_beats=32))
+        np.testing.assert_array_equal(
+            np.concatenate([e.times for e in events]), rr.times
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([e.values for e in events]), rr.intervals
+        )
+        assert all(isinstance(e, RREvent) for e in events)
+        assert all(e.subject == "s" for e in events)
+
+    def test_tachogram_source_carries_corrected(self):
+        rr = list(make_cohort())[0].rr_series(duration=200.0)
+        mask = np.zeros(rr.times.size, dtype=bool)
+        mask[5] = True
+        series = rr.with_corrected(mask)
+        events = list(TachogramSource("s", series, chunk_beats=64))
+        np.testing.assert_array_equal(
+            np.concatenate([e.corrected for e in events]), mask
+        )
+
+    def test_beat_times_source_rejects_unsorted(self):
+        with pytest.raises(ValidationError, match="not sorted"):
+            BeatTimesSource("s", [0.0, 1.0, 0.5, 2.0])
+
+    def test_beat_times_source_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="duplicates"):
+            BeatTimesSource("s", [0.0, 1.0, 1.0, 2.0])
+
+    def test_beat_times_chunking_invariance(self):
+        rr = list(make_cohort())[2].rr_series(duration=240.0)
+        beats = np.concatenate([[rr.times[0] - rr.intervals[0]], rr.times])
+        reference = None
+        for chunk in (1, 7, 64, 10_000):
+            events = list(BeatTimesSource("s", beats, chunk_beats=chunk))
+            t = np.concatenate([e.times for e in events])
+            v = np.concatenate([e.values for e in events])
+            c = np.concatenate([e.corrected for e in events])
+            if reference is None:
+                reference = (t, v, c)
+            else:
+                np.testing.assert_array_equal(t, reference[0])
+                np.testing.assert_array_equal(v, reference[1])
+                np.testing.assert_array_equal(c, reference[2])
+        # and the concatenation equals the batch path
+        batch = filter_artifacts(RRSeries.from_beat_times(beats)).series
+        np.testing.assert_array_equal(reference[0], batch.times)
+        np.testing.assert_array_equal(reference[1], batch.intervals)
+        np.testing.assert_array_equal(reference[2], batch.corrected)
+
+    def test_rr_series_from_beat_times_validation(self):
+        with pytest.raises(ValidationError, match="not sorted"):
+            RRSeries.from_beat_times([0.0, 2.0, 1.0])
+        with pytest.raises(ValidationError, match="duplicates"):
+            RRSeries.from_beat_times([0.0, 1.0, 1.0])
+
+
+# ----------------------------------------------------------------------
+# Preprocessing edge cases (satellite)
+# ----------------------------------------------------------------------
+
+
+def _steady_rr(n: int, value: float = 0.8):
+    intervals = np.full(n, value)
+    times = np.cumsum(intervals)
+    return times, intervals
+
+
+class TestPreprocessingEdges:
+    def test_empty_push_yields_nothing(self):
+        pre = StreamingPreprocessor(window=5)
+        t, rr, c = pre.push(np.empty(0), np.empty(0))
+        assert t.size == rr.size == c.size == 0
+
+    def test_finalize_empty_record_rejected(self):
+        pre = StreamingPreprocessor(window=5)
+        with pytest.raises(SignalError, match="shorter than window"):
+            pre.finalize()
+
+    def test_record_shorter_than_window_rejected_both_paths(self):
+        times, intervals = _steady_rr(4)
+        with pytest.raises(SignalError, match="shorter than window"):
+            filter_artifacts(RRSeries(times=times, intervals=intervals),
+                             window=5)
+        pre = StreamingPreprocessor(window=5)
+        pre.push(times, intervals)
+        with pytest.raises(SignalError, match="shorter than window"):
+            pre.finalize()
+
+    def test_all_ectopic_stretch_rejected_both_paths(self):
+        times, intervals = _steady_rr(40)
+        intervals = intervals.copy()
+        intervals[1:40:3] = 1.6  # isolated spikes: 13/40 off-median
+        series = RRSeries(times=times, intervals=intervals)
+        with pytest.raises(SignalError, match="rejected"):
+            filter_artifacts(series, window=5, max_fraction=0.3)
+        pre = StreamingPreprocessor(window=5, max_fraction=0.3)
+        pre.push(times, intervals)
+        with pytest.raises(SignalError, match="rejected"):
+            pre.finalize()
+
+    def test_boundary_artifacts_match_batch(self):
+        times, intervals = _steady_rr(60)
+        intervals = intervals.copy()
+        intervals[0] = 1.4    # artifact at the very first interval
+        intervals[-1] = 0.3   # and at the very last
+        series = RRSeries(times=times, intervals=intervals)
+        report = filter_artifacts(series, window=7)
+        assert report.series.corrected[0]
+        assert report.series.corrected[-1]
+
+        pre = StreamingPreprocessor(window=7)
+        outs = [pre.push(times[:13], intervals[:13]),
+                pre.push(times[13:], intervals[13:])]
+        outs.append(pre.finalize())
+        cleaned = np.concatenate([o[1] for o in outs])
+        mask = np.concatenate([o[2] for o in outs])
+        np.testing.assert_array_equal(cleaned, report.series.intervals)
+        np.testing.assert_array_equal(mask, report.series.corrected)
+
+    def test_interpolation_preserves_monotone_times(self):
+        rng = np.random.default_rng(11)
+        intervals = 0.8 + 0.02 * rng.standard_normal(120)
+        intervals[30] = 1.5
+        intervals[70] = 0.2
+        times = np.cumsum(intervals)
+        series = RRSeries(times=times, intervals=intervals)
+        report = filter_artifacts(series, window=9)
+        # Replacement keeps the time axis: strictly increasing, intact.
+        np.testing.assert_array_equal(report.series.times, times)
+        assert np.all(np.diff(report.series.times) > 0)
+        assert np.all(report.series.intervals > 0)
+        assert report.fraction_corrected > 0
+
+    def test_push_after_finalize_rejected(self):
+        times, intervals = _steady_rr(20)
+        pre = StreamingPreprocessor(window=5)
+        pre.push(times, intervals)
+        pre.finalize()
+        with pytest.raises(SignalError, match="finalized"):
+            pre.push(times, intervals)
+        with pytest.raises(SignalError, match="finalized"):
+            pre.finalize()

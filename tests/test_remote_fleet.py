@@ -404,17 +404,18 @@ class TestRemoteBitIdentity:
         welch = build_system(config).welch
         rr = _cohort(1, seconds=1800.0)[0]
         plan = welch.plan_windows(rr.times, rr.intervals)
-        reference = FleetRunner.from_config(config, welch=welch).run_spans(
-            plan.times, plan.values, plan.spans, count_ops=True
-        )
+        reference, ref_metrics = FleetRunner.from_config(
+            config, welch=welch
+        ).run_spans(plan.times, plan.values, plan.spans, count_ops=True)
         runner = FleetRunner.from_config(
             config.replace(workers=(shared_daemon.address,)), welch=welch
         )
         with runner:
-            remote = runner.run_spans(
+            remote, remote_metrics = runner.run_spans(
                 plan.times, plan.values, plan.spans, count_ops=True
             )
         assert len(reference) == len(remote)
+        assert ref_metrics == remote_metrics
         for ref, got in zip(reference, remote):
             np.testing.assert_array_equal(ref.power, got.power)
             np.testing.assert_array_equal(ref.frequencies, got.frequencies)

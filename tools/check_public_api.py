@@ -33,6 +33,7 @@ MODULES = (
     "repro",
     "repro.engine",
     "repro.fleet",
+    "repro.ingest",
     "repro.perf",
     "repro.service",
     "repro.testing",

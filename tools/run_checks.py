@@ -18,8 +18,11 @@ Runs, in order:
 6. the service smoke (``tools/service_smoke.py``): gateway on an
    ephemeral port, a two-subject cohort streamed through the framed
    protocol bit-identical to ``Engine.analyze``, one REST batch upload,
-7. the four benchmark smoke tests (streaming, throughput, fleet,
-   service) that exercise the measurement harnesses end to end.
+7. the ingestion smoke (``tools/ingest_smoke.py``): raw ECG replayed
+   frame-by-frame through the streaming QRS detector and artifact
+   preprocessor, bit-identical to the batch path on both PSA systems,
+8. the five benchmark smoke tests (streaming, throughput, fleet,
+   service, ingest) that exercise the measurement harnesses end to end.
 
 Each step streams its own output; the gate prints a pass/fail summary
 table and exits non-zero if *any* step failed (later steps still run, so
@@ -66,6 +69,10 @@ STEPS: list[tuple[str, list[str]]] = [
         [sys.executable, "tools/service_smoke.py"],
     ),
     (
+        "ingest smoke (ECG replay bit-identity)",
+        [sys.executable, "tools/ingest_smoke.py"],
+    ),
+    (
         "bench smoke: streaming",
         [
             sys.executable,
@@ -103,6 +110,16 @@ STEPS: list[tuple[str, list[str]]] = [
             "pytest",
             "-q",
             "tests/test_bench_service_smoke.py",
+        ],
+    ),
+    (
+        "bench smoke: ingest",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "tests/test_bench_ingest_smoke.py",
         ],
     ),
 ]
